@@ -1,0 +1,43 @@
+// Command benchtab regenerates every experiment table of EXPERIMENTS.md
+// (one per table/figure/claim of the paper's evaluation — see the
+// experiment index in DESIGN.md).
+//
+// Usage:
+//
+//	benchtab [-quick] [-seed N] [-only E-T1.1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"lightnet/internal/experiments"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchtab:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	quick := flag.Bool("quick", false, "smaller sizes (128/256) for a fast pass")
+	seed := flag.Int64("seed", 1, "random seed")
+	only := flag.String("only", "", "run only the experiment with this id prefix (e.g. E-T1.1)")
+	flag.Parse()
+
+	tables, err := experiments.All(*quick, *seed)
+	if err != nil {
+		return err
+	}
+	for _, t := range tables {
+		if *only != "" && !strings.HasPrefix(t.ID, *only) {
+			continue
+		}
+		fmt.Println(t.Format())
+	}
+	return nil
+}

@@ -1,0 +1,233 @@
+// Command lightnet builds any of the paper's objects on a generated
+// graph and prints certified quality plus distributed cost.
+//
+// Usage:
+//
+//	lightnet -obj spanner   -graph er -n 512 -k 2 -eps 0.25
+//	lightnet -obj slt       -graph geometric -n 512 -eps 0.5 -root 0
+//	lightnet -obj sltinv    -graph er -n 512 -gamma 0.25
+//	lightnet -obj net       -graph grid -n 400 -scale 10 -delta 0.5
+//	lightnet -obj doubling  -graph geometric -n 256 -eps 0.5
+//	lightnet -obj psi       -graph hard -n 400
+//	lightnet -obj mst       -graph er -n 1024
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	"lightnet"
+	"lightnet/internal/congest"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "lightnet:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		obj   = flag.String("obj", "spanner", "spanner|slt|sltinv|net|doubling|psi|mst")
+		kind  = flag.String("graph", "er", "er|geometric|grid|complete|hard|path")
+		n     = flag.Int("n", 512, "number of vertices")
+		k     = flag.Int("k", 2, "spanner stretch parameter")
+		eps   = flag.Float64("eps", 0.25, "ε")
+		gamma = flag.Float64("gamma", 0.25, "γ for the inverse SLT")
+		scale = flag.Float64("scale", 0, "net scale Δ (default: diameter/6)")
+		delta = flag.Float64("delta", 0.5, "net approximation δ")
+		root  = flag.Int("root", 0, "SLT root")
+		seed  = flag.Int64("seed", 1, "random seed")
+		nover = flag.Bool("noverify", false, "skip exact verification (large graphs)")
+		load  = flag.String("load", "", "load the graph from this file instead of generating")
+		save  = flag.String("save", "", "save the generated graph to this file")
+	)
+	flag.Parse()
+
+	var g *lightnet.Graph
+	var err error
+	if *load != "" {
+		f, ferr := os.Open(*load)
+		if ferr != nil {
+			return ferr
+		}
+		g, err = lightnet.ReadGraph(f)
+		f.Close()
+	} else {
+		g, err = makeGraph(*kind, *n, *seed)
+	}
+	if err != nil {
+		return err
+	}
+	if *save != "" {
+		f, ferr := os.Create(*save)
+		if ferr != nil {
+			return ferr
+		}
+		if err := lightnet.WriteGraph(f, g); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("graph %s: n=%d m=%d\n", *kind, g.N(), g.M())
+
+	switch *obj {
+	case "spanner":
+		res, err := lightnet.BuildLightSpanner(g, *k, *eps, lightnet.WithSeed(*seed))
+		if err != nil {
+			return err
+		}
+		fmt.Printf("spanner: edges=%d lightness=%.2f rounds=%d messages=%d\n",
+			len(res.Edges), res.Lightness, res.Cost.Rounds, res.Cost.Messages)
+		if !*nover {
+			maxS, meanS, err := lightnet.VerifySpanner(g, res)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("verified: stretch max=%.3f mean=%.3f (bound %.3f)\n",
+				maxS, meanS, float64(2**k-1)*(1+*eps))
+		}
+	case "slt":
+		res, err := lightnet.BuildSLT(g, lightnet.Vertex(*root), *eps, lightnet.WithSeed(*seed))
+		if err != nil {
+			return err
+		}
+		fmt.Printf("slt: lightness=%.3f rounds=%d\n", res.Lightness, res.Cost.Rounds)
+		if !*nover {
+			light, stretch, err := lightnet.VerifySLT(g, res)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("verified: lightness=%.3f rootStretch=%.3f\n", light, stretch)
+		}
+	case "sltinv":
+		res, err := lightnet.BuildSLTInverse(g, lightnet.Vertex(*root), *gamma, lightnet.WithSeed(*seed))
+		if err != nil {
+			return err
+		}
+		light, stretch, err := lightnet.VerifySLT(g, res)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("slt-inverse: lightness=%.4f (≤1+γ=%.4f) rootStretch=%.2f\n",
+			light, 1+*gamma, stretch)
+	case "net":
+		s := *scale
+		if s == 0 {
+			s = g.WeightedDiameterApprox() / 6
+		}
+		res, err := lightnet.BuildNet(g, s, *delta, lightnet.WithSeed(*seed))
+		if err != nil {
+			return err
+		}
+		fmt.Printf("net: |N|=%d covering=%.2f separation=%.2f iterations=%d rounds=%d\n",
+			len(res.Points), res.Alpha, res.Beta, res.Iterations, res.Cost.Rounds)
+		if !*nover {
+			if err := lightnet.VerifyNet(g, res); err != nil {
+				return err
+			}
+			fmt.Println("verified: covering and separation hold")
+		}
+	case "doubling":
+		res, err := lightnet.BuildDoublingSpanner(g, *eps, lightnet.WithSeed(*seed))
+		if err != nil {
+			return err
+		}
+		fmt.Printf("doubling spanner: edges=%d lightness=%.2f rounds=%d\n",
+			len(res.Edges), res.Lightness, res.Cost.Rounds)
+		if !*nover {
+			maxS, _, err := lightnet.VerifySpanner(g, res)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("verified: stretch=%.3f\n", maxS)
+		}
+	case "psi":
+		psi, mstW, err := lightnet.EstimateMSTWeight(g, lightnet.WithSeed(*seed))
+		if err != nil {
+			return err
+		}
+		fmt.Printf("psi: Ψ=%.0f L=%.0f ratio=%.2f (bound O(α·log n)≈%.0f)\n",
+			psi, mstW, psi/mstW, 2.25*4*math.Log2(float64(g.N())))
+	case "mst":
+		edges, w, err := lightnet.MST(g)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("mst: edges=%d weight=%.1f\n", len(edges), w)
+	case "engine":
+		return runEngineDemos(g, *seed)
+	default:
+		return fmt.Errorf("unknown object %q", *obj)
+	}
+	return nil
+}
+
+// runEngineDemos executes the genuine message-passing programs on the
+// graph and prints their measured CONGEST costs.
+func runEngineDemos(g *lightnet.Graph, seed int64) error {
+	fmt.Printf("%-22s %8s %10s %8s\n", "program", "rounds", "messages", "phases")
+	if _, _, s, err := congest.RunBFS(g, 0, seed); err == nil {
+		fmt.Printf("%-22s %8d %10d %8d\n", "bfs-tree", s.Rounds, s.Messages, s.Phases)
+	} else {
+		return err
+	}
+	if _, s, err := congest.RunFloodMin(g, seed); err == nil {
+		fmt.Printf("%-22s %8d %10d %8d\n", "leader-election", s.Rounds, s.Messages, s.Phases)
+	} else {
+		return err
+	}
+	if _, s, err := congest.RunBoruvka(g, 0, seed); err == nil {
+		fmt.Printf("%-22s %8d %10d %8d\n", "boruvka-mst", s.Rounds, s.Messages, s.Phases)
+	} else {
+		return err
+	}
+	if _, s, err := congest.RunLubyMIS(g, seed); err == nil {
+		fmt.Printf("%-22s %8d %10d %8d\n", "luby-mis", s.Rounds, s.Messages, s.Phases)
+	} else {
+		return err
+	}
+	if _, s, err := congest.RunRulingSet(g, 3, seed); err == nil {
+		fmt.Printf("%-22s %8d %10d %8d\n", "ruling-set(k=3)", s.Rounds, s.Messages, s.Phases)
+	} else {
+		return err
+	}
+	if _, s, err := congest.RunEN17Spanner(g, 2, seed); err == nil {
+		fmt.Printf("%-22s %8d %10d %8d\n", "en17-spanner(k=2)", s.Rounds, s.Messages, s.Phases)
+	} else {
+		return err
+	}
+	if _, _, s, err := congest.RunNearestSource(g, []lightnet.Vertex{0}, g.N(), seed); err == nil {
+		fmt.Printf("%-22s %8d %10d %8d\n", "nearest-source-bf", s.Rounds, s.Messages, s.Phases)
+	} else {
+		return err
+	}
+	return nil
+}
+
+func makeGraph(kind string, n int, seed int64) (*lightnet.Graph, error) {
+	switch kind {
+	case "er":
+		return lightnet.ErdosRenyi(n, 12/float64(n), 50, seed), nil
+	case "geometric":
+		return lightnet.RandomGeometric(n, 2, seed), nil
+	case "grid":
+		side := int(math.Sqrt(float64(n)))
+		return lightnet.GridGraph(side, side, 4, seed), nil
+	case "complete":
+		return lightnet.CompleteGraph(n, 1000, seed), nil
+	case "hard":
+		return lightnet.HardInstance(n, float64(n)*10, seed), nil
+	case "path":
+		return lightnet.PathGraph(n, 1), nil
+	default:
+		return nil, errors.New("unknown graph kind " + kind)
+	}
+}

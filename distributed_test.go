@@ -1,0 +1,96 @@
+package lightnet
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDistributedMSTPublic(t *testing.T) {
+	g := ErdosRenyi(80, 0.1, 10, 3)
+	edges, stats, err := DistributedMST(g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, wantW, err := MST(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var w float64
+	for _, id := range edges {
+		w += g.Edge(id).W
+	}
+	if math.Abs(w-wantW) > 1e-9 {
+		t.Fatalf("weight %v want %v", w, wantW)
+	}
+	if stats.Rounds == 0 || stats.Phases == 0 {
+		t.Fatalf("stats %+v", stats)
+	}
+}
+
+func TestDistributedBFSPublic(t *testing.T) {
+	g := GridGraph(7, 7, 2, 2)
+	_, depth, stats, err := DistributedBFS(g, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := g.BFSHops(0)
+	for v := range depth {
+		if depth[v] != want[v] {
+			t.Fatalf("depth[%d]", v)
+		}
+	}
+	if stats.Rounds > g.HopDiameter()+3 {
+		t.Fatalf("rounds %d", stats.Rounds)
+	}
+}
+
+func TestDistributedMISAndRulingSetPublic(t *testing.T) {
+	g := ErdosRenyi(60, 0.1, 4, 5)
+	mis, _, err := DistributedMIS(g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range g.Edges() {
+		if mis[e.U] && mis[e.V] {
+			t.Fatal("MIS has adjacent members")
+		}
+	}
+	rs, _, err := DistributedRulingSet(g, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	any := false
+	for _, in := range rs {
+		any = any || in
+	}
+	if !any {
+		t.Fatal("empty ruling set")
+	}
+}
+
+func TestDistributedSpannerAndNearestSourcePublic(t *testing.T) {
+	g := ErdosRenyi(70, 0.2, 3, 7)
+	edges, stats, err := DistributedUnweightedSpanner(g, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Rounds > 4 {
+		t.Fatalf("rounds %d", stats.Rounds)
+	}
+	if len(edges) >= g.M() || len(edges) < g.N()-1 {
+		t.Fatalf("spanner size %d of %d", len(edges), g.M())
+	}
+	dist, nearest, _, err := DistributedNearestSource(g, []Vertex{0, 30}, g.N(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _, _ := g.DijkstraMultiSource([]Vertex{0, 30}, math.Inf(1))
+	for v := range dist {
+		if math.Abs(dist[v]-want[v]) > 1e-9 {
+			t.Fatalf("dist[%d] = %v want %v", v, dist[v], want[v])
+		}
+	}
+	if nearest[0] != 0 || nearest[30] != 30 {
+		t.Fatal("sources not their own nearest")
+	}
+}

@@ -1,0 +1,85 @@
+package lightnet_test
+
+import (
+	"fmt"
+
+	"lightnet"
+)
+
+// ExampleBuildLightSpanner builds the §5 spanner and certifies its
+// stretch against the (2k−1)(1+ε) bound.
+func ExampleBuildLightSpanner() {
+	g := lightnet.ErdosRenyi(200, 0.1, 20, 42)
+	k, eps := 2, 0.25
+	res, err := lightnet.BuildLightSpanner(g, k, eps, lightnet.WithSeed(1))
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	maxStretch, _, err := lightnet.VerifySpanner(g, res)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("sparsified:", len(res.Edges) < g.M())
+	fmt.Println("stretch within bound:", maxStretch <= float64(2*k-1)*(1+eps))
+	fmt.Println("lightness at least 1:", res.Lightness >= 1)
+	// Output:
+	// sparsified: true
+	// stretch within bound: true
+	// lightness at least 1: true
+}
+
+// ExampleBuildSLT builds a shallow-light tree and certifies both sides
+// of the trade-off.
+func ExampleBuildSLT() {
+	g := lightnet.RandomGeometric(150, 2, 7)
+	res, err := lightnet.BuildSLT(g, 0, 0.5, lightnet.WithSeed(1))
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	light, stretch, err := lightnet.VerifySLT(g, res)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("lightness within 1+4/eps:", light <= 1+4/0.5)
+	fmt.Println("root stretch within 1+51*eps:", stretch <= 1+51*0.5)
+	// Output:
+	// lightness within 1+4/eps: true
+	// root stretch within 1+51*eps: true
+}
+
+// ExampleBuildNet builds a §6 net and checks the certified covering and
+// separation radii.
+func ExampleBuildNet() {
+	g := lightnet.GridGraph(10, 10, 2, 3)
+	res, err := lightnet.BuildNet(g, 6, 0.5, lightnet.WithSeed(1))
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("covering radius:", res.Alpha)
+	fmt.Println("separation:", res.Beta)
+	fmt.Println("verified:", lightnet.VerifyNet(g, res) == nil)
+	// Output:
+	// covering radius: 9
+	// separation: 4
+	// verified: true
+}
+
+// ExampleEstimateMSTWeight runs the §8 Theorem 7 reduction.
+func ExampleEstimateMSTWeight() {
+	g := lightnet.PathGraph(100, 1)
+	psi, mstW, err := lightnet.EstimateMSTWeight(g, lightnet.WithSeed(1))
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("sandwiched below:", psi >= mstW)
+	fmt.Println("sandwiched above:", psi <= 100*mstW)
+	// Output:
+	// sandwiched below: true
+	// sandwiched above: true
+}

@@ -1,0 +1,113 @@
+// Broadcast-cost study — the motivating application of light spanners
+// and SLTs (§1, [ABP90/ABP92]): broadcasting from a source along a tree
+// costs (a) total edge weight (link activation cost) and (b) worst-case
+// source-to-vertex delay. The MST minimises (a) but can have Θ(n)
+// delay; the SPT minimises (b) but can be Θ(n) times heavier. The SLT
+// provably sits within (1+ε) of the SPT's delay at 1+O(1/ε) of the
+// MST's cost — this example measures all three on a metric where the
+// trade-off bites.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"lightnet"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// The classic bad case: a light ring with a few heavy shortcuts.
+	// The MST is the ring minus one edge — delay Θ(n); the SPT uses
+	// heavy spokes — weight Θ(n·w).
+	n := 400
+	g := lightnet.NewGraph(n)
+	for i := 0; i < n; i++ {
+		if _, err := g.AddEdge(lightnet.Vertex(i), lightnet.Vertex((i+1)%n), 1); err != nil {
+			return err
+		}
+	}
+	for i := 8; i < n; i += 16 {
+		if _, err := g.AddEdge(0, lightnet.Vertex(i), float64(i%97)+4); err != nil {
+			return err
+		}
+	}
+	root := lightnet.Vertex(0)
+
+	mstEdges, mstW, err := lightnet.MST(g)
+	if err != nil {
+		return err
+	}
+	mstDelay, err := treeDelay(g, mstEdges, root)
+	if err != nil {
+		return err
+	}
+	// SPT = SLT with tiny ε (stretch → 1).
+	spt, err := lightnet.BuildSLT(g, root, 0.01, lightnet.WithSeed(1), lightnet.WithExactSPT())
+	if err != nil {
+		return err
+	}
+	sptW := weightOf(g, spt.TreeEdges)
+	sptDelay := maxDist(spt.Dist)
+
+	fmt.Printf("broadcast from vertex %d on n=%d ring+spokes\n\n", root, n)
+	fmt.Printf("%-12s %12s %12s %14s\n", "tree", "weight", "delay", "lightness")
+	fmt.Printf("%-12s %12.0f %12.0f %14.2f\n", "MST", mstW, mstDelay, 1.0)
+	fmt.Printf("%-12s %12.0f %12.0f %14.2f\n", "SPT", sptW, sptDelay, sptW/mstW)
+
+	for _, eps := range []float64{2, 1, 0.5, 0.25} {
+		tree, err := lightnet.BuildSLT(g, root, eps, lightnet.WithSeed(1))
+		if err != nil {
+			return err
+		}
+		light, stretch, err := lightnet.VerifySLT(g, tree)
+		if err != nil {
+			return err
+		}
+		name := fmt.Sprintf("SLT ε=%.2g", eps)
+		fmt.Printf("%-12s %12.0f %12.0f %14.2f   (root stretch %.2f)\n",
+			name, weightOf(g, tree.TreeEdges), maxDist(tree.Dist), light, stretch)
+	}
+	fmt.Println("\nThe SLT family interpolates: near-SPT delay at near-MST cost.")
+	return nil
+}
+
+func weightOf(g *lightnet.Graph, ids []lightnet.EdgeID) float64 {
+	var s float64
+	for _, id := range ids {
+		s += g.Edge(id).W
+	}
+	return s
+}
+
+func maxDist(d []float64) float64 {
+	m := 0.0
+	for _, x := range d {
+		if !math.IsInf(x, 1) && x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// treeDelay computes the worst root-to-vertex distance within the tree.
+func treeDelay(g *lightnet.Graph, edges []lightnet.EdgeID, root lightnet.Vertex) (float64, error) {
+	sub := g.Subgraph(edges)
+	d := sub.Dijkstra(root).Dist
+	m := 0.0
+	for v, x := range d {
+		if math.IsInf(x, 1) {
+			return 0, fmt.Errorf("vertex %d unreachable in tree", v)
+		}
+		if x > m {
+			m = x
+		}
+	}
+	return m, nil
+}

@@ -1,0 +1,78 @@
+// Quickstart: build each of the paper's four objects on a random graph
+// and print the certified quality and distributed cost.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"lightnet"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// A dense weighted graph: K_250 with weights in [1, 1000] — dense
+	// enough that the O(k·n^{1+1/k}) size bound forces real
+	// sparsification.
+	g := lightnet.CompleteGraph(250, 1000, 42)
+	fmt.Printf("graph: n=%d m=%d\n\n", g.N(), g.M())
+
+	// 1. Light spanner (§5): stretch (2k−1)(1+ε).
+	k, eps := 2, 0.25
+	sp, err := lightnet.BuildLightSpanner(g, k, eps, lightnet.WithSeed(1))
+	if err != nil {
+		return err
+	}
+	maxS, meanS, err := lightnet.VerifySpanner(g, sp)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("light spanner (k=%d, ε=%.2f):\n", k, eps)
+	fmt.Printf("  edges      %6d  (graph has %d)\n", len(sp.Edges), g.M())
+	fmt.Printf("  lightness  %6.2f\n", sp.Lightness)
+	fmt.Printf("  stretch    %6.2f max / %.2f mean  (bound %.2f)\n",
+		maxS, meanS, float64(2*k-1)*(1+eps))
+	fmt.Printf("  cost       %d rounds, %d messages\n\n", sp.Cost.Rounds, sp.Cost.Messages)
+
+	// 2. Shallow-light tree (§4): root stretch 1+ε, lightness 1+O(1/ε).
+	tree, err := lightnet.BuildSLT(g, 0, 0.5, lightnet.WithSeed(1))
+	if err != nil {
+		return err
+	}
+	light, rootStretch, err := lightnet.VerifySLT(g, tree)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("SLT (root 0, ε=0.5):\n")
+	fmt.Printf("  lightness    %6.2f\n", light)
+	fmt.Printf("  root stretch %6.2f\n", rootStretch)
+	fmt.Printf("  cost         %d rounds\n\n", tree.Cost.Rounds)
+
+	// 3. Net (§6) at an eighth of the weighted diameter.
+	scale := g.WeightedDiameterApprox() / 8
+	net, err := lightnet.BuildNet(g, scale, 0.5, lightnet.WithSeed(1))
+	if err != nil {
+		return err
+	}
+	if err := lightnet.VerifyNet(g, net); err != nil {
+		return err
+	}
+	fmt.Printf("net (Δ=%.0f, δ=0.5):\n", scale)
+	fmt.Printf("  points     %6d   covering %.1f, separation %.1f\n",
+		len(net.Points), net.Alpha, net.Beta)
+	fmt.Printf("  iterations %6d\n\n", net.Iterations)
+
+	// 4. MST-weight estimation from nets (§8, Theorem 7).
+	psi, mstW, err := lightnet.EstimateMSTWeight(g, lightnet.WithSeed(1))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("MST-weight estimator Ψ (§8): Ψ=%.0f, true L=%.0f, ratio %.2f\n",
+		psi, mstW, psi/mstW)
+	return nil
+}

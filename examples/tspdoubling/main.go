@@ -1,0 +1,93 @@
+// TSP on a doubling-graph spanner — the motivating application of §1.3
+// ([Kle05, Got15]): polynomial approximation schemes for TSP run on a
+// (1+ε)-spanner of the doubling metric instead of the full graph. This
+// example builds the §7 spanner on a geometric network, then compares a
+// 2-approximate TSP tour (shortcut MST double-tree) computed on the
+// spanner against the same tour on the full graph: the tour lengthens
+// by at most (1+ε) while the algorithm touches far fewer edges.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"lightnet"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	g := lightnet.RandomUnitBall(250, 2, 0.35, 23)
+	ddim := lightnet.EstimateDoublingDimension(g, 5, 1)
+	fmt.Printf("geometric network: n=%d m=%d, doubling dimension ≈ %.1f\n\n", g.N(), g.M(), ddim)
+
+	for _, eps := range []float64{0.5, 0.25} {
+		sp, err := lightnet.BuildDoublingSpanner(g, eps, lightnet.WithSeed(4))
+		if err != nil {
+			return err
+		}
+		maxS, _, err := lightnet.VerifySpanner(g, sp)
+		if err != nil {
+			return err
+		}
+		full, err := tspTour(g)
+		if err != nil {
+			return err
+		}
+		sparse, err := tspTour(g.Subgraph(sp.Edges))
+		if err != nil {
+			return err
+		}
+		fmt.Printf("ε=%.2f: spanner %d/%d edges, lightness %.1f, stretch %.3f\n",
+			eps, len(sp.Edges), g.M(), sp.Lightness, maxS)
+		fmt.Printf("        TSP tour on full graph %.0f, on spanner %.0f (ratio %.3f)\n\n",
+			full, sparse, sparse/full)
+	}
+	return nil
+}
+
+// tspTour returns the length of the double-tree 2-approximate TSP tour:
+// walk the MST in preorder, connecting consecutive vertices by shortest
+// paths in the given graph.
+func tspTour(g *lightnet.Graph) (float64, error) {
+	edges, _, err := lightnet.MST(g)
+	if err != nil {
+		return 0, err
+	}
+	// Preorder over the MST.
+	adj := make([][]lightnet.Vertex, g.N())
+	for _, id := range edges {
+		e := g.Edge(id)
+		adj[e.U] = append(adj[e.U], e.V)
+		adj[e.V] = append(adj[e.V], e.U)
+	}
+	order := make([]lightnet.Vertex, 0, g.N())
+	seen := make([]bool, g.N())
+	stack := []lightnet.Vertex{0}
+	seen[0] = true
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		order = append(order, v)
+		for i := len(adj[v]) - 1; i >= 0; i-- {
+			if !seen[adj[v][i]] {
+				seen[adj[v][i]] = true
+				stack = append(stack, adj[v][i])
+			}
+		}
+	}
+	// Tour length via shortest paths between consecutive preorder
+	// vertices (closing the cycle).
+	var total float64
+	for i := 0; i < len(order); i++ {
+		u := order[i]
+		v := order[(i+1)%len(order)]
+		d := g.Dijkstra(u).Dist[v]
+		total += d
+	}
+	return total, nil
+}

@@ -1,0 +1,74 @@
+package lightnet
+
+import (
+	"io"
+
+	"lightnet/internal/graph"
+)
+
+// ReadGraph parses a graph from the line-oriented text format produced
+// by WriteGraph ("graph n m" header, then "e u v w" lines).
+func ReadGraph(r io.Reader) (*Graph, error) { return graph.Read(r) }
+
+// WriteGraph serialises g in a round-trippable text format.
+func WriteGraph(w io.Writer, g *Graph) error {
+	_, err := g.WriteTo(w)
+	return err
+}
+
+// Graph generators re-exported for library users and the examples. All
+// are deterministic given the seed and produce connected graphs with
+// minimum edge weight >= 1 (the paper's normalisation).
+
+// RandomGeometric returns a connected random geometric (unit-ball)
+// graph of n points in [0,1]^dim — the doubling workload of §7.
+func RandomGeometric(n, dim int, seed int64) *Graph {
+	return graph.RandomGeometric(n, dim, seed)
+}
+
+// ErdosRenyi returns a connected G(n, p) with weights uniform in
+// [1, maxW].
+func ErdosRenyi(n int, p, maxW float64, seed int64) *Graph {
+	return graph.ErdosRenyi(n, p, maxW, seed)
+}
+
+// GridGraph returns the rows×cols grid with weights uniform in
+// [1, maxW].
+func GridGraph(rows, cols int, maxW float64, seed int64) *Graph {
+	return graph.Grid(rows, cols, maxW, seed)
+}
+
+// PathGraph returns the n-vertex path with uniform weight w.
+func PathGraph(n int, w float64) *Graph { return graph.Path(n, w) }
+
+// CycleGraph returns the n-cycle with uniform weight w.
+func CycleGraph(n int, w float64) *Graph { return graph.Cycle(n, w) }
+
+// CompleteGraph returns K_n with weights uniform in [1, maxW].
+func CompleteGraph(n int, maxW float64, seed int64) *Graph {
+	return graph.Complete(n, maxW, seed)
+}
+
+// RandomTree returns a random recursive tree with weights in [1, maxW].
+func RandomTree(n int, maxW float64, seed int64) *Graph {
+	return graph.RandomTree(n, maxW, seed)
+}
+
+// RandomUnitBall returns the unit-ball graph of n uniform points in
+// [0,1]^dim with the given connection radius: larger radii give denser
+// doubling graphs. Disconnected outputs are stitched by nearest
+// inter-component pairs.
+func RandomUnitBall(n, dim int, radius float64, seed int64) *Graph {
+	return graph.UnitBallGraph(graph.RandomPoints(n, dim, 1, seed), radius)
+}
+
+// HardInstance returns a [SHK+12]-style lower-bound instance (§8).
+func HardInstance(n int, heavy float64, seed int64) *Graph {
+	return graph.HardInstance(n, heavy, seed)
+}
+
+// EstimateDoublingDimension estimates the doubling dimension of g's
+// shortest-path metric by sampled greedy ball covers.
+func EstimateDoublingDimension(g *Graph, samples int, seed int64) float64 {
+	return graph.EstimateDoublingDimension(g, samples, seed)
+}

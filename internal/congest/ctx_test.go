@@ -1,0 +1,133 @@
+package congest
+
+import (
+	"testing"
+
+	"lightnet/internal/graph"
+)
+
+// echoProgram exercises the Ctx API surface: SendTo, Broadcast with
+// busy-edge skipping, Rand, N, Degree, Round.
+type echoProgram struct {
+	NoPhases
+	saw []int // shared: per vertex, number of messages seen
+}
+
+func (p *echoProgram) Init(ctx *Ctx) {
+	if ctx.N() != 5 {
+		ctx.Fail(errBadAPI("N"))
+		return
+	}
+	if ctx.Round() != 0 {
+		ctx.Fail(errBadAPI("Round in Init"))
+		return
+	}
+	if ctx.Rand() == nil {
+		ctx.Fail(errBadAPI("Rand"))
+		return
+	}
+	if ctx.V() == 0 {
+		if ctx.Degree() != len(ctx.Neighbors()) {
+			ctx.Fail(errBadAPI("Degree"))
+			return
+		}
+		// Send to a specific neighbor then Broadcast: the busy edge
+		// must be skipped, others covered.
+		if err := ctx.SendTo(1, 42); err != nil {
+			ctx.Fail(err)
+			return
+		}
+		if err := ctx.Broadcast(7); err != nil {
+			ctx.Fail(err)
+			return
+		}
+	}
+}
+
+func (p *echoProgram) Handle(ctx *Ctx, inbox []Message) {
+	p.saw[ctx.V()] += len(inbox)
+	for _, m := range inbox {
+		if m.From != 0 {
+			ctx.Fail(errBadAPI("From"))
+		}
+	}
+}
+
+type errBadAPI string
+
+func (e errBadAPI) Error() string { return "bad api: " + string(e) }
+
+func TestCtxAPISurface(t *testing.T) {
+	g := graph.Star(5, 1) // center 0 adjacent to 1..4
+	saw := make([]int, g.N())
+	eng := NewEngine(g, func(graph.Vertex) Program { return &echoProgram{saw: saw} },
+		Options{Seed: 1})
+	stats, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Vertex 1 gets the direct send (42), not a second broadcast copy;
+	// vertices 2..4 each get one broadcast message.
+	for v := 1; v < 5; v++ {
+		if saw[v] != 1 {
+			t.Fatalf("vertex %d saw %d messages", v, saw[v])
+		}
+	}
+	if stats.Messages != 4 {
+		t.Fatalf("messages = %d want 4", stats.Messages)
+	}
+	if stats.MaxWords != 1 {
+		t.Fatalf("max words = %d", stats.MaxWords)
+	}
+	if eng.Graph() != g {
+		t.Fatal("Graph() accessor wrong")
+	}
+}
+
+func TestEngineDefaults(t *testing.T) {
+	g := graph.Path(10, 1)
+	eng := NewEngine(g, func(graph.Vertex) Program { return &echoNothing{} }, Options{})
+	if eng.opts.MaxWords != MaxWordsDefault {
+		t.Fatalf("default MaxWords %d", eng.opts.MaxWords)
+	}
+	if eng.opts.MaxRounds != 4*g.N()+64 {
+		t.Fatalf("default MaxRounds %d", eng.opts.MaxRounds)
+	}
+	stats, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Rounds != 1 || stats.Phases != 1 {
+		// All vertices start awake, handle one empty round, then done.
+		t.Fatalf("idle run stats %+v", stats)
+	}
+}
+
+type echoNothing struct{ NoPhases }
+
+func (echoNothing) Init(*Ctx)              {}
+func (echoNothing) Handle(*Ctx, []Message) {}
+
+func TestStatsWordsAccounting(t *testing.T) {
+	g := graph.Path(2, 1)
+	eng := NewEngine(g, func(v graph.Vertex) Program { return &wordsProgram{} },
+		Options{MaxWords: 3})
+	stats, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Words != 3 || stats.MaxWords != 3 || stats.Messages != 1 {
+		t.Fatalf("stats %+v", stats)
+	}
+}
+
+type wordsProgram struct{ NoPhases }
+
+func (p *wordsProgram) Init(ctx *Ctx) {
+	if ctx.V() == 0 {
+		if err := ctx.Send(ctx.Neighbors()[0].ID, 1, 2, 3); err != nil {
+			ctx.Fail(err)
+		}
+	}
+}
+func (p *wordsProgram) Handle(*Ctx, []Message) {}

@@ -1,0 +1,151 @@
+package congest
+
+import (
+	"math"
+	"sort"
+
+	"lightnet/internal/graph"
+)
+
+// en17Program is the [EN17b] randomized (2k−1)-spanner algorithm for
+// unweighted graphs, exactly as restated in §5 of the paper:
+//
+//	Every vertex x samples r(x) ~ Exp(λ), λ = ln(n)/k, resampling until
+//	r(x) < k. It initializes m(x) = r(x), s(x) = x and sends
+//	(s(x), m(x)−1) to all neighbors. In each of the k rounds, x takes
+//	the maximum of its own m(x) and the received values, adopts the
+//	corresponding source, and sends (s(x), m(x)−1).
+//
+//	Selection: after the propagation rounds every vertex shares its
+//	final (s(x), m(x)); x then adds, for every distinct source y among
+//	neighbors with m(v) >= m(x)−1, one edge to such a neighbor.
+//
+// Stretch 2k−1 is guaranteed (given all r(x) < k); the edge count is
+// O(n^{1+1/k}) in expectation.
+type en17Program struct {
+	NoPhases
+	k        int
+	selected []map[graph.EdgeID]bool // shared: per-vertex chosen edges
+
+	m       float64
+	s       int64
+	sentSel bool
+	// final (s, m) received from each neighbor during selection round
+	nbrS map[graph.EdgeID]int64
+	nbrM map[graph.EdgeID]float64
+}
+
+const (
+	en17MsgProp = 'P'
+	en17MsgSel  = 'S'
+)
+
+func (p *en17Program) Init(ctx *Ctx) {
+	n := float64(ctx.N())
+	lambda := math.Log(n) / float64(p.k)
+	for {
+		p.m = ctx.Rand().ExpFloat64() / lambda
+		if p.m < float64(p.k) {
+			break
+		}
+	}
+	p.s = int64(ctx.V())
+	p.nbrS = make(map[graph.EdgeID]int64, ctx.Degree())
+	p.nbrM = make(map[graph.EdgeID]float64, ctx.Degree())
+	p.send(ctx, en17MsgProp, p.s, p.m-1)
+	ctx.Stay()
+}
+
+func (p *en17Program) send(ctx *Ctx, kind int64, s int64, m float64) {
+	for _, h := range ctx.Neighbors() {
+		if err := ctx.Send(h.ID, kind, s, int64(math.Float64bits(m))); err != nil {
+			ctx.Fail(err)
+			return
+		}
+	}
+}
+
+func (p *en17Program) Handle(ctx *Ctx, inbox []Message) {
+	round := ctx.Round()
+	for _, m := range inbox {
+		kind := m.Words[0]
+		src := m.Words[1]
+		val := math.Float64frombits(uint64(m.Words[2]))
+		switch kind {
+		case en17MsgProp:
+			if val > p.m {
+				p.m = val
+				p.s = src
+			}
+		case en17MsgSel:
+			p.nbrS[m.Via] = src
+			p.nbrM[m.Via] = val
+		}
+	}
+	switch {
+	case round < p.k:
+		// Propagation rounds 2..k (round 1 delivered the Init sends).
+		p.send(ctx, en17MsgProp, p.s, p.m-1)
+		ctx.Stay()
+	case round == p.k && !p.sentSel:
+		// Selection round: share final undecremented (s, m).
+		p.sentSel = true
+		p.send(ctx, en17MsgSel, p.s, p.m)
+		ctx.Stay()
+	case round == p.k+1:
+		p.selectEdges(ctx)
+	}
+}
+
+// selectEdges adds, for every distinct source y whose final message at a
+// neighbor v satisfies m(v) >= m(x)−1, one edge {x,v} (the neighbor with
+// the largest m, id tie-break).
+func (p *en17Program) selectEdges(ctx *Ctx) {
+	type best struct {
+		id graph.EdgeID
+		m  float64
+	}
+	choice := make(map[int64]best)
+	for _, h := range ctx.Neighbors() {
+		s, ok := p.nbrS[h.ID]
+		if !ok {
+			continue
+		}
+		mv := p.nbrM[h.ID]
+		if mv < p.m-1 {
+			continue
+		}
+		cur, ok := choice[s]
+		if !ok || mv > cur.m || (mv == cur.m && h.ID < cur.id) {
+			choice[s] = best{id: h.ID, m: mv}
+		}
+	}
+	sel := make(map[graph.EdgeID]bool, len(choice))
+	for _, b := range choice {
+		sel[b.id] = true
+	}
+	p.selected[ctx.V()] = sel
+}
+
+// RunEN17Spanner runs the [EN17b] unweighted spanner program and returns
+// the selected (deduplicated) edge ids. Weights of g are ignored — the
+// spanner is for the unweighted (hop) metric. Measured rounds are k+2.
+func RunEN17Spanner(g *graph.Graph, k int, seed int64) ([]graph.EdgeID, Stats, error) {
+	selected := make([]map[graph.EdgeID]bool, g.N())
+	eng := NewEngine(g, func(graph.Vertex) Program {
+		return &en17Program{k: k, selected: selected}
+	}, Options{Seed: seed, MaxRounds: k + g.N() + 64})
+	stats, err := eng.Run()
+	seen := make(map[graph.EdgeID]bool)
+	var edges []graph.EdgeID
+	for _, sel := range selected {
+		for id := range sel {
+			if !seen[id] {
+				seen[id] = true
+				edges = append(edges, id)
+			}
+		}
+	}
+	sort.Slice(edges, func(i, j int) bool { return edges[i] < edges[j] })
+	return edges, stats, err
+}

@@ -1,0 +1,107 @@
+package congest
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Ledger accounts the round cost of composite algorithms at the level of
+// the communication primitives the paper charges:
+//
+//   - Lemma 1 (pipelined broadcast/convergecast over the BFS tree):
+//     M messages cost O(M + D) rounds;
+//   - local computations inside a fragment/interval of hop-diameter h
+//     cost O(h) rounds (pipelined along the fragment);
+//   - one round of local exchange costs 1.
+//
+// Each charge is labelled so the per-stage breakdown can be inspected in
+// tests and printed by the benchmark harness. Labels aggregate.
+type Ledger struct {
+	rounds   int64
+	messages int64
+	byLabel  map[string]int64
+	order    []string
+}
+
+// NewLedger returns an empty ledger.
+func NewLedger() *Ledger {
+	return &Ledger{byLabel: make(map[string]int64)}
+}
+
+// Rounds returns the total charged rounds.
+func (l *Ledger) Rounds() int64 { return l.rounds }
+
+// Messages returns the total charged messages.
+func (l *Ledger) Messages() int64 { return l.messages }
+
+// Charge adds rounds under the given label.
+func (l *Ledger) Charge(label string, rounds int64) {
+	if rounds < 0 {
+		rounds = 0
+	}
+	l.rounds += rounds
+	if _, ok := l.byLabel[label]; !ok {
+		l.order = append(l.order, label)
+	}
+	l.byLabel[label] += rounds
+}
+
+// ChargeMessages adds message volume (does not affect rounds).
+func (l *Ledger) ChargeMessages(n int64) {
+	if n > 0 {
+		l.messages += n
+	}
+}
+
+// ChargeBroadcast charges a Lemma 1 broadcast/convergecast of m messages
+// over a BFS tree of depth d: m + d rounds, m·d messages upper bound.
+func (l *Ledger) ChargeBroadcast(label string, m, d int64) {
+	l.Charge(label, m+d)
+	l.ChargeMessages(m * (d + 1))
+}
+
+// ChargeLocal charges a fragment/interval-local pipelined computation of
+// the given hop-diameter (run in parallel across fragments: the cost is
+// the maximum diameter, which the caller supplies).
+func (l *Ledger) ChargeLocal(label string, maxHopDiam int64, totalMessages int64) {
+	l.Charge(label, maxHopDiam)
+	l.ChargeMessages(totalMessages)
+}
+
+// ChargeRoundsOf merges the real measured cost of an Engine run into the
+// ledger (used when a composite algorithm runs a genuine sub-program).
+func (l *Ledger) ChargeRoundsOf(label string, s Stats) {
+	l.Charge(label, int64(s.Rounds))
+	l.ChargeMessages(s.Messages)
+}
+
+// Merge adds every charge of other into l.
+func (l *Ledger) Merge(other *Ledger) {
+	for _, label := range other.order {
+		l.Charge(label, other.byLabel[label])
+	}
+	l.ChargeMessages(other.messages)
+}
+
+// ByLabel returns a copy of the per-label round totals.
+func (l *Ledger) ByLabel() map[string]int64 {
+	out := make(map[string]int64, len(l.byLabel))
+	for k, v := range l.byLabel {
+		out[k] = v
+	}
+	return out
+}
+
+// String renders the ledger as a sorted per-label breakdown.
+func (l *Ledger) String() string {
+	labels := make([]string, len(l.order))
+	copy(labels, l.order)
+	sort.Strings(labels)
+	var b strings.Builder
+	fmt.Fprintf(&b, "rounds=%d messages=%d", l.rounds, l.messages)
+	for _, label := range labels {
+		fmt.Fprintf(&b, " %s=%d", label, l.byLabel[label])
+	}
+	return b.String()
+}

@@ -1,0 +1,153 @@
+package congest
+
+import (
+	"math"
+
+	"lightnet/internal/graph"
+)
+
+// misProgram is the Luby/[MRSZ11]-style randomized MIS algorithm the
+// paper's net construction imitates (§6): in each phase every active
+// vertex draws a random rank; local minima join the MIS; their neighbors
+// become inactive. O(log n) phases w.h.p.
+type misProgram struct {
+	inMIS []bool // shared
+
+	active      bool
+	decided     bool
+	rank        float64
+	nbrActive   map[graph.EdgeID]bool
+	nbrRank     map[graph.EdgeID]float64
+	awaitDecide bool
+}
+
+const (
+	misMsgRank  = 'K'
+	misMsgJoin  = 'J'
+	misMsgLeave = 'L'
+)
+
+func (p *misProgram) Init(ctx *Ctx) {
+	p.active = true
+	p.nbrActive = make(map[graph.EdgeID]bool, ctx.Degree())
+	p.nbrRank = make(map[graph.EdgeID]float64, ctx.Degree())
+	for _, h := range ctx.Neighbors() {
+		p.nbrActive[h.ID] = true
+	}
+	p.startPhase(ctx)
+}
+
+// rankKey compares (rank, id) with id tie-break for determinism.
+func rankLess(r1 float64, v1 graph.Vertex, r2 float64, v2 graph.Vertex) bool {
+	if r1 != r2 {
+		return r1 < r2
+	}
+	return v1 < v2
+}
+
+func (p *misProgram) startPhase(ctx *Ctx) {
+	if !p.active || p.decided {
+		return
+	}
+	p.rank = ctx.Rand().Float64()
+	p.awaitDecide = true
+	for id, act := range p.nbrActive {
+		if !act {
+			continue
+		}
+		if err := ctx.Send(id, misMsgRank, int64(math.Float64bits(p.rank))); err != nil {
+			ctx.Fail(err)
+			return
+		}
+	}
+	ctx.Stay() // decide next round even if no active neighbors remain
+}
+
+func (p *misProgram) Handle(ctx *Ctx, inbox []Message) {
+	for _, m := range inbox {
+		switch m.Words[0] {
+		case misMsgRank:
+			p.nbrRank[m.Via] = math.Float64frombits(uint64(m.Words[1]))
+		case misMsgJoin:
+			// An MIS neighbor: leave the computation.
+			if p.active && !p.decided {
+				p.active = false
+				p.decided = true
+				p.announceLeave(ctx)
+			}
+			p.nbrActive[m.Via] = false
+		case misMsgLeave:
+			p.nbrActive[m.Via] = false
+		}
+	}
+	if p.awaitDecide && p.active && !p.decided {
+		p.decide(ctx)
+	}
+}
+
+func (p *misProgram) decide(ctx *Ctx) {
+	p.awaitDecide = false
+	win := true
+	for _, h := range ctx.Neighbors() {
+		if !p.nbrActive[h.ID] {
+			continue
+		}
+		r, ok := p.nbrRank[h.ID]
+		if !ok {
+			// Neighbor's rank not yet delivered; decide next round.
+			p.awaitDecide = true
+			ctx.Stay()
+			return
+		}
+		if rankLess(r, h.To, p.rank, ctx.V()) {
+			win = false
+		}
+	}
+	// Ranks consumed; a fresh phase resamples.
+	for id := range p.nbrRank {
+		delete(p.nbrRank, id)
+	}
+	if win {
+		p.inMIS[ctx.V()] = true
+		p.decided = true
+		for id, act := range p.nbrActive {
+			if act {
+				if err := ctx.Send(id, misMsgJoin); err != nil {
+					ctx.Fail(err)
+					return
+				}
+			}
+		}
+	}
+}
+
+func (p *misProgram) announceLeave(ctx *Ctx) {
+	for id, act := range p.nbrActive {
+		if act {
+			if err := ctx.Send(id, misMsgLeave); err != nil {
+				ctx.Fail(err)
+				return
+			}
+		}
+	}
+}
+
+func (p *misProgram) PhaseDone(ctx *Ctx) bool {
+	if !p.active || p.decided {
+		return false
+	}
+	p.startPhase(ctx)
+	return true
+}
+
+// RunLubyMIS computes a maximal independent set with the randomized
+// distributed algorithm and returns the indicator vector. Expected
+// phases: O(log n).
+func RunLubyMIS(g *graph.Graph, seed int64) ([]bool, Stats, error) {
+	inMIS := make([]bool, g.N())
+	eng := NewEngine(g, func(graph.Vertex) Program {
+		return &misProgram{inMIS: inMIS}
+	}, Options{Seed: seed, MaxRounds: 64*g.N() + 4096})
+	stats, err := eng.Run()
+	return inMIS, stats, err
+}

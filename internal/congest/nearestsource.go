@@ -1,0 +1,80 @@
+package congest
+
+import (
+	"math"
+
+	"lightnet/internal/graph"
+)
+
+// nearestSourceProgram is distributed multi-source Bellman-Ford: every
+// vertex learns the distance to (and identity of) its nearest source
+// among paths of at most h hops. This is the genuine message-passing
+// form of the deactivation step of §6 (vertices within (1+δ)Δ of the
+// new net points) and of the §7 bounded explorations: each message
+// carries one (source, distance) pair, so the per-round per-edge budget
+// is respected without pipelining — a vertex only ever forwards its
+// single current best.
+type nearestSourceProgram struct {
+	NoPhases
+	isSource []bool
+	hops     int
+	dist     []float64      // shared
+	nearest  []graph.Vertex // shared
+
+	mine  float64
+	src   graph.Vertex
+	fresh bool
+}
+
+func (p *nearestSourceProgram) Init(ctx *Ctx) {
+	p.mine = math.Inf(1)
+	p.src = graph.NoVertex
+	if p.isSource[ctx.V()] {
+		p.mine = 0
+		p.src = ctx.V()
+		p.fresh = true
+		ctx.Stay()
+	}
+	p.dist[ctx.V()] = p.mine
+	p.nearest[ctx.V()] = p.src
+}
+
+func (p *nearestSourceProgram) Handle(ctx *Ctx, inbox []Message) {
+	for _, m := range inbox {
+		d := math.Float64frombits(uint64(m.Words[0]))
+		src := graph.Vertex(m.Words[1])
+		w := ctx.engineEdgeWeight(m.Via)
+		if nd := d + w; nd < p.mine || (nd == p.mine && src < p.src) {
+			p.mine = nd
+			p.src = src
+			p.fresh = true
+		}
+	}
+	p.dist[ctx.V()] = p.mine
+	p.nearest[ctx.V()] = p.src
+	if p.fresh && ctx.Round() <= p.hops {
+		p.fresh = false
+		if err := ctx.Broadcast(int64(math.Float64bits(p.mine)), int64(p.src)); err != nil {
+			ctx.Fail(err)
+		}
+	}
+}
+
+// RunNearestSource runs h rounds of multi-source Bellman-Ford on the
+// engine: per vertex, the h-hop-bounded distance to the nearest source
+// and that source's identity. With h >= n-1 the distances are exact.
+func RunNearestSource(g *graph.Graph, sources []graph.Vertex, h int, seed int64) ([]float64, []graph.Vertex, Stats, error) {
+	isSource := make([]bool, g.N())
+	for _, s := range sources {
+		isSource[s] = true
+	}
+	dist := make([]float64, g.N())
+	nearest := make([]graph.Vertex, g.N())
+	eng := NewEngine(g, func(graph.Vertex) Program {
+		return &nearestSourceProgram{
+			isSource: isSource, hops: h, dist: dist, nearest: nearest,
+		}
+	}, Options{Seed: seed, MaxRounds: h + g.N() + 64})
+	stats, err := eng.Run()
+	return dist, nearest, stats, err
+}

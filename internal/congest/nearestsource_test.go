@@ -1,0 +1,83 @@
+package congest
+
+import (
+	"math"
+	"testing"
+
+	"lightnet/internal/graph"
+)
+
+func TestNearestSourceExactWhenHLarge(t *testing.T) {
+	g := graph.ErdosRenyi(90, 0.08, 7, 3)
+	sources := []graph.Vertex{0, 40, 80}
+	dist, nearest, stats, err := RunNearestSource(g, sources, g.N(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantDist, wantNearest, _ := g.DijkstraMultiSource(sources, graph.Inf)
+	for v := 0; v < g.N(); v++ {
+		if math.Abs(dist[v]-wantDist[v]) > 1e-9 {
+			t.Fatalf("dist[%d] = %v want %v", v, dist[v], wantDist[v])
+		}
+		// Identity can differ only on exact distance ties.
+		if nearest[v] != wantNearest[v] {
+			alt := g.Dijkstra(wantNearest[v]).Dist[v]
+			own := g.Dijkstra(nearest[v]).Dist[v]
+			if math.Abs(alt-own) > 1e-9 {
+				t.Fatalf("nearest[%d] = %v want %v", v, nearest[v], wantNearest[v])
+			}
+		}
+	}
+	if stats.Rounds == 0 {
+		t.Fatal("no rounds")
+	}
+}
+
+func TestNearestSourceHopBounded(t *testing.T) {
+	// Path with sources at both ends; h too small to cover the middle.
+	g := graph.Path(41, 1)
+	dist, _, _, err := RunNearestSource(g, []graph.Vertex{0, 40}, 5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v <= 5; v++ {
+		if dist[v] != float64(v) {
+			t.Fatalf("dist[%d] = %v", v, dist[v])
+		}
+	}
+	for v := 6; v <= 34; v++ {
+		if !math.IsInf(dist[v], 1) {
+			t.Fatalf("vertex %d beyond hop bound reached: %v", v, dist[v])
+		}
+	}
+}
+
+func TestNearestSourceSingleSourceMatchesBellmanFord(t *testing.T) {
+	g := graph.Grid(7, 7, 3, 4)
+	for _, h := range []int{2, 5, 12} {
+		dist, _, _, err := RunNearestSource(g, []graph.Vertex{10}, h, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := g.BellmanFordHops(10, h)
+		for v := range dist {
+			if math.Abs(dist[v]-want[v]) > 1e-9 &&
+				!(math.IsInf(dist[v], 1) && math.IsInf(want[v], 1)) {
+				t.Fatalf("h=%d dist[%d] = %v want %v", h, v, dist[v], want[v])
+			}
+		}
+	}
+}
+
+func TestNearestSourceNoSources(t *testing.T) {
+	g := graph.Path(10, 1)
+	dist, nearest, _, err := RunNearestSource(g, nil, 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range dist {
+		if !math.IsInf(dist[v], 1) || nearest[v] != graph.NoVertex {
+			t.Fatal("sourceless run must leave everything unreached")
+		}
+	}
+}

@@ -1,0 +1,352 @@
+package congest
+
+import (
+	"errors"
+	"math"
+
+	"lightnet/internal/graph"
+)
+
+// This file contains the elementary CONGEST programs: BFS-tree
+// construction, flood-min (leader election), pipelined all-to-all
+// broadcast (Lemma 1), and convergecast aggregation. Each Run* wrapper
+// allocates shared result slices, instantiates per-vertex programs that
+// write into them (the engine is sequential, so this is race-free), runs
+// the engine, and returns results plus measured statistics.
+
+// bfsProgram builds a BFS tree by layered flooding: O(D) rounds.
+type bfsProgram struct {
+	NoPhases
+	root   graph.Vertex
+	depth  []int32        // shared
+	parent []graph.EdgeID // shared
+}
+
+func (p *bfsProgram) Init(ctx *Ctx) {
+	v := ctx.V()
+	p.depth[v] = -1
+	p.parent[v] = graph.NoEdge
+	if v == p.root {
+		p.depth[v] = 0
+		if err := ctx.Broadcast(0); err != nil {
+			ctx.Fail(err)
+		}
+	}
+}
+
+func (p *bfsProgram) Handle(ctx *Ctx, inbox []Message) {
+	v := ctx.V()
+	improved := false
+	for _, m := range inbox {
+		d := int32(m.Words[0]) + 1
+		if p.depth[v] < 0 || d < p.depth[v] {
+			p.depth[v] = d
+			p.parent[v] = m.Via
+			improved = true
+		}
+	}
+	if improved {
+		if err := ctx.Broadcast(int64(p.depth[v])); err != nil {
+			ctx.Fail(err)
+		}
+	}
+}
+
+// RunBFS builds a BFS tree from root on the engine and returns per-vertex
+// parent edges (NoEdge at the root), depths (-1 if unreachable), and run
+// statistics. The measured round count is Θ(D).
+func RunBFS(g *graph.Graph, root graph.Vertex, seed int64) ([]graph.EdgeID, []int32, Stats, error) {
+	parent := make([]graph.EdgeID, g.N())
+	depth := make([]int32, g.N())
+	eng := NewEngine(g, func(graph.Vertex) Program {
+		return &bfsProgram{root: root, depth: depth, parent: parent}
+	}, Options{Seed: seed})
+	stats, err := eng.Run()
+	return parent, depth, stats, err
+}
+
+// floodMinProgram makes every vertex learn the minimum vertex id in its
+// connected component (leader election): O(D) rounds.
+type floodMinProgram struct {
+	NoPhases
+	min []int64 // shared
+}
+
+func (p *floodMinProgram) Init(ctx *Ctx) {
+	p.min[ctx.V()] = int64(ctx.V())
+	if err := ctx.Broadcast(p.min[ctx.V()]); err != nil {
+		ctx.Fail(err)
+	}
+}
+
+func (p *floodMinProgram) Handle(ctx *Ctx, inbox []Message) {
+	v := ctx.V()
+	improved := false
+	for _, m := range inbox {
+		if m.Words[0] < p.min[v] {
+			p.min[v] = m.Words[0]
+			improved = true
+		}
+	}
+	if improved {
+		if err := ctx.Broadcast(p.min[v]); err != nil {
+			ctx.Fail(err)
+		}
+	}
+}
+
+// RunFloodMin runs leader election; every vertex learns the minimum id in
+// its component.
+func RunFloodMin(g *graph.Graph, seed int64) ([]int64, Stats, error) {
+	minID := make([]int64, g.N())
+	eng := NewEngine(g, func(graph.Vertex) Program {
+		return &floodMinProgram{min: minID}
+	}, Options{Seed: seed})
+	stats, err := eng.Run()
+	return minID, stats, err
+}
+
+// broadcastAllProgram implements Lemma 1: every vertex v holds m_v
+// tokens; all vertices receive all M = Σ m_v tokens within O(M + D)
+// rounds. Tokens flood with per-edge pipelining: each vertex keeps the
+// tokens it knows in arrival order and, per incident edge, a cursor of
+// how many it has forwarded on that edge; one token per edge per round.
+type broadcastAllProgram struct {
+	NoPhases
+	initial  map[graph.Vertex][]int64
+	received []map[int64]bool // shared: per-vertex set of known tokens
+	known    []int64          // local arrival order
+	cursor   map[graph.EdgeID]int
+}
+
+func (p *broadcastAllProgram) Init(ctx *Ctx) {
+	v := ctx.V()
+	p.cursor = make(map[graph.EdgeID]int, ctx.Degree())
+	p.received[v] = make(map[int64]bool)
+	for _, tok := range p.initial[v] {
+		p.received[v][tok] = true
+		p.known = append(p.known, tok)
+	}
+	if len(p.known) > 0 {
+		p.pump(ctx)
+	}
+}
+
+func (p *broadcastAllProgram) Handle(ctx *Ctx, inbox []Message) {
+	v := ctx.V()
+	for _, m := range inbox {
+		tok := m.Words[0]
+		if !p.received[v][tok] {
+			p.received[v][tok] = true
+			p.known = append(p.known, tok)
+		}
+	}
+	p.pump(ctx)
+}
+
+// pump forwards, on every incident edge, the next not-yet-forwarded
+// token (one per edge per round — the pipelining of Lemma 1).
+func (p *broadcastAllProgram) pump(ctx *Ctx) {
+	pending := false
+	for _, h := range ctx.Neighbors() {
+		cur := p.cursor[h.ID]
+		if cur < len(p.known) {
+			if err := ctx.Send(h.ID, p.known[cur]); err != nil {
+				if !errors.Is(err, ErrEdgeBusy) {
+					ctx.Fail(err)
+					return
+				}
+			} else {
+				p.cursor[h.ID] = cur + 1
+			}
+			if p.cursor[h.ID] < len(p.known) {
+				pending = true
+			}
+		}
+	}
+	if pending {
+		ctx.Stay()
+	}
+}
+
+// RunBroadcastAll floods all per-vertex tokens to every vertex (Lemma 1)
+// and returns the set each vertex received. Tokens must be globally
+// distinct. Measured rounds are O(M + D).
+func RunBroadcastAll(g *graph.Graph, tokens map[graph.Vertex][]int64, seed int64) ([]map[int64]bool, Stats, error) {
+	received := make([]map[int64]bool, g.N())
+	eng := NewEngine(g, func(graph.Vertex) Program {
+		return &broadcastAllProgram{initial: tokens, received: received}
+	}, Options{Seed: seed})
+	stats, err := eng.Run()
+	return received, stats, err
+}
+
+// convergecastProgram aggregates the sum of per-vertex values to the
+// root over a BFS tree. Three message-driven stages: BFS flooding, child
+// announcement, then bottom-up aggregation; the stages are separated by
+// engine phase barriers.
+type convergecastProgram struct {
+	root   graph.Vertex
+	values []int64
+	sum    []int64 // shared; sum[root] is the result
+
+	stage    int
+	depth    int32
+	parent   graph.EdgeID
+	children int
+	pending  int
+	acc      int64
+	sent     bool
+}
+
+const (
+	ccStageBFS = iota
+	ccStageAnnounce
+	ccStageAggregate
+	ccStageDone
+)
+
+func (p *convergecastProgram) Init(ctx *Ctx) {
+	p.depth = -1
+	p.parent = graph.NoEdge
+	p.acc = p.values[ctx.V()]
+	if ctx.V() == p.root {
+		p.depth = 0
+		if err := ctx.Broadcast(0); err != nil {
+			ctx.Fail(err)
+		}
+	}
+}
+
+func (p *convergecastProgram) Handle(ctx *Ctx, inbox []Message) {
+	switch p.stage {
+	case ccStageBFS:
+		improved := false
+		for _, m := range inbox {
+			if d := int32(m.Words[0]) + 1; p.depth < 0 || d < p.depth {
+				p.depth = d
+				p.parent = m.Via
+				improved = true
+			}
+		}
+		if improved {
+			if err := ctx.Broadcast(int64(p.depth)); err != nil {
+				ctx.Fail(err)
+			}
+		}
+	case ccStageAnnounce:
+		p.children += len(inbox)
+		p.pending = p.children
+	case ccStageAggregate:
+		for _, m := range inbox {
+			p.acc += m.Words[0]
+			p.pending--
+		}
+		p.maybeSendUp(ctx)
+	}
+}
+
+func (p *convergecastProgram) maybeSendUp(ctx *Ctx) {
+	if p.pending > 0 || p.sent {
+		return
+	}
+	if ctx.V() == p.root {
+		p.sum[p.root] = p.acc
+		return
+	}
+	p.sent = true
+	if err := ctx.Send(p.parent, p.acc); err != nil {
+		ctx.Fail(err)
+	}
+}
+
+func (p *convergecastProgram) PhaseDone(ctx *Ctx) bool {
+	switch p.stage {
+	case ccStageBFS:
+		p.stage = ccStageAnnounce
+		if ctx.V() != p.root && p.parent != graph.NoEdge {
+			if err := ctx.Send(p.parent); err != nil {
+				ctx.Fail(err)
+			}
+		}
+		return true
+	case ccStageAnnounce:
+		p.stage = ccStageAggregate
+		p.pending = p.children
+		p.maybeSendUp(ctx)
+		return true
+	case ccStageAggregate:
+		p.stage = ccStageDone
+		return false
+	}
+	return false
+}
+
+// RunConvergecastSum aggregates Σ values to the root over a BFS tree and
+// returns the sum. Measured rounds are O(D) plus two phase barriers.
+func RunConvergecastSum(g *graph.Graph, root graph.Vertex, values []int64, seed int64) (int64, Stats, error) {
+	sum := make([]int64, g.N())
+	eng := NewEngine(g, func(graph.Vertex) Program {
+		return &convergecastProgram{root: root, values: values, sum: sum}
+	}, Options{Seed: seed, PhaseSyncCost: 0})
+	stats, err := eng.Run()
+	return sum[root], stats, err
+}
+
+// bellmanFordProgram runs h rounds of distributed Bellman-Ford from a
+// source; each vertex ends with its h-hop-bounded distance.
+type bellmanFordProgram struct {
+	NoPhases
+	src   graph.Vertex
+	hops  int
+	dist  []float64 // shared
+	mine  float64
+	fresh bool
+}
+
+func (p *bellmanFordProgram) Init(ctx *Ctx) {
+	p.mine = math.Inf(1)
+	if ctx.V() == p.src {
+		p.mine = 0
+		p.fresh = true
+		ctx.Stay()
+	}
+	p.dist[ctx.V()] = p.mine
+}
+
+func (p *bellmanFordProgram) Handle(ctx *Ctx, inbox []Message) {
+	for _, m := range inbox {
+		d := math.Float64frombits(uint64(m.Words[0]))
+		w := ctx.engineEdgeWeight(m.Via)
+		if d+w < p.mine {
+			p.mine = d + w
+			p.fresh = true
+		}
+	}
+	p.dist[ctx.V()] = p.mine
+	// Relaxations sent in round r are received in round r+1; sending in
+	// rounds 1..h yields exactly h-hop paths.
+	if p.fresh && ctx.Round() <= p.hops {
+		p.fresh = false
+		if err := ctx.Broadcast(int64(math.Float64bits(p.mine))); err != nil {
+			ctx.Fail(err)
+		}
+	}
+}
+
+// engineEdgeWeight exposes edge weights to programs.
+func (c *Ctx) engineEdgeWeight(id graph.EdgeID) float64 {
+	return c.engine.g.Edge(id).W
+}
+
+// RunBellmanFord runs h rounds of distributed Bellman-Ford and returns
+// the h-hop-bounded distances from src. With h >= n-1 this is exact
+// SSSP.
+func RunBellmanFord(g *graph.Graph, src graph.Vertex, h int, seed int64) ([]float64, Stats, error) {
+	dist := make([]float64, g.N())
+	eng := NewEngine(g, func(graph.Vertex) Program {
+		return &bellmanFordProgram{src: src, hops: h, dist: dist}
+	}, Options{Seed: seed, MaxRounds: h + g.N() + 64})
+	stats, err := eng.Run()
+	return dist, stats, err
+}

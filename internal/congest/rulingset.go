@@ -1,0 +1,164 @@
+package congest
+
+import (
+	"math"
+
+	"lightnet/internal/graph"
+)
+
+// rulingSetProgram computes a (k+1, k)-ruling set: a set S with
+// pairwise hop distance > k in which every vertex has a member of S
+// within k hops. As §1.3 of the paper notes, this is exactly an MIS of
+// the power graph G^k; the program simulates Luby's algorithm on G^k
+// with k-round aggregations, entirely within the CONGEST constraints of
+// G:
+//
+//	phase = {  sample:    active vertices draw a random key;
+//	           minimise:  k rounds of neighborhood-min flooding give
+//	                      every vertex the minimum key within k hops;
+//	           join:      a vertex whose own key is that minimum joins;
+//	           dominate:  k rounds of joined-flag flooding deactivate
+//	                      every vertex within k hops of a new member. }
+//
+// O(log n) phases w.h.p.
+type rulingSetProgram struct {
+	k       int
+	inSet   []bool // shared
+	active  bool
+	key     uint64
+	bestKey uint64
+	// heard records whether any finite key was received this phase:
+	// inactive vertices keep relaying while active vertices remain
+	// within k hops, and go quiet one phase after the last one leaves.
+	heard    bool
+	seenJoin bool
+	stage    int
+	round    int // rounds within the current stage
+}
+
+const (
+	rsStageMin = iota
+	rsStageDominate
+)
+
+const rsMsgMin = 'M'
+const rsMsgDom = 'D'
+
+// rsKey packs (rank, id) into one comparable word: high 40 bits of the
+// random rank, low 24 bits the vertex id (tie-break).
+func rsKey(rank float64, v graph.Vertex) uint64 {
+	r := uint64(rank * float64(1<<40))
+	if r >= 1<<40 {
+		r = 1<<40 - 1
+	}
+	return r<<24 | uint64(uint32(v))&0xFFFFFF
+}
+
+const rsInfKey = math.MaxUint64
+
+func (p *rulingSetProgram) Init(ctx *Ctx) {
+	p.active = true
+	p.startPhase(ctx)
+}
+
+func (p *rulingSetProgram) startPhase(ctx *Ctx) {
+	p.stage = rsStageMin
+	p.round = 0
+	p.seenJoin = false
+	p.heard = false
+	if p.active {
+		p.key = rsKey(ctx.Rand().Float64(), ctx.V())
+		p.bestKey = p.key
+	} else {
+		p.key = rsInfKey
+		p.bestKey = rsInfKey
+	}
+	p.pump(ctx)
+}
+
+// pump advances the stage clock: every vertex broadcasts its current
+// aggregate once per round for exactly k rounds per stage (inactive
+// vertices participate as relays).
+func (p *rulingSetProgram) pump(ctx *Ctx) {
+	switch p.stage {
+	case rsStageMin:
+		if err := ctx.Broadcast(rsMsgMin, int64(p.bestKey)); err != nil {
+			ctx.Fail(err)
+			return
+		}
+	case rsStageDominate:
+		flag := int64(0)
+		if p.seenJoin {
+			flag = 1
+		}
+		if err := ctx.Broadcast(rsMsgDom, flag); err != nil {
+			ctx.Fail(err)
+			return
+		}
+	}
+	ctx.Stay()
+}
+
+func (p *rulingSetProgram) Handle(ctx *Ctx, inbox []Message) {
+	for _, m := range inbox {
+		switch m.Words[0] {
+		case rsMsgMin:
+			k := uint64(m.Words[1])
+			if k != rsInfKey {
+				p.heard = true
+			}
+			if k < p.bestKey {
+				p.bestKey = k
+			}
+		case rsMsgDom:
+			if m.Words[1] == 1 {
+				p.seenJoin = true
+			}
+		}
+	}
+	p.round++
+	if p.round < p.k {
+		p.pump(ctx)
+		return
+	}
+	// Stage complete.
+	switch p.stage {
+	case rsStageMin:
+		if p.active && p.bestKey == p.key {
+			p.inSet[ctx.V()] = true
+			p.active = false
+			p.seenJoin = true
+		}
+		p.stage = rsStageDominate
+		p.round = 0
+		p.pump(ctx)
+	case rsStageDominate:
+		if p.active && p.seenJoin {
+			p.active = false
+		}
+		// Phase over; PhaseDone decides whether to continue.
+	}
+}
+
+func (p *rulingSetProgram) PhaseDone(ctx *Ctx) bool {
+	if !p.active && !p.heard {
+		return false
+	}
+	p.startPhase(ctx)
+	return true
+}
+
+// RunRulingSet computes a (k+1, k)-ruling set (pairwise hop distance
+// > k, domination radius k) on the engine and returns the indicator
+// vector plus measured statistics.
+func RunRulingSet(g *graph.Graph, k int, seed int64) ([]bool, Stats, error) {
+	if k < 1 {
+		k = 1
+	}
+	inSet := make([]bool, g.N())
+	eng := NewEngine(g, func(graph.Vertex) Program {
+		return &rulingSetProgram{k: k, inSet: inSet}
+	}, Options{Seed: seed, MaxRounds: 64*k*(int(math.Log2(float64(g.N()+2)))+4) + 1024})
+	stats, err := eng.Run()
+	return inSet, stats, err
+}

@@ -1,0 +1,150 @@
+package congest
+
+import (
+	"testing"
+
+	"lightnet/internal/graph"
+)
+
+// verifyRulingSet checks pairwise hop separation > k and domination
+// radius <= k with exact BFS.
+func verifyRulingSet(t *testing.T, g *graph.Graph, inSet []bool, k int) {
+	t.Helper()
+	var members []graph.Vertex
+	for v, in := range inSet {
+		if in {
+			members = append(members, graph.Vertex(v))
+		}
+	}
+	if len(members) == 0 {
+		t.Fatal("empty ruling set")
+	}
+	// Pairwise separation.
+	for _, s := range members {
+		hops := g.BFSHops(s)
+		for _, q := range members {
+			if q != s && hops[q] >= 0 && int(hops[q]) <= k {
+				t.Fatalf("members %d,%d at hop distance %d <= k=%d", s, q, hops[q], k)
+			}
+		}
+	}
+	// Domination: multi-source BFS.
+	dist := make([]int32, g.N())
+	for i := range dist {
+		dist[i] = -1
+	}
+	queue := make([]graph.Vertex, 0, g.N())
+	for _, s := range members {
+		dist[s] = 0
+		queue = append(queue, s)
+	}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, h := range g.Neighbors(v) {
+			if dist[h.To] < 0 {
+				dist[h.To] = dist[v] + 1
+				queue = append(queue, h.To)
+			}
+		}
+	}
+	for v, d := range dist {
+		if d < 0 || int(d) > k {
+			t.Fatalf("vertex %d at hop distance %d from the set (k=%d)", v, d, k)
+		}
+	}
+}
+
+func TestRulingSetVariousGraphs(t *testing.T) {
+	tests := []struct {
+		name string
+		g    *graph.Graph
+		k    int
+	}{
+		{"path-k1", graph.Path(40, 1), 1},
+		{"path-k3", graph.Path(60, 1), 3},
+		{"grid-k2", graph.Grid(8, 8, 2, 1), 2},
+		{"er-k2", graph.ErdosRenyi(100, 0.05, 4, 2), 2},
+		{"star-k2", graph.Star(30, 1), 2},
+		{"cycle-k4", graph.Cycle(50, 1), 4},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			inSet, stats, err := RunRulingSet(tt.g, tt.k, 7)
+			if err != nil {
+				t.Fatal(err)
+			}
+			verifyRulingSet(t, tt.g, inSet, tt.k)
+			if stats.Phases > 40 {
+				t.Fatalf("too many phases: %d", stats.Phases)
+			}
+		})
+	}
+}
+
+func TestRulingSetK1IsMIS(t *testing.T) {
+	// (2,1)-ruling set = MIS; cross-check the independence/maximality
+	// properties directly.
+	g := graph.ErdosRenyi(80, 0.1, 3, 5)
+	inSet, _, err := RunRulingSet(g, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range g.Edges() {
+		if inSet[e.U] && inSet[e.V] {
+			t.Fatal("adjacent members")
+		}
+	}
+	for v := 0; v < g.N(); v++ {
+		if inSet[v] {
+			continue
+		}
+		dominated := false
+		for _, h := range g.Neighbors(graph.Vertex(v)) {
+			if inSet[h.To] {
+				dominated = true
+			}
+		}
+		if !dominated {
+			t.Fatalf("vertex %d undominated", v)
+		}
+	}
+}
+
+func TestRulingSetSeparationScalesWithK(t *testing.T) {
+	g := graph.Path(120, 1)
+	sizes := map[int]int{}
+	for _, k := range []int{1, 3, 6} {
+		inSet, _, err := RunRulingSet(g, k, 11)
+		if err != nil {
+			t.Fatal(err)
+		}
+		count := 0
+		for _, in := range inSet {
+			if in {
+				count++
+			}
+		}
+		sizes[k] = count
+	}
+	if !(sizes[1] > sizes[3] && sizes[3] > sizes[6]) {
+		t.Fatalf("set size should shrink with k: %v", sizes)
+	}
+}
+
+func TestRulingSetDeterministic(t *testing.T) {
+	g := graph.Grid(6, 6, 1, 1)
+	a, _, err := RunRulingSet(g, 2, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := RunRulingSet(g, 2, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range a {
+		if a[v] != b[v] {
+			t.Fatal("same seed differs")
+		}
+	}
+}

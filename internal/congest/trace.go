@@ -1,0 +1,68 @@
+package congest
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Trace collects per-round engine activity for debugging and for the
+// round-by-round visualisations in the documentation. Enable by setting
+// Options.Trace before NewEngine; the engine appends one Round record
+// per executed round.
+type Trace struct {
+	Rounds []TraceRound
+}
+
+// TraceRound is the activity of one synchronous round.
+type TraceRound struct {
+	Round     int
+	Delivered int // messages delivered at the start of the round
+	Activated int // vertices whose Handle ran
+	Sent      int // messages queued during the round
+}
+
+// Summary renders a compact textual profile: per-round activity plus
+// totals.
+func (t *Trace) Summary() string {
+	var b strings.Builder
+	var deliv, act, sent int
+	for _, r := range t.Rounds {
+		deliv += r.Delivered
+		act += r.Activated
+		sent += r.Sent
+	}
+	fmt.Fprintf(&b, "rounds=%d delivered=%d activations=%d sent=%d",
+		len(t.Rounds), deliv, act, sent)
+	return b.String()
+}
+
+// Busiest returns the k rounds with the most deliveries, descending.
+func (t *Trace) Busiest(k int) []TraceRound {
+	out := make([]TraceRound, len(t.Rounds))
+	copy(out, t.Rounds)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Delivered != out[j].Delivered {
+			return out[i].Delivered > out[j].Delivered
+		}
+		return out[i].Round < out[j].Round
+	})
+	if k < len(out) {
+		out = out[:k]
+	}
+	return out
+}
+
+// WriteCSV emits round,delivered,activated,sent lines.
+func (t *Trace) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "round,delivered,activated,sent"); err != nil {
+		return err
+	}
+	for _, r := range t.Rounds {
+		if _, err := fmt.Fprintf(w, "%d,%d,%d,%d\n", r.Round, r.Delivered, r.Activated, r.Sent); err != nil {
+			return err
+		}
+	}
+	return nil
+}

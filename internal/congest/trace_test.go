@@ -1,0 +1,67 @@
+package congest
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"lightnet/internal/graph"
+)
+
+func TestTraceCollectsRounds(t *testing.T) {
+	g := graph.Path(20, 1)
+	tr := &Trace{}
+	parent := make([]graph.EdgeID, g.N())
+	depth := make([]int32, g.N())
+	eng := NewEngine(g, func(graph.Vertex) Program {
+		return &bfsProgram{root: 0, depth: depth, parent: parent}
+	}, Options{Seed: 1, Trace: tr})
+	stats, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Rounds) != stats.Rounds {
+		t.Fatalf("trace has %d rounds, stats %d", len(tr.Rounds), stats.Rounds)
+	}
+	var sent int
+	for _, r := range tr.Rounds {
+		sent += r.Sent
+		if r.Activated == 0 && r.Delivered > 0 {
+			t.Fatalf("round %d delivered without activation", r.Round)
+		}
+	}
+	// Init-round sends are not inside a traced round; everything else is.
+	if int64(sent) > stats.Messages {
+		t.Fatalf("traced sends %d exceed stats %d", sent, stats.Messages)
+	}
+	if s := tr.Summary(); !strings.Contains(s, "rounds=") {
+		t.Fatalf("summary %q", s)
+	}
+}
+
+func TestTraceBusiestAndCSV(t *testing.T) {
+	tr := &Trace{Rounds: []TraceRound{
+		{Round: 1, Delivered: 5, Activated: 3, Sent: 4},
+		{Round: 2, Delivered: 9, Activated: 6, Sent: 2},
+		{Round: 3, Delivered: 1, Activated: 1, Sent: 0},
+	}}
+	top := tr.Busiest(2)
+	if len(top) != 2 || top[0].Round != 2 || top[1].Round != 1 {
+		t.Fatalf("busiest %v", top)
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 4 || lines[0] != "round,delivered,activated,sent" {
+		t.Fatalf("csv %q", buf.String())
+	}
+	if lines[2] != "2,9,6,2" {
+		t.Fatalf("csv row %q", lines[2])
+	}
+	// Busiest larger than available clamps.
+	if got := tr.Busiest(10); len(got) != 3 {
+		t.Fatalf("clamp %d", len(got))
+	}
+}

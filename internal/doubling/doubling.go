@@ -1,0 +1,245 @@
+// Package doubling implements §7 of the paper: (1+ε)-spanners of
+// lightness ε^{-O(ddim)}·log n for doubling graphs (Theorem 5).
+//
+// The construction takes, for every distance scale Δ = (1+ε)^i, an
+// (εΔ/2-scale) net via §6, and connects every pair of net points within
+// 2Δ of each other by a Δ-bounded (1+ε)-approximate shortest path —
+// computed over the path-reporting hopset machinery (here: the bounded
+// multi-source forests of internal/sssp), so the actual path edges join
+// the spanner. The packing property of doubling metrics bounds both the
+// number of paths per net point and the per-vertex congestion.
+package doubling
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"lightnet/internal/congest"
+	"lightnet/internal/graph"
+	"lightnet/internal/mst"
+	"lightnet/internal/nets"
+)
+
+// Result is a constructed doubling-graph spanner with diagnostics.
+type Result struct {
+	Edges     []graph.EdgeID
+	MSTWeight float64
+	Weight    float64
+	Lightness float64
+	Scales    []ScaleInfo
+}
+
+// ScaleInfo describes one distance scale.
+type ScaleInfo struct {
+	Delta      float64
+	NetPoints  int
+	PathsAdded int
+	EdgesAdded int
+}
+
+// Options configure Build.
+type Options struct {
+	Seed    int64
+	Ledger  *congest.Ledger
+	HopDiam int
+	// NetApprox is the δ used inside the net construction (default 0.5,
+	// the paper's choice).
+	NetApprox float64
+	// ScaleBase is the ratio between consecutive distance scales
+	// (default 1+ε, the paper's choice). Larger bases are the E-ABL-c
+	// ablation: fewer scales — fewer rounds and lower weight — at the
+	// price of stretch ≈ 1+O(ε·base).
+	ScaleBase float64
+}
+
+// Build constructs a (1+O(ε))-spanner for a doubling graph.
+func Build(g *graph.Graph, eps float64, opts Options) (*Result, error) {
+	if eps <= 0 || eps >= 1 {
+		return nil, fmt.Errorf("doubling: eps %v must be in (0,1)", eps)
+	}
+	n := g.N()
+	if n <= 2 {
+		all := make([]graph.EdgeID, g.M())
+		for i := range all {
+			all[i] = graph.EdgeID(i)
+		}
+		return &Result{Edges: all, Lightness: 1}, nil
+	}
+	netApprox := opts.NetApprox
+	if netApprox <= 0 || netApprox >= 1 {
+		netApprox = 0.5
+	}
+	mstEdges, mstWeight, err := mst.Kruskal(g)
+	if err != nil {
+		return nil, fmt.Errorf("doubling: %w", err)
+	}
+	if opts.Ledger != nil {
+		mst.ChargeConstruction(opts.Ledger, n, opts.HopDiam)
+	}
+	res := &Result{MSTWeight: mstWeight}
+	inSpanner := make([]bool, g.M())
+	add := func(id graph.EdgeID) {
+		if !inSpanner[id] {
+			inSpanner[id] = true
+			res.Edges = append(res.Edges, id)
+		}
+	}
+	// The MST anchors connectivity (and is within the paper's weight
+	// budget — its lightness is 1).
+	for _, id := range mstEdges {
+		add(id)
+	}
+	minW, _ := g.MinMaxWeight()
+	if minW <= 0 {
+		minW = 1
+	}
+	base := opts.ScaleBase
+	if base <= 1 {
+		base = 1 + eps
+	}
+	bigL := 2 * mstWeight
+	// Scales Δ = minW, minW·base, ... up to the MST weight; scales below
+	// the smallest distance contribute nothing and are skipped by
+	// starting at minW.
+	var scales []float64
+	for d := minW; d <= bigL*base; d *= base {
+		scales = append(scales, d)
+	}
+	seed := opts.Seed
+	for _, delta := range scales {
+		seed++
+		// (ε·Δ/2)-scale net with δ = netApprox: covering radius
+		// (1+δ)·εΔ/2 ≤ εΔ (for δ ≤ 1); separation εΔ/(2(1+δ)).
+		netScale := eps * delta / 2
+		net, err := nets.Build(g, netScale, netApprox, nets.Options{
+			Seed: seed, Ledger: opts.Ledger, HopDiam: opts.HopDiam,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("doubling: scale %v: %w", delta, err)
+		}
+		if len(net.Points) <= 1 {
+			res.Scales = append(res.Scales, ScaleInfo{Delta: delta, NetPoints: len(net.Points)})
+			continue
+		}
+		info, err := connectNetPoints(g, net.Points, delta, eps, seed, opts, add)
+		if err != nil {
+			return nil, fmt.Errorf("doubling: scale %v: %w", delta, err)
+		}
+		info.Delta = delta
+		info.NetPoints = len(net.Points)
+		res.Scales = append(res.Scales, info)
+	}
+	sort.Slice(res.Edges, func(a, b int) bool { return res.Edges[a] < res.Edges[b] })
+	res.Weight = g.WeightOf(res.Edges)
+	if mstWeight > 0 {
+		res.Lightness = res.Weight / mstWeight
+	} else {
+		res.Lightness = 1
+	}
+	return res, nil
+}
+
+// connectNetPoints adds, for every pair of net points within 2Δ, a
+// (1+ε)-approximate shortest path between them. Implemented as one
+// bounded (1+ε)-perturbed Dijkstra per net point (the 2Δ-bounded
+// multi-source exploration of §7.1); path edges are added via the
+// parent forests (path reporting).
+func connectNetPoints(g *graph.Graph, pts []graph.Vertex, delta, eps float64,
+	seed int64, opts Options, add func(graph.EdgeID)) (ScaleInfo, error) {
+
+	var info ScaleInfo
+	isNet := make(map[graph.Vertex]bool, len(pts))
+	for _, p := range pts {
+		isNet[p] = true
+	}
+	// Perturbed weights shared by all explorations at this scale.
+	work := g
+	if eps > 0 {
+		var err error
+		rng := newSplit(seed)
+		work, err = g.Reweighted(func(id graph.EdgeID, e graph.Edge) float64 {
+			return e.W * (1 + eps*rng(id))
+		})
+		if err != nil {
+			return info, err
+		}
+	}
+	bound := 2 * delta * (1 + eps)
+	edgesAdded := make(map[graph.EdgeID]bool)
+	maxCongestion := 0
+	touched := make([]int, g.N())
+	for _, p := range pts {
+		t := work.DijkstraBounded(p, bound)
+		for _, q := range pts {
+			if q <= p || math.IsInf(t.Dist[q], 1) {
+				continue
+			}
+			// Walk the parent chain, adding the reported path.
+			info.PathsAdded++
+			for cur := q; cur != p; {
+				id := t.Parent[cur]
+				if id == graph.NoEdge {
+					break
+				}
+				if !edgesAdded[id] {
+					edgesAdded[id] = true
+					add(id)
+					info.EdgesAdded++
+				}
+				touched[cur]++
+				if touched[cur] > maxCongestion {
+					maxCongestion = touched[cur]
+				}
+				cur = g.Edge(id).Other(cur)
+			}
+		}
+	}
+	if opts.Ledger != nil {
+		// §7.2: the parallel bounded explorations cost
+		// O((√n + D) · β · congestion); congestion is the measured
+		// per-vertex packing bound ε^{-O(ddim)}.
+		sq := int64(math.Ceil(math.Sqrt(float64(g.N()))))
+		cong := int64(maxCongestion + 1)
+		opts.Ledger.Charge("doubling/bounded-multisource", (sq+int64(opts.HopDiam))*cong)
+		opts.Ledger.ChargeMessages(int64(info.EdgesAdded) + int64(g.N()))
+	}
+	return info, nil
+}
+
+// newSplit returns a deterministic per-edge pseudo-random function in
+// [0,1) derived from the seed (splitmix64).
+func newSplit(seed int64) func(graph.EdgeID) float64 {
+	return func(id graph.EdgeID) float64 {
+		z := uint64(seed) + uint64(id)*0x9E3779B97F4A7C15
+		z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+		z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+		z ^= z >> 31
+		return float64(z>>11) / float64(1<<53)
+	}
+}
+
+// Verify certifies the spanner: stretch at most 1+cEps over every edge
+// (hence all pairs), connectivity, and returns the measured lightness.
+func Verify(g *graph.Graph, res *Result, maxStretch float64) (float64, error) {
+	sub := g.Subgraph(res.Edges)
+	if !sub.Connected() {
+		return 0, fmt.Errorf("doubling: spanner disconnected")
+	}
+	for u := graph.Vertex(0); int(u) < g.N(); u++ {
+		if g.Degree(u) == 0 {
+			continue
+		}
+		dist := sub.Dijkstra(u).Dist
+		for _, h := range g.Neighbors(u) {
+			if h.To < u {
+				continue
+			}
+			if dist[h.To] > maxStretch*h.W+1e-9 {
+				return 0, fmt.Errorf("doubling: edge {%d,%d} stretch %v > %v",
+					u, h.To, dist[h.To]/h.W, maxStretch)
+			}
+		}
+	}
+	return res.Lightness, nil
+}

@@ -1,0 +1,210 @@
+package doubling
+
+import (
+	"math"
+	"testing"
+
+	"lightnet/internal/congest"
+	"lightnet/internal/graph"
+)
+
+func TestBuildStretchOnDoublingGraphs(t *testing.T) {
+	tests := []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"geometric-2d", graph.RandomGeometric(80, 2, 1)},
+		{"geometric-2d-b", graph.RandomGeometric(100, 2, 5)},
+		{"grid", graph.Grid(9, 9, 1.2, 2)},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			for _, eps := range []float64{0.25, 0.5} {
+				res, err := Build(tt.g, eps, Options{Seed: 3})
+				if err != nil {
+					t.Fatal(err)
+				}
+				// Paper bound: 1 + c·ε with c ≈ 30 (§7.2). Empirically
+				// far tighter; assert a 1+6ε envelope.
+				light, err := Verify(tt.g, res, 1+6*eps)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if light < 1 {
+					t.Fatalf("lightness %v < 1", light)
+				}
+				t.Logf("eps=%v: lightness=%.2f edges=%d scales=%d",
+					eps, light, len(res.Edges), len(res.Scales))
+			}
+		})
+	}
+}
+
+func TestBuildLightnessBand(t *testing.T) {
+	// Lightness ε^{-O(ddim)}·log n: for ddim≈2 geometric graphs, assert
+	// a generous concrete band (and that it is far below the trivial
+	// all-edges weight).
+	g := graph.RandomGeometric(120, 2, 7)
+	eps := 0.5
+	res, err := Build(g, eps, Options{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	logn := math.Log2(float64(g.N()))
+	band := math.Pow(1/eps, 4) * logn
+	if res.Lightness > band {
+		t.Fatalf("lightness %v exceeds ε^-4·log n = %v", res.Lightness, band)
+	}
+	trivial := g.TotalWeight() / res.MSTWeight
+	if res.Lightness > trivial {
+		t.Fatalf("spanner heavier than the whole graph: %v > %v", res.Lightness, trivial)
+	}
+}
+
+func TestBuildScalesRecorded(t *testing.T) {
+	g := graph.RandomGeometric(60, 2, 11)
+	res, err := Build(g, 0.5, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Scales) == 0 {
+		t.Fatal("no scales recorded")
+	}
+	// Net cardinalities weakly decrease as the scale grows (packing).
+	for i := 1; i < len(res.Scales); i++ {
+		if res.Scales[i].Delta <= res.Scales[i-1].Delta {
+			t.Fatal("scales not increasing")
+		}
+	}
+	first, last := res.Scales[0], res.Scales[len(res.Scales)-1]
+	if first.NetPoints < last.NetPoints {
+		t.Fatalf("net cardinality should shrink: %d -> %d", first.NetPoints, last.NetPoints)
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	g := graph.Path(6, 1)
+	if _, err := Build(g, 0, Options{}); err == nil {
+		t.Fatal("eps=0 accepted")
+	}
+	if _, err := Build(g, 1, Options{}); err == nil {
+		t.Fatal("eps=1 accepted")
+	}
+	disc := graph.New(4)
+	disc.MustAddEdge(0, 1, 1)
+	if _, err := Build(disc, 0.5, Options{}); err == nil {
+		t.Fatal("disconnected accepted")
+	}
+}
+
+func TestBuildTiny(t *testing.T) {
+	g := graph.Path(2, 3)
+	res, err := Build(g, 0.5, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Edges) != 1 {
+		t.Fatalf("edges %v", res.Edges)
+	}
+}
+
+func TestBuildLedger(t *testing.T) {
+	g := graph.RandomGeometric(64, 2, 3)
+	l := congest.NewLedger()
+	if _, err := Build(g, 0.5, Options{Seed: 2, Ledger: l, HopDiam: g.HopDiameterApprox()}); err != nil {
+		t.Fatal(err)
+	}
+	if l.Rounds() == 0 {
+		t.Fatal("no rounds charged")
+	}
+	if l.ByLabel()["doubling/bounded-multisource"] == 0 {
+		t.Fatalf("bounded multisource not charged: %v", l.String())
+	}
+}
+
+// E-ABL-c: a coarser scale base trades stretch for weight and rounds.
+func TestScaleBaseAblation(t *testing.T) {
+	g := graph.RandomGeometric(90, 2, 23)
+	eps := 0.5
+	fine, err := Build(g, eps, Options{Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	coarse, err := Build(g, eps, Options{Seed: 6, ScaleBase: 2.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(coarse.Scales) >= len(fine.Scales) {
+		t.Fatalf("coarse base should use fewer scales: %d vs %d",
+			len(coarse.Scales), len(fine.Scales))
+	}
+	if coarse.Weight > fine.Weight {
+		t.Fatalf("coarse base should weigh less: %v vs %v", coarse.Weight, fine.Weight)
+	}
+	// Both must still be valid spanners (coarse with a looser envelope).
+	if _, err := Verify(g, fine, 1+6*eps); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Verify(g, coarse, 1+6*eps*2.5); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// §7.2 sparsity: every vertex participates in at most ε^{-O(ddim)}
+// paths per scale, so spanner degrees stay bounded — assert a concrete
+// band on the doubling workload.
+func TestPerVertexSparsity(t *testing.T) {
+	g := graph.RandomGeometric(100, 2, 19)
+	eps := 0.5
+	res, err := Build(g, eps, Options{Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub := g.Subgraph(res.Edges)
+	maxDeg := 0
+	for v := graph.Vertex(0); int(v) < sub.N(); v++ {
+		if d := sub.Degree(v); d > maxDeg {
+			maxDeg = d
+		}
+	}
+	logn := math.Log2(float64(g.N()))
+	// ε^{-O(ddim)}·log n per-vertex bound with a generous constant;
+	// also must not exceed the input degree ceiling.
+	if float64(maxDeg) > 3*math.Pow(1/eps, 4)*logn {
+		t.Fatalf("max spanner degree %d exceeds packing band", maxDeg)
+	}
+	inputMax := 0
+	for v := graph.Vertex(0); int(v) < g.N(); v++ {
+		if d := g.Degree(v); d > inputMax {
+			inputMax = d
+		}
+	}
+	if maxDeg > inputMax {
+		t.Fatalf("spanner degree %d exceeds input degree %d", maxDeg, inputMax)
+	}
+}
+
+func TestSplitDeterministic(t *testing.T) {
+	f := newSplit(42)
+	g := newSplit(42)
+	h := newSplit(43)
+	same, diff := true, false
+	for id := graph.EdgeID(0); id < 50; id++ {
+		a, b, c := f(id), g(id), h(id)
+		if a < 0 || a >= 1 {
+			t.Fatalf("out of range: %v", a)
+		}
+		if a != b {
+			same = false
+		}
+		if a != c {
+			diff = true
+		}
+	}
+	if !same {
+		t.Fatal("same seed differs")
+	}
+	if !diff {
+		t.Fatal("different seeds identical")
+	}
+}

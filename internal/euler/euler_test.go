@@ -1,0 +1,283 @@
+package euler
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"lightnet/internal/congest"
+	"lightnet/internal/graph"
+	"lightnet/internal/mst"
+)
+
+func buildTree(t *testing.T, g *graph.Graph, root graph.Vertex) *mst.Tree {
+	t.Helper()
+	edges, _, err := mst.Kruskal(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := mst.NewTree(g, edges, root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+// The worked example from §3 of the paper: tree rooted at a with
+// children b (weight 2) and e (weight 3); b has children c (2), d (4);
+// e has children f (3) and g (1)... we reproduce the figure's tree:
+// a-b:2, b-c:2, b-d:4, a-e:3, e-f:3, e-g:1.
+// Expected tour: a b c b d b a e g e f e a with times
+// 0 2 4 6 10 14 16 19 20 21 24 27 30.
+func TestPaperFigureTour(t *testing.T) {
+	g := graph.New(7)
+	// ids: a=0 b=1 c=2 d=3 e=4 f=5 g=6
+	g.MustAddEdge(0, 1, 2)
+	g.MustAddEdge(1, 2, 2)
+	g.MustAddEdge(1, 3, 4)
+	g.MustAddEdge(0, 4, 3)
+	g.MustAddEdge(4, 5, 3)
+	g.MustAddEdge(4, 6, 1)
+	tr := buildTree(t, g, 0)
+	tour, err := Build(tr, nil, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantOrder := []graph.Vertex{0, 1, 2, 1, 3, 1, 0, 4, 5, 4, 6, 4, 0}
+	wantR := []float64{0, 2, 4, 6, 10, 14, 16, 19, 22, 25, 26, 27, 30}
+	if len(tour.Order) != len(wantOrder) {
+		t.Fatalf("tour length %d want %d", len(tour.Order), len(wantOrder))
+	}
+	for i := range wantOrder {
+		if tour.Order[i] != wantOrder[i] {
+			t.Fatalf("Order[%d]=%d want %d (full %v)", i, tour.Order[i], wantOrder[i], tour.Order)
+		}
+		if math.Abs(tour.R[i]-wantR[i]) > 1e-9 {
+			t.Fatalf("R[%d]=%v want %v (full %v)", i, tour.R[i], wantR[i], tour.R)
+		}
+	}
+	if tour.Length != 2*tr.Weight {
+		t.Fatalf("length %v want %v", tour.Length, 2*tr.Weight)
+	}
+}
+
+func TestTourInvariants(t *testing.T) {
+	tests := []struct {
+		name string
+		g    *graph.Graph
+		root graph.Vertex
+	}{
+		{"path", graph.Path(30, 2), 0},
+		{"path-mid-root", graph.Path(30, 2), 15},
+		{"star", graph.Star(20, 1), 0},
+		{"star-leaf-root", graph.Star(20, 1), 5},
+		{"random-tree", graph.RandomTree(80, 9, 1), 7},
+		{"er", graph.ErdosRenyi(60, 0.1, 12, 2), 3},
+		{"geometric", graph.RandomGeometric(64, 2, 3), 0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			tr := buildTree(t, tt.g, tt.root)
+			tour, err := Build(tr, nil, nil, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			n := tt.g.N()
+			if tour.Positions() != 2*n-1 {
+				t.Fatalf("positions %d want %d", tour.Positions(), 2*n-1)
+			}
+			if tour.Order[0] != tt.root || tour.Order[2*n-2] != tt.root {
+				t.Fatal("tour must start and end at root")
+			}
+			// Appearance counts: deg_T(v), root has deg+1.
+			degT := make([]int, n)
+			for _, id := range tr.Edges {
+				e := tt.g.Edge(id)
+				degT[e.U]++
+				degT[e.V]++
+			}
+			for v := 0; v < n; v++ {
+				want := degT[v]
+				if graph.Vertex(v) == tt.root {
+					want++
+				}
+				if len(tour.Idx[v]) != want {
+					t.Fatalf("vertex %d appears %d times, want %d", v, len(tour.Idx[v]), want)
+				}
+				for i := 1; i < len(tour.Idx[v]); i++ {
+					if tour.Idx[v][i-1] >= tour.Idx[v][i] {
+						t.Fatalf("vertex %d appearance indices unsorted", v)
+					}
+				}
+				for _, idx := range tour.Idx[v] {
+					if tour.Order[idx] != graph.Vertex(v) {
+						t.Fatalf("Idx inconsistent for %d", v)
+					}
+				}
+			}
+			// R strictly increasing, consecutive steps are tree edge
+			// weights.
+			for i := 1; i < tour.Positions(); i++ {
+				if tour.R[i] <= tour.R[i-1] {
+					t.Fatalf("R not increasing at %d", i)
+				}
+			}
+			if math.Abs(tour.R[2*n-2]-2*tr.Weight) > 1e-9 {
+				t.Fatalf("total %v want %v", tour.R[2*n-2], 2*tr.Weight)
+			}
+			// d_L dominates d_T (tour distance is a walk in the tree).
+			dt := tr.Dist()
+			for v := 0; v < n; v += 7 {
+				i := int(tour.First(graph.Vertex(v)))
+				if tour.DL(0, i) < dt[v]-1e-9 {
+					t.Fatalf("d_L(rt, %d) = %v < d_T = %v", v, tour.DL(0, i), dt[v])
+				}
+			}
+		})
+	}
+}
+
+// The staged interval computation of §3.3 must equal the direct walk's
+// first-visit times — this is the content of Lemma 2.
+func TestIntervalStartsMatchWalk(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 10 + rng.Intn(60)
+		g := graph.RandomTree(n, 7, seed)
+		edges, _, err := mst.Kruskal(g)
+		if err != nil {
+			return false
+		}
+		tr, err := mst.NewTree(g, edges, graph.Vertex(rng.Intn(n)))
+		if err != nil {
+			return false
+		}
+		tour, err := Build(tr, nil, nil, 0)
+		if err != nil {
+			return false
+		}
+		starts := IntervalStarts(tr)
+		for v := 0; v < n; v++ {
+			first := tour.R[tour.First(graph.Vertex(v))]
+			if math.Abs(starts[v]-first) > 1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Local + external lengths over the fragment tree must compose to the
+// global lengths — §3.2's g(r_i) identity.
+func TestLocalGlobalLengthComposition(t *testing.T) {
+	g := graph.RandomTree(120, 6, 5)
+	tr := buildTree(t, g, 0)
+	frags, err := mst.Decompose(tr, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	local := LocalTourLengths(tr, frags)
+	global := GlobalTourLengths(tr)
+	// g(r_i) = ℓ(r_i) + Σ_{descendant fragments F} (ℓ(r_F) + 2 w(e_F)).
+	desc := make([][]int32, frags.Count())
+	for i := range frags.Roots {
+		for cur := frags.ParentFrag[i]; cur != -1; cur = frags.ParentFrag[cur] {
+			desc[cur] = append(desc[cur], int32(i))
+		}
+	}
+	for i, r := range frags.Roots {
+		want := local[r]
+		for _, j := range desc[i] {
+			want += local[frags.Roots[j]] + 2*tr.G.Edge(frags.ParentEdge[j]).W
+		}
+		if math.Abs(want-global[r]) > 1e-6 {
+			t.Fatalf("fragment %d: composed %v global %v", i, want, global[r])
+		}
+	}
+}
+
+func TestUnitWeightsGiveIndices(t *testing.T) {
+	// With unit weights, R values are exactly tour indices.
+	g := graph.RandomTree(40, 1, 3)
+	unit, err := g.Reweighted(func(graph.EdgeID, graph.Edge) float64 { return 1 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := buildTree(t, unit, 0)
+	tour, err := Build(tr, nil, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range tour.R {
+		if r != float64(i) {
+			t.Fatalf("unit-weight R[%d]=%v", i, r)
+		}
+	}
+	firsts := tour.UnweightedIndexOfFirst()
+	for v, idx := range firsts {
+		if tour.Order[idx] != graph.Vertex(v) {
+			t.Fatal("first index wrong")
+		}
+	}
+}
+
+func TestBuildChargesLedger(t *testing.T) {
+	g := graph.ErdosRenyi(100, 0.08, 9, 4)
+	tr := buildTree(t, g, 0)
+	frags, err := mst.Decompose(tr, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := congest.NewLedger()
+	if _, err := Build(tr, frags, l, g.HopDiameterApprox()); err != nil {
+		t.Fatal(err)
+	}
+	labels := l.ByLabel()
+	for _, want := range []string{
+		"euler/local-lengths", "euler/root-lengths-bcast", "euler/global-lengths",
+		"euler/local-intervals", "euler/root-intervals-up", "euler/root-shifts-down",
+	} {
+		if labels[want] == 0 {
+			t.Fatalf("label %q not charged: %v", want, labels)
+		}
+	}
+	// Õ(√n + D) shape: generous constant.
+	n, d := g.N(), g.HopDiameterApprox()
+	sq := int64(math.Sqrt(float64(n)))
+	if l.Rounds() > 40*(sq+int64(d)) {
+		t.Fatalf("euler rounds %d too large for Õ(√n+D)=Õ(%d)", l.Rounds(), sq+int64(d))
+	}
+}
+
+func TestBuildRejectsForeignFragments(t *testing.T) {
+	g1 := graph.Path(10, 1)
+	g2 := graph.Path(10, 1)
+	tr1 := buildTree(t, g1, 0)
+	tr2 := buildTree(t, g2, 0)
+	frags2, err := mst.Decompose(tr2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Build(tr1, frags2, nil, 0); err == nil {
+		t.Fatal("foreign fragments accepted")
+	}
+}
+
+func TestSingleVertexTour(t *testing.T) {
+	g := graph.New(1)
+	tr, err := mst.NewTree(g, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tour, err := Build(tr, nil, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tour.Positions() != 1 || tour.Length != 0 {
+		t.Fatalf("singleton tour wrong: %v", tour.Order)
+	}
+}

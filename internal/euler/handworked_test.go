@@ -1,0 +1,103 @@
+package euler
+
+import (
+	"testing"
+
+	"lightnet/internal/graph"
+	"lightnet/internal/mst"
+)
+
+// A hand-worked §3.2 example with a manually chosen fragment partition
+// (Fragments' fields are exported precisely so such examples can be
+// pinned):
+//
+//	r1 (vertex 0) — a (1) — c (2)
+//	            \— b (3) — d (4), e (5)        all edges weight 1
+//
+//	F1 = {r1, a} rooted at r1;  F2 = {c} rooted at c;
+//	F3 = {b, d, e} rooted at b.
+//
+// Expected local tour lengths: ℓ(c)=0, ℓ(a)=0 (child c is outside F1),
+// ℓ(r1)=2 (edge to a only), ℓ(b)=4, ℓ(d)=ℓ(e)=0.
+// Expected global lengths: g(c)=0, g(a)=2, g(b)=4, g(r1)=10.
+// Composition (§3.2): g(r1) = ℓ(r1) + Σ_F (ℓ(r_F) + 2w(e_F)) = 2+2+6.
+func TestHandWorkedLocalGlobalLengths(t *testing.T) {
+	g := graph.New(6)
+	ea := g.MustAddEdge(0, 1, 1) // r1-a
+	ec := g.MustAddEdge(1, 2, 1) // a-c
+	eb := g.MustAddEdge(0, 3, 1) // r1-b
+	g.MustAddEdge(3, 4, 1)       // b-d
+	g.MustAddEdge(3, 5, 1)       // b-e
+	edges := []graph.EdgeID{0, 1, 2, 3, 4}
+	tr, err := mst.NewTree(g, edges, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frags := &mst.Fragments{
+		Tree:       tr,
+		Of:         []int32{0, 0, 1, 2, 2, 2},
+		Roots:      []graph.Vertex{0, 2, 3},
+		ParentFrag: []int32{-1, 0, 0},
+		ParentEdge: []graph.EdgeID{graph.NoEdge, ec, eb},
+	}
+	local := LocalTourLengths(tr, frags)
+	wantLocal := []float64{2, 0, 0, 4, 0, 0}
+	for v, want := range wantLocal {
+		if local[v] != want {
+			t.Fatalf("ℓ(%d) = %v want %v", v, local[v], want)
+		}
+	}
+	global := GlobalTourLengths(tr)
+	wantGlobal := []float64{10, 2, 0, 4, 0, 0}
+	for v, want := range wantGlobal {
+		if global[v] != want {
+			t.Fatalf("g(%d) = %v want %v", v, global[v], want)
+		}
+	}
+	// §3.2 composition identity at the root.
+	composed := local[0] +
+		(local[2] + 2*g.Edge(ec).W) +
+		(local[3] + 2*g.Edge(eb).W)
+	if composed != global[0] {
+		t.Fatalf("composition %v != g(r1) %v", composed, global[0])
+	}
+	_ = ea
+}
+
+// The §3.3 interval recurrence on the same tree: t(r1) = [0, 10];
+// children in id order (a=1 before b=3):
+// t(a) = [1, 3]; t(c) = [2, 2]; t(b) = [5, 9]; t(d) = [6, 6]; t(e)=[8,8].
+func TestHandWorkedIntervals(t *testing.T) {
+	g := graph.New(6)
+	g.MustAddEdge(0, 1, 1)
+	g.MustAddEdge(1, 2, 1)
+	g.MustAddEdge(0, 3, 1)
+	g.MustAddEdge(3, 4, 1)
+	g.MustAddEdge(3, 5, 1)
+	tr, err := mst.NewTree(g, []graph.EdgeID{0, 1, 2, 3, 4}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	starts := IntervalStarts(tr)
+	want := []float64{0, 1, 2, 5, 6, 8}
+	for v, w := range want {
+		if starts[v] != w {
+			t.Fatalf("start(%d) = %v want %v (all %v)", v, starts[v], w, starts)
+		}
+	}
+	// And the full tour: r1 a c a r1 b d b e b r1 with times
+	// 0 1 2 3 4 5 6 7 8 9 10.
+	tour, err := Build(tr, nil, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantOrder := []graph.Vertex{0, 1, 2, 1, 0, 3, 4, 3, 5, 3, 0}
+	for i, v := range wantOrder {
+		if tour.Order[i] != v {
+			t.Fatalf("Order[%d] = %d want %d (full %v)", i, tour.Order[i], v, tour.Order)
+		}
+		if tour.R[i] != float64(i) {
+			t.Fatalf("R[%d] = %v", i, tour.R[i])
+		}
+	}
+}

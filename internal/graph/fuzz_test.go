@@ -1,0 +1,62 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzRead exercises the graph parser: it must never panic, and
+// anything it accepts must validate and round-trip.
+func FuzzRead(f *testing.F) {
+	f.Add("graph 3 2\ne 0 1 1.5\ne 1 2 2\n")
+	f.Add("graph 0 0\n")
+	f.Add("# comment\n\ngraph 2 1\ne 0 1 1\n")
+	f.Add("graph 2 1\ne 0 1 -1\n")
+	f.Add("e 0 1 1\n")
+	f.Add("graph 1000000 0\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		if len(input) > 1<<16 {
+			return
+		}
+		// Guard against absurd allocations from adversarial headers.
+		if strings.Contains(input, "graph 1000000000") {
+			return
+		}
+		g, err := Read(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		if g.N() > 1<<22 {
+			return
+		}
+		if verr := g.Validate(); verr != nil {
+			t.Fatalf("accepted graph fails validation: %v", verr)
+		}
+		var buf bytes.Buffer
+		if _, werr := g.WriteTo(&buf); werr != nil {
+			t.Fatalf("write-back failed: %v", werr)
+		}
+		g2, rerr := Read(&buf)
+		if rerr != nil {
+			t.Fatalf("round-trip re-read failed: %v", rerr)
+		}
+		if g2.N() != g.N() || g2.M() != g.M() {
+			t.Fatalf("round-trip changed shape")
+		}
+	})
+}
+
+// FuzzAddEdge: arbitrary numeric inputs must never corrupt the graph.
+func FuzzAddEdge(f *testing.F) {
+	f.Add(int32(0), int32(1), 1.0)
+	f.Add(int32(5), int32(5), 2.0)
+	f.Add(int32(-1), int32(3), -0.5)
+	f.Fuzz(func(t *testing.T, u, v int32, w float64) {
+		g := New(8)
+		_, _ = g.AddEdge(Vertex(u), Vertex(v), w)
+		if err := g.Validate(); err != nil {
+			t.Fatalf("graph corrupted: %v", err)
+		}
+	})
+}

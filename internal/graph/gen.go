@@ -1,0 +1,349 @@
+package graph
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Generators for the workloads used throughout the evaluation. All
+// generators are deterministic given the seed and produce connected
+// graphs with minimum edge weight >= 1 (the paper's normalisation),
+// unless documented otherwise.
+
+// Path returns the path v0-v1-...-v_{n-1} with the given uniform weight.
+func Path(n int, w float64) *Graph {
+	g := New(n)
+	for i := 0; i < n-1; i++ {
+		g.MustAddEdge(Vertex(i), Vertex(i+1), w)
+	}
+	return g
+}
+
+// Cycle returns the n-cycle with the given uniform weight.
+func Cycle(n int, w float64) *Graph {
+	g := Path(n, w)
+	if n > 2 {
+		g.MustAddEdge(Vertex(n-1), 0, w)
+	}
+	return g
+}
+
+// Star returns the star with center 0 and the given uniform weight.
+func Star(n int, w float64) *Graph {
+	g := New(n)
+	for i := 1; i < n; i++ {
+		g.MustAddEdge(0, Vertex(i), w)
+	}
+	return g
+}
+
+// Complete returns the complete graph where w(u,v) is drawn uniformly
+// from [1, maxW].
+func Complete(n int, maxW float64, seed int64) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	g := New(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			g.MustAddEdge(Vertex(u), Vertex(v), 1+rng.Float64()*(maxW-1))
+		}
+	}
+	return g
+}
+
+// Grid returns the rows x cols grid graph with weights drawn uniformly
+// from [1, maxW].
+func Grid(rows, cols int, maxW float64, seed int64) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	g := New(rows * cols)
+	at := func(r, c int) Vertex { return Vertex(r*cols + c) }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				g.MustAddEdge(at(r, c), at(r, c+1), 1+rng.Float64()*(maxW-1))
+			}
+			if r+1 < rows {
+				g.MustAddEdge(at(r, c), at(r+1, c), 1+rng.Float64()*(maxW-1))
+			}
+		}
+	}
+	return g
+}
+
+// RandomTree returns a uniformly random recursive tree on n vertices:
+// vertex i attaches to a uniform vertex in [0, i). Weights uniform in
+// [1, maxW].
+func RandomTree(n int, maxW float64, seed int64) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	g := New(n)
+	for i := 1; i < n; i++ {
+		p := Vertex(rng.Intn(i))
+		g.MustAddEdge(p, Vertex(i), 1+rng.Float64()*(maxW-1))
+	}
+	return g
+}
+
+// ErdosRenyi returns a connected G(n, p) graph with weights uniform in
+// [1, maxW]. Connectivity is guaranteed by first inserting a random
+// spanning tree (a standard trick; for p above the connectivity
+// threshold the tree edges are a vanishing fraction).
+func ErdosRenyi(n int, p float64, maxW float64, seed int64) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	g := New(n)
+	perm := rng.Perm(n)
+	for i := 1; i < n; i++ {
+		u, v := Vertex(perm[i]), Vertex(perm[rng.Intn(i)])
+		g.MustAddEdge(u, v, 1+rng.Float64()*(maxW-1))
+	}
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if rng.Float64() < p {
+				g.MustAddEdge(Vertex(u), Vertex(v), 1+rng.Float64()*(maxW-1))
+			}
+		}
+	}
+	return g
+}
+
+// Points is a set of points in R^dim, flattened row-major.
+type Points struct {
+	Dim    int
+	Coords []float64 // len = n * Dim
+}
+
+// N returns the number of points.
+func (p *Points) N() int { return len(p.Coords) / p.Dim }
+
+// Dist returns the Euclidean distance between points i and j.
+func (p *Points) Dist(i, j int) float64 {
+	var s float64
+	for d := 0; d < p.Dim; d++ {
+		diff := p.Coords[i*p.Dim+d] - p.Coords[j*p.Dim+d]
+		s += diff * diff
+	}
+	return math.Sqrt(s)
+}
+
+// RandomPoints returns n uniform points in [0, side]^dim.
+func RandomPoints(n, dim int, side float64, seed int64) *Points {
+	rng := rand.New(rand.NewSource(seed))
+	p := &Points{Dim: dim, Coords: make([]float64, n*dim)}
+	for i := range p.Coords {
+		p.Coords[i] = rng.Float64() * side
+	}
+	return p
+}
+
+// UnitBallGraph builds the unit-ball graph of the point set: an edge
+// between every pair at Euclidean distance <= radius, weighted by that
+// distance (scaled so the minimum weight is >= 1). If the result is
+// disconnected, each component is connected to its nearest other
+// component by the closest inter-component pair, preserving the doubling
+// structure. This is the doubling-graph workload of §7 (and the graph
+// family of [DPP06]).
+func UnitBallGraph(pts *Points, radius float64) *Graph {
+	n := pts.N()
+	g := New(n)
+	type pe struct {
+		i, j int
+		d    float64
+	}
+	var pend []pe
+	minD := math.Inf(1)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			d := pts.Dist(i, j)
+			if d <= radius && d > 0 {
+				pend = append(pend, pe{i, j, d})
+				if d < minD {
+					minD = d
+				}
+			}
+		}
+	}
+	// Connect components greedily via closest cross pairs.
+	uf := newUnionFind(n)
+	for _, e := range pend {
+		uf.union(e.i, e.j)
+	}
+	for {
+		roots := map[int]bool{}
+		for i := 0; i < n; i++ {
+			roots[uf.find(i)] = true
+		}
+		if len(roots) <= 1 {
+			break
+		}
+		best := pe{-1, -1, math.Inf(1)}
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if uf.find(i) != uf.find(j) {
+					if d := pts.Dist(i, j); d < best.d {
+						best = pe{i, j, d}
+					}
+				}
+			}
+		}
+		pend = append(pend, best)
+		if best.d > 0 && best.d < minD {
+			minD = best.d
+		}
+		uf.union(best.i, best.j)
+	}
+	scale := 1.0
+	if minD > 0 && minD < 1 {
+		scale = 1 / minD
+	}
+	for _, e := range pend {
+		g.MustAddEdge(Vertex(e.i), Vertex(e.j), e.d*scale)
+	}
+	return g
+}
+
+// RandomGeometric is a convenience wrapper: n uniform points in
+// [0,1]^dim connected at the standard connectivity radius
+// c·(log n / n)^{1/dim}, producing a connected low-doubling-dimension
+// graph.
+func RandomGeometric(n, dim int, seed int64) *Graph {
+	pts := RandomPoints(n, dim, 1, seed)
+	r := 1.6 * math.Pow(math.Log(float64(n+1))/float64(n), 1/float64(dim))
+	return UnitBallGraph(pts, r)
+}
+
+// HardInstance generates the lower-bound graph family in the spirit of
+// [SHK+12] / [Elk04]: sqrt(n) parallel paths of length sqrt(n) whose
+// column vertices are stitched by a balanced binary "highway" tree of
+// small hop-depth, with one adversarial heavy edge per path whose weight
+// depends on a hidden bit. Approximating the MST weight (and hence
+// computing any light object) requires transporting the Θ(sqrt n) hidden
+// bits across the Θ(sqrt n)-hop paths or the congested highway.
+//
+// n is rounded down to a perfect square. heavy is the weight of marked
+// edges (poly(n) in the reduction); bits selects which paths carry a
+// heavy edge.
+func HardInstance(n int, heavy float64, seed int64) *Graph {
+	side := int(math.Sqrt(float64(n)))
+	if side < 2 {
+		side = 2
+	}
+	rng := rand.New(rand.NewSource(seed))
+	rows, cols := side, side
+	total := rows*cols + (cols - 1) // grid + internal highway nodes (path of columns)
+	g := New(total)
+	at := func(r, c int) Vertex { return Vertex(r*cols + c) }
+	hw := func(c int) Vertex { return Vertex(rows*cols + c) } // c in [0, cols-1)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols-1; c++ {
+			w := 1.0
+			// One random heavy edge per row, position and presence
+			// chosen by the hidden bits.
+			if c == rng.Intn(cols-1) && rng.Intn(2) == 1 {
+				w = heavy
+			}
+			g.MustAddEdge(at(r, c), at(r, c+1), w)
+		}
+	}
+	// Highway: a path over column representatives with light weights and
+	// spokes to every row at both ends — every hidden bit must cross
+	// either its Θ(√n)-hop row or the single-capacity highway, which is
+	// the congestion structure of the [SHK+12] reduction.
+	for c := 0; c < cols-1; c++ {
+		if c > 0 {
+			g.MustAddEdge(hw(c-1), hw(c), 1)
+		}
+		g.MustAddEdge(hw(c), at(0, c), 1)
+	}
+	g.MustAddEdge(hw(cols-2), at(0, cols-1), 1)
+	for r := 1; r < rows; r++ {
+		g.MustAddEdge(hw(0), at(r, 0), 1)
+		g.MustAddEdge(hw(cols-2), at(r, cols-1), 1)
+	}
+	return g
+}
+
+// unionFind is a minimal union-find for generator-internal use (the full
+// featured one lives in internal/mst).
+type unionFind struct{ parent []int }
+
+func newUnionFind(n int) *unionFind {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	return &unionFind{parent: p}
+}
+
+func (u *unionFind) find(x int) int {
+	for u.parent[x] != x {
+		u.parent[x] = u.parent[u.parent[x]]
+		x = u.parent[x]
+	}
+	return x
+}
+
+func (u *unionFind) union(a, b int) { u.parent[u.find(a)] = u.find(b) }
+
+// EstimateDoublingDimension estimates the doubling dimension of g's
+// shortest-path metric by sampling: for sampled centers v and radii r,
+// it greedily covers B(v, 2r) with balls of radius r and reports
+// log2(max cover size). Exact doubling dimension is NP-hard; this
+// estimator suffices to sanity-check that generated doubling workloads
+// have small ddim and that ER graphs have large ddim.
+func EstimateDoublingDimension(g *Graph, samples int, seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	if g.n == 0 {
+		return 0
+	}
+	maxCover := 1
+	for s := 0; s < samples; s++ {
+		v := Vertex(rng.Intn(g.n))
+		t := g.Dijkstra(v)
+		ecc := 0.0
+		for _, d := range t.Dist {
+			if !math.IsInf(d, 1) && d > ecc {
+				ecc = d
+			}
+		}
+		if ecc == 0 {
+			continue
+		}
+		r := ecc * math.Pow(2, -float64(1+rng.Intn(4)))
+		// Collect B(v, 2r), then greedily pick r-separated centers: the
+		// number of centers lower-bounds (and up to constants matches)
+		// the minimum cover count.
+		var ball []Vertex
+		for u, d := range t.Dist {
+			if d <= 2*r {
+				ball = append(ball, Vertex(u))
+			}
+		}
+		var centerDists [][]float64
+		for _, u := range ball {
+			ok := true
+			for _, cd := range centerDists {
+				if cd[u] <= r {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				centerDists = append(centerDists, g.DijkstraBounded(u, r).Dist)
+				if len(centerDists) > 64 {
+					break
+				}
+			}
+		}
+		if len(centerDists) > maxCover {
+			maxCover = len(centerDists)
+		}
+	}
+	return math.Log2(float64(maxCover))
+}
+
+// DescribeGraph returns a one-line human-readable summary, used by the
+// CLI tools.
+func DescribeGraph(name string, g *Graph) string {
+	minW, maxW := g.MinMaxWeight()
+	return fmt.Sprintf("%s: n=%d m=%d w∈[%.3g,%.3g] hopDiam≈%d",
+		name, g.N(), g.M(), minW, maxW, g.HopDiameterApprox())
+}

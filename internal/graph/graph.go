@@ -1,0 +1,430 @@
+// Package graph provides the weighted-graph substrate used by every
+// algorithm in this repository: an adjacency-list representation with
+// stable edge identifiers, exact shortest-path routines, hop (unweighted)
+// traversals, and structural queries (connectivity, hop-diameter, aspect
+// ratio).
+//
+// Conventions shared across the repository:
+//
+//   - Vertices are dense integers in [0, N).
+//   - Edges are undirected; each edge has a unique EdgeID assigned in
+//     insertion order. Both half-edges share the EdgeID.
+//   - Weights are strictly positive float64s. The paper assumes minimum
+//     weight 1 and maximum poly(n); generators follow that convention but
+//     the algorithms only require positivity.
+package graph
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Vertex identifies a vertex of a Graph. Vertices are dense in [0, N).
+type Vertex int32
+
+// EdgeID identifies an undirected edge of a Graph, dense in [0, M).
+type EdgeID int32
+
+// NoEdge is the sentinel EdgeID meaning "no edge" (e.g. tree roots).
+const NoEdge EdgeID = -1
+
+// NoVertex is the sentinel Vertex meaning "no vertex".
+const NoVertex Vertex = -1
+
+// Edge is an undirected weighted edge.
+type Edge struct {
+	U, V Vertex
+	W    float64
+}
+
+// Other returns the endpoint of e that is not x.
+func (e Edge) Other(x Vertex) Vertex {
+	if e.U == x {
+		return e.V
+	}
+	return e.U
+}
+
+// Half is one directed half of an undirected edge, stored in adjacency
+// lists: the far endpoint, the weight, and the undirected edge id.
+type Half struct {
+	To Vertex
+	W  float64
+	ID EdgeID
+}
+
+// Graph is an undirected weighted graph. The zero value is unusable; use
+// New.
+type Graph struct {
+	n     int
+	edges []Edge
+	adj   [][]Half
+}
+
+// Errors returned by Graph mutation methods.
+var (
+	ErrSelfLoop     = errors.New("graph: self loop")
+	ErrBadWeight    = errors.New("graph: weight must be positive and finite")
+	ErrVertexRange  = errors.New("graph: vertex out of range")
+	ErrDisconnected = errors.New("graph: graph is not connected")
+)
+
+// New returns an empty graph on n vertices.
+func New(n int) *Graph {
+	return &Graph{
+		n:   n,
+		adj: make([][]Half, n),
+	}
+}
+
+// N returns the number of vertices.
+func (g *Graph) N() int { return g.n }
+
+// M returns the number of (undirected) edges.
+func (g *Graph) M() int { return len(g.edges) }
+
+// AddEdge inserts the undirected edge {u,v} with weight w and returns its
+// id. Parallel edges are permitted (the lightest matters for shortest
+// paths); self loops and non-positive weights are rejected.
+func (g *Graph) AddEdge(u, v Vertex, w float64) (EdgeID, error) {
+	if u == v {
+		return NoEdge, fmt.Errorf("%w: {%d,%d}", ErrSelfLoop, u, v)
+	}
+	if int(u) < 0 || int(u) >= g.n || int(v) < 0 || int(v) >= g.n {
+		return NoEdge, fmt.Errorf("%w: {%d,%d} with n=%d", ErrVertexRange, u, v, g.n)
+	}
+	if !(w > 0) || math.IsInf(w, 0) || math.IsNaN(w) {
+		return NoEdge, fmt.Errorf("%w: %v", ErrBadWeight, w)
+	}
+	id := EdgeID(len(g.edges))
+	g.edges = append(g.edges, Edge{U: u, V: v, W: w})
+	g.adj[u] = append(g.adj[u], Half{To: v, W: w, ID: id})
+	g.adj[v] = append(g.adj[v], Half{To: u, W: w, ID: id})
+	return id, nil
+}
+
+// MustAddEdge is AddEdge for generators and tests where inputs are known
+// valid; it panics on error (program-construction bug, not runtime input).
+func (g *Graph) MustAddEdge(u, v Vertex, w float64) EdgeID {
+	id, err := g.AddEdge(u, v, w)
+	if err != nil {
+		panic(err)
+	}
+	return id
+}
+
+// Edge returns the edge with the given id.
+func (g *Graph) Edge(id EdgeID) Edge { return g.edges[id] }
+
+// Edges returns the edge list. The returned slice is owned by the graph;
+// callers must not mutate it.
+func (g *Graph) Edges() []Edge { return g.edges }
+
+// Neighbors returns the adjacency list of v. The returned slice is owned
+// by the graph; callers must not mutate it.
+func (g *Graph) Neighbors(v Vertex) []Half { return g.adj[v] }
+
+// Degree returns the degree of v (counting parallel edges).
+func (g *Graph) Degree(v Vertex) int { return len(g.adj[v]) }
+
+// TotalWeight returns the sum of all edge weights.
+func (g *Graph) TotalWeight() float64 {
+	var s float64
+	for _, e := range g.edges {
+		s += e.W
+	}
+	return s
+}
+
+// WeightOf sums the weights of the given edges.
+func (g *Graph) WeightOf(ids []EdgeID) float64 {
+	var s float64
+	for _, id := range ids {
+		s += g.edges[id].W
+	}
+	return s
+}
+
+// MinMaxWeight returns the minimum and maximum edge weight, or (0,0) for
+// an edgeless graph.
+func (g *Graph) MinMaxWeight() (minW, maxW float64) {
+	if len(g.edges) == 0 {
+		return 0, 0
+	}
+	minW, maxW = g.edges[0].W, g.edges[0].W
+	for _, e := range g.edges[1:] {
+		if e.W < minW {
+			minW = e.W
+		}
+		if e.W > maxW {
+			maxW = e.W
+		}
+	}
+	return minW, maxW
+}
+
+// AspectRatio returns max edge weight / min edge weight (Λ in the paper),
+// or 1 for graphs with fewer than one edge.
+func (g *Graph) AspectRatio() float64 {
+	minW, maxW := g.MinMaxWeight()
+	if minW == 0 {
+		return 1
+	}
+	return maxW / minW
+}
+
+// Clone returns a deep copy of g.
+func (g *Graph) Clone() *Graph {
+	c := New(g.n)
+	c.edges = make([]Edge, len(g.edges))
+	copy(c.edges, g.edges)
+	for v := range g.adj {
+		c.adj[v] = make([]Half, len(g.adj[v]))
+		copy(c.adj[v], g.adj[v])
+	}
+	return c
+}
+
+// Subgraph returns the subgraph of g on the same vertex set containing
+// exactly the given edges. Edge ids are re-assigned in the order given.
+func (g *Graph) Subgraph(ids []EdgeID) *Graph {
+	s := New(g.n)
+	for _, id := range ids {
+		e := g.edges[id]
+		s.MustAddEdge(e.U, e.V, e.W)
+	}
+	return s
+}
+
+// Reweighted returns a copy of g with every edge weight mapped through f.
+// f must return positive finite weights.
+func (g *Graph) Reweighted(f func(id EdgeID, e Edge) float64) (*Graph, error) {
+	c := New(g.n)
+	for id, e := range g.edges {
+		if _, err := c.AddEdge(e.U, e.V, f(EdgeID(id), e)); err != nil {
+			return nil, fmt.Errorf("reweight edge %d: %w", id, err)
+		}
+	}
+	return c, nil
+}
+
+// NormalizeWeights returns a copy of g rescaled so the minimum edge
+// weight is exactly 1 — the paper's §2 normalisation (minimum weight 1,
+// maximum poly(n)). The returned scale factor maps new weights back to
+// the originals (w_old = w_new · scale).
+func (g *Graph) NormalizeWeights() (*Graph, float64, error) {
+	minW, _ := g.MinMaxWeight()
+	if minW <= 0 || g.M() == 0 {
+		return g.Clone(), 1, nil
+	}
+	out, err := g.Reweighted(func(_ EdgeID, e Edge) float64 { return e.W / minW })
+	if err != nil {
+		return nil, 0, fmt.Errorf("normalize: %w", err)
+	}
+	return out, minW, nil
+}
+
+// Connected reports whether g is connected (true for n <= 1).
+func (g *Graph) Connected() bool {
+	if g.n <= 1 {
+		return true
+	}
+	seen := make([]bool, g.n)
+	stack := make([]Vertex, 0, g.n)
+	stack = append(stack, 0)
+	seen[0] = true
+	count := 1
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, h := range g.adj[v] {
+			if !seen[h.To] {
+				seen[h.To] = true
+				count++
+				stack = append(stack, h.To)
+			}
+		}
+	}
+	return count == g.n
+}
+
+// Components returns a component id per vertex and the number of
+// components.
+func (g *Graph) Components() ([]int32, int) {
+	comp := make([]int32, g.n)
+	for i := range comp {
+		comp[i] = -1
+	}
+	var next int32
+	stack := make([]Vertex, 0, 64)
+	for s := Vertex(0); int(s) < g.n; s++ {
+		if comp[s] >= 0 {
+			continue
+		}
+		comp[s] = next
+		stack = append(stack[:0], s)
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, h := range g.adj[v] {
+				if comp[h.To] < 0 {
+					comp[h.To] = next
+					stack = append(stack, h.To)
+				}
+			}
+		}
+		next++
+	}
+	return comp, int(next)
+}
+
+// BFSHops returns, for every vertex, its hop distance (number of edges,
+// ignoring weights) from src; unreachable vertices get -1.
+func (g *Graph) BFSHops(src Vertex) []int32 {
+	dist := make([]int32, g.n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	queue := make([]Vertex, 0, g.n)
+	queue = append(queue, src)
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, h := range g.adj[v] {
+			if dist[h.To] < 0 {
+				dist[h.To] = dist[v] + 1
+				queue = append(queue, h.To)
+			}
+		}
+	}
+	return dist
+}
+
+// BFSTree returns a BFS tree from src: per-vertex parent edge id (NoEdge
+// for src and unreachable vertices) and hop distances.
+func (g *Graph) BFSTree(src Vertex) (parent []EdgeID, hops []int32) {
+	parent = make([]EdgeID, g.n)
+	hops = make([]int32, g.n)
+	for i := range parent {
+		parent[i] = NoEdge
+		hops[i] = -1
+	}
+	hops[src] = 0
+	queue := make([]Vertex, 0, g.n)
+	queue = append(queue, src)
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, h := range g.adj[v] {
+			if hops[h.To] < 0 {
+				hops[h.To] = hops[v] + 1
+				parent[h.To] = h.ID
+				queue = append(queue, h.To)
+			}
+		}
+	}
+	return parent, hops
+}
+
+// HopEccentricity returns the maximum finite hop distance from src.
+func (g *Graph) HopEccentricity(src Vertex) int {
+	dist := g.BFSHops(src)
+	ecc := 0
+	for _, d := range dist {
+		if int(d) > ecc {
+			ecc = int(d)
+		}
+	}
+	return ecc
+}
+
+// HopDiameter returns the exact hop-diameter of g (the D of the paper),
+// computed by a BFS from every vertex — O(n·m); intended for test-scale
+// graphs. Use HopDiameterApprox for large inputs.
+func (g *Graph) HopDiameter() int {
+	d := 0
+	for v := Vertex(0); int(v) < g.n; v++ {
+		if e := g.HopEccentricity(v); e > d {
+			d = e
+		}
+	}
+	return d
+}
+
+// HopDiameterApprox returns a 2-approximation of the hop-diameter using
+// two BFS passes (the eccentricity of the farthest vertex from vertex 0).
+// The true diameter lies in [result/2, result] ... more precisely the
+// returned value is between D/2 and D for connected graphs; callers that
+// need an upper bound should double it.
+func (g *Graph) HopDiameterApprox() int {
+	if g.n == 0 {
+		return 0
+	}
+	dist := g.BFSHops(0)
+	far := Vertex(0)
+	for v, d := range dist {
+		if d > dist[far] {
+			far = Vertex(v)
+		}
+	}
+	return g.HopEccentricity(far)
+}
+
+// DegreeHistogram returns counts of vertex degrees (index = degree).
+func (g *Graph) DegreeHistogram() []int {
+	maxDeg := 0
+	for v := range g.adj {
+		if len(g.adj[v]) > maxDeg {
+			maxDeg = len(g.adj[v])
+		}
+	}
+	hist := make([]int, maxDeg+1)
+	for v := range g.adj {
+		hist[len(g.adj[v])]++
+	}
+	return hist
+}
+
+// Validate performs internal consistency checks, returning a descriptive
+// error on the first violation. Intended for tests and fuzzing harnesses.
+func (g *Graph) Validate() error {
+	if g.n < 0 {
+		return fmt.Errorf("graph: negative vertex count %d", g.n)
+	}
+	if len(g.adj) != g.n {
+		return fmt.Errorf("graph: adj length %d != n %d", len(g.adj), g.n)
+	}
+	degSum := 0
+	for v := range g.adj {
+		degSum += len(g.adj[v])
+		for _, h := range g.adj[v] {
+			if int(h.To) < 0 || int(h.To) >= g.n {
+				return fmt.Errorf("graph: vertex %d has neighbor %d out of range", v, h.To)
+			}
+			if int(h.ID) < 0 || int(h.ID) >= len(g.edges) {
+				return fmt.Errorf("graph: vertex %d references edge %d out of range", v, h.ID)
+			}
+			e := g.edges[h.ID]
+			if e.W != h.W {
+				return fmt.Errorf("graph: half-edge weight mismatch on edge %d", h.ID)
+			}
+			if !((e.U == Vertex(v) && e.V == h.To) || (e.V == Vertex(v) && e.U == h.To)) {
+				return fmt.Errorf("graph: half-edge endpoints mismatch on edge %d", h.ID)
+			}
+		}
+	}
+	if degSum != 2*len(g.edges) {
+		return fmt.Errorf("graph: degree sum %d != 2m %d", degSum, 2*len(g.edges))
+	}
+	for id, e := range g.edges {
+		if e.U == e.V {
+			return fmt.Errorf("graph: edge %d is a self loop", id)
+		}
+		if !(e.W > 0) {
+			return fmt.Errorf("graph: edge %d has non-positive weight", id)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,110 @@
+package graph
+
+// vertexHeap is an indexed binary min-heap keyed by float64 priorities,
+// specialised for Dijkstra over dense Vertex ids. It supports
+// decrease-key via the position index. The zero value is unusable; use
+// newVertexHeap.
+type vertexHeap struct {
+	items []Vertex  // heap order
+	key   []float64 // key per vertex id
+	pos   []int32   // position in items per vertex id, -1 if absent
+}
+
+func newVertexHeap(n int) *vertexHeap {
+	h := &vertexHeap{
+		items: make([]Vertex, 0, n),
+		key:   make([]float64, n),
+		pos:   make([]int32, n),
+	}
+	for i := range h.pos {
+		h.pos[i] = -1
+	}
+	return h
+}
+
+// Len returns the number of queued vertices.
+func (h *vertexHeap) Len() int { return len(h.items) }
+
+// Contains reports whether v is queued.
+func (h *vertexHeap) Contains(v Vertex) bool { return h.pos[v] >= 0 }
+
+// Key returns the current key of v; only meaningful if Contains(v) or v
+// was previously popped.
+func (h *vertexHeap) Key(v Vertex) float64 { return h.key[v] }
+
+// PushOrDecrease inserts v with key k, or lowers its key if already
+// present with a larger key. Returns true if the heap changed.
+func (h *vertexHeap) PushOrDecrease(v Vertex, k float64) bool {
+	if p := h.pos[v]; p >= 0 {
+		if k >= h.key[v] {
+			return false
+		}
+		h.key[v] = k
+		h.up(int(p))
+		return true
+	}
+	h.key[v] = k
+	h.pos[v] = int32(len(h.items))
+	h.items = append(h.items, v)
+	h.up(len(h.items) - 1)
+	return true
+}
+
+// Pop removes and returns the minimum-key vertex and its key.
+func (h *vertexHeap) Pop() (Vertex, float64) {
+	top := h.items[0]
+	k := h.key[top]
+	last := len(h.items) - 1
+	h.swap(0, last)
+	h.items = h.items[:last]
+	h.pos[top] = -1
+	if last > 0 {
+		h.down(0)
+	}
+	return top, k
+}
+
+func (h *vertexHeap) swap(i, j int) {
+	h.items[i], h.items[j] = h.items[j], h.items[i]
+	h.pos[h.items[i]] = int32(i)
+	h.pos[h.items[j]] = int32(j)
+}
+
+func (h *vertexHeap) less(i, j int) bool {
+	ki, kj := h.key[h.items[i]], h.key[h.items[j]]
+	if ki != kj {
+		return ki < kj
+	}
+	// Tie-break on vertex id for determinism.
+	return h.items[i] < h.items[j]
+}
+
+func (h *vertexHeap) up(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if !h.less(i, p) {
+			break
+		}
+		h.swap(i, p)
+		i = p
+	}
+}
+
+func (h *vertexHeap) down(i int) {
+	n := len(h.items)
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && h.less(l, small) {
+			small = l
+		}
+		if r < n && h.less(r, small) {
+			small = r
+		}
+		if small == i {
+			return
+		}
+		h.swap(i, small)
+		i = small
+	}
+}

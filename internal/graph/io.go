@@ -1,0 +1,102 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Serialization in a minimal line-oriented text format:
+//
+//	# comment
+//	graph <n> <m>
+//	e <u> <v> <w>        (m lines, in edge-id order)
+//
+// The format round-trips edge ids (insertion order), so objects built
+// on a saved graph remain valid after reload.
+
+// WriteTo serialises g. It returns the number of bytes written.
+func (g *Graph) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var total int64
+	n, err := fmt.Fprintf(bw, "graph %d %d\n", g.n, len(g.edges))
+	total += int64(n)
+	if err != nil {
+		return total, err
+	}
+	for _, e := range g.edges {
+		n, err := fmt.Fprintf(bw, "e %d %d %s\n", e.U, e.V,
+			strconv.FormatFloat(e.W, 'g', -1, 64))
+		total += int64(n)
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, bw.Flush()
+}
+
+// Read parses a graph in the WriteTo format.
+func Read(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var g *Graph
+	wantEdges := -1
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		switch fields[0] {
+		case "graph":
+			if g != nil {
+				return nil, fmt.Errorf("graph: line %d: duplicate header", line)
+			}
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("graph: line %d: malformed header", line)
+			}
+			n, err := strconv.Atoi(fields[1])
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("graph: line %d: bad vertex count %q", line, fields[1])
+			}
+			m, err := strconv.Atoi(fields[2])
+			if err != nil || m < 0 {
+				return nil, fmt.Errorf("graph: line %d: bad edge count %q", line, fields[2])
+			}
+			g = New(n)
+			wantEdges = m
+		case "e":
+			if g == nil {
+				return nil, fmt.Errorf("graph: line %d: edge before header", line)
+			}
+			if len(fields) != 4 {
+				return nil, fmt.Errorf("graph: line %d: malformed edge", line)
+			}
+			u, err1 := strconv.Atoi(fields[1])
+			v, err2 := strconv.Atoi(fields[2])
+			w, err3 := strconv.ParseFloat(fields[3], 64)
+			if err1 != nil || err2 != nil || err3 != nil {
+				return nil, fmt.Errorf("graph: line %d: malformed edge %q", line, text)
+			}
+			if _, err := g.AddEdge(Vertex(u), Vertex(v), w); err != nil {
+				return nil, fmt.Errorf("graph: line %d: %w", line, err)
+			}
+		default:
+			return nil, fmt.Errorf("graph: line %d: unknown record %q", line, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("graph: read: %w", err)
+	}
+	if g == nil {
+		return nil, fmt.Errorf("graph: missing header")
+	}
+	if wantEdges >= 0 && g.M() != wantEdges {
+		return nil, fmt.Errorf("graph: header declares %d edges, found %d", wantEdges, g.M())
+	}
+	return g, nil
+}

@@ -1,0 +1,104 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestIORoundTrip(t *testing.T) {
+	orig := ErdosRenyi(60, 0.15, 9, 5)
+	var buf bytes.Buffer
+	if _, err := orig.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.N() != orig.N() || got.M() != orig.M() {
+		t.Fatalf("shape %d/%d vs %d/%d", got.N(), got.M(), orig.N(), orig.M())
+	}
+	for i := range orig.Edges() {
+		if orig.Edges()[i] != got.Edges()[i] {
+			t.Fatalf("edge %d differs: %+v vs %+v", i, orig.Edges()[i], got.Edges()[i])
+		}
+	}
+	if err := got.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIOCommentsAndBlankLines(t *testing.T) {
+	in := `
+# a comment
+graph 3 2
+
+e 0 1 1.5
+# another
+e 1 2 2.25
+`
+	g, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 3 || g.M() != 2 {
+		t.Fatalf("n=%d m=%d", g.N(), g.M())
+	}
+	if g.Edges()[1].W != 2.25 {
+		t.Fatalf("weight %v", g.Edges()[1].W)
+	}
+}
+
+func TestIOErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+	}{
+		{"empty", ""},
+		{"no header", "e 0 1 1\n"},
+		{"dup header", "graph 2 0\ngraph 2 0\n"},
+		{"bad header", "graph x 0\n"},
+		{"short header", "graph 2\n"},
+		{"bad edge fields", "graph 2 1\ne 0 1\n"},
+		{"bad edge number", "graph 2 1\ne 0 x 1\n"},
+		{"edge out of range", "graph 2 1\ne 0 5 1\n"},
+		{"self loop", "graph 2 1\ne 1 1 1\n"},
+		{"negative weight", "graph 2 1\ne 0 1 -3\n"},
+		{"count mismatch", "graph 2 2\ne 0 1 1\n"},
+		{"unknown record", "graph 2 0\nz 1\n"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := Read(strings.NewReader(tc.in)); err == nil {
+				t.Fatalf("input %q accepted", tc.in)
+			}
+		})
+	}
+}
+
+// Property: round-trip preserves any generated graph exactly.
+func TestIORoundTripQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		n := 5 + int(uint64(seed)%40)
+		g := ErdosRenyi(n, 0.2, 7, seed)
+		var buf bytes.Buffer
+		if _, err := g.WriteTo(&buf); err != nil {
+			return false
+		}
+		got, err := Read(&buf)
+		if err != nil || got.M() != g.M() {
+			return false
+		}
+		for i := range g.Edges() {
+			if g.Edges()[i] != got.Edges()[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,250 @@
+package graph
+
+import "math"
+
+// Inf is the distance value used for unreachable vertices.
+var Inf = math.Inf(1)
+
+// SPTree is a (single-source) shortest-path-tree-like structure: per
+// vertex the distance from the source and the parent edge used to reach
+// it (NoEdge for the source and unreachable vertices).
+type SPTree struct {
+	Source Vertex
+	Dist   []float64
+	Parent []EdgeID
+}
+
+// PathTo reconstructs the vertex path Source -> v (inclusive). Returns
+// nil if v is unreachable.
+func (t *SPTree) PathTo(g *Graph, v Vertex) []Vertex {
+	if math.IsInf(t.Dist[v], 1) {
+		return nil
+	}
+	var rev []Vertex
+	for cur := v; ; {
+		rev = append(rev, cur)
+		if cur == t.Source {
+			break
+		}
+		cur = g.Edge(t.Parent[cur]).Other(cur)
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+// EdgePathTo reconstructs the edge-id path Source -> v. Returns nil if v
+// is unreachable or v == Source.
+func (t *SPTree) EdgePathTo(g *Graph, v Vertex) []EdgeID {
+	if math.IsInf(t.Dist[v], 1) || v == t.Source {
+		return nil
+	}
+	var rev []EdgeID
+	for cur := v; cur != t.Source; {
+		id := t.Parent[cur]
+		rev = append(rev, id)
+		cur = g.Edge(id).Other(cur)
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+// TreeEdges returns the set of parent edge ids (one per reachable
+// non-source vertex).
+func (t *SPTree) TreeEdges() []EdgeID {
+	out := make([]EdgeID, 0, len(t.Parent))
+	for v, id := range t.Parent {
+		if Vertex(v) != t.Source && id != NoEdge {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// Dijkstra computes exact single-source shortest paths from src.
+func (g *Graph) Dijkstra(src Vertex) *SPTree {
+	return g.DijkstraBounded(src, Inf)
+}
+
+// DijkstraBounded computes shortest paths from src, exploring only
+// vertices at distance <= bound. Vertices beyond the bound keep distance
+// +Inf.
+func (g *Graph) DijkstraBounded(src Vertex, bound float64) *SPTree {
+	t := &SPTree{
+		Source: src,
+		Dist:   make([]float64, g.n),
+		Parent: make([]EdgeID, g.n),
+	}
+	for i := range t.Dist {
+		t.Dist[i] = Inf
+		t.Parent[i] = NoEdge
+	}
+	h := newVertexHeap(g.n)
+	t.Dist[src] = 0
+	h.PushOrDecrease(src, 0)
+	for h.Len() > 0 {
+		v, dv := h.Pop()
+		if dv > t.Dist[v] {
+			continue
+		}
+		for _, half := range g.adj[v] {
+			nd := dv + half.W
+			if nd < t.Dist[half.To] && nd <= bound {
+				t.Dist[half.To] = nd
+				t.Parent[half.To] = half.ID
+				h.PushOrDecrease(half.To, nd)
+			}
+		}
+	}
+	return t
+}
+
+// DijkstraMultiSource computes, for each vertex, the distance to the
+// nearest source, the id of that source, and the parent edge of the
+// shortest-path forest. Sources have distance 0 and themselves as
+// nearest.
+func (g *Graph) DijkstraMultiSource(sources []Vertex, bound float64) (dist []float64, nearest []Vertex, parent []EdgeID) {
+	dist = make([]float64, g.n)
+	nearest = make([]Vertex, g.n)
+	parent = make([]EdgeID, g.n)
+	for i := range dist {
+		dist[i] = Inf
+		nearest[i] = NoVertex
+		parent[i] = NoEdge
+	}
+	h := newVertexHeap(g.n)
+	for _, s := range sources {
+		dist[s] = 0
+		nearest[s] = s
+		h.PushOrDecrease(s, 0)
+	}
+	for h.Len() > 0 {
+		v, dv := h.Pop()
+		if dv > dist[v] {
+			continue
+		}
+		for _, half := range g.adj[v] {
+			nd := dv + half.W
+			if nd < dist[half.To] && nd <= bound {
+				dist[half.To] = nd
+				nearest[half.To] = nearest[v]
+				parent[half.To] = half.ID
+				h.PushOrDecrease(half.To, nd)
+			}
+		}
+	}
+	return dist, nearest, parent
+}
+
+// BellmanFordHops computes, for every vertex, the weight of the shortest
+// path from src using at most h edges (the h-hop-bounded distance
+// d^{(h)} of the paper). This mirrors h rounds of the distributed
+// Bellman-Ford algorithm.
+func (g *Graph) BellmanFordHops(src Vertex, h int) []float64 {
+	dist := make([]float64, g.n)
+	for i := range dist {
+		dist[i] = Inf
+	}
+	dist[src] = 0
+	frontier := []Vertex{src}
+	inNext := make([]bool, g.n)
+	for iter := 0; iter < h && len(frontier) > 0; iter++ {
+		var next []Vertex
+		for _, v := range frontier {
+			dv := dist[v]
+			for _, half := range g.adj[v] {
+				if nd := dv + half.W; nd < dist[half.To] {
+					dist[half.To] = nd
+					if !inNext[half.To] {
+						inNext[half.To] = true
+						next = append(next, half.To)
+					}
+				}
+			}
+		}
+		for _, v := range next {
+			inNext[v] = false
+		}
+		frontier = next
+	}
+	return dist
+}
+
+// BellmanFordHopsTree is BellmanFordHops with parent-edge tracking for
+// path reporting. Following parent pointers from any reached vertex
+// yields a path in G of weight at most (and after convergence equal to)
+// the reported distance; with positive weights the chain is acyclic.
+func (g *Graph) BellmanFordHopsTree(src Vertex, h int) ([]float64, []EdgeID) {
+	dist := make([]float64, g.n)
+	parent := make([]EdgeID, g.n)
+	for i := range dist {
+		dist[i] = Inf
+		parent[i] = NoEdge
+	}
+	dist[src] = 0
+	frontier := []Vertex{src}
+	inNext := make([]bool, g.n)
+	for iter := 0; iter < h && len(frontier) > 0; iter++ {
+		var next []Vertex
+		for _, v := range frontier {
+			dv := dist[v]
+			for _, half := range g.adj[v] {
+				if nd := dv + half.W; nd < dist[half.To] {
+					dist[half.To] = nd
+					parent[half.To] = half.ID
+					if !inNext[half.To] {
+						inNext[half.To] = true
+						next = append(next, half.To)
+					}
+				}
+			}
+		}
+		for _, v := range next {
+			inNext[v] = false
+		}
+		frontier = next
+	}
+	return dist, parent
+}
+
+// AllPairs computes exact all-pairs distances by running Dijkstra from
+// every vertex. O(n·m·log n) — intended for verification on test-scale
+// graphs only.
+func (g *Graph) AllPairs() [][]float64 {
+	d := make([][]float64, g.n)
+	for v := Vertex(0); int(v) < g.n; v++ {
+		d[v] = g.Dijkstra(v).Dist
+	}
+	return d
+}
+
+// Eccentricity returns the maximum finite weighted distance from src.
+func (g *Graph) Eccentricity(src Vertex) float64 {
+	t := g.Dijkstra(src)
+	var ecc float64
+	for _, d := range t.Dist {
+		if !math.IsInf(d, 1) && d > ecc {
+			ecc = d
+		}
+	}
+	return ecc
+}
+
+// WeightedDiameterApprox returns a 2-approximation of the weighted
+// diameter via a double sweep.
+func (g *Graph) WeightedDiameterApprox() float64 {
+	if g.n == 0 {
+		return 0
+	}
+	t := g.Dijkstra(0)
+	far := Vertex(0)
+	for v, d := range t.Dist {
+		if !math.IsInf(d, 1) && d > t.Dist[far] {
+			far = Vertex(v)
+		}
+	}
+	return g.Eccentricity(far)
+}

@@ -1,0 +1,171 @@
+// Package hopset implements the [EN16]-style path-reporting hopsets used
+// by §6 and §7: a randomly sampled skeleton V′ of ≈ c·(n/h)·ln n
+// vertices hit (w.h.p.) every shortest path of h hops; the h-hop-bounded
+// distances between skeleton vertices form the virtual edge set E′.
+// Every virtual edge is path-reporting: its underlying path in G is
+// recoverable from the stored Bellman-Ford parent trees, so paths found
+// through the hopset can be added to a spanner edge-by-edge (the
+// requirement of §7).
+package hopset
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"lightnet/internal/congest"
+	"lightnet/internal/graph"
+)
+
+// Hopset is a built skeleton + hop-bounded distance structure.
+type Hopset struct {
+	G *graph.Graph
+	// H is the hop bound of the bounded explorations.
+	H int
+	// Skeleton lists the sampled vertices V′ in increasing order.
+	Skeleton []graph.Vertex
+	// PosOf maps a vertex to its index in Skeleton, or -1.
+	PosOf []int32
+	// Dist[i][v] is the H-hop-bounded distance from Skeleton[i] to v
+	// (+Inf when unreachable within H hops).
+	Dist [][]float64
+	// Parent[i][v] is the parent edge of v in Skeleton[i]'s bounded
+	// Bellman-Ford tree (path reporting).
+	Parent [][]graph.EdgeID
+}
+
+// Options configure Build.
+type Options struct {
+	// HopBound h; default ⌈√n⌉.
+	HopBound int
+	// OversampleFactor c in p = c·ln(n)/h; default 1.5.
+	OversampleFactor float64
+	// Include forces these vertices into the skeleton (e.g. an SPT root).
+	Include []graph.Vertex
+}
+
+// Build samples the skeleton and computes the bounded explorations.
+// If ledger is non-nil, the distributed cost is charged: the bounded
+// Bellman-Ford explorations run in parallel and are charged H rounds
+// (each vertex forwards the best estimate per source per round; the
+// paper bounds the per-vertex congestion; we additionally charge the
+// measured worst-case per-vertex source overlap), plus a Lemma 1
+// broadcast of the |V′|² virtual edges.
+func Build(g *graph.Graph, seed int64, opts Options, ledger *congest.Ledger, hopDiam int) (*Hopset, error) {
+	n := g.N()
+	if n == 0 {
+		return nil, fmt.Errorf("hopset: empty graph")
+	}
+	h := opts.HopBound
+	if h <= 0 {
+		h = int(math.Ceil(math.Sqrt(float64(n))))
+	}
+	c := opts.OversampleFactor
+	if c <= 0 {
+		c = 1.5
+	}
+	p := c * math.Log(float64(n)+2) / float64(h)
+	if p > 1 {
+		p = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	in := make([]bool, n)
+	for v := 0; v < n; v++ {
+		if rng.Float64() < p {
+			in[v] = true
+		}
+	}
+	for _, v := range opts.Include {
+		if int(v) < 0 || int(v) >= n {
+			return nil, fmt.Errorf("hopset: include vertex %d out of range", v)
+		}
+		in[v] = true
+	}
+	hs := &Hopset{G: g, H: h, PosOf: make([]int32, n)}
+	for i := range hs.PosOf {
+		hs.PosOf[i] = -1
+	}
+	for v := 0; v < n; v++ {
+		if in[v] {
+			hs.PosOf[v] = int32(len(hs.Skeleton))
+			hs.Skeleton = append(hs.Skeleton, graph.Vertex(v))
+		}
+	}
+	hs.Dist = make([][]float64, len(hs.Skeleton))
+	hs.Parent = make([][]graph.EdgeID, len(hs.Skeleton))
+	for i, s := range hs.Skeleton {
+		hs.Dist[i], hs.Parent[i] = g.BellmanFordHopsTree(s, h)
+	}
+	if ledger != nil {
+		// All |V′| explorations run simultaneously: h rounds, with
+		// per-round congestion up to |V′| messages per edge; the paper
+		// pipelines them in h + |V′| rounds.
+		ledger.Charge("hopset/bounded-explorations", int64(h+len(hs.Skeleton)))
+		ledger.ChargeMessages(int64(len(hs.Skeleton)) * int64(g.M()))
+		ledger.ChargeBroadcast("hopset/skeleton-edges-bcast",
+			int64(len(hs.Skeleton)*len(hs.Skeleton)), int64(hopDiam))
+	}
+	return hs, nil
+}
+
+// SkeletonGraph returns the virtual graph G′ on the skeleton vertices:
+// vertex i of the returned graph is Skeleton[i]; edges carry the h-hop
+// bounded distances. Only pairs reachable within H hops are connected.
+func (hs *Hopset) SkeletonGraph() *graph.Graph {
+	k := len(hs.Skeleton)
+	sg := graph.New(k)
+	for i := 0; i < k; i++ {
+		for j := i + 1; j < k; j++ {
+			d := hs.Dist[i][hs.Skeleton[j]]
+			if !math.IsInf(d, 1) && d > 0 {
+				// Use the best of the two directions (they can differ
+				// when the h-hop bound truncates asymmetrically).
+				if dj := hs.Dist[j][hs.Skeleton[i]]; dj < d {
+					d = dj
+				}
+				sg.MustAddEdge(graph.Vertex(i), graph.Vertex(j), d)
+			}
+		}
+	}
+	return sg
+}
+
+// PathEdges returns the edge ids of the stored bounded path from
+// Skeleton[i] to v (path reporting). Returns nil if v was not reached.
+func (hs *Hopset) PathEdges(i int, v graph.Vertex) []graph.EdgeID {
+	if math.IsInf(hs.Dist[i][v], 1) {
+		return nil
+	}
+	var rev []graph.EdgeID
+	src := hs.Skeleton[i]
+	for cur := v; cur != src; {
+		id := hs.Parent[i][cur]
+		if id == graph.NoEdge {
+			return nil
+		}
+		rev = append(rev, id)
+		cur = hs.G.Edge(id).Other(cur)
+	}
+	for a, b := 0, len(rev)-1; a < b; a, b = a+1, b-1 {
+		rev[a], rev[b] = rev[b], rev[a]
+	}
+	return rev
+}
+
+// CollectTreeEdges returns the union of all stored Bellman-Ford parent
+// edges — a subgraph of G in which every hopset-discovered path exists.
+func (hs *Hopset) CollectTreeEdges() []graph.EdgeID {
+	seen := make(map[graph.EdgeID]bool)
+	var out []graph.EdgeID
+	for i := range hs.Parent {
+		for _, id := range hs.Parent[i] {
+			if id != graph.NoEdge && !seen[id] {
+				seen[id] = true
+				out = append(out, id)
+			}
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out
+}

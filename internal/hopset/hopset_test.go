@@ -1,0 +1,154 @@
+package hopset
+
+import (
+	"math"
+	"testing"
+
+	"lightnet/internal/congest"
+	"lightnet/internal/graph"
+)
+
+func TestBuildBasics(t *testing.T) {
+	g := graph.ErdosRenyi(120, 0.08, 9, 3)
+	hs, err := Build(g, 1, Options{}, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hs.Skeleton) == 0 {
+		t.Fatal("empty skeleton")
+	}
+	if hs.H <= 0 {
+		t.Fatalf("hop bound %d", hs.H)
+	}
+	for i, s := range hs.Skeleton {
+		if hs.PosOf[s] != int32(i) {
+			t.Fatalf("PosOf inconsistent at %d", s)
+		}
+		if hs.Dist[i][s] != 0 {
+			t.Fatalf("self distance %v", hs.Dist[i][s])
+		}
+	}
+	// Skeleton distances dominate true distances and, within the hop
+	// bound, bounded distances match h-hop BF.
+	for i, s := range hs.Skeleton[:min(4, len(hs.Skeleton))] {
+		exact := g.Dijkstra(s).Dist
+		want := g.BellmanFordHops(s, hs.H)
+		for v := 0; v < g.N(); v++ {
+			if math.Abs(hs.Dist[i][v]-want[v]) > 1e-9 &&
+				!(math.IsInf(hs.Dist[i][v], 1) && math.IsInf(want[v], 1)) {
+				t.Fatalf("bounded dist mismatch at %d", v)
+			}
+			if hs.Dist[i][v] < exact[v]-1e-9 {
+				t.Fatalf("bounded dist below true dist at %d", v)
+			}
+		}
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func TestIncludeForcesMembership(t *testing.T) {
+	g := graph.Path(50, 1)
+	hs, err := Build(g, 2, Options{Include: []graph.Vertex{7, 33}}, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hs.PosOf[7] < 0 || hs.PosOf[33] < 0 {
+		t.Fatal("included vertices missing from skeleton")
+	}
+	if _, err := Build(g, 2, Options{Include: []graph.Vertex{99}}, nil, 0); err == nil {
+		t.Fatal("out-of-range include accepted")
+	}
+}
+
+func TestPathReporting(t *testing.T) {
+	g := graph.Grid(8, 8, 5, 4)
+	hs, err := Build(g, 3, Options{HopBound: 6}, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range hs.Skeleton {
+		for v := 0; v < g.N(); v++ {
+			d := hs.Dist[i][v]
+			if math.IsInf(d, 1) || graph.Vertex(v) == hs.Skeleton[i] {
+				continue
+			}
+			path := hs.PathEdges(i, graph.Vertex(v))
+			if path == nil {
+				t.Fatalf("no path reported for reached vertex %d", v)
+			}
+			var w float64
+			for _, id := range path {
+				w += g.Edge(id).W
+			}
+			if w > d+1e-9 {
+				t.Fatalf("reported path weight %v exceeds recorded dist %v", w, d)
+			}
+			// Path endpoints connect skeleton[i] to v.
+			first, last := g.Edge(path[0]), g.Edge(path[len(path)-1])
+			if first.U != hs.Skeleton[i] && first.V != hs.Skeleton[i] {
+				t.Fatal("path does not start at skeleton vertex")
+			}
+			if last.U != graph.Vertex(v) && last.V != graph.Vertex(v) {
+				t.Fatal("path does not end at target")
+			}
+		}
+	}
+}
+
+func TestSkeletonGraphDistancesDominate(t *testing.T) {
+	g := graph.ErdosRenyi(80, 0.1, 6, 5)
+	hs, err := Build(g, 6, Options{OversampleFactor: 2}, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sg := hs.SkeletonGraph()
+	if sg.N() != len(hs.Skeleton) {
+		t.Fatalf("skeleton graph size %d want %d", sg.N(), len(hs.Skeleton))
+	}
+	for _, e := range sg.Edges() {
+		u, v := hs.Skeleton[e.U], hs.Skeleton[e.V]
+		if e.W < g.Dijkstra(u).Dist[v]-1e-9 {
+			t.Fatalf("virtual edge {%d,%d} below true distance", u, v)
+		}
+	}
+}
+
+func TestCollectTreeEdgesFormsConnectedCover(t *testing.T) {
+	g := graph.ErdosRenyi(100, 0.1, 6, 7)
+	hs, err := Build(g, 8, Options{OversampleFactor: 3, Include: []graph.Vertex{0}}, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub := g.Subgraph(hs.CollectTreeEdges())
+	// With heavy oversampling the union of exploration trees spans the
+	// graph w.h.p. (deterministic given the fixed seed).
+	if !sub.Connected() {
+		t.Fatal("union of exploration trees disconnected")
+	}
+}
+
+func TestLedgerCharges(t *testing.T) {
+	g := graph.Path(64, 1)
+	l := congest.NewLedger()
+	if _, err := Build(g, 1, Options{}, l, 63); err != nil {
+		t.Fatal(err)
+	}
+	if l.ByLabel()["hopset/bounded-explorations"] == 0 {
+		t.Fatal("explorations not charged")
+	}
+	if l.ByLabel()["hopset/skeleton-edges-bcast"] == 0 {
+		t.Fatal("broadcast not charged")
+	}
+}
+
+func TestEmptyGraphRejected(t *testing.T) {
+	if _, err := Build(graph.New(0), 1, Options{}, nil, 0); err == nil {
+		t.Fatal("empty graph accepted")
+	}
+}

@@ -1,0 +1,288 @@
+// Package lelist implements Least-Element lists [Coh97], the machinery
+// behind the paper's net construction (§6, Definition 1): given a
+// permutation π on a vertex set A, u belongs to LE(v) iff u is first in
+// π among all vertices of A within distance d(v,u) of v.
+//
+// Following [FL16] (Theorem 4 of the paper), the lists are computed not
+// over G but over an approximation H with d_G ≤ d_H ≤ (1+δ)·d_G. Here H
+// is G with every edge weight rounded up to the next power of (1+δ) —
+// a genuine graph satisfying exactly the [FL16] interface. The
+// computation itself is Cohen's pruned-Dijkstra algorithm, whose total
+// work is O(m log n) in expectation and whose lists have O(log|A|)
+// expected length [KKM+12] (verified in tests).
+package lelist
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"lightnet/internal/congest"
+	"lightnet/internal/graph"
+)
+
+// Entry is one element of an LE list: the vertex and its distance in
+// the approximating graph H.
+type Entry struct {
+	V    graph.Vertex
+	Dist float64
+}
+
+// Lists is the per-vertex LE lists plus the context needed to interpret
+// them: the permutation rank and the approximating graph H.
+type Lists struct {
+	// Of[v] is v's LE list, sorted by increasing permutation rank; the
+	// distances are strictly decreasing. For v ∈ A the final entry is
+	// (v, 0).
+	Of [][]Entry
+	// Rank[v] is π(v) for v ∈ A, or -1.
+	Rank []int32
+	// H is the (1+δ)-approximation of G the lists were computed in.
+	H *graph.Graph
+	// Delta is the approximation parameter used to build H.
+	Delta float64
+}
+
+// MinWithin returns the π-minimal vertex of A within H-distance r of v
+// (and its H-distance), or (NoVertex, +Inf) when the list has no entry
+// within r. This is the query the net construction issues.
+func (l *Lists) MinWithin(v graph.Vertex, r float64) (graph.Vertex, float64) {
+	for _, e := range l.Of[v] {
+		if e.Dist <= r {
+			return e.V, e.Dist
+		}
+	}
+	return graph.NoVertex, graph.Inf
+}
+
+// Quantize rounds w up to the next integer power of (1+delta); with
+// delta = 0 it is the identity.
+func Quantize(w, delta float64) float64 {
+	if delta <= 0 || w <= 0 {
+		return w
+	}
+	exp := math.Ceil(math.Log(w) / math.Log(1+delta))
+	q := math.Pow(1+delta, exp)
+	// Guard against floating point rounding pushing q below w.
+	for q < w {
+		q *= 1 + delta
+	}
+	return q
+}
+
+// ChargeFL16 charges the [FL16] round bound
+// (√n + D) · 2^{Õ(√(log n · log(1/δ)))}.
+func ChargeFL16(l *congest.Ledger, label string, n, d int, delta float64) {
+	if l == nil {
+		return
+	}
+	if delta <= 0 || delta > 1 {
+		delta = 1
+	}
+	logn := math.Log2(float64(n + 2))
+	logd := math.Log2(1/delta + 2)
+	factor := int64(math.Ceil(math.Pow(2, math.Sqrt(logn*logd))))
+	sq := int64(math.Ceil(math.Sqrt(float64(n))))
+	l.Charge(label, (sq+int64(d))*factor)
+	l.ChargeMessages(int64(n) * int64(math.Ceil(logn)))
+}
+
+// Compute samples a uniform permutation of A and returns the LE lists
+// of every vertex of G with respect to sources A, computed in the
+// quantized graph H.
+func Compute(g *graph.Graph, a []graph.Vertex, delta float64, seed int64, ledger *congest.Ledger, hopDiam int) (*Lists, error) {
+	if len(a) == 0 {
+		return nil, fmt.Errorf("lelist: empty source set")
+	}
+	h, err := g.Reweighted(func(_ graph.EdgeID, e graph.Edge) float64 {
+		return Quantize(e.W, delta)
+	})
+	if err != nil {
+		return nil, fmt.Errorf("lelist: quantize: %w", err)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	perm := make([]graph.Vertex, len(a))
+	copy(perm, a)
+	rng.Shuffle(len(perm), func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+	ChargeFL16(ledger, "lelist/fl16", g.N(), hopDiam, delta)
+	return ComputeWithPermutation(h, perm, delta)
+}
+
+// ComputeWithPermutation runs Cohen's algorithm for a fixed permutation
+// over an already-approximated graph h (exposed for deterministic
+// tests).
+func ComputeWithPermutation(h *graph.Graph, perm []graph.Vertex, delta float64) (*Lists, error) {
+	n := h.N()
+	out := &Lists{
+		Of:    make([][]Entry, n),
+		Rank:  make([]int32, n),
+		H:     h,
+		Delta: delta,
+	}
+	for i := range out.Rank {
+		out.Rank[i] = -1
+	}
+	for i, v := range perm {
+		if int(v) < 0 || int(v) >= n {
+			return nil, fmt.Errorf("lelist: source %d out of range", v)
+		}
+		if out.Rank[v] != -1 {
+			return nil, fmt.Errorf("lelist: duplicate source %d", v)
+		}
+		out.Rank[v] = int32(i)
+	}
+	best := make([]float64, n)
+	dist := make([]float64, n)
+	for i := range best {
+		best[i] = graph.Inf
+		dist[i] = graph.Inf
+	}
+	heap := lazyHeap{}
+	for _, u := range perm {
+		prunedDijkstra(h, u, best, dist, &heap, func(v graph.Vertex, d float64) {
+			out.Of[v] = append(out.Of[v], Entry{V: u, Dist: d})
+		})
+	}
+	return out, nil
+}
+
+// prunedDijkstra explores from u, visiting only vertices where u's
+// distance strictly improves on best[] (Cohen's pruning: if an
+// earlier-π source is at least as close to v, no vertex behind v can
+// prefer u either). best and visited entries are updated; dist[] is
+// restored to +Inf before returning so the buffers can be reused.
+func prunedDijkstra(h *graph.Graph, u graph.Vertex, best, dist []float64, heap *lazyHeap, visit func(graph.Vertex, float64)) {
+	touched := []graph.Vertex{u}
+	dist[u] = 0
+	heap.push(u, 0)
+	for heap.len() > 0 {
+		v, d := heap.pop()
+		if d > dist[v] {
+			continue // stale entry
+		}
+		if d >= best[v] {
+			continue // pruned
+		}
+		best[v] = d
+		visit(v, d)
+		for _, half := range h.Neighbors(v) {
+			nd := d + half.W
+			if nd >= best[half.To] || nd >= dist[half.To] {
+				continue
+			}
+			if math.IsInf(dist[half.To], 1) {
+				touched = append(touched, half.To)
+			}
+			dist[half.To] = nd
+			heap.push(half.To, nd)
+		}
+	}
+	for _, v := range touched {
+		dist[v] = graph.Inf
+	}
+	heap.clear()
+}
+
+// lazyHeap is a plain binary heap of (vertex, key) pairs with lazy
+// deletion; duplicates are skipped by the dist check at pop time.
+type lazyHeap struct {
+	v []graph.Vertex
+	k []float64
+}
+
+func (h *lazyHeap) len() int { return len(h.v) }
+
+func (h *lazyHeap) clear() {
+	h.v = h.v[:0]
+	h.k = h.k[:0]
+}
+
+func (h *lazyHeap) less(i, j int) bool {
+	if h.k[i] != h.k[j] {
+		return h.k[i] < h.k[j]
+	}
+	return h.v[i] < h.v[j]
+}
+
+func (h *lazyHeap) swap(i, j int) {
+	h.v[i], h.v[j] = h.v[j], h.v[i]
+	h.k[i], h.k[j] = h.k[j], h.k[i]
+}
+
+func (h *lazyHeap) push(v graph.Vertex, k float64) {
+	h.v = append(h.v, v)
+	h.k = append(h.k, k)
+	i := len(h.v) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !h.less(i, p) {
+			break
+		}
+		h.swap(i, p)
+		i = p
+	}
+}
+
+func (h *lazyHeap) pop() (graph.Vertex, float64) {
+	top, key := h.v[0], h.k[0]
+	last := len(h.v) - 1
+	h.swap(0, last)
+	h.v = h.v[:last]
+	h.k = h.k[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		m := i
+		if l < len(h.v) && h.less(l, m) {
+			m = l
+		}
+		if r < len(h.v) && h.less(r, m) {
+			m = r
+		}
+		if m == i {
+			break
+		}
+		h.swap(i, m)
+		i = m
+	}
+	return top, key
+}
+
+// Validate checks the structural LE-list invariants: ranks increasing,
+// distances strictly decreasing, and (for sources) a trailing self
+// entry.
+func (l *Lists) Validate() error {
+	for v, list := range l.Of {
+		for i := range list {
+			if l.Rank[list[i].V] < 0 {
+				return fmt.Errorf("lelist: vertex %d lists non-source %d", v, list[i].V)
+			}
+			if i == 0 {
+				continue
+			}
+			if l.Rank[list[i-1].V] >= l.Rank[list[i].V] {
+				return fmt.Errorf("lelist: vertex %d entries not rank-sorted", v)
+			}
+			if list[i-1].Dist <= list[i].Dist {
+				return fmt.Errorf("lelist: vertex %d distances not strictly decreasing", v)
+			}
+		}
+		if l.Rank[v] >= 0 {
+			if len(list) == 0 || list[len(list)-1].V != graph.Vertex(v) || list[len(list)-1].Dist != 0 {
+				return fmt.Errorf("lelist: source %d missing trailing self entry", v)
+			}
+		}
+	}
+	return nil
+}
+
+// MaxLen returns the maximum list length (expected O(log |A|)).
+func (l *Lists) MaxLen() int {
+	m := 0
+	for _, list := range l.Of {
+		if len(list) > m {
+			m = len(list)
+		}
+	}
+	return m
+}

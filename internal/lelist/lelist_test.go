@@ -1,0 +1,272 @@
+package lelist
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"lightnet/internal/congest"
+	"lightnet/internal/graph"
+)
+
+func allVertices(g *graph.Graph) []graph.Vertex {
+	a := make([]graph.Vertex, g.N())
+	for i := range a {
+		a[i] = graph.Vertex(i)
+	}
+	return a
+}
+
+// bruteForceLE computes LE lists by definition from the all-pairs
+// distances of h.
+func bruteForceLE(h *graph.Graph, rank []int32) [][]Entry {
+	n := h.N()
+	d := h.AllPairs()
+	out := make([][]Entry, n)
+	// Sources in rank order.
+	byRank := make([]graph.Vertex, 0, n)
+	for v := 0; v < n; v++ {
+		if rank[v] >= 0 {
+			byRank = append(byRank, graph.Vertex(v))
+		}
+	}
+	for i := 0; i < len(byRank); i++ {
+		for j := i + 1; j < len(byRank); j++ {
+			if rank[byRank[j]] < rank[byRank[i]] {
+				byRank[i], byRank[j] = byRank[j], byRank[i]
+			}
+		}
+	}
+	for v := 0; v < n; v++ {
+		bestDist := graph.Inf
+		for _, u := range byRank {
+			if d[v][u] < bestDist {
+				out[v] = append(out[v], Entry{V: u, Dist: d[v][u]})
+				bestDist = d[v][u]
+			}
+		}
+	}
+	return out
+}
+
+func TestComputeMatchesBruteForce(t *testing.T) {
+	tests := []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"path", graph.Path(25, 2)},
+		{"grid", graph.Grid(5, 6, 3, 1)},
+		{"er", graph.ErdosRenyi(40, 0.15, 9, 2)},
+		{"geometric", graph.RandomGeometric(36, 2, 3)},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			l, err := Compute(tt.g, allVertices(tt.g), 0, 7, nil, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := l.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			want := bruteForceLE(l.H, l.Rank)
+			for v := 0; v < tt.g.N(); v++ {
+				if len(l.Of[v]) != len(want[v]) {
+					t.Fatalf("vertex %d: got %d entries want %d\n got=%v\nwant=%v",
+						v, len(l.Of[v]), len(want[v]), l.Of[v], want[v])
+				}
+				for i := range want[v] {
+					if l.Of[v][i].V != want[v][i].V ||
+						math.Abs(l.Of[v][i].Dist-want[v][i].Dist) > 1e-9 {
+						t.Fatalf("vertex %d entry %d: got %v want %v", v, i, l.Of[v][i], want[v][i])
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestComputeSubsetSources(t *testing.T) {
+	g := graph.Grid(6, 6, 2, 4)
+	a := []graph.Vertex{0, 5, 14, 23, 35}
+	l, err := Compute(g, a, 0, 3, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Only sources may appear.
+	inA := map[graph.Vertex]bool{}
+	for _, v := range a {
+		inA[v] = true
+	}
+	for v, list := range l.Of {
+		if len(list) == 0 {
+			t.Fatalf("vertex %d has empty list", v)
+		}
+		for _, e := range list {
+			if !inA[e.V] {
+				t.Fatalf("non-source %d in list of %d", e.V, v)
+			}
+		}
+	}
+	want := bruteForceLE(l.H, l.Rank)
+	for v := range l.Of {
+		if len(l.Of[v]) != len(want[v]) {
+			t.Fatalf("vertex %d: %v vs %v", v, l.Of[v], want[v])
+		}
+	}
+}
+
+func TestQuantize(t *testing.T) {
+	if Quantize(5, 0) != 5 {
+		t.Fatal("delta=0 must be identity")
+	}
+	for _, w := range []float64{0.5, 1, 1.01, 2, 7.3, 100} {
+		q := Quantize(w, 0.25)
+		if q < w {
+			t.Fatalf("Quantize(%v) = %v < w", w, q)
+		}
+		if q > w*1.25+1e-9 {
+			t.Fatalf("Quantize(%v) = %v > (1+δ)w", w, q)
+		}
+	}
+	// Exact powers stay put.
+	if q := Quantize(1.25, 0.25); math.Abs(q-1.25) > 1e-9 {
+		t.Fatalf("power of (1+δ) moved: %v", q)
+	}
+}
+
+func TestQuantizedDistancesWithinDelta(t *testing.T) {
+	g := graph.ErdosRenyi(50, 0.12, 8, 9)
+	delta := 0.3
+	l, err := Compute(g, allVertices(g), delta, 1, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dg := g.AllPairs()
+	dh := l.H.AllPairs()
+	for u := 0; u < g.N(); u++ {
+		for v := 0; v < g.N(); v++ {
+			if dh[u][v] < dg[u][v]-1e-9 {
+				t.Fatalf("d_H < d_G at (%d,%d)", u, v)
+			}
+			if dh[u][v] > (1+delta)*dg[u][v]+1e-9 {
+				t.Fatalf("d_H > (1+δ)d_G at (%d,%d): %v vs %v", u, v, dh[u][v], dg[u][v])
+			}
+		}
+	}
+}
+
+func TestMinWithin(t *testing.T) {
+	g := graph.Path(10, 1)
+	l, err := Compute(g, allVertices(g), 0, 5, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := l.H.AllPairs()
+	for v := 0; v < g.N(); v++ {
+		for _, r := range []float64{0, 1.5, 3, 100} {
+			got, gotD := l.MinWithin(graph.Vertex(v), r)
+			// Brute force: π-minimal within r.
+			want := graph.NoVertex
+			for u := 0; u < g.N(); u++ {
+				if d[v][u] <= r && (want == graph.NoVertex || l.Rank[u] < l.Rank[want]) {
+					want = graph.Vertex(u)
+				}
+			}
+			if got != want {
+				t.Fatalf("MinWithin(%d, %v) = %v want %v", v, r, got, want)
+			}
+			if got != graph.NoVertex && math.Abs(gotD-d[v][got]) > 1e-9 {
+				t.Fatalf("MinWithin dist wrong")
+			}
+		}
+	}
+}
+
+func TestExpectedListLengthLogarithmic(t *testing.T) {
+	g := graph.ErdosRenyi(256, 0.03, 9, 11)
+	l, err := Compute(g, allVertices(g), 0, 13, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, list := range l.Of {
+		total += len(list)
+	}
+	avg := float64(total) / float64(g.N())
+	logn := math.Log(float64(g.N()))
+	// E[|LE(v)|] = H_n ≈ ln n; allow generous slack.
+	if avg > 3*logn {
+		t.Fatalf("average list length %v >> ln n = %v", avg, logn)
+	}
+	if l.MaxLen() > int(8*logn) {
+		t.Fatalf("max list length %d too large", l.MaxLen())
+	}
+}
+
+func TestComputeValidation(t *testing.T) {
+	g := graph.Path(5, 1)
+	if _, err := Compute(g, nil, 0, 1, nil, 0); err == nil {
+		t.Fatal("empty sources accepted")
+	}
+	if _, err := ComputeWithPermutation(g, []graph.Vertex{1, 1}, 0); err == nil {
+		t.Fatal("duplicate sources accepted")
+	}
+	if _, err := ComputeWithPermutation(g, []graph.Vertex{99}, 0); err == nil {
+		t.Fatal("out-of-range source accepted")
+	}
+}
+
+func TestChargeFL16GrowsWithPrecision(t *testing.T) {
+	coarse, fine := congest.NewLedger(), congest.NewLedger()
+	ChargeFL16(coarse, "x", 1024, 10, 1)
+	ChargeFL16(fine, "x", 1024, 10, 0.01)
+	if fine.Rounds() <= coarse.Rounds() {
+		t.Fatalf("finer delta must cost more: %d vs %d", fine.Rounds(), coarse.Rounds())
+	}
+}
+
+// Property: for random graphs and random subsets, the first list entry
+// of any vertex is the globally π-minimal source reachable from it.
+func TestFirstEntryIsGlobalMinQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 12 + int(uint64(seed)%20)
+		g := graph.ErdosRenyi(n, 0.2, 5, seed)
+		var a []graph.Vertex
+		for v := 0; v < n; v++ {
+			if rng.Intn(2) == 0 {
+				a = append(a, graph.Vertex(v))
+			}
+		}
+		if len(a) == 0 {
+			a = append(a, 0)
+		}
+		l, err := Compute(g, a, 0.2, seed, nil, 0)
+		if err != nil {
+			return false
+		}
+		if err := l.Validate(); err != nil {
+			return false
+		}
+		// Global π-min source (connected graph: reachable from all).
+		var globalMin graph.Vertex = a[0]
+		for _, u := range a {
+			if l.Rank[u] < l.Rank[globalMin] {
+				globalMin = u
+			}
+		}
+		for v := 0; v < n; v++ {
+			if len(l.Of[v]) == 0 || l.Of[v][0].V != globalMin {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,115 @@
+// Package lowerbound implements §8 of the paper: the reduction from
+// MST-weight approximation to net construction (Theorem 7). An
+// algorithm computing (α·Δ, Δ)-nets for every scale yields the
+// estimator Ψ = Σ_i n_i·α·2^{i+1} with L ≤ Ψ ≤ O(α·log n)·L, so nets
+// (and hence SLTs and light spanners, which expose the MST weight
+// directly) inherit the Ω̃(√n + D) lower bound of [SHK+12].
+//
+// The package reproduces the reduction computationally: it runs the net
+// construction at every scale, forms Ψ, and certifies the sandwich
+// L ≤ Ψ ≤ O(α log n)·L — the correctness content of Theorem 7.
+package lowerbound
+
+import (
+	"fmt"
+	"math"
+
+	"lightnet/internal/congest"
+	"lightnet/internal/graph"
+	"lightnet/internal/mst"
+	"lightnet/internal/nets"
+)
+
+// PsiResult carries the estimator and its certification.
+type PsiResult struct {
+	// Psi is the MST-weight estimate Σ n_i·α·2^{i+1}.
+	Psi float64
+	// MSTWeight is the true L.
+	MSTWeight float64
+	// Ratio = Psi / MSTWeight ∈ [1, O(α·log n)].
+	Ratio float64
+	// Alpha is the effective covering factor of the nets used.
+	Alpha float64
+	// Scales records the per-scale net cardinalities n_i.
+	Scales []ScaleCount
+}
+
+// ScaleCount is one (scale, |N_i|) sample.
+type ScaleCount struct {
+	Radius float64 // 2^i
+	Count  int
+}
+
+// Options configure EstimatePsi.
+type Options struct {
+	Seed    int64
+	Ledger  *congest.Ledger
+	HopDiam int
+	// NetApprox is the δ of the §6 construction (default 0.5), giving
+	// nets with α = (1+δ)²: covering (1+δ)·Δ for separation Δ/(1+δ).
+	NetApprox float64
+}
+
+// EstimatePsi runs the Theorem 7 reduction on g.
+func EstimatePsi(g *graph.Graph, opts Options) (*PsiResult, error) {
+	if g.N() < 2 {
+		return nil, fmt.Errorf("lowerbound: graph too small")
+	}
+	delta := opts.NetApprox
+	if delta <= 0 || delta >= 1 {
+		delta = 0.5
+	}
+	_, mstW, err := mst.Kruskal(g)
+	if err != nil {
+		return nil, fmt.Errorf("lowerbound: %w", err)
+	}
+	// The §6 net at scale Δ is ((1+δ)Δ)-covering and (Δ/(1+δ))-separated:
+	// as an (α·Δ′, Δ′)-net with Δ′ = Δ/(1+δ) its α is (1+δ)².
+	alpha := (1 + delta) * (1 + delta)
+	res := &PsiResult{MSTWeight: mstW, Alpha: alpha}
+	minW, _ := g.MinMaxWeight()
+	if minW <= 0 {
+		minW = 1
+	}
+	// Scales 2^i from α·radius < min distance (so the first net is all
+	// of V — required by the L ≤ Ψ direction) up to the first scale with
+	// a single net point.
+	seed := opts.Seed
+	for radius := minW / (2 * alpha); ; radius *= 2 {
+		seed++
+		net, err := nets.Build(g, radius*(1+delta), delta, nets.Options{
+			Seed: seed, Ledger: opts.Ledger, HopDiam: opts.HopDiam,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("lowerbound: scale %v: %w", radius, err)
+		}
+		// net is (Δ/(1+δ) = radius)-separated and ((1+δ)²·radius = α·radius)-covering.
+		res.Scales = append(res.Scales, ScaleCount{Radius: radius, Count: len(net.Points)})
+		res.Psi += float64(len(net.Points)) * alpha * 2 * radius
+		if len(net.Points) <= 1 {
+			break
+		}
+		if radius > 4*mstW {
+			return nil, fmt.Errorf("lowerbound: net did not collapse by scale %v", radius)
+		}
+	}
+	res.Ratio = res.Psi / mstW
+	if opts.Ledger != nil {
+		// Cardinality aggregation per scale: O(D + log n).
+		opts.Ledger.Charge("lowerbound/cardinalities",
+			int64(len(res.Scales))*int64(opts.HopDiam+int(math.Log2(float64(g.N()+2)))))
+	}
+	return res, nil
+}
+
+// Certify checks the Theorem 7 sandwich L ≤ Ψ ≤ c·α·log₂(n)·L.
+func (r *PsiResult) Certify(n int, slack float64) error {
+	if r.Psi < r.MSTWeight-1e-9 {
+		return fmt.Errorf("lowerbound: Ψ=%v below L=%v", r.Psi, r.MSTWeight)
+	}
+	bound := slack * r.Alpha * math.Log2(float64(n)+2) * r.MSTWeight
+	if r.Psi > bound {
+		return fmt.Errorf("lowerbound: Ψ=%v exceeds O(α log n)·L=%v", r.Psi, bound)
+	}
+	return nil
+}

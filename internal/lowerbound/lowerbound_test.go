@@ -1,0 +1,87 @@
+package lowerbound
+
+import (
+	"testing"
+
+	"lightnet/internal/congest"
+	"lightnet/internal/graph"
+)
+
+func TestPsiSandwich(t *testing.T) {
+	tests := []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"path", graph.Path(60, 1)},
+		{"grid", graph.Grid(8, 8, 3, 1)},
+		{"er", graph.ErdosRenyi(80, 0.1, 9, 2)},
+		{"geometric", graph.RandomGeometric(72, 2, 3)},
+		{"hard-instance", graph.HardInstance(100, 50, 4)},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			res, err := EstimatePsi(tt.g, Options{Seed: 5})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := res.Certify(tt.g.N(), 16); err != nil {
+				t.Fatal(err)
+			}
+			if res.Ratio < 1 {
+				t.Fatalf("ratio %v < 1", res.Ratio)
+			}
+			if len(res.Scales) < 2 {
+				t.Fatalf("too few scales: %d", len(res.Scales))
+			}
+			// First scale: every vertex is a net point (the L ≤ Ψ
+			// direction requires it).
+			if res.Scales[0].Count != tt.g.N() {
+				t.Fatalf("first scale has %d of %d points", res.Scales[0].Count, tt.g.N())
+			}
+			// Last scale: single point.
+			if res.Scales[len(res.Scales)-1].Count != 1 {
+				t.Fatalf("last scale has %d points", res.Scales[len(res.Scales)-1].Count)
+			}
+			// Cardinalities weakly decrease.
+			for i := 1; i < len(res.Scales); i++ {
+				if res.Scales[i].Count > res.Scales[i-1].Count {
+					t.Fatalf("cardinality increased at scale %d", i)
+				}
+			}
+			t.Logf("Ψ/L = %.2f over %d scales", res.Ratio, len(res.Scales))
+		})
+	}
+}
+
+func TestPsiChargesLedger(t *testing.T) {
+	g := graph.Path(40, 1)
+	l := congest.NewLedger()
+	if _, err := EstimatePsi(g, Options{Seed: 1, Ledger: l, HopDiam: 39}); err != nil {
+		t.Fatal(err)
+	}
+	if l.ByLabel()["lowerbound/cardinalities"] == 0 {
+		t.Fatalf("cardinality aggregation not charged: %v", l.String())
+	}
+}
+
+func TestPsiValidation(t *testing.T) {
+	if _, err := EstimatePsi(graph.New(1), Options{}); err == nil {
+		t.Fatal("singleton accepted")
+	}
+	disc := graph.New(4)
+	disc.MustAddEdge(0, 1, 1)
+	if _, err := EstimatePsi(disc, Options{}); err == nil {
+		t.Fatal("disconnected accepted")
+	}
+}
+
+func TestCertifyCatchesViolation(t *testing.T) {
+	r := &PsiResult{Psi: 0.5, MSTWeight: 1, Alpha: 2, Ratio: 0.5}
+	if err := r.Certify(10, 4); err == nil {
+		t.Fatal("Ψ < L accepted")
+	}
+	r = &PsiResult{Psi: 1e9, MSTWeight: 1, Alpha: 2, Ratio: 1e9}
+	if err := r.Certify(10, 4); err == nil {
+		t.Fatal("Ψ >> L accepted")
+	}
+}

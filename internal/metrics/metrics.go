@@ -1,0 +1,168 @@
+// Package metrics certifies spanner/tree quality: stretch (exact per
+// edge, exact all-pairs on small graphs, sampled on large), lightness
+// and sparsity. All routines use exact Dijkstra — they are the ground
+// truth the constructions are tested against.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"lightnet/internal/graph"
+)
+
+// EdgeStretch returns the maximum and mean stretch of the spanner h
+// over the edges of g: max_{(u,v) ∈ E(g)} d_h(u,v) / w(u,v). By the
+// triangle inequality the per-edge maximum equals the all-pairs maximum
+// stretch. h must be on the same vertex set.
+func EdgeStretch(g, h *graph.Graph) (maxStretch, meanStretch float64, err error) {
+	if g.N() != h.N() {
+		return 0, 0, fmt.Errorf("metrics: vertex sets differ: %d vs %d", g.N(), h.N())
+	}
+	// Group edges by source endpoint to reuse one Dijkstra per vertex.
+	byU := make([][]graph.Edge, g.N())
+	for _, e := range g.Edges() {
+		byU[e.U] = append(byU[e.U], e)
+	}
+	var sum float64
+	var count int
+	maxStretch = 1
+	for u := 0; u < g.N(); u++ {
+		if len(byU[u]) == 0 {
+			continue
+		}
+		dist := h.Dijkstra(graph.Vertex(u)).Dist
+		for _, e := range byU[u] {
+			d := dist[e.V]
+			if math.IsInf(d, 1) {
+				return 0, 0, fmt.Errorf("metrics: edge {%d,%d} disconnected in spanner", e.U, e.V)
+			}
+			s := d / e.W
+			if s < 1 {
+				s = 1 // spanner may be shorter via parallel/lighter edges
+			}
+			if s > maxStretch {
+				maxStretch = s
+			}
+			sum += s
+			count++
+		}
+	}
+	if count == 0 {
+		return 1, 1, nil
+	}
+	return maxStretch, sum / float64(count), nil
+}
+
+// PairStretch estimates the stretch over sampled vertex pairs: the
+// maximum and mean of d_h(u,v)/d_g(u,v).
+func PairStretch(g, h *graph.Graph, pairs int, seed int64) (maxStretch, meanStretch float64, err error) {
+	if g.N() != h.N() {
+		return 0, 0, fmt.Errorf("metrics: vertex sets differ")
+	}
+	if g.N() < 2 {
+		return 1, 1, nil
+	}
+	rng := rand.New(rand.NewSource(seed))
+	maxStretch = 1
+	var sum float64
+	var count int
+	for i := 0; i < pairs; i++ {
+		u := graph.Vertex(rng.Intn(g.N()))
+		dg := g.Dijkstra(u).Dist
+		dh := h.Dijkstra(u).Dist
+		v := graph.Vertex(rng.Intn(g.N()))
+		if v == u || math.IsInf(dg[v], 1) {
+			continue
+		}
+		if math.IsInf(dh[v], 1) {
+			return 0, 0, fmt.Errorf("metrics: pair (%d,%d) disconnected in spanner", u, v)
+		}
+		s := dh[v] / dg[v]
+		if s < 1 {
+			s = 1
+		}
+		if s > maxStretch {
+			maxStretch = s
+		}
+		sum += s
+		count++
+	}
+	if count == 0 {
+		return 1, 1, nil
+	}
+	return maxStretch, sum / float64(count), nil
+}
+
+// RootStretch returns the maximum stretch of root distances of a tree
+// given by per-vertex distances, against exact distances in g.
+func RootStretch(g *graph.Graph, root graph.Vertex, treeDist []float64) (float64, error) {
+	exact := g.Dijkstra(root).Dist
+	maxS := 1.0
+	for v := 0; v < g.N(); v++ {
+		if graph.Vertex(v) == root || math.IsInf(exact[v], 1) {
+			continue
+		}
+		if math.IsInf(treeDist[v], 1) {
+			return 0, fmt.Errorf("metrics: vertex %d unreachable in tree", v)
+		}
+		if s := treeDist[v] / exact[v]; s > maxS {
+			maxS = s
+		}
+	}
+	return maxS, nil
+}
+
+// StretchHistogram buckets the per-edge stretch of the spanner h into
+// bins of the given width starting at 1.0, returning counts. Used by the
+// benchmark harness to show that typical stretch is far below the
+// worst-case bound.
+func StretchHistogram(g, h *graph.Graph, binWidth float64, bins int) ([]int, error) {
+	if binWidth <= 0 || bins <= 0 {
+		return nil, fmt.Errorf("metrics: bad histogram shape %v/%d", binWidth, bins)
+	}
+	hist := make([]int, bins)
+	byU := make([][]graph.Edge, g.N())
+	for _, e := range g.Edges() {
+		byU[e.U] = append(byU[e.U], e)
+	}
+	for u := 0; u < g.N(); u++ {
+		if len(byU[u]) == 0 {
+			continue
+		}
+		dist := h.Dijkstra(graph.Vertex(u)).Dist
+		for _, e := range byU[u] {
+			if math.IsInf(dist[e.V], 1) {
+				return nil, fmt.Errorf("metrics: edge {%d,%d} disconnected", e.U, e.V)
+			}
+			s := dist[e.V] / e.W
+			if s < 1 {
+				s = 1
+			}
+			bin := int((s - 1) / binWidth)
+			if bin >= bins {
+				bin = bins - 1
+			}
+			hist[bin]++
+		}
+	}
+	return hist, nil
+}
+
+// Lightness returns total weight of the edge set divided by the MST
+// weight.
+func Lightness(g *graph.Graph, edges []graph.EdgeID, mstWeight float64) float64 {
+	if mstWeight <= 0 {
+		return 1
+	}
+	return g.WeightOf(edges) / mstWeight
+}
+
+// Sparsity returns |edges| / n.
+func Sparsity(n int, edges []graph.EdgeID) float64 {
+	if n == 0 {
+		return 0
+	}
+	return float64(len(edges)) / float64(n)
+}

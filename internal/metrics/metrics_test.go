@@ -1,0 +1,146 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"lightnet/internal/graph"
+	"lightnet/internal/mst"
+)
+
+func TestEdgeStretchExact(t *testing.T) {
+	// g: triangle with weights 1,1,1.5; h drops the 1.5 edge → its
+	// stretch is 2/1.5.
+	g := graph.New(3)
+	g.MustAddEdge(0, 1, 1)
+	g.MustAddEdge(1, 2, 1)
+	heavy := g.MustAddEdge(0, 2, 1.5)
+	_ = heavy
+	h := g.Subgraph([]graph.EdgeID{0, 1})
+	maxS, meanS, err := EdgeStretch(g, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(maxS-2.0/1.5) > 1e-9 {
+		t.Fatalf("max stretch %v", maxS)
+	}
+	if meanS <= 1 || meanS >= maxS {
+		t.Fatalf("mean stretch %v", meanS)
+	}
+}
+
+func TestEdgeStretchIdentity(t *testing.T) {
+	g := graph.ErdosRenyi(40, 0.2, 5, 1)
+	maxS, meanS, err := EdgeStretch(g, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if maxS != 1 || meanS != 1 {
+		t.Fatalf("identity stretch %v/%v", maxS, meanS)
+	}
+}
+
+func TestEdgeStretchDisconnected(t *testing.T) {
+	g := graph.Path(4, 1)
+	h := g.Subgraph([]graph.EdgeID{0}) // drops later edges
+	if _, _, err := EdgeStretch(g, h); err == nil {
+		t.Fatal("disconnected spanner accepted")
+	}
+	other := graph.New(5)
+	if _, _, err := EdgeStretch(g, other); err == nil {
+		t.Fatal("mismatched vertex sets accepted")
+	}
+}
+
+func TestPairStretch(t *testing.T) {
+	g := graph.Grid(6, 6, 2, 3)
+	edges, _, err := mst.Kruskal(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := g.Subgraph(edges)
+	maxS, meanS, err := PairStretch(g, h, 60, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if maxS < 1 || meanS < 1 || meanS > maxS {
+		t.Fatalf("pair stretch %v/%v", maxS, meanS)
+	}
+	// MST of a grid must stretch some pair.
+	if maxS == 1 {
+		t.Fatal("MST cannot be stretch-1 on a grid")
+	}
+}
+
+func TestRootStretch(t *testing.T) {
+	g := graph.Path(6, 2)
+	exact := g.Dijkstra(0).Dist
+	inflated := make([]float64, len(exact))
+	for i, d := range exact {
+		inflated[i] = d * 1.5
+	}
+	s, err := RootStretch(g, 0, inflated)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s-1.5) > 1e-9 {
+		t.Fatalf("root stretch %v", s)
+	}
+	bad := make([]float64, len(exact))
+	for i := range bad {
+		bad[i] = graph.Inf
+	}
+	if _, err := RootStretch(g, 0, bad); err == nil {
+		t.Fatal("unreachable tree accepted")
+	}
+}
+
+func TestStretchHistogram(t *testing.T) {
+	g := graph.New(3)
+	g.MustAddEdge(0, 1, 1)
+	g.MustAddEdge(1, 2, 1)
+	g.MustAddEdge(0, 2, 1.5)
+	h := g.Subgraph([]graph.EdgeID{0, 1}) // edge {0,2} stretched to 2/1.5 ≈ 1.33
+	hist, err := StretchHistogram(g, h, 0.1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hist[0] != 2 { // the two kept edges at stretch 1
+		t.Fatalf("hist %v", hist)
+	}
+	if hist[3] != 1 { // 1.33 falls in [1.3, 1.4)
+		t.Fatalf("hist %v", hist)
+	}
+	// Overflow clamps into the last bin.
+	hist2, err := StretchHistogram(g, h, 0.05, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hist2[1] != 1 {
+		t.Fatalf("clamp hist %v", hist2)
+	}
+	if _, err := StretchHistogram(g, h, 0, 5); err == nil {
+		t.Fatal("bad bin width accepted")
+	}
+	bad := g.Subgraph([]graph.EdgeID{0})
+	if _, err := StretchHistogram(g, bad, 0.1, 5); err == nil {
+		t.Fatal("disconnected accepted")
+	}
+}
+
+func TestLightnessAndSparsity(t *testing.T) {
+	g := graph.Path(5, 2) // total weight 8
+	ids := []graph.EdgeID{0, 1}
+	if l := Lightness(g, ids, 8); math.Abs(l-0.5) > 1e-9 {
+		t.Fatalf("lightness %v", l)
+	}
+	if l := Lightness(g, ids, 0); l != 1 {
+		t.Fatalf("zero MST lightness %v", l)
+	}
+	if s := Sparsity(5, ids); math.Abs(s-0.4) > 1e-9 {
+		t.Fatalf("sparsity %v", s)
+	}
+	if s := Sparsity(0, nil); s != 0 {
+		t.Fatalf("empty sparsity %v", s)
+	}
+}

@@ -1,0 +1,184 @@
+package mst
+
+import (
+	"fmt"
+
+	"lightnet/internal/congest"
+	"lightnet/internal/graph"
+)
+
+// Fragments is the [KP98] base-fragment decomposition of a rooted tree
+// (§3.1): a partition of the vertices into O(n/maxSize) connected
+// subtrees ("base fragments"), each of height <= maxSize (hence
+// hop-diameter <= 2·maxSize), together with the fragment tree T′. With
+// maxSize = ⌈√n⌉ this yields the O(√n) fragments of hop-diameter O(√n)
+// the paper's constructions rely on.
+type Fragments struct {
+	Tree  *Tree
+	Of    []int32        // fragment id per vertex
+	Roots []graph.Vertex // r_i: the unique fragment vertex whose tree parent is outside
+	// ParentFrag[i] is the fragment containing the tree parent of
+	// Roots[i]; -1 for the fragment holding the tree root.
+	ParentFrag []int32
+	// ParentEdge[i] is the tree edge from Roots[i] to its parent
+	// (the "external edge" e_F of §3); NoEdge for the root fragment.
+	ParentEdge []graph.EdgeID
+	Members    [][]graph.Vertex
+	// MaxHopDiam is the maximum hop-diameter of any fragment's induced
+	// subtree — the per-fragment pipelining cost charged by the paper.
+	MaxHopDiam int
+}
+
+// Count returns the number of fragments.
+func (f *Fragments) Count() int { return len(f.Roots) }
+
+// Decompose partitions the rooted tree t into base fragments. The carve
+// rule: process vertices in reverse BFS order, accumulating pending
+// subtree sizes; a vertex whose pending size reaches maxSize becomes the
+// root of a new fragment consisting of its pending subtree.
+//
+// Invariants (verified in tests): fragments partition V, each is a
+// connected subtree, every fragment except possibly the tree root's has
+// size >= min(maxSize, n), fragment count <= n/maxSize + 1, and every
+// fragment's height is < maxSize.
+func Decompose(t *Tree, maxSize int) (*Fragments, error) {
+	if maxSize < 1 {
+		return nil, fmt.Errorf("mst: maxSize %d < 1", maxSize)
+	}
+	n := len(t.Parent)
+	f := &Fragments{
+		Tree: t,
+		Of:   make([]int32, n),
+	}
+	for i := range f.Of {
+		f.Of[i] = -1
+	}
+	pending := make([]int32, n)
+	carve := func(v graph.Vertex) {
+		id := int32(len(f.Roots))
+		f.Roots = append(f.Roots, v)
+		f.Members = append(f.Members, nil)
+		// Collect the pending subtree under v: descend while vertices
+		// are unassigned.
+		stack := []graph.Vertex{v}
+		f.Of[v] = id
+		for len(stack) > 0 {
+			x := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			f.Members[id] = append(f.Members[id], x)
+			for _, c := range t.Child[x] {
+				if f.Of[c] == -1 {
+					f.Of[c] = id
+					stack = append(stack, c)
+				}
+			}
+		}
+		pending[v] = 0
+	}
+	for i := len(t.Order) - 1; i >= 0; i-- {
+		v := t.Order[i]
+		pend := int32(1)
+		for _, c := range t.Child[v] {
+			pend += pending[c] // carved children contribute 0
+		}
+		pending[v] = pend
+		if int(pend) >= maxSize {
+			carve(v)
+		}
+	}
+	if f.Of[t.Root] == -1 {
+		carve(t.Root)
+	}
+	// Fragment tree T′.
+	f.ParentFrag = make([]int32, len(f.Roots))
+	f.ParentEdge = make([]graph.EdgeID, len(f.Roots))
+	for i, r := range f.Roots {
+		if p := t.ParentV[r]; p != graph.NoVertex {
+			f.ParentFrag[i] = f.Of[p]
+			f.ParentEdge[i] = t.Parent[r]
+		} else {
+			f.ParentFrag[i] = -1
+			f.ParentEdge[i] = graph.NoEdge
+		}
+	}
+	f.MaxHopDiam = f.maxHopDiameter()
+	return f, nil
+}
+
+// maxHopDiameter computes the maximum hop-diameter over fragments, using
+// the fragment height (distance from the fragment root): diameter <=
+// 2·height, computed exactly per fragment via depths.
+func (f *Fragments) maxHopDiameter() int {
+	t := f.Tree
+	height := make([]int32, len(f.Roots))
+	depthInFrag := make([]int32, len(t.Parent))
+	for _, v := range t.Order {
+		p := t.ParentV[v]
+		if p == graph.NoVertex || f.Of[p] != f.Of[v] {
+			depthInFrag[v] = 0
+			continue
+		}
+		depthInFrag[v] = depthInFrag[p] + 1
+		if id := f.Of[v]; depthInFrag[v] > height[id] {
+			height[id] = depthInFrag[v]
+		}
+	}
+	maxD := 0
+	for _, h := range height {
+		if int(2*h) > maxD {
+			maxD = int(2 * h)
+		}
+	}
+	return maxD
+}
+
+// Validate checks the decomposition invariants; used by tests.
+func (f *Fragments) Validate(maxSize int) error {
+	t := f.Tree
+	n := len(t.Parent)
+	for v, id := range f.Of {
+		if id < 0 || int(id) >= len(f.Roots) {
+			return fmt.Errorf("mst: vertex %d unassigned", v)
+		}
+	}
+	total := 0
+	for i, mem := range f.Members {
+		total += len(mem)
+		if len(mem) == 0 {
+			return fmt.Errorf("mst: fragment %d empty", i)
+		}
+		// Connectivity: every member except the fragment root has its
+		// tree parent inside the fragment.
+		for _, v := range mem {
+			if v == f.Roots[i] {
+				continue
+			}
+			p := t.ParentV[v]
+			if p == graph.NoVertex || f.Of[p] != int32(i) {
+				return fmt.Errorf("mst: fragment %d member %d detached", i, v)
+			}
+		}
+	}
+	if total != n {
+		return fmt.Errorf("mst: fragments cover %d of %d vertices", total, n)
+	}
+	if want := n/maxSize + 1; len(f.Roots) > want {
+		return fmt.Errorf("mst: %d fragments exceed bound %d", len(f.Roots), want)
+	}
+	if f.MaxHopDiam > 2*maxSize {
+		return fmt.Errorf("mst: fragment hop-diameter %d exceeds 2·maxSize %d", f.MaxHopDiam, 2*maxSize)
+	}
+	return nil
+}
+
+// ChargeFragmentBroadcast charges a ledger for broadcasting one O(1)-word
+// message per fragment to the whole graph (Lemma 1 with M = #fragments).
+func (f *Fragments) ChargeFragmentBroadcast(l *congest.Ledger, label string, d int) {
+	l.ChargeBroadcast(label, int64(f.Count()), int64(d))
+}
+
+// ChargeLocalPipeline charges a ledger for a computation pipelined inside
+// every fragment in parallel: the max fragment hop-diameter.
+func (f *Fragments) ChargeLocalPipeline(l *congest.Ledger, label string) {
+	l.ChargeLocal(label, int64(f.MaxHopDiam)+1, int64(len(f.Of)))
+}

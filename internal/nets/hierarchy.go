@@ -1,0 +1,153 @@
+package nets
+
+import (
+	"fmt"
+	"math"
+
+	"lightnet/internal/congest"
+	"lightnet/internal/graph"
+)
+
+// Hierarchy is a sequence of nets at geometrically growing scales with
+// parent links between consecutive levels — the structure behind the
+// §8 connectivity argument (each net point connects to its nearest
+// point one level up; the union of these connections is a connected
+// spanning structure of weight ≤ Ψ) and behind standard net-tree
+// constructions for doubling metrics.
+type Hierarchy struct {
+	// Levels[0] is the finest net; scales grow by Base per level; the
+	// last level has a single point.
+	Levels []Level
+	// Base is the scale ratio between consecutive levels.
+	Base float64
+}
+
+// Level is one scale of the hierarchy.
+type Level struct {
+	Scale float64
+	Net   *Result
+	// Parent[i] is the nearest point of the next-coarser net to
+	// Net.Points[i] (NoVertex at the top level), and ParentDist its
+	// exact distance.
+	Parent     []graph.Vertex
+	ParentDist []float64
+}
+
+// BuildHierarchy constructs nets at scales minScale, minScale·base, ...
+// until a single point remains, then links consecutive levels.
+func BuildHierarchy(g *graph.Graph, minScale, base, approx float64, opts Options) (*Hierarchy, error) {
+	if base <= 1 {
+		return nil, fmt.Errorf("nets: hierarchy base %v must exceed 1", base)
+	}
+	if minScale <= 0 {
+		return nil, fmt.Errorf("nets: hierarchy minScale %v must be positive", minScale)
+	}
+	h := &Hierarchy{Base: base}
+	seed := opts.Seed
+	scale := minScale
+	for {
+		seed++
+		levelOpts := opts
+		levelOpts.Seed = seed
+		net, err := Build(g, scale, approx, levelOpts)
+		if err != nil {
+			return nil, fmt.Errorf("nets: hierarchy scale %v: %w", scale, err)
+		}
+		h.Levels = append(h.Levels, Level{Scale: scale, Net: net})
+		if len(net.Points) <= 1 {
+			break
+		}
+		if scale > 1e18 {
+			return nil, fmt.Errorf("nets: hierarchy failed to collapse")
+		}
+		scale *= base
+	}
+	// Parent links via one exact multi-source Dijkstra per level.
+	for i := 0; i+1 < len(h.Levels); i++ {
+		cur := &h.Levels[i]
+		up := h.Levels[i+1].Net.Points
+		dist, nearest, _ := g.DijkstraMultiSource(up, graph.Inf)
+		cur.Parent = make([]graph.Vertex, len(cur.Net.Points))
+		cur.ParentDist = make([]float64, len(cur.Net.Points))
+		for j, p := range cur.Net.Points {
+			cur.Parent[j] = nearest[p]
+			cur.ParentDist[j] = dist[p]
+		}
+	}
+	top := &h.Levels[len(h.Levels)-1]
+	top.Parent = []graph.Vertex{graph.NoVertex}
+	top.ParentDist = []float64{0}
+	if opts.Ledger != nil {
+		opts.Ledger.Charge("nets/hierarchy-links",
+			int64(len(h.Levels))*int64(opts.HopDiam+1))
+	}
+	return h, nil
+}
+
+// Depth returns the number of levels.
+func (h *Hierarchy) Depth() int { return len(h.Levels) }
+
+// ConnectionWeight is the total weight of all parent links — the weight
+// of the §8 connecting structure H; it upper-bounds w(MST) when the
+// finest net contains every vertex.
+func (h *Hierarchy) ConnectionWeight() float64 {
+	var s float64
+	for _, lv := range h.Levels {
+		for _, d := range lv.ParentDist {
+			if !math.IsInf(d, 1) {
+				s += d
+			}
+		}
+	}
+	return s
+}
+
+// Validate checks the hierarchy invariants: each level is a certified
+// net, scales grow by Base, cardinalities weakly decrease, parent
+// distances respect the covering radius of the next level, and the top
+// level is a single point.
+func (h *Hierarchy) Validate(g *graph.Graph) error {
+	if len(h.Levels) == 0 {
+		return fmt.Errorf("nets: empty hierarchy")
+	}
+	for i, lv := range h.Levels {
+		if err := Verify(g, lv.Net.Points, lv.Net.Alpha, lv.Net.Beta); err != nil {
+			return fmt.Errorf("nets: level %d: %w", i, err)
+		}
+		if i > 0 {
+			prev := h.Levels[i-1]
+			if lv.Scale <= prev.Scale {
+				return fmt.Errorf("nets: level %d scale not increasing", i)
+			}
+			if len(lv.Net.Points) > len(prev.Net.Points) {
+				return fmt.Errorf("nets: level %d cardinality grew", i)
+			}
+		}
+		if i+1 < len(h.Levels) {
+			up := h.Levels[i+1]
+			for j, d := range lv.ParentDist {
+				if math.IsInf(d, 1) {
+					return fmt.Errorf("nets: level %d point %d unlinked", i, j)
+				}
+				if d > up.Net.Alpha+1e-9 {
+					return fmt.Errorf("nets: level %d point %d parent distance %v exceeds covering %v",
+						i, j, d, up.Net.Alpha)
+				}
+			}
+		}
+	}
+	if top := h.Levels[len(h.Levels)-1]; len(top.Net.Points) != 1 {
+		return fmt.Errorf("nets: top level has %d points", len(top.Net.Points))
+	}
+	return nil
+}
+
+// ChargeHierarchy is a convenience for callers accounting the full
+// hierarchy cost at once.
+func ChargeHierarchy(l *congest.Ledger, levels, n, d int) {
+	if l == nil {
+		return
+	}
+	sq := int64(math.Ceil(math.Sqrt(float64(n))))
+	l.Charge("nets/hierarchy", int64(levels)*(sq+int64(d)))
+}

@@ -1,0 +1,85 @@
+package nets
+
+import (
+	"testing"
+
+	"lightnet/internal/congest"
+	"lightnet/internal/graph"
+	"lightnet/internal/mst"
+)
+
+func TestHierarchyBuildAndValidate(t *testing.T) {
+	tests := []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"path", graph.Path(60, 1)},
+		{"grid", graph.Grid(7, 7, 2, 1)},
+		{"geometric", graph.RandomGeometric(64, 2, 2)},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			h, err := BuildHierarchy(tt.g, 1, 2, 0.5, Options{Seed: 5})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := h.Validate(tt.g); err != nil {
+				t.Fatal(err)
+			}
+			if h.Depth() < 2 {
+				t.Fatalf("depth %d", h.Depth())
+			}
+		})
+	}
+}
+
+func TestHierarchyConnectionWeightBoundsL(t *testing.T) {
+	// §8: when the finest net is all of V (scale below the minimum
+	// distance over (1+δ)), the union of parent links is a connected
+	// spanning structure, so its weight is at least w(MST).
+	g := graph.Grid(6, 8, 3, 7)
+	minW, _ := g.MinMaxWeight()
+	h, err := BuildHierarchy(g, minW/4, 2, 0.5, Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(h.Levels[0].Net.Points); got != g.N() {
+		t.Fatalf("finest level has %d of %d points", got, g.N())
+	}
+	_, mstW, err := mst.Kruskal(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cw := h.ConnectionWeight(); cw < mstW-1e-9 {
+		t.Fatalf("connection weight %v below MST weight %v", cw, mstW)
+	}
+}
+
+func TestHierarchyValidation(t *testing.T) {
+	g := graph.Path(10, 1)
+	if _, err := BuildHierarchy(g, 1, 1, 0.5, Options{}); err == nil {
+		t.Fatal("base=1 accepted")
+	}
+	if _, err := BuildHierarchy(g, 0, 2, 0.5, Options{}); err == nil {
+		t.Fatal("minScale=0 accepted")
+	}
+}
+
+func TestHierarchyLedger(t *testing.T) {
+	g := graph.Path(30, 1)
+	l := congest.NewLedger()
+	h, err := BuildHierarchy(g, 1, 2, 0.5, Options{Seed: 1, Ledger: l, HopDiam: 29})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.ByLabel()["nets/hierarchy-links"] == 0 {
+		t.Fatalf("links not charged: %v", l.String())
+	}
+	ChargeHierarchy(l, h.Depth(), g.N(), 29)
+	if l.ByLabel()["nets/hierarchy"] == 0 {
+		t.Fatal("hierarchy charge missing")
+	}
+}

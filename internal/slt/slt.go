@@ -1,0 +1,380 @@
+// Package slt implements §4 of the paper: distributed construction of
+// Shallow-Light Trees. An (α, β)-SLT rooted at rt is a spanning tree
+// with lightness β (weight / MST weight) whose root distances are
+// stretched by at most α.
+//
+// Theorem 1: for ε ∈ (0,1) the construction yields a
+// (1+O(ε), 1+O(1/ε))-SLT in Õ(√n + D)·poly(1/ε) rounds. The inverse
+// trade-off — lightness 1+γ with stretch O(1/γ) — is obtained through
+// the [BFN16] reweighting reduction (Lemma 5), implemented in
+// BuildInverse. The [KRY95] sequential construction is provided as the
+// baseline.
+package slt
+
+import (
+	"fmt"
+	"math"
+
+	"lightnet/internal/congest"
+	"lightnet/internal/euler"
+	"lightnet/internal/graph"
+	"lightnet/internal/mst"
+	"lightnet/internal/sssp"
+)
+
+// Result is a constructed SLT plus its certification data.
+type Result struct {
+	Source graph.Vertex
+	// Parent[v] is the tree parent edge (id in the original graph).
+	Parent []graph.EdgeID
+	// Dist[v] is the tree distance from the root.
+	Dist []float64
+	// TreeEdges lists the n-1 tree edges (original ids).
+	TreeEdges []graph.EdgeID
+	// MSTWeight is w(MST); Weight is the tree weight; Lightness is
+	// their ratio.
+	MSTWeight float64
+	Weight    float64
+	Lightness float64
+	// BreakPoints is the number of (position-level) break points chosen;
+	// HWeight the weight of the intermediate graph H.
+	BreakPoints int
+	HWeight     float64
+}
+
+// Options configure Build.
+type Options struct {
+	Seed    int64
+	Ledger  *congest.Ledger
+	HopDiam int
+	// SPTMode selects the approximate-SPT substitute (default
+	// sssp.ModePerturbed).
+	SPTMode sssp.Mode
+	// SequentialBP switches to the single-pass sequential break-point
+	// rule (the non-distributable baseline; ablation E-ABL).
+	SequentialBP bool
+}
+
+// Build constructs a (1+O(ε), 1+O(1/ε))-SLT rooted at rt.
+func Build(g *graph.Graph, rt graph.Vertex, eps float64, opts Options) (*Result, error) {
+	if int(rt) < 0 || int(rt) >= g.N() {
+		return nil, fmt.Errorf("slt: root %d out of range", rt)
+	}
+	if eps <= 0 {
+		return nil, fmt.Errorf("slt: eps %v must be positive", eps)
+	}
+	n := g.N()
+	if n == 1 {
+		return &Result{Source: rt, Parent: []graph.EdgeID{graph.NoEdge},
+			Dist: []float64{0}, Lightness: 1}, nil
+	}
+	// Step 1: MST, fragments, Euler tour (§3).
+	mstEdges, mstWeight, err := mst.Kruskal(g)
+	if err != nil {
+		return nil, fmt.Errorf("slt: %w", err)
+	}
+	if opts.Ledger != nil {
+		mst.ChargeConstruction(opts.Ledger, n, opts.HopDiam)
+	}
+	tree, err := mst.NewTree(g, mstEdges, rt)
+	if err != nil {
+		return nil, fmt.Errorf("slt: %w", err)
+	}
+	frags, err := mst.Decompose(tree, isqrt(n))
+	if err != nil {
+		return nil, fmt.Errorf("slt: %w", err)
+	}
+	tour, err := euler.Build(tree, frags, opts.Ledger, opts.HopDiam)
+	if err != nil {
+		return nil, fmt.Errorf("slt: %w", err)
+	}
+	// Step 2: approximate SPT T_rt (the [BKKL17] substitute).
+	spt, err := sssp.ApproxSPT(g, rt, eps, sssp.Options{
+		Mode: opts.SPTMode, Seed: opts.Seed, Ledger: opts.Ledger, HopDiam: opts.HopDiam,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("slt: %w", err)
+	}
+	// Step 3: break-point selection over the tour.
+	var bp []int
+	if opts.SequentialBP {
+		bp = sequentialBreakPoints(tour, spt.Dist, eps)
+		if opts.Ledger != nil {
+			// The sequential scan is inherently linear in the tour.
+			opts.Ledger.Charge("slt/bp-sequential", int64(tour.Positions()))
+		}
+	} else {
+		bp = twoPhaseBreakPoints(tour, spt.Dist, eps, opts.Ledger, opts.HopDiam)
+	}
+	// Step 4: H = T ∪ ⋃_{b ∈ BP} P_b (paths in T_rt from rt).
+	hEdges := buildH(g, tree, spt, tour, bp)
+	if opts.Ledger != nil {
+		frags.ChargeLocalPipeline(opts.Ledger, "slt/abp-local")
+		frags.ChargeFragmentBroadcast(opts.Ledger, "slt/abp-bcast", opts.HopDiam)
+	}
+	var hWeight float64
+	for _, id := range hEdges {
+		hWeight += g.Edge(id).W
+	}
+	// Step 5: final approximate SPT inside H.
+	sub := g.Subgraph(hEdges)
+	final, err := sssp.ApproxSPT(sub, rt, eps, sssp.Options{
+		Mode: opts.SPTMode, Seed: opts.Seed + 1, Ledger: opts.Ledger, HopDiam: opts.HopDiam,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("slt: final SPT: %w", err)
+	}
+	res := &Result{
+		Source:      rt,
+		Parent:      make([]graph.EdgeID, n),
+		Dist:        final.Dist,
+		MSTWeight:   mstWeight,
+		BreakPoints: len(bp),
+		HWeight:     hWeight,
+	}
+	for v := 0; v < n; v++ {
+		res.Parent[v] = graph.NoEdge
+		if id := final.Parent[v]; id != graph.NoEdge {
+			orig := hEdges[id] // Subgraph assigns ids in insertion order
+			res.Parent[v] = orig
+			res.TreeEdges = append(res.TreeEdges, orig)
+			res.Weight += g.Edge(orig).W
+		}
+	}
+	if mstWeight > 0 {
+		res.Lightness = res.Weight / mstWeight
+	} else {
+		res.Lightness = 1
+	}
+	return res, nil
+}
+
+// twoPhaseBreakPoints is the distributed selection of §4.1: the tour is
+// cut into intervals of α = ⌈√n⌉ positions; BP1 is chosen inside every
+// interval in parallel by the sequential rule anchored at the interval
+// head; the interval heads BP′ are filtered centrally into BP2 by the
+// same rule. Returned positions are BP1 ∪ BP2, sorted.
+func twoPhaseBreakPoints(tour *euler.Tour, rootDist []float64, eps float64, ledger *congest.Ledger, hopDiam int) []int {
+	m := tour.Positions()
+	alpha := isqrt(len(tour.Idx))
+	if alpha < 1 {
+		alpha = 1
+	}
+	inBP := make([]bool, m)
+	// Phase 1: interval-parallel BP1 (α rounds of pipelining).
+	for head := 0; head < m; head += alpha {
+		end := head + alpha
+		if end > m {
+			end = m
+		}
+		y := head
+		for j := head + 1; j < end; j++ {
+			v := tour.Order[j]
+			if tour.R[j]-tour.R[y] > eps*rootDist[v] {
+				inBP[j] = true
+				y = j
+			}
+		}
+	}
+	// Phase 2: central filtering of the interval heads BP′ into BP2.
+	y := 0
+	inBP[0] = true // rt joins (x_0 ∈ BP2 by construction)
+	for head := alpha; head < m; head += alpha {
+		v := tour.Order[head]
+		if tour.R[head]-tour.R[y] > eps*rootDist[v] {
+			inBP[head] = true
+			y = head
+		}
+	}
+	if ledger != nil {
+		ledger.Charge("slt/bp-intervals", int64(alpha))
+		nHeads := int64((m + alpha - 1) / alpha)
+		ledger.ChargeBroadcast("slt/bp-heads-up", nHeads, int64(hopDiam))
+		ledger.ChargeBroadcast("slt/bp2-down", nHeads, int64(hopDiam))
+	}
+	var out []int
+	for j, in := range inBP {
+		if in {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// sequentialBreakPoints is the classic single-pass rule ([ABP92,KRY95]):
+// one scan over the whole tour with a single running anchor.
+func sequentialBreakPoints(tour *euler.Tour, rootDist []float64, eps float64) []int {
+	out := []int{0}
+	y := 0
+	for j := 1; j < tour.Positions(); j++ {
+		v := tour.Order[j]
+		if tour.R[j]-tour.R[y] > eps*rootDist[v] {
+			out = append(out, j)
+			y = j
+		}
+	}
+	return out
+}
+
+// buildH unions the MST with the T_rt paths from rt to every break
+// point, returning original edge ids. The walk up the SPT stops at the
+// first vertex already marked (amortised O(n) total — the ABP
+// computation of §4.2).
+func buildH(g *graph.Graph, tree *mst.Tree, spt *sssp.Tree, tour *euler.Tour, bp []int) []graph.EdgeID {
+	inH := make(map[graph.EdgeID]bool, 2*g.N())
+	edges := make([]graph.EdgeID, 0, 2*g.N())
+	add := func(id graph.EdgeID) {
+		if !inH[id] {
+			inH[id] = true
+			edges = append(edges, id)
+		}
+	}
+	for _, id := range tree.Edges {
+		add(id)
+	}
+	marked := make([]bool, g.N())
+	marked[spt.Source] = true
+	for _, pos := range bp {
+		v := tour.Order[pos]
+		for !marked[v] {
+			marked[v] = true
+			id := spt.Parent[v]
+			if id == graph.NoEdge {
+				break
+			}
+			add(id)
+			v = g.Edge(id).Other(v)
+		}
+	}
+	return edges
+}
+
+// BuildInverse constructs an SLT with lightness 1+γ and root stretch
+// O(1/γ) via the [BFN16] reduction (Lemma 5): MST edges are scaled down
+// by δ = γ/c, the base construction runs on the reweighted graph, and
+// the result is re-measured under the true weights.
+func BuildInverse(g *graph.Graph, rt graph.Vertex, gamma float64, opts Options) (*Result, error) {
+	if gamma <= 0 || gamma >= 1 {
+		return nil, fmt.Errorf("slt: gamma %v must be in (0,1)", gamma)
+	}
+	// Base construction at ε = 1: lightness ≤ 1 + c (constant).
+	const baseEps = 1.0
+	const baseLightness = 5.0 // empirical bound for the ε=1 construction
+	delta := gamma / baseLightness
+	mstEdges, mstWeight, err := mst.Kruskal(g)
+	if err != nil {
+		return nil, fmt.Errorf("slt: %w", err)
+	}
+	onMST := make([]bool, g.M())
+	for _, id := range mstEdges {
+		onMST[id] = true
+	}
+	rew, err := g.Reweighted(func(id graph.EdgeID, e graph.Edge) float64 {
+		if onMST[id] {
+			return e.W * delta
+		}
+		return e.W
+	})
+	if err != nil {
+		return nil, fmt.Errorf("slt: reweight: %w", err)
+	}
+	base, err := Build(rew, rt, baseEps, opts)
+	if err != nil {
+		return nil, fmt.Errorf("slt: base construction: %w", err)
+	}
+	// Re-measure under true weights; keep the same tree.
+	res := &Result{
+		Source:      rt,
+		Parent:      base.Parent,
+		TreeEdges:   base.TreeEdges,
+		MSTWeight:   mstWeight,
+		BreakPoints: base.BreakPoints,
+	}
+	res.Dist = remeasure(g, rt, base.Parent)
+	for _, id := range res.TreeEdges {
+		res.Weight += g.Edge(id).W
+	}
+	if mstWeight > 0 {
+		res.Lightness = res.Weight / mstWeight
+	} else {
+		res.Lightness = 1
+	}
+	return res, nil
+}
+
+// KRY is the [KRY95] centralized baseline: exact SPT, exact distances in
+// the break-point rule, single sequential pass.
+func KRY(g *graph.Graph, rt graph.Vertex, eps float64) (*Result, error) {
+	return Build(g, rt, eps, Options{SPTMode: sssp.ModeExact, SequentialBP: true})
+}
+
+// remeasure computes tree distances under g's true weights for a parent
+// forest.
+func remeasure(g *graph.Graph, rt graph.Vertex, parent []graph.EdgeID) []float64 {
+	n := g.N()
+	dist := make([]float64, n)
+	for i := range dist {
+		dist[i] = graph.Inf
+	}
+	dist[rt] = 0
+	var resolve func(v graph.Vertex) float64
+	resolve = func(v graph.Vertex) float64 {
+		if !math.IsInf(dist[v], 1) {
+			return dist[v]
+		}
+		id := parent[v]
+		if id == graph.NoEdge {
+			return graph.Inf
+		}
+		u := g.Edge(id).Other(v)
+		if d := resolve(u); !math.IsInf(d, 1) {
+			dist[v] = d + g.Edge(id).W
+		}
+		return dist[v]
+	}
+	for v := 0; v < n; v++ {
+		resolve(graph.Vertex(v))
+	}
+	return dist
+}
+
+// Verify certifies an SLT against exact shortest paths: returns the
+// measured lightness and the maximum root stretch, and checks the tree
+// is spanning and consistent.
+func Verify(g *graph.Graph, res *Result) (lightness, maxStretch float64, err error) {
+	if len(res.TreeEdges) != g.N()-1 {
+		return 0, 0, fmt.Errorf("slt: tree has %d edges, want %d", len(res.TreeEdges), g.N()-1)
+	}
+	sub := g.Subgraph(res.TreeEdges)
+	if !sub.Connected() {
+		return 0, 0, fmt.Errorf("slt: tree edges do not span")
+	}
+	exact := g.Dijkstra(res.Source).Dist
+	maxStretch = 1
+	for v := 0; v < g.N(); v++ {
+		if graph.Vertex(v) == res.Source {
+			continue
+		}
+		if math.IsInf(res.Dist[v], 1) {
+			return 0, 0, fmt.Errorf("slt: vertex %d unreachable in tree", v)
+		}
+		if res.Dist[v] < exact[v]-1e-9 {
+			return 0, 0, fmt.Errorf("slt: tree distance below true distance at %d", v)
+		}
+		if s := res.Dist[v] / exact[v]; s > maxStretch {
+			maxStretch = s
+		}
+	}
+	return res.Lightness, maxStretch, nil
+}
+
+func isqrt(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	x := 1
+	for x*x < n {
+		x++
+	}
+	return x
+}

@@ -1,0 +1,314 @@
+package slt
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"lightnet/internal/congest"
+	"lightnet/internal/graph"
+	"lightnet/internal/mst"
+	"lightnet/internal/sssp"
+)
+
+func testGraphs() []struct {
+	name string
+	g    *graph.Graph
+} {
+	return []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"er", graph.ErdosRenyi(100, 0.08, 10, 1)},
+		{"grid", graph.Grid(10, 10, 4, 2)},
+		{"geometric", graph.RandomGeometric(90, 2, 3)},
+		{"complete", graph.Complete(40, 8, 4)},
+		{"cycle-heavy", cycleWithHeavyChord(60)},
+	}
+}
+
+// cycleWithHeavyChord: the classic SLT stress case — a light cycle where
+// the SPT from vertex 0 is heavy, forcing a real MST/SPT trade-off.
+func cycleWithHeavyChord(n int) *graph.Graph {
+	g := graph.New(n)
+	for i := 0; i < n-1; i++ {
+		g.MustAddEdge(graph.Vertex(i), graph.Vertex(i+1), 1)
+	}
+	g.MustAddEdge(graph.Vertex(n-1), 0, 1)
+	for i := 2; i < n-2; i += 7 {
+		g.MustAddEdge(0, graph.Vertex(i), float64(i)/2)
+	}
+	return g
+}
+
+func TestBuildGuarantees(t *testing.T) {
+	for _, tg := range testGraphs() {
+		t.Run(tg.name, func(t *testing.T) {
+			for _, eps := range []float64{0.25, 0.5, 1.0} {
+				res, err := Build(tg.g, 0, eps, Options{Seed: 7})
+				if err != nil {
+					t.Fatal(err)
+				}
+				light, stretch, err := Verify(tg.g, res)
+				if err != nil {
+					t.Fatal(err)
+				}
+				// Paper bounds: lightness 1+4/ε for H (Cor. 3), stretch
+				// (1+ε)(1+25ε) (Lemma 4 + final SPT). Generous slack on
+				// the stretch constant; the lightness bound is tight.
+				if light > 1+5/eps {
+					t.Fatalf("eps=%v lightness %v > 1+5/ε", eps, light)
+				}
+				if stretch > 1+60*eps {
+					t.Fatalf("eps=%v stretch %v > 1+60ε", eps, stretch)
+				}
+				if res.BreakPoints == 0 {
+					t.Fatal("no break points chosen")
+				}
+			}
+		})
+	}
+}
+
+func TestBuildStretchTypicallyTight(t *testing.T) {
+	// On the stress graph, the measured stretch should be near 1+O(ε),
+	// far below the worst-case constant, and lightness far below 1+4/ε.
+	g := cycleWithHeavyChord(100)
+	res, err := Build(g, 0, 0.5, Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	light, stretch, err := Verify(g, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stretch > 3 {
+		t.Fatalf("stretch %v unexpectedly large", stretch)
+	}
+	if light > 6 {
+		t.Fatalf("lightness %v unexpectedly large", light)
+	}
+}
+
+func TestMSTAndSPTAreExtremePoints(t *testing.T) {
+	// ε→large degenerates toward the MST (lightness→1); ε→0 forces
+	// SPT-like stretch→1.
+	g := cycleWithHeavyChord(80)
+	loose, err := Build(g, 0, 1, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tight, err := Build(g, 0, 0.05, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lightLoose, _, err := Verify(g, loose)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lightTight, stretchTight, err := Verify(g, tight)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stretchTight > 1.2 {
+		t.Fatalf("tight eps stretch %v", stretchTight)
+	}
+	if lightLoose > lightTight {
+		t.Fatalf("lightness must decrease with eps: %v (ε=1) vs %v (ε=0.05)",
+			lightLoose, lightTight)
+	}
+}
+
+func TestBuildInverseTradeoff(t *testing.T) {
+	g := cycleWithHeavyChord(100)
+	for _, gamma := range []float64{0.25, 0.5} {
+		res, err := BuildInverse(g, 0, gamma, Options{Seed: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		light, stretch, err := Verify(g, res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if light > 1+gamma+1e-9 {
+			t.Fatalf("gamma=%v lightness %v > 1+γ", gamma, light)
+		}
+		// Stretch O(1/γ): generous constant.
+		if stretch > 40/gamma {
+			t.Fatalf("gamma=%v stretch %v too large", gamma, stretch)
+		}
+	}
+	if _, err := BuildInverse(g, 0, 0, Options{}); err == nil {
+		t.Fatal("gamma=0 accepted")
+	}
+	if _, err := BuildInverse(g, 0, 1.5, Options{}); err == nil {
+		t.Fatal("gamma>1 accepted")
+	}
+}
+
+func TestKRYBaseline(t *testing.T) {
+	g := graph.ErdosRenyi(80, 0.1, 12, 9)
+	res, err := KRY(g, 0, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	light, stretch, err := Verify(g, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// KRY's sequential selection with exact distances: stretch ≤ 1+2ε
+	// up to the final (1+ε) SPT... our KRY uses the exact final SPT.
+	if stretch > 1+3*0.5 {
+		t.Fatalf("KRY stretch %v", stretch)
+	}
+	if light > 1+4/0.5 {
+		t.Fatalf("KRY lightness %v", light)
+	}
+}
+
+func TestTwoPhaseVsSequentialAblation(t *testing.T) {
+	// The two-phase distributed rule loses at most a constant factor in
+	// lightness vs the sequential rule (the paper's §4.1 claim).
+	g := graph.RandomGeometric(120, 2, 11)
+	seq, err := Build(g, 0, 0.5, Options{Seed: 2, SequentialBP: true, SPTMode: sssp.ModeExact})
+	if err != nil {
+		t.Fatal(err)
+	}
+	two, err := Build(g, 0, 0.5, Options{Seed: 2, SPTMode: sssp.ModeExact})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lightSeq, _, err := Verify(g, seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lightTwo, _, err := Verify(g, two)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lightTwo > 4*lightSeq+1 {
+		t.Fatalf("two-phase lightness %v vs sequential %v: constant-factor claim violated",
+			lightTwo, lightSeq)
+	}
+}
+
+func TestBuildLedger(t *testing.T) {
+	g := graph.ErdosRenyi(144, 0.06, 8, 3)
+	l := congest.NewLedger()
+	d := g.HopDiameterApprox()
+	if _, err := Build(g, 0, 0.5, Options{Seed: 1, Ledger: l, HopDiam: d}); err != nil {
+		t.Fatal(err)
+	}
+	labels := l.ByLabel()
+	for _, want := range []string{"mst-construction", "slt/bp-intervals", "slt/bp-heads-up", "slt/bp2-down", "slt/abp-local"} {
+		if labels[want] == 0 {
+			t.Fatalf("label %q missing: %v", want, l.String())
+		}
+	}
+	hasEuler, hasSPT := false, false
+	for label := range labels {
+		if strings.HasPrefix(label, "euler/") {
+			hasEuler = true
+		}
+		if strings.HasPrefix(label, "sssp/") {
+			hasSPT = true
+		}
+	}
+	if !hasEuler || !hasSPT {
+		t.Fatalf("euler/sssp charges missing: %v", l.String())
+	}
+	// Õ(√n + D) shape with the poly(1/ε)·polylog slack.
+	n := g.N()
+	bound := 400 * (math.Sqrt(float64(n)) + float64(d))
+	if float64(l.Rounds()) > bound {
+		t.Fatalf("rounds %d exceed Õ(√n+D) envelope %v", l.Rounds(), bound)
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	g := graph.Path(5, 1)
+	if _, err := Build(g, 9, 0.5, Options{}); err == nil {
+		t.Fatal("bad root accepted")
+	}
+	if _, err := Build(g, 0, 0, Options{}); err == nil {
+		t.Fatal("eps=0 accepted")
+	}
+	disc := graph.New(4)
+	disc.MustAddEdge(0, 1, 1)
+	if _, err := Build(disc, 0, 0.5, Options{}); err == nil {
+		t.Fatal("disconnected graph accepted")
+	}
+}
+
+func TestSingleVertex(t *testing.T) {
+	g := graph.New(1)
+	res, err := Build(g, 0, 0.5, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Lightness != 1 || len(res.TreeEdges) != 0 {
+		t.Fatalf("singleton SLT wrong: %+v", res)
+	}
+}
+
+func TestDifferentRoots(t *testing.T) {
+	g := graph.Grid(8, 8, 3, 5)
+	for _, rt := range []graph.Vertex{0, 27, 63} {
+		res, err := Build(g, rt, 0.5, Options{Seed: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := Verify(g, res); err != nil {
+			t.Fatalf("root %d: %v", rt, err)
+		}
+		if res.Dist[rt] != 0 {
+			t.Fatalf("root dist %v", res.Dist[rt])
+		}
+	}
+}
+
+// Property: guarantees hold on random graphs with random eps and roots.
+func TestBuildQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		n := 20 + int(uint64(seed)%60)
+		g := graph.ErdosRenyi(n, 0.15, 10, seed)
+		eps := 0.2 + float64(uint64(seed)%100)/125
+		rt := graph.Vertex(uint64(seed) % uint64(n))
+		res, err := Build(g, rt, eps, Options{Seed: seed})
+		if err != nil {
+			return false
+		}
+		light, stretch, err := Verify(g, res)
+		if err != nil {
+			return false
+		}
+		return light <= 1+5/eps+1e-9 && stretch <= 1+60*eps
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The intermediate H must contain the MST and weigh at most
+// (1 + 4/ε)·w(T) — Corollary 3.
+func TestHWeightCorollary3(t *testing.T) {
+	g := graph.RandomGeometric(100, 2, 17)
+	_, mstW, err := mst.Kruskal(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, eps := range []float64{0.25, 0.5, 1} {
+		res, err := Build(g, 0, eps, Options{Seed: 8, SPTMode: sssp.ModeExact})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.HWeight > (1+4.5/eps)*mstW {
+			t.Fatalf("eps=%v: w(H)=%v exceeds (1+4.5/ε)·w(T)=%v",
+				eps, res.HWeight, (1+4.5/eps)*mstW)
+		}
+		if res.HWeight < mstW {
+			t.Fatalf("H cannot weigh less than the MST")
+		}
+	}
+}

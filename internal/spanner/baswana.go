@@ -1,0 +1,170 @@
+// Package spanner implements §5 of the paper: the first CONGEST
+// algorithm for light spanners of general weighted graphs (Theorem 2),
+// together with the [BS07] Baswana-Sen spanner it uses on the light
+// bucket and compares against, and the greedy spanner [ADD+93] quality
+// baseline.
+package spanner
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"lightnet/internal/congest"
+	"lightnet/internal/graph"
+)
+
+// BaswanaSen computes a (2k−1)-spanner of g with O(k·n^{1+1/k}) edges
+// in expectation — the [BS07] algorithm, which runs in O(k) rounds in
+// the CONGEST model (charged to the ledger when provided). The paper
+// uses it for the low-weight bucket E′, where its unbounded lightness
+// is harmless.
+func BaswanaSen(g *graph.Graph, k int, seed int64, ledger *congest.Ledger, hopDiam int) ([]graph.EdgeID, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("spanner: k %d < 1", k)
+	}
+	n := g.N()
+	if ledger != nil {
+		ledger.Charge("baswana-sen", int64(4*k+hopDiam))
+		ledger.ChargeMessages(int64(k) * int64(g.M()))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	prob := math.Pow(float64(n), -1.0/float64(k))
+
+	spanner := make(map[graph.EdgeID]bool)
+	add := func(id graph.EdgeID) { spanner[id] = true }
+
+	// cluster[v]: center of v's cluster, or NoVertex if unclustered
+	// (removed from the process).
+	cluster := make([]graph.Vertex, n)
+	for v := range cluster {
+		cluster[v] = graph.Vertex(v)
+	}
+	// Active edges: both endpoints clustered, different clusters.
+	type cand struct {
+		w  float64
+		id graph.EdgeID
+	}
+	for phase := 1; phase < k; phase++ {
+		// Sample cluster centers.
+		sampled := make(map[graph.Vertex]bool)
+		for v := 0; v < n; v++ {
+			if cluster[v] == graph.Vertex(v) && rng.Float64() < prob {
+				sampled[graph.Vertex(v)] = true
+			}
+		}
+		next := make([]graph.Vertex, n)
+		for v := 0; v < n; v++ {
+			cur := cluster[v]
+			if cur == graph.NoVertex {
+				next[v] = graph.NoVertex
+				continue
+			}
+			if sampled[cur] {
+				next[v] = cur // stays in its (sampled) cluster
+				continue
+			}
+			// Lightest incident edge per neighboring cluster.
+			bestPer := make(map[graph.Vertex]cand)
+			for _, h := range g.Neighbors(graph.Vertex(v)) {
+				c := cluster[h.To]
+				if c == graph.NoVertex || c == cur {
+					continue
+				}
+				if b, ok := bestPer[c]; !ok || h.W < b.w || (h.W == b.w && h.ID < b.id) {
+					bestPer[c] = cand{w: h.W, id: h.ID}
+				}
+			}
+			// Lightest edge to a sampled cluster, if any.
+			var bestSampled cand
+			bestSampledCluster := graph.NoVertex
+			for c, b := range bestPer {
+				if !sampled[c] {
+					continue
+				}
+				if bestSampledCluster == graph.NoVertex || b.w < bestSampled.w ||
+					(b.w == bestSampled.w && b.id < bestSampled.id) {
+					bestSampled = b
+					bestSampledCluster = c
+				}
+			}
+			if bestSampledCluster == graph.NoVertex {
+				// Not adjacent to any sampled cluster: add the lightest
+				// edge to every adjacent cluster; leave the process.
+				for _, b := range bestPer {
+					add(b.id)
+				}
+				next[v] = graph.NoVertex
+				continue
+			}
+			// Join the sampled cluster; add that edge plus the lightest
+			// edge to every strictly lighter cluster.
+			add(bestSampled.id)
+			next[v] = bestSampledCluster
+			for c, b := range bestPer {
+				if c != bestSampledCluster && b.w < bestSampled.w {
+					add(b.id)
+				}
+			}
+		}
+		cluster = next
+	}
+	// Final phase: every vertex adds its lightest edge to every adjacent
+	// cluster of the last clustering.
+	for v := 0; v < n; v++ {
+		bestPer := make(map[graph.Vertex]cand)
+		for _, h := range g.Neighbors(graph.Vertex(v)) {
+			c := cluster[h.To]
+			if c == graph.NoVertex || c == cluster[v] {
+				continue
+			}
+			if b, ok := bestPer[c]; !ok || h.W < b.w || (h.W == b.w && h.ID < b.id) {
+				bestPer[c] = cand{w: h.W, id: h.ID}
+			}
+		}
+		for _, b := range bestPer {
+			add(b.id)
+		}
+	}
+	// Intra-cluster connectivity: the phase-joining edges added above
+	// already connect every vertex to its cluster center chain.
+	out := make([]graph.EdgeID, 0, len(spanner))
+	for id := range spanner {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, nil
+}
+
+// Greedy computes the greedy t-spanner [ADD+93]: edges in weight order,
+// kept iff the current spanner distance between the endpoints exceeds
+// t·w(e). Quality baseline — O(m·(m + n log n)) time, test scale only.
+func Greedy(g *graph.Graph, t float64) ([]graph.EdgeID, error) {
+	if t < 1 {
+		return nil, fmt.Errorf("spanner: stretch %v < 1", t)
+	}
+	ids := make([]graph.EdgeID, g.M())
+	for i := range ids {
+		ids[i] = graph.EdgeID(i)
+	}
+	edges := g.Edges()
+	sort.Slice(ids, func(a, b int) bool {
+		ea, eb := edges[ids[a]], edges[ids[b]]
+		if ea.W != eb.W {
+			return ea.W < eb.W
+		}
+		return ids[a] < ids[b]
+	})
+	h := graph.New(g.N())
+	var kept []graph.EdgeID
+	for _, id := range ids {
+		e := edges[id]
+		d := h.DijkstraBounded(e.U, t*e.W).Dist[e.V]
+		if d > t*e.W {
+			h.MustAddEdge(e.U, e.V, e.W)
+			kept = append(kept, id)
+		}
+	}
+	return kept, nil
+}

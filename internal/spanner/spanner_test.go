@@ -1,0 +1,387 @@
+package spanner
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"lightnet/internal/congest"
+	"lightnet/internal/euler"
+	"lightnet/internal/graph"
+	"lightnet/internal/metrics"
+	"lightnet/internal/mst"
+)
+
+func TestBaswanaSenStretchAndSize(t *testing.T) {
+	tests := []struct {
+		name string
+		g    *graph.Graph
+		k    int
+	}{
+		{"er-k2", graph.ErdosRenyi(100, 0.2, 10, 1), 2},
+		{"er-k3", graph.ErdosRenyi(100, 0.2, 10, 2), 3},
+		{"complete-k2", graph.Complete(40, 6, 3), 2},
+		{"geometric-k3", graph.RandomGeometric(81, 2, 4), 3},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			edges, err := BaswanaSen(tt.g, tt.k, 7, nil, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			h := tt.g.Subgraph(edges)
+			maxS, _, err := metrics.EdgeStretch(tt.g, h)
+			if err != nil {
+				t.Fatal(err)
+			}
+			bound := float64(2*tt.k - 1)
+			if maxS > bound+1e-9 {
+				t.Fatalf("stretch %v > %v", maxS, bound)
+			}
+			// Expected size O(k n^{1+1/k}); generous constant.
+			n := float64(tt.g.N())
+			sizeBound := 8 * float64(tt.k) * math.Pow(n, 1+1/float64(tt.k))
+			if float64(len(edges)) > sizeBound {
+				t.Fatalf("size %d > %v", len(edges), sizeBound)
+			}
+		})
+	}
+}
+
+func TestBaswanaSenValidation(t *testing.T) {
+	g := graph.Path(5, 1)
+	if _, err := BaswanaSen(g, 0, 1, nil, 0); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+}
+
+func TestBaswanaSenChargesOk(t *testing.T) {
+	g := graph.ErdosRenyi(60, 0.2, 5, 5)
+	l := congest.NewLedger()
+	if _, err := BaswanaSen(g, 3, 1, l, 4); err != nil {
+		t.Fatal(err)
+	}
+	// O(k) + D rounds — far below √n-type costs.
+	if l.Rounds() > 40 {
+		t.Fatalf("Baswana-Sen charged %d rounds, expected O(k+D)", l.Rounds())
+	}
+}
+
+func TestGreedySpanner(t *testing.T) {
+	g := graph.ErdosRenyi(70, 0.25, 9, 6)
+	for _, k := range []int{2, 3} {
+		tf := float64(2*k - 1)
+		edges, err := Greedy(g, tf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h := g.Subgraph(edges)
+		maxS, _, err := metrics.EdgeStretch(g, h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if maxS > tf+1e-9 {
+			t.Fatalf("greedy stretch %v > %v", maxS, tf)
+		}
+		if len(edges) >= g.M() {
+			t.Fatal("greedy did not sparsify a dense graph")
+		}
+	}
+	if _, err := Greedy(g, 0.5); err == nil {
+		t.Fatal("stretch < 1 accepted")
+	}
+}
+
+func TestBuildLightGuarantees(t *testing.T) {
+	tests := []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"er", graph.ErdosRenyi(120, 0.15, 50, 1)},
+		{"geometric", graph.RandomGeometric(100, 2, 2)},
+		{"complete", graph.Complete(50, 30, 3)},
+		{"grid-heavy", graph.Grid(10, 10, 40, 4)},
+		{"wide-weights", wideWeightGraph(100, 5)},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			for _, k := range []int{2, 3} {
+				eps := 0.25
+				res, err := BuildLight(tt.g, k, eps, Options{Seed: 11})
+				if err != nil {
+					t.Fatal(err)
+				}
+				h := tt.g.Subgraph(res.Edges)
+				maxS, _, err := metrics.EdgeStretch(tt.g, h)
+				if err != nil {
+					t.Fatal(err)
+				}
+				// Stretch (2k−1)(1+O(ε)): the analysis constant is
+				// (2k−1)(1+ε)... with the cluster detours ≤ (2k+1)·ε·w_i
+				// extra; assert the paper's headline with modest slack.
+				bound := float64(2*k-1)*(1+4*eps) + 1e-9
+				if maxS > bound {
+					t.Fatalf("k=%d stretch %v > %v", k, maxS, bound)
+				}
+				// Lightness O(k·n^{1/k}).
+				n := float64(tt.g.N())
+				lightBound := 12 * float64(k) * math.Pow(n, 1/float64(k)) / eps
+				if res.Lightness > lightBound {
+					t.Fatalf("k=%d lightness %v > %v", k, res.Lightness, lightBound)
+				}
+				// Size O(k·n^{1+1/k}).
+				sizeBound := 12 * float64(k) * math.Pow(n, 1+1/float64(k))
+				if float64(len(res.Edges)) > sizeBound {
+					t.Fatalf("k=%d size %d > %v", k, len(res.Edges), sizeBound)
+				}
+			}
+		})
+	}
+}
+
+// wideWeightGraph has weights spanning several orders of magnitude so
+// that many buckets are populated.
+func wideWeightGraph(n int, seed int64) *graph.Graph {
+	g := graph.ErdosRenyi(n, 0.1, 2, seed)
+	out := graph.New(n)
+	for i, e := range g.Edges() {
+		w := math.Pow(10, float64(i%5)) * e.W
+		out.MustAddEdge(e.U, e.V, w)
+	}
+	if !out.Connected() {
+		panic("wideWeightGraph disconnected")
+	}
+	return out
+}
+
+func TestBuildLightBucketsPopulated(t *testing.T) {
+	g := wideWeightGraph(150, 7)
+	res, err := BuildLight(g, 2, 0.3, Options{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Buckets) < 3 {
+		t.Fatalf("expected several buckets, got %d", len(res.Buckets))
+	}
+	sawCase1, sawCase2 := false, false
+	for _, b := range res.Buckets {
+		if b.Edges == 0 {
+			t.Fatalf("empty bucket %d recorded", b.Index)
+		}
+		if b.CaseTwo {
+			sawCase2 = true
+		} else {
+			sawCase1 = true
+		}
+	}
+	if !sawCase1 || !sawCase2 {
+		t.Logf("cases seen: case1=%v case2=%v (acceptable but log for visibility)", sawCase1, sawCase2)
+	}
+}
+
+func TestBuildLightContainsMST(t *testing.T) {
+	g := graph.ErdosRenyi(80, 0.15, 20, 9)
+	mstEdges, mstW, err := mst.Kruskal(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := BuildLight(g, 3, 0.25, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := make(map[graph.EdgeID]bool, len(res.Edges))
+	for _, id := range res.Edges {
+		in[id] = true
+	}
+	for _, id := range mstEdges {
+		if !in[id] {
+			t.Fatalf("MST edge %d missing from spanner", id)
+		}
+	}
+	if math.Abs(res.MSTWeight-mstW) > 1e-9 {
+		t.Fatalf("MST weight %v want %v", res.MSTWeight, mstW)
+	}
+	if res.Lightness < 1 {
+		t.Fatalf("lightness %v < 1", res.Lightness)
+	}
+}
+
+func TestBuildLightLedgerShape(t *testing.T) {
+	g := graph.ErdosRenyi(196, 0.08, 60, 2)
+	l := congest.NewLedger()
+	d := g.HopDiameterApprox()
+	k := 2
+	if _, err := BuildLight(g, k, 0.25, Options{Seed: 3, Ledger: l, HopDiam: d}); err != nil {
+		t.Fatal(err)
+	}
+	if l.Rounds() == 0 {
+		t.Fatal("no rounds charged")
+	}
+	// Õ(n^{1/2+1/(4k+2)} + D) with polylog/1/ε slack.
+	n := float64(g.N())
+	shape := math.Pow(n, 0.5+1/float64(4*k+2)) + float64(d)
+	if float64(l.Rounds()) > 600*shape {
+		t.Fatalf("rounds %d exceed shape bound %v", l.Rounds(), 600*shape)
+	}
+}
+
+func TestBuildLightValidation(t *testing.T) {
+	g := graph.Path(6, 1)
+	if _, err := BuildLight(g, 0, 0.5, Options{}); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	if _, err := BuildLight(g, 2, 0, Options{}); err == nil {
+		t.Fatal("eps=0 accepted")
+	}
+	if _, err := BuildLight(g, 2, 1, Options{}); err == nil {
+		t.Fatal("eps=1 accepted")
+	}
+	disc := graph.New(4)
+	disc.MustAddEdge(0, 1, 1)
+	if _, err := BuildLight(disc, 2, 0.5, Options{}); err == nil {
+		t.Fatal("disconnected accepted")
+	}
+}
+
+func TestBuildLightTinyGraphs(t *testing.T) {
+	for n := 1; n <= 3; n++ {
+		g := graph.Path(n, 1)
+		res, err := BuildLight(g, 2, 0.5, Options{Seed: 1})
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if n > 1 && len(res.Edges) != n-1 {
+			t.Fatalf("n=%d: %d edges", n, len(res.Edges))
+		}
+	}
+}
+
+func TestBaswanaSenUnboundedLightnessVsOurs(t *testing.T) {
+	// E-BS: the paper's motivation — Baswana-Sen alone can be Ω(n^...)
+	// heavier than the MST on adversarial weights, while BuildLight is
+	// bounded. Construct a light cycle plus heavy random chords.
+	n := 100
+	g := graph.New(n)
+	for i := 0; i < n; i++ {
+		g.MustAddEdge(graph.Vertex(i), graph.Vertex((i+1)%n), 1)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 2; j < n; j += 9 {
+			g.MustAddEdge(graph.Vertex(i), graph.Vertex(j), float64(n)/2)
+		}
+	}
+	_, mstW, err := mst.Kruskal(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := 2
+	bs, err := BaswanaSen(g, k, 3, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bsLight := metrics.Lightness(g, bs, mstW)
+	res, err := BuildLight(g, k, 0.25, Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bsLight < 2*res.Lightness {
+		t.Fatalf("expected Baswana-Sen (%v) to be much heavier than BuildLight (%v)",
+			bsLight, res.Lightness)
+	}
+}
+
+func TestClusterWeakDiameter(t *testing.T) {
+	// Clusters at scale w_i must have weak diameter ≤ ε·w_i in the MST
+	// metric — the §5 invariant behind the stretch analysis.
+	g := graph.RandomGeometric(90, 2, 13)
+	mstEdges, mstW, err := mst.Kruskal(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := mst.NewTree(g, mstEdges, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frags, err := mst.Decompose(tree, isqrt(g.N()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tour, err := euler.Build(tree, frags, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mstGraph := g.Subgraph(mstEdges)
+	dT := mstGraph.AllPairs()
+	eps := 0.3
+	bigL := 2 * mstW
+	for _, idx := range []int{0, 3, 7} {
+		wi := bigL / math.Pow(1+eps, float64(idx))
+		for _, caseTwo := range []bool{false, true} {
+			labels, _, _ := clusterPartition(tour, wi, eps, idx, caseTwo)
+			for u := 0; u < g.N(); u++ {
+				for v := u + 1; v < g.N(); v++ {
+					if labels[u] == labels[v] && dT[u][v] > eps*wi+1e-9 {
+						t.Fatalf("idx=%d case2=%v: cluster diameter %v > ε·w_i=%v",
+							idx, caseTwo, dT[u][v], eps*wi)
+					}
+				}
+			}
+		}
+	}
+}
+
+// E-ABL-d: the centralized greedy per-bucket choice of [ES16] vs the
+// paper's distributed [EN17b] choice. Greedy is never larger; the
+// distributed version must stay within a constant factor.
+func TestClusterAlgoAblation(t *testing.T) {
+	g := wideWeightGraph(120, 11)
+	k := 2
+	en17, err := BuildLight(g, k, 0.25, Options{Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	greedy, err := BuildLight(g, k, 0.25, Options{Seed: 4, Cluster: ClusterGreedy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both spanners verify the stretch bound.
+	for name, res := range map[string]*Result{"en17": en17, "greedy": greedy} {
+		maxS, _, err := metrics.EdgeStretch(g, g.Subgraph(res.Edges))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if maxS > 3*(1+4*0.25)+1e-9 {
+			t.Fatalf("%s stretch %v", name, maxS)
+		}
+	}
+	if len(greedy.Edges) > len(en17.Edges) {
+		t.Fatalf("greedy produced more edges (%d) than EN17 (%d)",
+			len(greedy.Edges), len(en17.Edges))
+	}
+	if float64(len(en17.Edges)) > 5*float64(len(greedy.Edges)) {
+		t.Fatalf("distributed choice pays more than 5× in size: %d vs %d",
+			len(en17.Edges), len(greedy.Edges))
+	}
+}
+
+// Property: stretch bound holds for random graphs and k.
+func TestBuildLightQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		n := 30 + int(uint64(seed)%50)
+		g := graph.ErdosRenyi(n, 0.2, 25, seed)
+		k := 2 + int(uint64(seed)%2)
+		res, err := BuildLight(g, k, 0.25, Options{Seed: seed})
+		if err != nil {
+			return false
+		}
+		h := g.Subgraph(res.Edges)
+		maxS, _, err := metrics.EdgeStretch(g, h)
+		if err != nil {
+			return false
+		}
+		return maxS <= float64(2*k-1)*(1+4*0.25)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,240 @@
+package lightnet
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+func TestPublicLightSpanner(t *testing.T) {
+	g := ErdosRenyi(100, 0.15, 20, 1)
+	res, err := BuildLightSpanner(g, 2, 0.25, WithSeed(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxS, meanS, err := VerifySpanner(g, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if maxS > 3*(1+4*0.25)+1e-9 {
+		t.Fatalf("stretch %v", maxS)
+	}
+	if meanS > maxS {
+		t.Fatalf("mean %v > max %v", meanS, maxS)
+	}
+	if res.Lightness < 1 {
+		t.Fatalf("lightness %v", res.Lightness)
+	}
+	if res.Cost.Rounds == 0 || res.Cost.Messages == 0 {
+		t.Fatal("cost not recorded")
+	}
+	if len(res.Cost.Breakdown) == 0 {
+		t.Fatal("breakdown empty")
+	}
+}
+
+func TestPublicSLT(t *testing.T) {
+	g := RandomGeometric(90, 2, 2)
+	res, err := BuildSLT(g, 0, 0.5, WithSeed(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	light, stretch, err := VerifySLT(g, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if light > 1+5/0.5 {
+		t.Fatalf("lightness %v", light)
+	}
+	if stretch > 1+60*0.5 {
+		t.Fatalf("stretch %v", stretch)
+	}
+	if res.Cost.Rounds == 0 {
+		t.Fatal("no cost")
+	}
+}
+
+func TestPublicSLTInverse(t *testing.T) {
+	g := CycleGraph(80, 1)
+	res, err := BuildSLTInverse(g, 0, 0.5, WithSeed(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	light, _, err := VerifySLT(g, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if light > 1.5+1e-9 {
+		t.Fatalf("inverse lightness %v > 1+γ", light)
+	}
+}
+
+func TestPublicNet(t *testing.T) {
+	g := GridGraph(8, 8, 2, 4)
+	res, err := BuildNet(g, 4, 0.5, WithSeed(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyNet(g, res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Alpha != 6 || math.Abs(res.Beta-4.0/1.5) > 1e-9 {
+		t.Fatalf("alpha/beta %v/%v", res.Alpha, res.Beta)
+	}
+}
+
+func TestPublicDoubling(t *testing.T) {
+	g := RandomGeometric(80, 2, 6)
+	res, err := BuildDoublingSpanner(g, 0.5, WithSeed(13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxS, _, err := VerifySpanner(g, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if maxS > 1+6*0.5 {
+		t.Fatalf("stretch %v", maxS)
+	}
+}
+
+func TestPublicMSTAndPsi(t *testing.T) {
+	g := PathGraph(50, 2)
+	edges, w, err := MST(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(edges) != 49 || w != 98 {
+		t.Fatalf("MST %d edges weight %v", len(edges), w)
+	}
+	psi, mstW, err := EstimateMSTWeight(g, WithSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mstW != 98 {
+		t.Fatalf("mst weight %v", mstW)
+	}
+	logn := math.Log2(float64(g.N()) + 2)
+	if psi < mstW || psi > 40*logn*mstW {
+		t.Fatalf("psi %v out of sandwich for L=%v", psi, mstW)
+	}
+}
+
+func TestPublicBaselines(t *testing.T) {
+	g := ErdosRenyi(70, 0.2, 8, 9)
+	bs, err := BaselineBaswanaSen(g, 2, WithSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if maxS, _, err := VerifySpanner(g, bs); err != nil || maxS > 3+1e-9 {
+		t.Fatalf("baswana: %v %v", maxS, err)
+	}
+	gr, err := BaselineGreedySpanner(g, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if maxS, _, err := VerifySpanner(g, gr); err != nil || maxS > 3+1e-9 {
+		t.Fatalf("greedy: %v %v", maxS, err)
+	}
+	kry, err := BaselineKRYSLT(g, 0, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, stretch, err := VerifySLT(g, kry); err != nil || stretch > 2.5 {
+		t.Fatalf("kry: %v %v", stretch, err)
+	}
+	net := BaselineGreedyNet(g, 3)
+	if err := VerifyNet(g, net); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWithExactSPTOption(t *testing.T) {
+	g := ErdosRenyi(60, 0.15, 10, 3)
+	res, err := BuildSLT(g, 0, 0.25, WithSeed(2), WithExactSPT())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := VerifySLT(g, res); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWithHopDiameterOption(t *testing.T) {
+	g := PathGraph(100, 1)
+	// Supplying a huge D inflates the charged rounds (it enters every
+	// broadcast term); the default uses the real diameter.
+	small, err := BuildSLT(g, 0, 0.5, WithSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := BuildSLT(g, 0, 0.5, WithSeed(1), WithHopDiameter(100000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big.Cost.Rounds <= small.Cost.Rounds {
+		t.Fatalf("hop-diameter option ignored: %d vs %d", big.Cost.Rounds, small.Cost.Rounds)
+	}
+	// The tree itself is identical — only accounting changes.
+	for v := range small.Dist {
+		if small.Dist[v] != big.Dist[v] {
+			t.Fatal("accounting option changed the output tree")
+		}
+	}
+}
+
+func TestGraphIORoundTripPublic(t *testing.T) {
+	g := ErdosRenyi(30, 0.2, 5, 9)
+	var buf bytes.Buffer
+	if err := WriteGraph(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadGraph(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.M() != g.M() || got.N() != g.N() {
+		t.Fatal("round trip changed shape")
+	}
+}
+
+func TestDeterminismAcrossCalls(t *testing.T) {
+	g := ErdosRenyi(60, 0.15, 10, 4)
+	a, err := BuildLightSpanner(g, 2, 0.25, WithSeed(99))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BuildLightSpanner(g, 2, 0.25, WithSeed(99))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Edges) != len(b.Edges) || a.Weight != b.Weight {
+		t.Fatal("same seed produced different spanners")
+	}
+	for i := range a.Edges {
+		if a.Edges[i] != b.Edges[i] {
+			t.Fatal("edge sets differ")
+		}
+	}
+}
+
+func TestGeneratorsPublic(t *testing.T) {
+	gs := []*Graph{
+		RandomGeometric(40, 2, 1),
+		ErdosRenyi(40, 0.2, 5, 2),
+		GridGraph(5, 8, 3, 3),
+		PathGraph(10, 1),
+		CycleGraph(10, 1),
+		CompleteGraph(12, 5, 4),
+		RandomTree(30, 4, 5),
+		HardInstance(64, 100, 6),
+	}
+	for i, g := range gs {
+		if !g.Connected() {
+			t.Fatalf("generator %d produced disconnected graph", i)
+		}
+	}
+	if dd := EstimateDoublingDimension(gs[0], 4, 1); dd < 0 || dd > 8 {
+		t.Fatalf("ddim estimate %v", dd)
+	}
+}

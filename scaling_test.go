@@ -1,0 +1,127 @@
+package lightnet
+
+// Scaling-shape tests: the paper's round bounds are sublinear in n
+// (Õ(√n+D) for the SLT and tour, Õ(n^{1/2+1/(4k+2)}+D) for the
+// spanner). These tests grow n by 4× and assert the measured rounds
+// grow like the predicted shape — strictly slower than linearly — on
+// fixed-seed workloads (deterministic, so thresholds cannot flake).
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"lightnet/internal/congest"
+	"lightnet/internal/euler"
+	"lightnet/internal/mst"
+)
+
+// roundsAt measures a builder's charged rounds at size n.
+func roundsAt(t *testing.T, build func(g *Graph) (int64, error), kind string, n int) int64 {
+	t.Helper()
+	g := benchGraph(kind, n, 7)
+	r, err := build(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func assertSublinearGrowth(t *testing.T, name string, r256, r1024 int64) {
+	t.Helper()
+	ratio := float64(r1024) / float64(r256)
+	// √n shape predicts ≈2 (plus D drift); linear would be ≈4. Accept
+	// anything strictly below 3.4 and above 1 (costs must grow).
+	if ratio >= 3.4 {
+		t.Fatalf("%s rounds grew ×%.2f for n ×4 — not sublinear (r256=%d r1024=%d)",
+			name, ratio, r256, r1024)
+	}
+	if ratio <= 1.0 {
+		t.Fatalf("%s rounds did not grow: %d -> %d", name, r256, r1024)
+	}
+	t.Logf("%s: %d -> %d rounds (×%.2f for n×4; √n predicts ×2)", name, r256, r1024, ratio)
+}
+
+func TestScalingSLTRounds(t *testing.T) {
+	build := func(g *Graph) (int64, error) {
+		res, err := BuildSLT(g, 0, 0.5, WithSeed(1))
+		if err != nil {
+			return 0, err
+		}
+		return res.Cost.Rounds, nil
+	}
+	r256 := roundsAt(t, build, "er", 256)
+	r1024 := roundsAt(t, build, "er", 1024)
+	assertSublinearGrowth(t, "SLT", r256, r1024)
+}
+
+func TestScalingSpannerRounds(t *testing.T) {
+	for _, k := range []int{2, 3} {
+		t.Run(fmt.Sprintf("k=%d", k), func(t *testing.T) {
+			build := func(g *Graph) (int64, error) {
+				res, err := BuildLightSpanner(g, k, 0.25, WithSeed(1))
+				if err != nil {
+					return 0, err
+				}
+				return res.Cost.Rounds, nil
+			}
+			r256 := roundsAt(t, build, "er", 256)
+			r1024 := roundsAt(t, build, "er", 1024)
+			ratio := float64(r1024) / float64(r256)
+			// Shape n^{1/2+1/(4k+2)}: k=2 predicts 4^0.6 ≈ 2.3,
+			// k=3 predicts 4^0.57 ≈ 2.2. Reject linear growth.
+			if ratio >= 3.6 {
+				t.Fatalf("spanner k=%d rounds grew ×%.2f — not sublinear", k, ratio)
+			}
+			t.Logf("spanner k=%d: %d -> %d (×%.2f; predicted ×%.2f)",
+				k, r256, r1024, ratio, math.Pow(4, 0.5+1/float64(4*k+2)))
+		})
+	}
+}
+
+func TestScalingEulerRounds(t *testing.T) {
+	measure := func(n int) int64 {
+		g := benchGraph("er", n, 3)
+		edges, _, err := mst.Kruskal(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tree, err := mst.NewTree(g, edges, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		frags, err := mst.Decompose(tree, isqrtBench(n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		led := congest.NewLedger()
+		if _, err := euler.Build(tree, frags, led, g.HopDiameterApprox()); err != nil {
+			t.Fatal(err)
+		}
+		return led.Rounds()
+	}
+	assertSublinearGrowth(t, "euler-tour", measure(256), measure(1024))
+}
+
+// The engine programs' measured rounds follow their theoretical shapes
+// as the graph grows: BFS tracks D, EN17 stays k+2 regardless of n.
+func TestScalingEngineRounds(t *testing.T) {
+	for _, n := range []int{64, 256} {
+		g := GridGraph(isqrtBench(n), isqrtBench(n), 2, 5)
+		d := g.HopDiameter()
+		_, _, s, err := congest.RunBFS(g, 0, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Rounds > d+3 {
+			t.Fatalf("n=%d: BFS rounds %d exceed D+3=%d", n, s.Rounds, d+3)
+		}
+		_, s2, err := congest.RunEN17Spanner(g, 3, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s2.Rounds > 3+2 {
+			t.Fatalf("n=%d: EN17 rounds %d exceed k+2", n, s2.Rounds)
+		}
+	}
+}
