@@ -4,13 +4,18 @@
 //
 // Usage:
 //
-//	benchtab [-quick] [-seed N] [-only E-T1.1]
+//	benchtab [-quick] [-seed N] [-only E-T1.1] [-csv DIR]
+//
+// With -csv DIR every printed table is additionally written to
+// DIR/<id>.csv for machine consumption (the header row plus the data
+// rows; markdown notes stay on stdout).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"lightnet/internal/experiments"
@@ -27,8 +32,14 @@ func run() error {
 	quick := flag.Bool("quick", false, "smaller sizes (128/256) for a fast pass")
 	seed := flag.Int64("seed", 1, "random seed")
 	only := flag.String("only", "", "run only the experiment with this id prefix (e.g. E-T1.1)")
+	csvDir := flag.String("csv", "", "also write each table as CSV into this directory")
 	flag.Parse()
 
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			return err
+		}
+	}
 	tables, err := experiments.All(*quick, *seed)
 	if err != nil {
 		return err
@@ -38,6 +49,23 @@ func run() error {
 			continue
 		}
 		fmt.Println(t.Format())
+		if *csvDir != "" {
+			if err := writeCSV(*csvDir, t); err != nil {
+				return err
+			}
+		}
 	}
 	return nil
+}
+
+func writeCSV(dir string, t *experiments.Table) error {
+	f, err := os.Create(filepath.Join(dir, t.ID+".csv"))
+	if err != nil {
+		return err
+	}
+	if err := t.WriteCSV(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

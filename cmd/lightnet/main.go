@@ -10,6 +10,16 @@
 //	lightnet -obj doubling  -graph geometric -n 256 -eps 0.5
 //	lightnet -obj psi       -graph hard -n 400
 //	lightnet -obj mst       -graph er -n 1024
+//
+// The bench subcommand runs the reproducible experiment pipeline: a
+// JSON grid file (seed, repeats, sizes, workloads, per-construction
+// knobs) is swept and a timestamped run folder of per-experiment CSVs
+// plus logs is written. Re-running the same grid reproduces identical
+// CSV content modulo the wall-time column.
+//
+//	lightnet bench -grid examples/grids/quick.json
+//	lightnet bench -grid grid.json -out results/nightly
+//	lightnet bench                      (built-in headline grid)
 package main
 
 import (
@@ -18,16 +28,54 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"time"
 
 	"lightnet"
 	"lightnet/internal/congest"
+	"lightnet/internal/experiments"
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "bench" {
+		if err := runBench(os.Args[2:]); err != nil {
+			fmt.Fprintln(os.Stderr, "lightnet bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(); err != nil {
 		fmt.Fprintln(os.Stderr, "lightnet:", err)
 		os.Exit(1)
 	}
+}
+
+// runBench executes the experiment pipeline described by a grid file.
+func runBench(args []string) error {
+	fs := flag.NewFlagSet("bench", flag.ContinueOnError)
+	gridPath := fs.String("grid", "", "JSON experiment-grid file (default: built-in headline grid)")
+	out := fs.String("out", "", "output folder (default: bench-<timestamp>)")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
+		return err
+	}
+	grid := experiments.DefaultGrid()
+	if *gridPath != "" {
+		var err error
+		if grid, err = experiments.LoadGrid(*gridPath); err != nil {
+			return err
+		}
+	}
+	dir := *out
+	if dir == "" {
+		dir = "bench-" + time.Now().Format("20060102-150405")
+	}
+	if err := experiments.RunGrid(grid, dir, os.Stdout); err != nil {
+		return err
+	}
+	fmt.Printf("run folder: %s (csv/ per experiment, logs/run.log, grid.json)\n", dir)
+	return nil
 }
 
 func run() error {

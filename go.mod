@@ -1,0 +1,3 @@
+module lightnet
+
+go 1.21

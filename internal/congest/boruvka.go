@@ -206,6 +206,12 @@ func (p *boruvkaProgram) PhaseDone(ctx *Ctx) bool {
 // rounds are charged per barrier (pass the hop-diameter to model the
 // O(D) global synchronization, or 0 to measure pure flooding rounds).
 func RunBoruvka(g *graph.Graph, phaseSyncCost int, seed int64) ([]graph.EdgeID, Stats, error) {
+	return RunBoruvkaWorkers(g, phaseSyncCost, seed, 0)
+}
+
+// RunBoruvkaWorkers is RunBoruvka with an explicit engine worker-pool
+// size (0 = GOMAXPROCS); results are identical for every worker count.
+func RunBoruvkaWorkers(g *graph.Graph, phaseSyncCost int, seed int64, workers int) ([]graph.EdgeID, Stats, error) {
 	inTree := make([]bool, g.M())
 	eng := NewEngine(g, func(graph.Vertex) Program {
 		return &boruvkaProgram{inTree: inTree}
@@ -213,6 +219,7 @@ func RunBoruvka(g *graph.Graph, phaseSyncCost int, seed int64) ([]graph.EdgeID, 
 		Seed:          seed,
 		PhaseSyncCost: phaseSyncCost,
 		MaxRounds:     16*g.N() + 1024,
+		Workers:       workers,
 	})
 	stats, err := eng.Run()
 	var edges []graph.EdgeID

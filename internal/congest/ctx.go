@@ -1,0 +1,128 @@
+package congest
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"lightnet/internal/graph"
+)
+
+// pendingMsg is a buffered outgoing message: the engine flushes it into
+// the shared outbox after the handler batch (see Engine.collect).
+type pendingMsg struct {
+	via graph.EdgeID
+	dir uint8
+	msg *Message
+}
+
+// Ctx is the per-vertex execution context handed to Program callbacks.
+// Handlers of distinct vertices may run concurrently; everything a
+// handler writes lives in its own Ctx, so no locking is needed.
+type Ctx struct {
+	engine *Engine
+	v      graph.Vertex
+	rng    *rand.Rand
+	awake  bool
+	round  int
+	// pending buffers this vertex's sends for the current handler batch;
+	// the engine merges the buffers in vertex order, making the outbox
+	// contents independent of worker scheduling.
+	pending []pendingMsg
+	// Per-vertex send counters, merged into Stats after every handler
+	// batch (lock-free under parallel execution: each handler touches
+	// only its own Ctx).
+	sentMsgs  int64
+	sentWords int64
+	maxWords  int
+}
+
+// V returns this vertex's id.
+func (c *Ctx) V() graph.Vertex { return c.v }
+
+// N returns the network size (known to all vertices, as is standard).
+func (c *Ctx) N() int { return c.engine.g.N() }
+
+// Round returns the current round number (1-based; 0 during Init).
+func (c *Ctx) Round() int { return c.round }
+
+// Neighbors returns the adjacency list of this vertex.
+func (c *Ctx) Neighbors() []graph.Half { return c.engine.g.Neighbors(c.v) }
+
+// Degree returns this vertex's degree.
+func (c *Ctx) Degree() int { return c.engine.g.Degree(c.v) }
+
+// Rand returns this vertex's private deterministic RNG.
+func (c *Ctx) Rand() *rand.Rand { return c.rng }
+
+// Stay keeps the vertex awake next round even without incoming messages.
+func (c *Ctx) Stay() { c.awake = true }
+
+// Fail aborts the whole run with the given error.
+func (c *Ctx) Fail(err error) {
+	c.engine.fail(fmt.Errorf("%w: vertex %d round %d: %v",
+		ErrProgramFailure, c.v, c.round, err))
+}
+
+// Send queues a message over the given incident edge. At most one message
+// per edge direction per round; payload at most MaxWords words.
+func (c *Ctx) Send(via graph.EdgeID, words ...int64) error {
+	if len(words) > c.engine.opts.MaxWords {
+		return fmt.Errorf("%w: %d > %d", ErrMsgTooLarge, len(words), c.engine.opts.MaxWords)
+	}
+	ed := c.engine.g.Edge(via)
+	var dir uint8
+	switch c.v {
+	case ed.U:
+		dir = 0
+	case ed.V:
+		dir = 1
+	default:
+		return fmt.Errorf("%w: vertex %d edge %d", ErrNotNeighbor, c.v, via)
+	}
+	// The (edge, direction) slot is owned by this vertex, so the only
+	// possible duplicate is an earlier send of our own in this batch;
+	// the batch stamp makes the check O(1) without clearing state.
+	if c.engine.used[via][dir] == c.engine.batch {
+		return fmt.Errorf("%w: edge %d from %d", ErrEdgeBusy, via, c.v)
+	}
+	c.engine.used[via][dir] = c.engine.batch
+	payload := make([]int64, len(words))
+	copy(payload, words)
+	c.pending = append(c.pending, pendingMsg{
+		via: via, dir: dir,
+		msg: &Message{From: c.v, Via: via, Words: payload},
+	})
+	c.sentMsgs++
+	c.sentWords += int64(len(words))
+	if len(words) > c.maxWords {
+		c.maxWords = len(words)
+	}
+	return nil
+}
+
+// SendTo queues a message to a neighboring vertex (over the first edge
+// found to it).
+func (c *Ctx) SendTo(to graph.Vertex, words ...int64) error {
+	for _, h := range c.Neighbors() {
+		if h.To == to {
+			return c.Send(h.ID, words...)
+		}
+	}
+	return fmt.Errorf("%w: %d -> %d", ErrNotNeighbor, c.v, to)
+}
+
+// Broadcast sends the same payload over every incident edge. Edges
+// already used this round are skipped (callers that need exactly-once
+// semantics should send manually).
+func (c *Ctx) Broadcast(words ...int64) error {
+	for _, h := range c.Neighbors() {
+		if err := c.Send(h.ID, words...); err != nil {
+			if errors.Is(err, ErrEdgeBusy) {
+				continue
+			}
+			return err
+		}
+	}
+	return nil
+}

@@ -131,10 +131,17 @@ func (p *en17Program) selectEdges(ctx *Ctx) {
 // the selected (deduplicated) edge ids. Weights of g are ignored — the
 // spanner is for the unweighted (hop) metric. Measured rounds are k+2.
 func RunEN17Spanner(g *graph.Graph, k int, seed int64) ([]graph.EdgeID, Stats, error) {
+	return RunEN17SpannerWorkers(g, k, seed, 0)
+}
+
+// RunEN17SpannerWorkers is RunEN17Spanner with an explicit engine
+// worker-pool size (0 = GOMAXPROCS); results are identical for every
+// worker count.
+func RunEN17SpannerWorkers(g *graph.Graph, k int, seed int64, workers int) ([]graph.EdgeID, Stats, error) {
 	selected := make([]map[graph.EdgeID]bool, g.N())
 	eng := NewEngine(g, func(graph.Vertex) Program {
 		return &en17Program{k: k, selected: selected}
-	}, Options{Seed: seed, MaxRounds: k + g.N() + 64})
+	}, Options{Seed: seed, MaxRounds: k + g.N() + 64, Workers: workers})
 	stats, err := eng.Run()
 	seen := make(map[graph.EdgeID]bool)
 	var edges []graph.EdgeID

@@ -11,7 +11,12 @@
 //     size) and accounts rounds and messages. The elementary distributed
 //     algorithms of the paper (BFS trees, pipelined broadcast — Lemma 1,
 //     convergecast, Bellman-Ford, Borůvka fragments, Luby MIS, the
-//     [EN17b] unweighted spanner) run on this engine.
+//     [EN17b] unweighted spanner) run on this engine. Rounds execute on
+//     a deterministic worker pool (Options.Workers): within a round the
+//     handlers of distinct vertices are independent by construction, so
+//     the engine shards them across workers and merges the buffered
+//     outgoing messages in canonical vertex order — the results are
+//     bit-identical for every worker count.
 //
 //  2. A Ledger for primitive-level round accounting, used by the
 //     composite constructions of §3–§7, which the paper itself expresses
@@ -20,89 +25,13 @@
 package congest
 
 import (
-	"errors"
 	"fmt"
 	"math/rand"
+	"runtime"
 	"sync"
 
 	"lightnet/internal/graph"
 )
-
-// MaxWordsDefault is the default message size limit in machine words.
-// One word models the O(log n) bits of the CONGEST model; the constant
-// permits a constant number of words per message, as is standard.
-const MaxWordsDefault = 4
-
-// Message is a message delivered to a vertex at the start of a round.
-type Message struct {
-	From  graph.Vertex
-	Via   graph.EdgeID
-	Words []int64
-}
-
-// Program is the per-vertex algorithm run by the Engine. The Engine
-// instantiates one Program per vertex via a factory.
-//
-// Init is called once before round 1; messages sent during Init are
-// delivered in round 1. Handle is called on every round in which the
-// vertex is awake or has incoming messages. PhaseDone is called on every
-// vertex when the whole network is quiescent (no messages in flight, all
-// vertices idle); returning true re-activates the vertex for another
-// phase. PhaseDone models a global synchronization barrier; the engine
-// charges its cost separately (see Options.PhaseSyncCost).
-type Program interface {
-	Init(ctx *Ctx)
-	Handle(ctx *Ctx, inbox []Message)
-	PhaseDone(ctx *Ctx) bool
-}
-
-// NoPhases is a mixin for single-phase programs.
-type NoPhases struct{}
-
-// PhaseDone implements Program; it never starts another phase.
-func (NoPhases) PhaseDone(*Ctx) bool { return false }
-
-// Errors reported by Ctx send operations. Programs treat them as fatal
-// algorithm bugs: they are surfaced from Engine.Run.
-var (
-	ErrMsgTooLarge    = errors.New("congest: message exceeds word limit")
-	ErrEdgeBusy       = errors.New("congest: edge already used this round")
-	ErrNotNeighbor    = errors.New("congest: target is not a neighbor")
-	ErrRoundLimit     = errors.New("congest: round limit exceeded")
-	ErrProgramFailure = errors.New("congest: program reported failure")
-)
-
-// Options configure an Engine.
-type Options struct {
-	// MaxWords limits the message payload length. Default MaxWordsDefault.
-	MaxWords int
-	// MaxRounds aborts runs that exceed this many rounds. Default 4n+64.
-	MaxRounds int
-	// Seed seeds the per-vertex deterministic RNGs.
-	Seed int64
-	// PhaseSyncCost is the number of rounds charged for each global
-	// phase barrier (quiescence detection is O(D) in CONGEST via a BFS
-	// tree). Default 0; callers that use phases and want the barrier
-	// charged pass the graph's hop-diameter.
-	PhaseSyncCost int
-	// Trace, when non-nil, collects per-round activity.
-	Trace *Trace
-	// Workers > 1 executes each round's handlers on a worker pool.
-	// Results are identical to sequential execution: handlers read only
-	// their own state and the round's immutable inboxes, and write only
-	// their own outbox slots (per edge direction, owned by the sender).
-	Workers int
-}
-
-// Stats accumulates the cost of a run.
-type Stats struct {
-	Rounds    int // synchronous rounds executed (incl. phase sync charges)
-	Messages  int64
-	Words     int64
-	MaxWords  int // largest message observed
-	Phases    int
-	SyncCosts int // rounds charged for phase barriers (included in Rounds)
-}
 
 // Engine is a synchronous CONGEST simulator over a fixed graph.
 type Engine struct {
@@ -111,8 +40,16 @@ type Engine struct {
 	progs []Program
 	ctxs  []Ctx
 	// outbox[e][dir] is the message queued on edge e in direction dir
-	// (0: U->V, 1: V->U) for delivery next round.
+	// (0: U->V, 1: V->U) for delivery next round. Handlers never write
+	// it directly: sends are buffered per vertex and flushed here, in
+	// vertex order, after each handler batch (see collect).
 	outbox [][2]*Message
+	// used[e][dir] holds the batch stamp of the last send on that edge
+	// direction, giving Ctx.Send an O(1) duplicate check. Each slot is
+	// written only by its owning sender, so it is race-free under the
+	// worker pool, like outbox.
+	used   [][2]uint64
+	batch  uint64 // current handler batch (Init, each round, each PhaseDone)
 	stats  Stats
 	mu     sync.Mutex // guards failed under parallel execution
 	failed error
@@ -132,14 +69,25 @@ func (e *Engine) failure() error {
 	return e.failed
 }
 
-// mergeCtxStats folds per-vertex send counters (written lock-free by
-// handlers) into the engine stats and resets them.
-func (e *Engine) mergeCtxStats() {
+// collect closes a handler batch in one sweep over the vertices: it
+// merges the per-vertex send buffers into the shared outbox in
+// canonical (vertex, send-order) order and folds the per-vertex send
+// counters (written lock-free by handlers) into the engine stats. Each
+// (edge, direction) slot has a unique owning sender and Ctx.Send
+// rejects duplicates, so the merge never collides; iterating vertices
+// in id order makes the outbox contents independent of how handlers
+// were scheduled across workers. Vertices that sent nothing are
+// skipped, so quiet rounds cost one comparison per vertex.
+func (e *Engine) collect() {
 	for i := range e.ctxs {
 		c := &e.ctxs[i]
 		if c.sentMsgs == 0 {
 			continue
 		}
+		for _, pm := range c.pending {
+			e.outbox[pm.via][pm.dir] = pm.msg
+		}
+		c.pending = c.pending[:0]
 		e.stats.Messages += c.sentMsgs
 		e.stats.Words += c.sentWords
 		if c.maxWords > e.stats.MaxWords {
@@ -147,6 +95,7 @@ func (e *Engine) mergeCtxStats() {
 		}
 		c.sentMsgs, c.sentWords, c.maxWords = 0, 0, 0
 	}
+	e.batch++
 }
 
 // NewEngine builds an engine over g; factory is called once per vertex to
@@ -158,12 +107,20 @@ func NewEngine(g *graph.Graph, factory func(v graph.Vertex) Program, opts Option
 	if opts.MaxRounds == 0 {
 		opts.MaxRounds = 4*g.N() + 64
 	}
+	if opts.Workers == 0 {
+		opts.Workers = runtime.GOMAXPROCS(0)
+	}
+	if opts.Workers < 1 {
+		opts.Workers = 1
+	}
 	e := &Engine{
 		g:      g,
 		opts:   opts,
 		progs:  make([]Program, g.N()),
 		ctxs:   make([]Ctx, g.N()),
 		outbox: make([][2]*Message, g.M()),
+		used:   make([][2]uint64, g.M()),
+		batch:  1, // 0 is the "never sent" stamp in used
 	}
 	base := rand.New(rand.NewSource(opts.Seed))
 	for v := 0; v < g.N(); v++ {
@@ -191,11 +148,11 @@ func (e *Engine) Run() (Stats, error) {
 	for v := range e.progs {
 		e.progs[v].Init(&e.ctxs[v])
 		if err := e.failure(); err != nil {
-			e.mergeCtxStats()
+			e.collect()
 			return e.stats, err
 		}
 	}
-	e.mergeCtxStats()
+	e.collect()
 	for {
 		if err := e.runPhase(); err != nil {
 			return e.stats, err
@@ -208,11 +165,11 @@ func (e *Engine) Run() (Stats, error) {
 				more = true
 			}
 			if err := e.failure(); err != nil {
-				e.mergeCtxStats()
+				e.collect()
 				return e.stats, err
 			}
 		}
-		e.mergeCtxStats()
+		e.collect()
 		if !more {
 			return e.stats, nil
 		}
@@ -227,7 +184,8 @@ func (e *Engine) runPhase() error {
 	inboxes := make([][]Message, e.g.N())
 	active := make([]int, 0, e.g.N())
 	for {
-		// Deliver queued messages.
+		// Deliver queued messages, iterating edges in id order so the
+		// inbox order of every vertex is canonical.
 		delivered := false
 		for id := range e.outbox {
 			for dir := 0; dir < 2; dir++ {
@@ -274,37 +232,8 @@ func (e *Engine) runPhase() error {
 			}
 		}
 		rec.Activated = len(active)
-		round := e.stats.Rounds
-		dispatch := func(v int) {
-			ctx := &e.ctxs[v]
-			ctx.awake = false // programs re-arm via Stay or by sending later
-			ctx.round = round
-			e.progs[v].Handle(ctx, inboxes[v])
-			inboxes[v] = inboxes[v][:0]
-		}
-		if e.opts.Workers > 1 && len(active) > 1 {
-			var wg sync.WaitGroup
-			chunk := (len(active) + e.opts.Workers - 1) / e.opts.Workers
-			for start := 0; start < len(active); start += chunk {
-				end := start + chunk
-				if end > len(active) {
-					end = len(active)
-				}
-				wg.Add(1)
-				go func(part []int) {
-					defer wg.Done()
-					for _, v := range part {
-						dispatch(v)
-					}
-				}(active[start:end])
-			}
-			wg.Wait()
-		} else {
-			for _, v := range active {
-				dispatch(v)
-			}
-		}
-		e.mergeCtxStats()
+		e.runHandlers(active, inboxes)
+		e.collect()
 		if err := e.failure(); err != nil {
 			return err
 		}
@@ -315,100 +244,44 @@ func (e *Engine) runPhase() error {
 	}
 }
 
-// Ctx is the per-vertex execution context handed to Program callbacks.
-type Ctx struct {
-	engine *Engine
-	v      graph.Vertex
-	rng    *rand.Rand
-	awake  bool
-	round  int
-	// Per-vertex send counters, merged into Stats after every handler
-	// batch (lock-free under parallel execution: each handler touches
-	// only its own Ctx).
-	sentMsgs  int64
-	sentWords int64
-	maxWords  int
-}
-
-// V returns this vertex's id.
-func (c *Ctx) V() graph.Vertex { return c.v }
-
-// N returns the network size (known to all vertices, as is standard).
-func (c *Ctx) N() int { return c.engine.g.N() }
-
-// Round returns the current round number (1-based; 0 during Init).
-func (c *Ctx) Round() int { return c.round }
-
-// Neighbors returns the adjacency list of this vertex.
-func (c *Ctx) Neighbors() []graph.Half { return c.engine.g.Neighbors(c.v) }
-
-// Degree returns this vertex's degree.
-func (c *Ctx) Degree() int { return c.engine.g.Degree(c.v) }
-
-// Rand returns this vertex's private deterministic RNG.
-func (c *Ctx) Rand() *rand.Rand { return c.rng }
-
-// Stay keeps the vertex awake next round even without incoming messages.
-func (c *Ctx) Stay() { c.awake = true }
-
-// Fail aborts the whole run with the given error.
-func (c *Ctx) Fail(err error) {
-	c.engine.fail(fmt.Errorf("%w: vertex %d round %d: %v",
-		ErrProgramFailure, c.v, c.round, err))
-}
-
-// Send queues a message over the given incident edge. At most one message
-// per edge direction per round; payload at most MaxWords words.
-func (c *Ctx) Send(via graph.EdgeID, words ...int64) error {
-	if len(words) > c.engine.opts.MaxWords {
-		return fmt.Errorf("%w: %d > %d", ErrMsgTooLarge, len(words), c.engine.opts.MaxWords)
+// runHandlers dispatches one round's handlers for the active vertices,
+// sharding them across the worker pool. Handlers read only their own
+// state and the round's immutable inboxes and write only their own Ctx
+// (send buffer, counters, RNG), so sharding is race-free; determinism
+// follows from the canonical merge in collect.
+func (e *Engine) runHandlers(active []int, inboxes [][]Message) {
+	round := e.stats.Rounds
+	dispatch := func(v int) {
+		ctx := &e.ctxs[v]
+		ctx.awake = false // programs re-arm via Stay or by sending later
+		ctx.round = round
+		e.progs[v].Handle(ctx, inboxes[v])
+		inboxes[v] = inboxes[v][:0]
 	}
-	ed := c.engine.g.Edge(via)
-	var dir int
-	switch c.v {
-	case ed.U:
-		dir = 0
-	case ed.V:
-		dir = 1
-	default:
-		return fmt.Errorf("%w: vertex %d edge %d", ErrNotNeighbor, c.v, via)
+	workers := e.opts.Workers
+	if workers > len(active) {
+		workers = len(active)
 	}
-	if c.engine.outbox[via][dir] != nil {
-		return fmt.Errorf("%w: edge %d from %d", ErrEdgeBusy, via, c.v)
-	}
-	payload := make([]int64, len(words))
-	copy(payload, words)
-	c.engine.outbox[via][dir] = &Message{From: c.v, Via: via, Words: payload}
-	c.sentMsgs++
-	c.sentWords += int64(len(words))
-	if len(words) > c.maxWords {
-		c.maxWords = len(words)
-	}
-	return nil
-}
-
-// SendTo queues a message to a neighboring vertex (over the first edge
-// found to it).
-func (c *Ctx) SendTo(to graph.Vertex, words ...int64) error {
-	for _, h := range c.Neighbors() {
-		if h.To == to {
-			return c.Send(h.ID, words...)
+	if workers <= 1 {
+		for _, v := range active {
+			dispatch(v)
 		}
+		return
 	}
-	return fmt.Errorf("%w: %d -> %d", ErrNotNeighbor, c.v, to)
-}
-
-// Broadcast sends the same payload over every incident edge. Edges
-// already used this round are skipped (callers that need exactly-once
-// semantics should send manually).
-func (c *Ctx) Broadcast(words ...int64) error {
-	for _, h := range c.Neighbors() {
-		if err := c.Send(h.ID, words...); err != nil {
-			if errors.Is(err, ErrEdgeBusy) {
-				continue
+	var wg sync.WaitGroup
+	chunk := (len(active) + workers - 1) / workers
+	for start := 0; start < len(active); start += chunk {
+		end := start + chunk
+		if end > len(active) {
+			end = len(active)
+		}
+		wg.Add(1)
+		go func(part []int) {
+			defer wg.Done()
+			for _, v := range part {
+				dispatch(v)
 			}
-			return err
-		}
+		}(active[start:end])
 	}
-	return nil
+	wg.Wait()
 }

@@ -144,10 +144,16 @@ func (p *misProgram) PhaseDone(ctx *Ctx) bool {
 // distributed algorithm and returns the indicator vector. Expected
 // phases: O(log n).
 func RunLubyMIS(g *graph.Graph, seed int64) ([]bool, Stats, error) {
+	return RunLubyMISWorkers(g, seed, 0)
+}
+
+// RunLubyMISWorkers is RunLubyMIS with an explicit engine worker-pool
+// size (0 = GOMAXPROCS); results are identical for every worker count.
+func RunLubyMISWorkers(g *graph.Graph, seed int64, workers int) ([]bool, Stats, error) {
 	inMIS := make([]bool, g.N())
 	eng := NewEngine(g, func(graph.Vertex) Program {
 		return &misProgram{inMIS: inMIS}
-	}, Options{Seed: seed, MaxRounds: 64*g.N() + 4096})
+	}, Options{Seed: seed, MaxRounds: 64*g.N() + 4096, Workers: workers})
 	stats, err := eng.Run()
 	return inMIS, stats, err
 }

@@ -11,8 +11,9 @@ import (
 // construction, flood-min (leader election), pipelined all-to-all
 // broadcast (Lemma 1), and convergecast aggregation. Each Run* wrapper
 // allocates shared result slices, instantiates per-vertex programs that
-// write into them (the engine is sequential, so this is race-free), runs
-// the engine, and returns results plus measured statistics.
+// write into them (each vertex writes only its own slot, so this is
+// race-free under the parallel engine), runs the engine, and returns
+// results plus measured statistics.
 
 // bfsProgram builds a BFS tree by layered flooding: O(D) rounds.
 type bfsProgram struct {
@@ -56,11 +57,17 @@ func (p *bfsProgram) Handle(ctx *Ctx, inbox []Message) {
 // parent edges (NoEdge at the root), depths (-1 if unreachable), and run
 // statistics. The measured round count is Θ(D).
 func RunBFS(g *graph.Graph, root graph.Vertex, seed int64) ([]graph.EdgeID, []int32, Stats, error) {
+	return RunBFSWorkers(g, root, seed, 0)
+}
+
+// RunBFSWorkers is RunBFS with an explicit engine worker-pool size
+// (0 = GOMAXPROCS); results are identical for every worker count.
+func RunBFSWorkers(g *graph.Graph, root graph.Vertex, seed int64, workers int) ([]graph.EdgeID, []int32, Stats, error) {
 	parent := make([]graph.EdgeID, g.N())
 	depth := make([]int32, g.N())
 	eng := NewEngine(g, func(graph.Vertex) Program {
 		return &bfsProgram{root: root, depth: depth, parent: parent}
-	}, Options{Seed: seed})
+	}, Options{Seed: seed, Workers: workers})
 	stats, err := eng.Run()
 	return parent, depth, stats, err
 }

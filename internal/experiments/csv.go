@@ -1,0 +1,27 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"io"
+)
+
+// newCSVWriter wraps encoding/csv with the pipeline's conventions (LF
+// line endings, default comma separator).
+func newCSVWriter(w io.Writer) *csv.Writer { return csv.NewWriter(w) }
+
+// WriteCSV renders the table as CSV: the header row followed by the
+// data rows. Notes are not emitted — CSV output is for machine
+// consumption; use Format for the annotated markdown.
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := newCSVWriter(w)
+	if err := cw.Write(t.Header); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,473 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"strconv"
+	"time"
+
+	"lightnet/internal/congest"
+	"lightnet/internal/doubling"
+	"lightnet/internal/graph"
+	"lightnet/internal/metrics"
+	"lightnet/internal/nets"
+	"lightnet/internal/slt"
+	"lightnet/internal/spanner"
+)
+
+// Grid is the JSON experiment-grid format consumed by `lightnet bench`:
+// a base seed, a repeat count, size and workload sweeps, and one Spec
+// per experiment. Every cell of spec × workload × size × repeat becomes
+// one CSV row; re-running the same grid reproduces every column except
+// the trailing wall-time one.
+type Grid struct {
+	// Name labels the run in logs; defaults to "grid".
+	Name string `json:"name"`
+	// Seed is the base random seed; repeat r runs with Seed+r. Default 1.
+	Seed int64 `json:"seed"`
+	// Repeats is how many independent seeds each cell runs. Default 1.
+	Repeats int `json:"repeats"`
+	// Sizes are the vertex counts swept.
+	Sizes []int `json:"sizes"`
+	// Workloads are the graph families swept:
+	// er | geometric | grid | complete | hard | path.
+	Workloads []string `json:"workloads"`
+	// Workers configures the CONGEST engine pool for engine specs
+	// (0 = GOMAXPROCS). Ledger-accounted constructions ignore it.
+	Workers int `json:"workers"`
+	// Experiments are the specs to run.
+	Experiments []Spec `json:"experiments"`
+}
+
+// Spec is one experiment: a construction plus its knobs.
+type Spec struct {
+	// Construction is one of the five headline constructions —
+	// spanner | slt | sltinv | net | doubling — or "engine" to run a
+	// genuine message-passing program (see Program).
+	Construction string `json:"construction"`
+	// K is the spanner stretch parameter. Default 2.
+	K int `json:"k"`
+	// Eps is ε for spanner, slt and doubling. Default 0.25.
+	Eps float64 `json:"eps"`
+	// Gamma is γ for the inverse SLT. Default 0.25.
+	Gamma float64 `json:"gamma"`
+	// Delta is δ for nets. Default 0.5.
+	Delta float64 `json:"delta"`
+	// Scale is the net scale Δ; 0 derives it from the graph (ecc/6).
+	Scale float64 `json:"scale"`
+	// Verify computes exact quality metrics (stretch; net covering and
+	// separation). Expensive on large graphs. Default false.
+	Verify bool `json:"verify"`
+	// Program selects the engine program for construction "engine":
+	// bfs | boruvka | mis | en17. Default bfs.
+	Program string `json:"program"`
+}
+
+// LoadGrid reads and validates a JSON grid file.
+func LoadGrid(path string) (*Grid, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %w", err)
+	}
+	var g Grid
+	if err := json.Unmarshal(data, &g); err != nil {
+		return nil, fmt.Errorf("experiments: parse %s: %w", path, err)
+	}
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("experiments: %s: %w", path, err)
+	}
+	return &g, nil
+}
+
+// Validate fills defaults and rejects malformed grids.
+func (g *Grid) Validate() error {
+	if g.Name == "" {
+		g.Name = "grid"
+	}
+	if g.Seed == 0 {
+		g.Seed = 1
+	}
+	if g.Repeats <= 0 {
+		g.Repeats = 1
+	}
+	if len(g.Sizes) == 0 {
+		return fmt.Errorf("no sizes")
+	}
+	for _, n := range g.Sizes {
+		if n < 2 {
+			return fmt.Errorf("size %d too small", n)
+		}
+	}
+	if len(g.Workloads) == 0 {
+		g.Workloads = []string{"er"}
+	}
+	for _, w := range g.Workloads {
+		switch w {
+		case "er", "geometric", "grid", "complete", "hard", "path":
+		default:
+			return fmt.Errorf("unknown workload %q", w)
+		}
+	}
+	if len(g.Experiments) == 0 {
+		return fmt.Errorf("no experiments")
+	}
+	for i := range g.Experiments {
+		s := &g.Experiments[i]
+		switch s.Construction {
+		case "spanner", "slt", "sltinv", "net", "doubling", "engine":
+		default:
+			return fmt.Errorf("experiment %d: unknown construction %q", i, s.Construction)
+		}
+		if s.K < 0 || s.Eps < 0 || s.Gamma < 0 || s.Delta < 0 || s.Scale < 0 {
+			return fmt.Errorf("experiment %d: negative parameter (zero means default)", i)
+		}
+		if s.K == 0 {
+			s.K = 2
+		}
+		if s.Eps == 0 {
+			s.Eps = 0.25
+		}
+		if s.Gamma == 0 {
+			s.Gamma = 0.25
+		}
+		if s.Delta == 0 {
+			s.Delta = 0.5
+		}
+		if s.Program == "" {
+			s.Program = "bfs"
+		}
+		if s.Construction == "engine" {
+			switch s.Program {
+			case "bfs", "boruvka", "mis", "en17":
+			default:
+				return fmt.Errorf("experiment %d: unknown engine program %q", i, s.Program)
+			}
+		}
+	}
+	return nil
+}
+
+// DefaultGrid is the five-headline-construction grid used when no file
+// is given: one spec per Table 1 row, small sizes, two workloads.
+func DefaultGrid() *Grid {
+	g := &Grid{
+		Name:      "headline",
+		Seed:      1,
+		Repeats:   2,
+		Sizes:     []int{128, 256},
+		Workloads: []string{"er", "geometric"},
+		Experiments: []Spec{
+			{Construction: "spanner", K: 2, Eps: 0.25, Verify: true},
+			{Construction: "slt", Eps: 0.5, Verify: true},
+			{Construction: "sltinv", Gamma: 0.25, Verify: true},
+			{Construction: "net", Delta: 0.5},
+			{Construction: "doubling", Eps: 0.5, Verify: true},
+		},
+	}
+	if err := g.Validate(); err != nil {
+		panic(err) // unreachable: the literal is valid
+	}
+	return g
+}
+
+// Row is one CSV row of the pipeline: a single construction run with
+// its parameters, measured distributed cost, certified quality, and
+// wall time. WallMS is deliberately the last column so that reruns can
+// be compared modulo wall time.
+type Row struct {
+	Construction string
+	Workload     string
+	N, M         int
+	Seed         int64
+	Repeat       int
+	Params       string
+	Rounds       int64
+	Messages     int64
+	Size         int     // edges of the subgraph, or net points
+	Lightness    float64 // NaN when not applicable
+	Stretch      float64 // NaN when not verified / not applicable
+	WallMS       float64
+}
+
+// csvHeader matches Row.Record.
+var csvHeader = []string{
+	"construction", "workload", "n", "m", "seed", "repeat", "params",
+	"rounds", "messages", "size", "lightness", "stretch", "wall_ms",
+}
+
+// Record renders the row as CSV fields. Floats use fixed precision so
+// output is byte-reproducible; NaN renders empty.
+func (r Row) Record() []string {
+	f := func(x float64) string {
+		if math.IsNaN(x) {
+			return ""
+		}
+		return strconv.FormatFloat(x, 'f', 4, 64)
+	}
+	return []string{
+		r.Construction, r.Workload,
+		strconv.Itoa(r.N), strconv.Itoa(r.M),
+		strconv.FormatInt(r.Seed, 10), strconv.Itoa(r.Repeat), r.Params,
+		strconv.FormatInt(r.Rounds, 10), strconv.FormatInt(r.Messages, 10),
+		strconv.Itoa(r.Size), f(r.Lightness), f(r.Stretch),
+		strconv.FormatFloat(r.WallMS, 'f', 3, 64),
+	}
+}
+
+// buildWorkload generates one graph of the named family.
+func buildWorkload(kind string, n int, seed int64) *graph.Graph {
+	switch kind {
+	case "geometric":
+		return graph.RandomGeometric(n, 2, seed)
+	case "grid":
+		side := isqrt(n)
+		return graph.Grid(side, side, 4, seed)
+	case "complete":
+		return graph.Complete(n, 1000, seed)
+	case "hard":
+		return graph.HardInstance(n, float64(n)*10, seed)
+	case "path":
+		return graph.Path(n, 1)
+	default: // er
+		return graph.ErdosRenyi(n, 12.0/float64(n), 50, seed)
+	}
+}
+
+// runCell executes one grid cell and fills every Row column except the
+// identity ones the caller owns.
+func runCell(spec Spec, g *graph.Graph, seed int64, workers int) (Row, error) {
+	row := Row{Lightness: math.NaN(), Stretch: math.NaN()}
+	if spec.Construction == "engine" {
+		row.Params = fmt.Sprintf("program=%s workers=%d", spec.Program, workers)
+		start := time.Now()
+		stats, size, err := runEngineCell(spec.Program, g, seed, workers)
+		if err != nil {
+			return row, err
+		}
+		row.WallMS = float64(time.Since(start).Microseconds()) / 1000
+		row.Rounds, row.Messages, row.Size = int64(stats.Rounds), stats.Messages, size
+		return row, nil
+	}
+	// Only the ledger-accounted constructions need the hop-diameter
+	// (two BFS traversals) and a ledger.
+	d := g.HopDiameterApprox()
+	led := congest.NewLedger()
+	start := time.Now()
+	switch spec.Construction {
+	case "spanner":
+		row.Params = fmt.Sprintf("k=%d eps=%g", spec.K, spec.Eps)
+		res, err := spanner.BuildLight(g, spec.K, spec.Eps, spanner.Options{
+			Seed: seed, Ledger: led, HopDiam: d,
+		})
+		if err != nil {
+			return row, err
+		}
+		row.Size, row.Lightness = len(res.Edges), res.Lightness
+		if spec.Verify {
+			maxS, _, err := metrics.EdgeStretch(g, g.Subgraph(res.Edges))
+			if err != nil {
+				return row, err
+			}
+			row.Stretch = maxS
+		}
+	case "slt":
+		row.Params = fmt.Sprintf("eps=%g", spec.Eps)
+		res, err := slt.Build(g, 0, spec.Eps, slt.Options{Seed: seed, Ledger: led, HopDiam: d})
+		if err != nil {
+			return row, err
+		}
+		row.Size, row.Lightness = len(res.TreeEdges), res.Lightness
+		if spec.Verify {
+			light, stretch, err := slt.Verify(g, res)
+			if err != nil {
+				return row, err
+			}
+			row.Lightness, row.Stretch = light, stretch
+		}
+	case "sltinv":
+		row.Params = fmt.Sprintf("gamma=%g", spec.Gamma)
+		res, err := slt.BuildInverse(g, 0, spec.Gamma, slt.Options{Seed: seed, Ledger: led, HopDiam: d})
+		if err != nil {
+			return row, err
+		}
+		row.Size, row.Lightness = len(res.TreeEdges), res.Lightness
+		if spec.Verify {
+			light, stretch, err := slt.Verify(g, res)
+			if err != nil {
+				return row, err
+			}
+			row.Lightness, row.Stretch = light, stretch
+		}
+	case "net":
+		scale := spec.Scale
+		if scale == 0 {
+			scale = g.Eccentricity(0) / 6
+		}
+		row.Params = fmt.Sprintf("scale=%.4g delta=%g", scale, spec.Delta)
+		res, err := nets.Build(g, scale, spec.Delta, nets.Options{Seed: seed, Ledger: led, HopDiam: d})
+		if err != nil {
+			return row, err
+		}
+		row.Size = len(res.Points)
+		if spec.Verify {
+			if err := nets.Verify(g, res.Points, res.Alpha, res.Beta); err != nil {
+				return row, err
+			}
+		}
+	case "doubling":
+		row.Params = fmt.Sprintf("eps=%g", spec.Eps)
+		res, err := doubling.Build(g, spec.Eps, doubling.Options{Seed: seed, Ledger: led, HopDiam: d})
+		if err != nil {
+			return row, err
+		}
+		row.Size, row.Lightness = len(res.Edges), res.Lightness
+		if spec.Verify {
+			maxS, _, err := metrics.EdgeStretch(g, g.Subgraph(res.Edges))
+			if err != nil {
+				return row, err
+			}
+			row.Stretch = maxS
+		}
+	default:
+		return row, fmt.Errorf("unknown construction %q", spec.Construction)
+	}
+	row.WallMS = float64(time.Since(start).Microseconds()) / 1000
+	row.Rounds, row.Messages = led.Rounds(), led.Messages()
+	return row, nil
+}
+
+// runEngineCell runs one genuine message-passing program on the worker
+// pool and returns its stats and output size.
+func runEngineCell(program string, g *graph.Graph, seed int64, workers int) (congest.Stats, int, error) {
+	switch program {
+	case "boruvka":
+		edges, stats, err := congest.RunBoruvkaWorkers(g, 0, seed, workers)
+		return stats, len(edges), err
+	case "mis":
+		inMIS, stats, err := congest.RunLubyMISWorkers(g, seed, workers)
+		size := 0
+		for _, in := range inMIS {
+			if in {
+				size++
+			}
+		}
+		return stats, size, err
+	case "en17":
+		edges, stats, err := congest.RunEN17SpannerWorkers(g, 2, seed, workers)
+		return stats, len(edges), err
+	default: // bfs
+		parent, _, stats, err := congest.RunBFSWorkers(g, 0, seed, workers)
+		size := 0
+		for _, p := range parent {
+			if p != graph.NoEdge {
+				size++
+			}
+		}
+		return stats, size, err
+	}
+}
+
+// RunGrid executes every cell of the grid and writes a run folder:
+// dir/grid.json (the resolved grid, for provenance), dir/csv/ with one
+// CSV per experiment, and dir/logs/run.log mirroring the progress lines
+// written to logw. Identical grids and seeds reproduce identical CSV
+// bytes except the trailing wall_ms column.
+func RunGrid(g *Grid, dir string, logw io.Writer) error {
+	if err := g.Validate(); err != nil {
+		return err
+	}
+	for _, sub := range []string{"csv", "logs"} {
+		if err := os.MkdirAll(filepath.Join(dir, sub), 0o755); err != nil {
+			return err
+		}
+	}
+	resolved, err := json.MarshalIndent(g, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(dir, "grid.json"), append(resolved, '\n'), 0o644); err != nil {
+		return err
+	}
+	logFile, err := os.Create(filepath.Join(dir, "logs", "run.log"))
+	if err != nil {
+		return err
+	}
+	defer logFile.Close()
+	if logw == nil {
+		logw = io.Discard
+	}
+	log := io.MultiWriter(logw, logFile)
+
+	fmt.Fprintf(log, "grid %s: %d experiments × %d workloads × %d sizes × %d repeats\n",
+		g.Name, len(g.Experiments), len(g.Workloads), len(g.Sizes), g.Repeats)
+	graphs := make(map[graphKey]*graph.Graph)
+	for i, spec := range g.Experiments {
+		name := fmt.Sprintf("%02d-%s", i+1, spec.Construction)
+		if spec.Construction == "engine" {
+			name += "-" + spec.Program
+		}
+		if err := runSpec(g, spec, name, dir, graphs, log); err != nil {
+			return fmt.Errorf("experiment %s: %w", name, err)
+		}
+	}
+	fmt.Fprintf(log, "done: output in %s\n", dir)
+	return nil
+}
+
+// graphKey identifies one generated workload graph so specs sharing a
+// grid reuse it instead of regenerating it.
+type graphKey struct {
+	kind string
+	n    int
+	seed int64
+}
+
+// runSpec sweeps one spec over the grid and writes its CSV.
+func runSpec(g *Grid, spec Spec, name, dir string, graphs map[graphKey]*graph.Graph, log io.Writer) error {
+	f, err := os.Create(filepath.Join(dir, "csv", name+".csv"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := newCSVWriter(f)
+	if err := w.Write(csvHeader); err != nil {
+		return err
+	}
+	for _, kind := range g.Workloads {
+		for _, n := range g.Sizes {
+			for rep := 0; rep < g.Repeats; rep++ {
+				seed := g.Seed + int64(rep)
+				key := graphKey{kind, n, seed}
+				gr, ok := graphs[key]
+				if !ok {
+					gr = buildWorkload(kind, n, seed)
+					graphs[key] = gr
+				}
+				row, err := runCell(spec, gr, seed, g.Workers)
+				if err != nil {
+					return fmt.Errorf("%s n=%d seed=%d: %w", kind, n, seed, err)
+				}
+				row.Construction = spec.Construction
+				if spec.Construction == "engine" {
+					row.Construction = "engine-" + spec.Program
+				}
+				row.Workload, row.N, row.M = kind, gr.N(), gr.M()
+				row.Seed, row.Repeat = seed, rep
+				if err := w.Write(row.Record()); err != nil {
+					return err
+				}
+				fmt.Fprintf(log, "%s %s n=%d repeat=%d: rounds=%d messages=%d size=%d (%.1fms)\n",
+					name, kind, n, rep, row.Rounds, row.Messages, row.Size, row.WallMS)
+			}
+		}
+	}
+	w.Flush()
+	if err := w.Error(); err != nil {
+		return err
+	}
+	return f.Close()
+}

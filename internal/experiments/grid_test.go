@@ -1,0 +1,117 @@
+package experiments
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestLoadGridDefaults(t *testing.T) {
+	g, err := LoadGrid(filepath.Join("testdata", "grid.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Name != "testdata-quick" || g.Seed != 7 || g.Repeats != 2 {
+		t.Fatalf("grid header mismatch: %+v", g)
+	}
+	if len(g.Experiments) != 6 {
+		t.Fatalf("want 6 experiments, got %d", len(g.Experiments))
+	}
+	// Defaults must be filled for knobs the file omits.
+	if g.Experiments[2].Gamma != 0.25 || g.Experiments[2].K != 2 {
+		t.Fatalf("defaults not applied: %+v", g.Experiments[2])
+	}
+	if g.Experiments[5].Program != "boruvka" {
+		t.Fatalf("engine program not parsed: %+v", g.Experiments[5])
+	}
+}
+
+func TestGridValidateRejects(t *testing.T) {
+	bad := []Grid{
+		{Sizes: []int{64}, Experiments: []Spec{{Construction: "nope"}}},
+		{Experiments: []Spec{{Construction: "spanner"}}},
+		{Sizes: []int{64}},
+		{Sizes: []int{64}, Workloads: []string{"mystery"},
+			Experiments: []Spec{{Construction: "spanner"}}},
+		{Sizes: []int{64}, Experiments: []Spec{{Construction: "engine", Program: "nope"}}},
+	}
+	for i := range bad {
+		if err := bad[i].Validate(); err == nil {
+			t.Fatalf("grid %d accepted: %+v", i, bad[i])
+		}
+	}
+}
+
+// stripWallTime removes the trailing wall_ms field of every CSV line so
+// reruns can be compared byte-for-byte on the deterministic columns.
+func stripWallTime(t *testing.T, csv string) string {
+	t.Helper()
+	lines := strings.Split(strings.TrimRight(csv, "\n"), "\n")
+	for i, line := range lines {
+		cut := strings.LastIndex(line, ",")
+		if cut < 0 {
+			t.Fatalf("line %d has no fields: %q", i, line)
+		}
+		lines[i] = line[:cut]
+	}
+	return strings.Join(lines, "\n")
+}
+
+// TestRunGridReproducible: the pipeline's core guarantee — the same
+// grid and seed produce identical CSV content modulo the wall-time
+// column, and the run folder has the documented layout.
+func TestRunGridReproducible(t *testing.T) {
+	grid, err := LoadGrid(filepath.Join("testdata", "grid.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirs := []string{t.TempDir(), t.TempDir()}
+	for _, dir := range dirs {
+		if err := RunGrid(grid, dir, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, name := range []string{"grid.json", filepath.Join("logs", "run.log")} {
+		if _, err := os.Stat(filepath.Join(dirs[0], name)); err != nil {
+			t.Fatalf("missing %s: %v", name, err)
+		}
+	}
+	csvs, err := filepath.Glob(filepath.Join(dirs[0], "csv", "*.csv"))
+	if err != nil || len(csvs) != len(grid.Experiments) {
+		t.Fatalf("want %d CSVs, got %d (%v)", len(grid.Experiments), len(csvs), err)
+	}
+	for _, path := range csvs {
+		rel, _ := filepath.Rel(dirs[0], path)
+		a, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := os.ReadFile(filepath.Join(dirs[1], rel))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, want := stripWallTime(t, string(a)), stripWallTime(t, string(b)); got != want {
+			t.Fatalf("%s not reproducible:\nrun1:\n%s\nrun2:\n%s", rel, got, want)
+		}
+		if lines := strings.Count(string(a), "\n"); lines != 1+len(grid.Workloads)*len(grid.Sizes)*grid.Repeats {
+			t.Fatalf("%s: want %d rows+header, got %d lines", rel,
+				len(grid.Workloads)*len(grid.Sizes)*grid.Repeats, lines)
+		}
+	}
+}
+
+// TestDefaultGridRuns: the built-in grid covers the five headline
+// constructions and validates.
+func TestDefaultGridRuns(t *testing.T) {
+	g := DefaultGrid()
+	want := map[string]bool{"spanner": false, "slt": false, "sltinv": false, "net": false, "doubling": false}
+	for _, s := range g.Experiments {
+		want[s.Construction] = true
+	}
+	for c, seen := range want {
+		if !seen {
+			t.Fatalf("default grid misses construction %s", c)
+		}
+	}
+}

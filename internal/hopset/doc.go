@@ -1,0 +1,9 @@
+// Package hopset implements the [EN16]-style path-reporting hopsets used
+// by §6 and §7: a randomly sampled skeleton V′ of ≈ c·(n/h)·ln n
+// vertices hit (w.h.p.) every shortest path of h hops; the h-hop-bounded
+// distances between skeleton vertices form the virtual edge set E′.
+// Every virtual edge is path-reporting: its underlying path in G is
+// recoverable from the stored Bellman-Ford parent trees, so paths found
+// through the hopset can be added to a spanner edge-by-edge (the
+// requirement of §7).
+package hopset

@@ -1,0 +1,13 @@
+// Package lelist implements Least-Element lists [Coh97], the machinery
+// behind the paper's net construction (§6, Definition 1): given a
+// permutation π on a vertex set A, u belongs to LE(v) iff u is first in
+// π among all vertices of A within distance d(v,u) of v.
+//
+// Following [FL16] (Theorem 4 of the paper), the lists are computed not
+// over G but over an approximation H with d_G ≤ d_H ≤ (1+δ)·d_G. Here H
+// is G with every edge weight rounded up to the next power of (1+δ) —
+// a genuine graph satisfying exactly the [FL16] interface. The
+// computation itself is Cohen's pruned-Dijkstra algorithm, whose total
+// work is O(m log n) in expectation and whose lists have O(log|A|)
+// expected length [KKM+12] (verified in tests).
+package lelist

@@ -1,8 +1,3 @@
-// Package mst provides minimum spanning trees and the [KP98]-style
-// fragment machinery of §3: a centralized Kruskal oracle, the distributed
-// Borůvka construction (running on the congest engine), rooted-tree
-// utilities, and the decomposition of the MST into O(√n) base fragments
-// of hop-diameter O(√n) together with the fragment tree T′.
 package mst
 
 import (

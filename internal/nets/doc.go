@@ -1,0 +1,12 @@
+// Package nets implements §6 of the paper: distributed construction of
+// (α, β)-nets in general weighted graphs (Theorem 3). Given Δ and δ the
+// algorithm returns a ((1+δ)·Δ, Δ/(1+δ))-net in O(log n) iterations
+// w.h.p., each iteration consisting of an LE-list computation [FL16]
+// (package lelist) and an approximate multi-source shortest-path tree
+// [BKKL17] (package sssp).
+//
+// The package also provides the sequential greedy net (the baseline the
+// paper calls "inherently sequential") and an exact verifier for the
+// covering and separation properties. Nets are the building block of
+// the §7 doubling-graph spanners and of the §8 lower-bound reduction.
+package nets

@@ -1,0 +1,19 @@
+// Package slt implements §4 of the paper: distributed construction of
+// Shallow-Light Trees. An (α, β)-SLT rooted at rt is a spanning tree
+// with lightness β (weight / MST weight) whose root distances are
+// stretched by at most α.
+//
+// Theorem 1: for ε ∈ (0,1) the construction yields a
+// (1+O(ε), 1+O(1/ε))-SLT in Õ(√n + D)·poly(1/ε) rounds. The inverse
+// trade-off — lightness 1+γ with stretch O(1/γ) — is obtained through
+// the [BFN16] reweighting reduction (Lemma 5), implemented in
+// BuildInverse. The [KRY95] sequential construction is provided as the
+// baseline.
+//
+// The construction follows the paper's distributable recipe: an Euler
+// tour of the MST (package euler) selects break points along the tour
+// with the two-phase rule of §4.1, and an approximate shortest-path
+// tree (package sssp) connects them back to the root; the loss of the
+// two-phase rule against the sequential break-point rule is quantified
+// by experiment E-ABL-a.
+package slt

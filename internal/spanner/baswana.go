@@ -1,8 +1,3 @@
-// Package spanner implements §5 of the paper: the first CONGEST
-// algorithm for light spanners of general weighted graphs (Theorem 2),
-// together with the [BS07] Baswana-Sen spanner it uses on the light
-// bucket and compares against, and the greedy spanner [ADD+93] quality
-// baseline.
 package spanner
 
 import (

@@ -1,0 +1,12 @@
+// Package spanner implements §5 of the paper: the first CONGEST
+// algorithm for light spanners of general weighted graphs (Theorem 2),
+// together with the [BS07] Baswana-Sen spanner it uses on the light
+// bucket and compares against, and the greedy spanner [ADD+93] quality
+// baseline.
+//
+// BuildLight partitions edges into O(log_{1+ε} n) weight buckets
+// relative to the MST weight, runs a cluster-level [EN17b] spanner
+// (k+2 rounds per bucket) or Baswana-Sen on each, and returns the
+// union plus the MST: stretch (2k−1)(1+ε), size O(k·n^{1+1/k}),
+// lightness O(k·n^{1/k}), in Õ(n^{1/2+1/(4k+2)} + D) rounds.
+package spanner

@@ -1,23 +1,3 @@
-// Package sssp provides (1+ε)-approximate shortest-path trees, the
-// substitute for the [BKKL17] algorithm the paper invokes as a black
-// box. Three modes are provided:
-//
-//   - ModeExact: a Dijkstra oracle (stretch exactly 1 — trivially within
-//     the (1+ε) interface); the distributed round cost is charged to the
-//     ledger by the [BKKL17] bound Õ((√n+D)/poly ε).
-//   - ModePerturbed (default): Dijkstra over multiplicatively perturbed
-//     weights w′(e) = w(e)·(1+ε·u_e), u_e ∈ [0,1). The returned tree is
-//     a genuine non-trivial (1+ε)-approximate SPT — d_G ≤ d_T ≤
-//     (1+ε)·d_G — exercising downstream robustness to approximation.
-//   - ModeSkeleton: the full two-level skeleton construction over a
-//     path-reporting hopset ([EN16]/[Nanongkai]-style): h-hop bounded
-//     Bellman-Ford from the root and from every skeleton vertex, exact
-//     Dijkstra on the virtual skeleton graph, and a final SPT inside the
-//     union of reported paths. Exact w.h.p.; used by tests and available
-//     for all calls.
-//
-// All modes return trees that are subgraphs of G, so their edges can be
-// added to spanners directly.
 package sssp
 
 import (
