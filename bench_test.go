@@ -328,6 +328,7 @@ func BenchmarkEngine(b *testing.B) {
 	grid := GridGraph(16, 16, 4, 10)
 	er := benchGraph("er", 256, 10)
 	b.Run("bfs", func(b *testing.B) {
+		b.ReportAllocs()
 		var rounds int
 		for i := 0; i < b.N; i++ {
 			_, _, s, err := congest.RunBFS(grid, 0, int64(i))
@@ -339,6 +340,7 @@ func BenchmarkEngine(b *testing.B) {
 		b.ReportMetric(float64(rounds), "rounds")
 	})
 	b.Run("broadcast-lemma1", func(b *testing.B) {
+		b.ReportAllocs()
 		tokens := map[graph.Vertex][]int64{}
 		for v := 0; v < 40; v++ {
 			tokens[graph.Vertex(v*6)] = []int64{int64(1000 + v)}
@@ -354,6 +356,7 @@ func BenchmarkEngine(b *testing.B) {
 		b.ReportMetric(float64(rounds), "rounds")
 	})
 	b.Run("boruvka-mst", func(b *testing.B) {
+		b.ReportAllocs()
 		var rounds int
 		for i := 0; i < b.N; i++ {
 			_, s, err := congest.RunBoruvka(er, 0, int64(i))
@@ -365,6 +368,7 @@ func BenchmarkEngine(b *testing.B) {
 		b.ReportMetric(float64(rounds), "rounds")
 	})
 	b.Run("luby-mis", func(b *testing.B) {
+		b.ReportAllocs()
 		var phases int
 		for i := 0; i < b.N; i++ {
 			_, s, err := congest.RunLubyMIS(er, int64(i))
@@ -376,6 +380,7 @@ func BenchmarkEngine(b *testing.B) {
 		b.ReportMetric(float64(phases), "phases")
 	})
 	b.Run("en17-spanner", func(b *testing.B) {
+		b.ReportAllocs()
 		var edges int
 		for i := 0; i < b.N; i++ {
 			sel, _, err := congest.RunEN17Spanner(er, 3, int64(i))

@@ -1,0 +1,119 @@
+// Command benchengine measures the CONGEST engine's hot path on the
+// canonical 2048-vertex workload (the Luby MIS run of
+// BenchmarkEngineWorkers: ErdosRenyi(2048, 24/2048, 9, seed 1), engine
+// seed 3, workers=1) and writes BENCH_engine.json recording ns/round,
+// allocations and messages next to the frozen pre-refactor baseline.
+// The checked-in JSON is the start of the repo's performance
+// trajectory; rerun after engine changes:
+//
+//	go run ./cmd/benchengine -out BENCH_engine.json
+//
+// For per-round micro-costs (dense vs sparse traffic) see
+// BenchmarkSteadyStateRound in internal/congest; for the multi-core
+// profile run BenchmarkEngineWorkers with -benchmem.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"testing"
+
+	"lightnet/internal/congest"
+	"lightnet/internal/graph"
+)
+
+// Measurement is one engine datapoint on the canonical workload.
+type Measurement struct {
+	// Commit identifies the engine version ("baseline" numbers are
+	// frozen from the pre-refactor engine).
+	Commit      string  `json:"commit"`
+	NsPerOp     int64   `json:"ns_per_op"`
+	RoundsPerOp int     `json:"rounds_per_op"`
+	NsPerRound  float64 `json:"ns_per_round"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	Messages    int64   `json:"messages"`
+}
+
+// Report is the schema of BENCH_engine.json.
+type Report struct {
+	Workload          string      `json:"workload"`
+	Before            Measurement `json:"before"`
+	After             Measurement `json:"after"`
+	SpeedupNsPerRound float64     `json:"speedup_ns_per_round"`
+}
+
+// baseline is the pre-refactor engine (commit 986341d: per-message heap
+// allocation, full edge/vertex scans per round, map-keyed per-neighbor
+// program state), measured on the same workload and host class with
+// go test -bench BenchmarkEngineWorkers/workers=1 -benchmem.
+var baseline = Measurement{
+	Commit:      "986341d",
+	NsPerOp:     55582765,
+	RoundsPerOp: 13,
+	NsPerRound:  55582765.0 / 13,
+	AllocsPerOp: 254142,
+	BytesPerOp:  27322368,
+	Messages:    101225,
+}
+
+func workloadGraph() *graph.Graph {
+	return graph.ErdosRenyi(2048, 24.0/2048, 9, 1)
+}
+
+func main() {
+	out := flag.String("out", "BENCH_engine.json", "output path")
+	flag.Parse()
+	if err := run(*out); err != nil {
+		fmt.Fprintln(os.Stderr, "benchengine:", err)
+		os.Exit(1)
+	}
+}
+
+func run(out string) error {
+	g := workloadGraph()
+	// One reference run for the round/message counts (deterministic:
+	// fixed seeds, worker count does not change results).
+	_, stats, err := congest.RunLubyMISWorkers(g, 3, 1)
+	if err != nil {
+		return err
+	}
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := congest.RunLubyMISWorkers(g, 3, 1); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	after := Measurement{
+		Commit:      "HEAD",
+		NsPerOp:     res.NsPerOp(),
+		RoundsPerOp: stats.Rounds,
+		NsPerRound:  float64(res.NsPerOp()) / float64(stats.Rounds),
+		AllocsPerOp: res.AllocsPerOp(),
+		BytesPerOp:  res.AllocedBytesPerOp(),
+		Messages:    stats.Messages,
+	}
+	rep := Report{
+		Workload: "Luby MIS on ErdosRenyi(n=2048, p=24/n, maxW=9, seed=1), " +
+			"engine seed 3, workers=1 (the BenchmarkEngineWorkers workload)",
+		Before:            baseline,
+		After:             after,
+		SpeedupNsPerRound: baseline.NsPerRound / after.NsPerRound,
+	}
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(out, buf, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("workload: %s\nns/round: %.0f -> %.0f (%.2fx)\nallocs/op: %d -> %d\nwrote %s\n",
+		rep.Workload, baseline.NsPerRound, after.NsPerRound, rep.SpeedupNsPerRound,
+		baseline.AllocsPerOp, after.AllocsPerOp, out)
+	return nil
+}

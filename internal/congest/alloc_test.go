@@ -1,0 +1,127 @@
+package congest
+
+import (
+	"math"
+	"testing"
+
+	"lightnet/internal/graph"
+)
+
+// sparseEchoProgram keeps exactly one message in flight forever: vertex
+// a opens by sending to its right neighbor, and every recipient echoes
+// on the arrival edge. After round 1 (in which every vertex runs once,
+// per the engine contract) only two vertices and one edge are ever
+// active — the adversarial workload for the active-set round loop.
+type sparseEchoProgram struct {
+	NoPhases
+	a graph.Vertex
+}
+
+func (p *sparseEchoProgram) Init(ctx *Ctx) {
+	if ctx.V() == p.a {
+		if err := ctx.SendTo(p.a+1, 0); err != nil {
+			ctx.Fail(err)
+		}
+	}
+}
+
+func (p *sparseEchoProgram) Handle(ctx *Ctx, inbox []Message) {
+	for _, m := range inbox {
+		if err := ctx.Send(m.Via, m.Words[0]+1); err != nil {
+			ctx.Fail(err)
+		}
+	}
+}
+
+// steadyEngine builds an engine, runs Init and enough warm-up rounds
+// for every reusable buffer (arenas, inboxes, worklists, dirty list) to
+// reach steady-state capacity, and returns it ready for stepRound.
+func steadyEngine(t testing.TB, g *graph.Graph, factory func(graph.Vertex) Program) *Engine {
+	eng := NewEngine(g, factory, Options{Workers: 1, MaxRounds: math.MaxInt / 2})
+	for v := range eng.progs {
+		eng.progs[v].Init(&eng.ctxs[v])
+	}
+	eng.collect(nil)
+	for i := 0; i < 16; i++ {
+		ran, err := eng.stepRound()
+		if err != nil {
+			t.Fatalf("warm-up round %d: %v", i, err)
+		}
+		if !ran {
+			t.Fatalf("warm-up round %d: engine quiesced; workload must run forever", i)
+		}
+	}
+	return eng
+}
+
+// TestSteadyStateAllocs: a quiescent-topology steady-state round — the
+// regime of pipelined broadcast tails and Bellman-Ford convergence —
+// must perform zero heap allocations, both under dense traffic (every
+// vertex sends on every edge) and sparse traffic (one message in
+// flight on a large graph).
+func TestSteadyStateAllocs(t *testing.T) {
+	t.Run("dense-ping-pong", func(t *testing.T) {
+		eng := steadyEngine(t, graph.Cycle(64, 1), func(graph.Vertex) Program {
+			return &pingPongProgram{}
+		})
+		assertZeroAllocRounds(t, eng)
+	})
+	t.Run("sparse-echo", func(t *testing.T) {
+		g := graph.Path(4096, 1)
+		a := graph.Vertex(g.N() / 2)
+		eng := steadyEngine(t, g, func(graph.Vertex) Program {
+			return &sparseEchoProgram{a: a}
+		})
+		assertZeroAllocRounds(t, eng)
+	})
+}
+
+func assertZeroAllocRounds(t *testing.T, eng *Engine) {
+	t.Helper()
+	avg := testing.AllocsPerRun(200, func() {
+		ran, err := eng.stepRound()
+		if err != nil {
+			t.Fatalf("steady-state round: %v", err)
+		}
+		if !ran {
+			t.Fatal("steady-state round: engine quiesced")
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("steady-state round allocates: %v allocs/round, want 0", avg)
+	}
+}
+
+// BenchmarkSteadyStateRound is the per-round cost of the engine itself:
+// one op is one synchronous round. dense has every vertex broadcasting
+// on a 2048-cycle; sparse has a single message in flight on a
+// 65536-vertex path, the regime where round cost must be O(active)
+// rather than O(n+m).
+func BenchmarkSteadyStateRound(b *testing.B) {
+	b.Run("dense-cycle-2048", func(b *testing.B) {
+		eng := steadyEngine(b, graph.Cycle(2048, 1), func(graph.Vertex) Program {
+			return &pingPongProgram{}
+		})
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if ran, err := eng.stepRound(); err != nil || !ran {
+				b.Fatalf("round: ran=%v err=%v", ran, err)
+			}
+		}
+	})
+	b.Run("sparse-path-65536", func(b *testing.B) {
+		g := graph.Path(65536, 1)
+		a := graph.Vertex(g.N() / 2)
+		eng := steadyEngine(b, g, func(graph.Vertex) Program {
+			return &sparseEchoProgram{a: a}
+		})
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if ran, err := eng.stepRound(); err != nil || !ran {
+				b.Fatalf("round: ran=%v err=%v", ran, err)
+			}
+		}
+	})
+}

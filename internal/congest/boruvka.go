@@ -26,16 +26,23 @@ import (
 type boruvkaProgram struct {
 	inTree []bool // shared, per edge id: adopted into MST
 
-	stage    int
-	frag     int64
-	nbrFrag  map[graph.EdgeID]int64
-	treeAdj  map[graph.EdgeID]bool
-	bestW    float64
-	bestID   int64
-	localW   float64
-	localID  int64
-	active   bool
-	announce bool
+	stage int
+	frag  int64
+	// nbrFrag[slot] is the last announced fragment id of the neighbor on
+	// adjacency slot `slot`; treeAdj[slot] marks adopted tree edges.
+	// Dense per-neighbor slices indexed by Ctx.SlotOf replace the maps
+	// the program used to key by edge id — O(1) with no hashing and no
+	// allocation after Init.
+	nbrFrag []int64
+	treeAdj []bool
+	// treeEdges lists the adopted incident edges in adoption order, so
+	// fragment-tree floods iterate a compact slice.
+	treeEdges []graph.EdgeID
+	bestW     float64
+	bestID    int64
+	localW    float64
+	localID   int64
+	active    bool
 }
 
 const (
@@ -48,11 +55,20 @@ const bvNoEdge = int64(math.MaxInt64)
 
 func (p *boruvkaProgram) Init(ctx *Ctx) {
 	p.frag = int64(ctx.V())
-	p.nbrFrag = make(map[graph.EdgeID]int64, ctx.Degree())
-	p.treeAdj = make(map[graph.EdgeID]bool)
+	p.nbrFrag = make([]int64, ctx.Degree())
+	p.treeAdj = make([]bool, ctx.Degree())
 	p.active = true
 	p.stage = bvStageAnnounce
 	p.sendAnnounce(ctx)
+}
+
+// adopt records the edge (by adjacency slot) as a fragment-tree edge.
+func (p *boruvkaProgram) adopt(id graph.EdgeID, slot int) {
+	if !p.treeAdj[slot] {
+		p.treeAdj[slot] = true
+		p.treeEdges = append(p.treeEdges, id)
+		p.inTree[id] = true
+	}
 }
 
 func (p *boruvkaProgram) sendAnnounce(ctx *Ctx) {
@@ -74,7 +90,7 @@ func (p *boruvkaProgram) Handle(ctx *Ctx, inbox []Message) {
 	case bvStageAnnounce:
 		for _, m := range inbox {
 			if m.Words[0] == 'F' {
-				p.nbrFrag[m.Via] = m.Words[1]
+				p.nbrFrag[ctx.SlotOf(m.Via)] = m.Words[1]
 			}
 		}
 	case bvStageAggregate:
@@ -99,10 +115,7 @@ func (p *boruvkaProgram) Handle(ctx *Ctx, inbox []Message) {
 		for _, m := range inbox {
 			switch m.Words[0] {
 			case 'A': // adopt: the far endpoint chose this edge as MOE
-				if !p.treeAdj[m.Via] {
-					p.treeAdj[m.Via] = true
-					p.inTree[m.Via] = true
-				}
+				p.adopt(m.Via, ctx.SlotOf(m.Via))
 				// Always answer with our own label so both merged sides
 				// learn each other's fragment id.
 				reply = append(reply, m.Via)
@@ -128,7 +141,7 @@ func (p *boruvkaProgram) Handle(ctx *Ctx, inbox []Message) {
 }
 
 func (p *boruvkaProgram) floodCandidate(ctx *Ctx) {
-	for id := range p.treeAdj {
+	for _, id := range p.treeEdges {
 		if err := ctx.Send(id, 'C', int64(math.Float64bits(p.bestW)), p.bestID); err != nil {
 			ctx.Fail(err)
 			return
@@ -137,7 +150,7 @@ func (p *boruvkaProgram) floodCandidate(ctx *Ctx) {
 }
 
 func (p *boruvkaProgram) floodRelabel(ctx *Ctx) {
-	for id := range p.treeAdj {
+	for _, id := range p.treeEdges {
 		p.sendRelabel(ctx, id)
 	}
 }
@@ -161,8 +174,8 @@ func (p *boruvkaProgram) PhaseDone(ctx *Ctx) bool {
 		// aggregation.
 		p.stage = bvStageAggregate
 		p.localW, p.localID = math.Inf(1), bvNoEdge
-		for _, h := range ctx.Neighbors() {
-			if p.nbrFrag[h.ID] != p.frag && better(h.W, int64(h.ID), p.localW, p.localID) {
+		for i, h := range ctx.Neighbors() {
+			if p.nbrFrag[i] != p.frag && better(h.W, int64(h.ID), p.localW, p.localID) {
 				p.localW, p.localID = h.W, int64(h.ID)
 			}
 		}
@@ -180,10 +193,7 @@ func (p *boruvkaProgram) PhaseDone(ctx *Ctx) bool {
 		}
 		if p.bestID == p.localID && p.localID != bvNoEdge {
 			eid := graph.EdgeID(p.bestID)
-			if !p.treeAdj[eid] {
-				p.treeAdj[eid] = true
-				p.inTree[eid] = true
-			}
+			p.adopt(eid, ctx.SlotOf(eid))
 			if err := ctx.Send(eid, 'A', p.frag); err != nil {
 				ctx.Fail(err)
 			}

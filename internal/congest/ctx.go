@@ -8,12 +8,15 @@ import (
 	"lightnet/internal/graph"
 )
 
-// pendingMsg is a buffered outgoing message: the engine flushes it into
-// the shared outbox after the handler batch (see Engine.collect).
+// pendingMsg is a buffered outgoing message: the edge and direction it
+// travels, and the payload's position inside the sender's word arena
+// for the current batch. The engine flushes it into the shared outbox
+// after the handler batch (see Engine.collect).
 type pendingMsg struct {
 	via graph.EdgeID
 	dir uint8
-	msg *Message
+	off int32
+	n   int32
 }
 
 // Ctx is the per-vertex execution context handed to Program callbacks.
@@ -26,9 +29,18 @@ type Ctx struct {
 	awake  bool
 	round  int
 	// pending buffers this vertex's sends for the current handler batch;
-	// the engine merges the buffers in vertex order, making the outbox
-	// contents independent of worker scheduling.
+	// the engine merges the buffers in a canonical order, making the
+	// outbox contents independent of worker scheduling.
 	pending []pendingMsg
+	// wbuf holds the payload words of this vertex's sends, double-
+	// buffered by batch parity: the arena written in batch b is read by
+	// recipients during batch b+1 (messages sent in one batch are
+	// delivered at the start of the next) and is free for reuse in batch
+	// b+2. Both buffers grow to the vertex's peak send volume and are
+	// then reused without allocation. wbatch[p] records the batch that
+	// last reset arena p, so the reset is lazy and O(1).
+	wbuf   [2][]int64
+	wbatch [2]uint64
 	// Per-vertex send counters, merged into Stats after every handler
 	// batch (lock-free under parallel execution: each handler touches
 	// only its own Ctx).
@@ -52,6 +64,12 @@ func (c *Ctx) Neighbors() []graph.Half { return c.engine.g.Neighbors(c.v) }
 // Degree returns this vertex's degree.
 func (c *Ctx) Degree() int { return c.engine.g.Degree(c.v) }
 
+// SlotOf returns the index of the given incident edge within this
+// vertex's Neighbors() slice, or -1 if the edge is not incident. O(1):
+// programs use it to keep per-neighbor state in dense slices indexed by
+// adjacency slot instead of maps keyed by edge id.
+func (c *Ctx) SlotOf(id graph.EdgeID) int { return c.engine.g.Slot(c.v, id) }
+
 // Rand returns this vertex's private deterministic RNG.
 func (c *Ctx) Rand() *rand.Rand { return c.rng }
 
@@ -65,12 +83,15 @@ func (c *Ctx) Fail(err error) {
 }
 
 // Send queues a message over the given incident edge. At most one message
-// per edge direction per round; payload at most MaxWords words.
+// per edge direction per round; payload at most MaxWords words. The
+// payload is copied into the vertex's arena, so the steady-state send
+// path performs no heap allocation.
 func (c *Ctx) Send(via graph.EdgeID, words ...int64) error {
-	if len(words) > c.engine.opts.MaxWords {
-		return fmt.Errorf("%w: %d > %d", ErrMsgTooLarge, len(words), c.engine.opts.MaxWords)
+	e := c.engine
+	if len(words) > e.opts.MaxWords {
+		return fmt.Errorf("%w: %d > %d", ErrMsgTooLarge, len(words), e.opts.MaxWords)
 	}
-	ed := c.engine.g.Edge(via)
+	ed := e.g.Edge(via)
 	var dir uint8
 	switch c.v {
 	case ed.U:
@@ -83,16 +104,19 @@ func (c *Ctx) Send(via graph.EdgeID, words ...int64) error {
 	// The (edge, direction) slot is owned by this vertex, so the only
 	// possible duplicate is an earlier send of our own in this batch;
 	// the batch stamp makes the check O(1) without clearing state.
-	if c.engine.used[via][dir] == c.engine.batch {
+	slot := int32(via)<<1 | int32(dir)
+	if e.used[slot] == e.batch {
 		return fmt.Errorf("%w: edge %d from %d", ErrEdgeBusy, via, c.v)
 	}
-	c.engine.used[via][dir] = c.engine.batch
-	payload := make([]int64, len(words))
-	copy(payload, words)
-	c.pending = append(c.pending, pendingMsg{
-		via: via, dir: dir,
-		msg: &Message{From: c.v, Via: via, Words: payload},
-	})
+	e.used[slot] = e.batch
+	par := e.batch & 1
+	if c.wbatch[par] != e.batch {
+		c.wbuf[par] = c.wbuf[par][:0]
+		c.wbatch[par] = e.batch
+	}
+	off := int32(len(c.wbuf[par]))
+	c.wbuf[par] = append(c.wbuf[par], words...)
+	c.pending = append(c.pending, pendingMsg{via: via, dir: dir, off: off, n: int32(len(words))})
 	c.sentMsgs++
 	c.sentWords += int64(len(words))
 	if len(words) > c.maxWords {
@@ -102,14 +126,14 @@ func (c *Ctx) Send(via graph.EdgeID, words ...int64) error {
 }
 
 // SendTo queues a message to a neighboring vertex (over the first edge
-// found to it).
+// to it in this vertex's adjacency order). O(1) via the graph's frozen
+// neighbor index.
 func (c *Ctx) SendTo(to graph.Vertex, words ...int64) error {
-	for _, h := range c.Neighbors() {
-		if h.To == to {
-			return c.Send(h.ID, words...)
-		}
+	id, ok := c.engine.g.EdgeBetween(c.v, to)
+	if !ok {
+		return fmt.Errorf("%w: %d -> %d", ErrNotNeighbor, c.v, to)
 	}
-	return fmt.Errorf("%w: %d -> %d", ErrNotNeighbor, c.v, to)
+	return c.Send(id, words...)
 }
 
 // Broadcast sends the same payload over every incident edge. Edges

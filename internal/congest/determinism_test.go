@@ -158,6 +158,7 @@ func BenchmarkEngineWorkers(b *testing.B) {
 			name = "workers=gomaxprocs"
 		}
 		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				inMIS := make([]bool, g.N())
 				eng := NewEngine(g, func(graph.Vertex) Program {

@@ -30,9 +30,11 @@ type en17Program struct {
 	m       float64
 	s       int64
 	sentSel bool
-	// final (s, m) received from each neighbor during selection round
-	nbrS map[graph.EdgeID]int64
-	nbrM map[graph.EdgeID]float64
+	// final (s, m) received from each neighbor during the selection
+	// round, stored densely by adjacency slot (nbrHas marks receipt).
+	nbrS   []int64
+	nbrM   []float64
+	nbrHas []bool
 }
 
 const (
@@ -50,8 +52,9 @@ func (p *en17Program) Init(ctx *Ctx) {
 		}
 	}
 	p.s = int64(ctx.V())
-	p.nbrS = make(map[graph.EdgeID]int64, ctx.Degree())
-	p.nbrM = make(map[graph.EdgeID]float64, ctx.Degree())
+	p.nbrS = make([]int64, ctx.Degree())
+	p.nbrM = make([]float64, ctx.Degree())
+	p.nbrHas = make([]bool, ctx.Degree())
 	p.send(ctx, en17MsgProp, p.s, p.m-1)
 	ctx.Stay()
 }
@@ -78,8 +81,10 @@ func (p *en17Program) Handle(ctx *Ctx, inbox []Message) {
 				p.s = src
 			}
 		case en17MsgSel:
-			p.nbrS[m.Via] = src
-			p.nbrM[m.Via] = val
+			slot := ctx.SlotOf(m.Via)
+			p.nbrS[slot] = src
+			p.nbrM[slot] = val
+			p.nbrHas[slot] = true
 		}
 	}
 	switch {
@@ -106,12 +111,12 @@ func (p *en17Program) selectEdges(ctx *Ctx) {
 		m  float64
 	}
 	choice := make(map[int64]best)
-	for _, h := range ctx.Neighbors() {
-		s, ok := p.nbrS[h.ID]
-		if !ok {
+	for i, h := range ctx.Neighbors() {
+		if !p.nbrHas[i] {
 			continue
 		}
-		mv := p.nbrM[h.ID]
+		s := p.nbrS[i]
+		mv := p.nbrM[i]
 		if mv < p.m-1 {
 			continue
 		}

@@ -22,16 +22,36 @@
 //     composite constructions of §3–§7, which the paper itself expresses
 //     as sequences of primitives with known costs (Lemma 1 broadcast:
 //     O(M+D); fragment-local pipelining: O(fragment hop-diameter); etc.).
+//
+// The engine's per-round data path is allocation-free in the steady
+// state (see docs/ARCHITECTURE.md, "Performance"): message payloads live
+// in per-vertex double-buffered arenas reused across rounds, the outbox
+// is a flat array of value slots addressed by (edge, direction), and
+// each round touches only the active state — a dirty-edge list of
+// pending deliveries and a worklist of awake/receiving vertices — so a
+// sparse-traffic round costs O(active), not O(n+m).
 package congest
 
 import (
 	"fmt"
 	"math/rand"
 	"runtime"
+	"slices"
 	"sync"
 
 	"lightnet/internal/graph"
 )
+
+// outMsg is one queued outbox slot: the sending vertex and the position
+// of the payload inside the sender's word arena for the batch in which
+// it was sent. The receiving endpoint and edge id are implied by the
+// slot index (2*edge + direction). Whether a slot is occupied is
+// tracked exclusively by Engine.dirty; stale slots are never read.
+type outMsg struct {
+	from graph.Vertex
+	off  int32
+	n    int32
+}
 
 // Engine is a synchronous CONGEST simulator over a fixed graph.
 type Engine struct {
@@ -39,20 +59,36 @@ type Engine struct {
 	opts  Options
 	progs []Program
 	ctxs  []Ctx
-	// outbox[e][dir] is the message queued on edge e in direction dir
+	// outbox[2*e+dir] is the message queued on edge e in direction dir
 	// (0: U->V, 1: V->U) for delivery next round. Handlers never write
 	// it directly: sends are buffered per vertex and flushed here, in
 	// vertex order, after each handler batch (see collect).
-	outbox [][2]*Message
-	// used[e][dir] holds the batch stamp of the last send on that edge
+	outbox []outMsg
+	// used[2*e+dir] holds the batch stamp of the last send on that edge
 	// direction, giving Ctx.Send an O(1) duplicate check. Each slot is
 	// written only by its owning sender, so it is race-free under the
-	// worker pool, like outbox.
-	used   [][2]uint64
-	batch  uint64 // current handler batch (Init, each round, each PhaseDone)
-	stats  Stats
-	mu     sync.Mutex // guards failed under parallel execution
-	failed error
+	// worker pool, like the per-vertex send buffers.
+	used []uint64
+	// dirty lists the outbox slots filled since the last delivery —
+	// exactly one handler batch's sends, appended in canonical (vertex,
+	// send-order) order by collect and sorted before delivery so
+	// messages always arrive in edge-id order, independent of worker
+	// scheduling.
+	dirty []int32
+	// inboxes[v] is v's reusable inbox buffer. Message values (and their
+	// Words, which alias the sender's arena) are valid only during the
+	// round in which they are delivered.
+	inboxes [][]Message
+	// work is the current round's worklist (vertices with a delivery or
+	// woken by the previous batch); next accumulates the vertices woken
+	// for the following round. queued[v] marks membership in either, so
+	// a vertex both awake and receiving runs exactly once.
+	work, next []int32
+	queued     []bool
+	batch      uint64 // current handler batch (Init, each round, each PhaseDone)
+	stats      Stats
+	mu         sync.Mutex // guards failed under parallel execution
+	failed     error
 }
 
 func (e *Engine) fail(err error) {
@@ -69,23 +105,40 @@ func (e *Engine) failure() error {
 	return e.failed
 }
 
-// collect closes a handler batch in one sweep over the vertices: it
-// merges the per-vertex send buffers into the shared outbox in
-// canonical (vertex, send-order) order and folds the per-vertex send
-// counters (written lock-free by handlers) into the engine stats. Each
-// (edge, direction) slot has a unique owning sender and Ctx.Send
-// rejects duplicates, so the merge never collides; iterating vertices
-// in id order makes the outbox contents independent of how handlers
-// were scheduled across workers. Vertices that sent nothing are
-// skipped, so quiet rounds cost one comparison per vertex.
-func (e *Engine) collect() {
-	for i := range e.ctxs {
-		c := &e.ctxs[i]
-		if c.sentMsgs == 0 {
-			continue
+// collect closes a handler batch: it merges the per-vertex send buffers
+// into the shared outbox (appending the touched slots to the dirty
+// list) and folds the per-vertex send counters (written lock-free by
+// handlers) into the engine stats; vertices left awake by the batch are
+// queued onto the next worklist. Each (edge, direction) slot has a
+// unique owning sender and Ctx.Send rejects duplicates, so the merge
+// never collides; iterating the batch's vertices in a deterministic
+// order (vertex order for Init/PhaseDone, worklist order for rounds —
+// itself deterministic) makes the dirty list and worklists independent
+// of how handlers were scheduled across workers.
+//
+// batchVerts is the set of vertices whose handlers ran; nil means all
+// (Init and PhaseDone sweeps). Only rounds pay per-vertex cost, and
+// only for active vertices.
+func (e *Engine) collect(batchVerts []int32) {
+	if batchVerts == nil {
+		for v := range e.ctxs {
+			e.collectVertex(int32(v))
 		}
+	} else {
+		for _, v := range batchVerts {
+			e.collectVertex(v)
+		}
+	}
+	e.batch++
+}
+
+func (e *Engine) collectVertex(v int32) {
+	c := &e.ctxs[v]
+	if c.sentMsgs > 0 {
 		for _, pm := range c.pending {
-			e.outbox[pm.via][pm.dir] = pm.msg
+			slot := int32(pm.via)<<1 | int32(pm.dir)
+			e.outbox[slot] = outMsg{from: c.v, off: pm.off, n: pm.n}
+			e.dirty = append(e.dirty, slot)
 		}
 		c.pending = c.pending[:0]
 		e.stats.Messages += c.sentMsgs
@@ -95,11 +148,15 @@ func (e *Engine) collect() {
 		}
 		c.sentMsgs, c.sentWords, c.maxWords = 0, 0, 0
 	}
-	e.batch++
+	if c.awake && !e.queued[v] {
+		e.queued[v] = true
+		e.next = append(e.next, v)
+	}
 }
 
 // NewEngine builds an engine over g; factory is called once per vertex to
-// create its Program.
+// create its Program. The graph is frozen to its CSR representation (see
+// graph.Freeze): callers must not mutate it while the engine exists.
 func NewEngine(g *graph.Graph, factory func(v graph.Vertex) Program, opts Options) *Engine {
 	if opts.MaxWords == 0 {
 		opts.MaxWords = MaxWordsDefault
@@ -113,21 +170,26 @@ func NewEngine(g *graph.Graph, factory func(v graph.Vertex) Program, opts Option
 	if opts.Workers < 1 {
 		opts.Workers = 1
 	}
+	g.Freeze()
 	e := &Engine{
-		g:      g,
-		opts:   opts,
-		progs:  make([]Program, g.N()),
-		ctxs:   make([]Ctx, g.N()),
-		outbox: make([][2]*Message, g.M()),
-		used:   make([][2]uint64, g.M()),
-		batch:  1, // 0 is the "never sent" stamp in used
+		g:       g,
+		opts:    opts,
+		progs:   make([]Program, g.N()),
+		ctxs:    make([]Ctx, g.N()),
+		outbox:  make([]outMsg, 2*g.M()),
+		used:    make([]uint64, 2*g.M()),
+		inboxes: make([][]Message, g.N()),
+		work:    make([]int32, 0, g.N()),
+		next:    make([]int32, 0, g.N()),
+		queued:  make([]bool, g.N()),
+		batch:   1, // 0 is the "never sent" stamp in used
 	}
-	base := rand.New(rand.NewSource(opts.Seed))
+	base := newFastSource(opts.Seed)
 	for v := 0; v < g.N(); v++ {
 		e.ctxs[v] = Ctx{
 			engine: e,
 			v:      graph.Vertex(v),
-			rng:    rand.New(rand.NewSource(base.Int63())),
+			rng:    rand.New(newFastSource(base.Int63())),
 			awake:  true,
 		}
 		e.progs[v] = factory(graph.Vertex(v))
@@ -148,11 +210,11 @@ func (e *Engine) Run() (Stats, error) {
 	for v := range e.progs {
 		e.progs[v].Init(&e.ctxs[v])
 		if err := e.failure(); err != nil {
-			e.collect()
+			e.collect(nil)
 			return e.stats, err
 		}
 	}
-	e.collect()
+	e.collect(nil)
 	for {
 		if err := e.runPhase(); err != nil {
 			return e.stats, err
@@ -165,11 +227,11 @@ func (e *Engine) Run() (Stats, error) {
 				more = true
 			}
 			if err := e.failure(); err != nil {
-				e.collect()
+				e.collect(nil)
 				return e.stats, err
 			}
 		}
-		e.collect()
+		e.collect(nil)
 		if !more {
 			return e.stats, nil
 		}
@@ -181,107 +243,121 @@ func (e *Engine) Run() (Stats, error) {
 // runPhase executes rounds until no vertex is awake and no message is in
 // flight.
 func (e *Engine) runPhase() error {
-	inboxes := make([][]Message, e.g.N())
-	active := make([]int, 0, e.g.N())
 	for {
-		// Deliver queued messages, iterating edges in id order so the
-		// inbox order of every vertex is canonical.
-		delivered := false
-		for id := range e.outbox {
-			for dir := 0; dir < 2; dir++ {
-				m := e.outbox[id][dir]
-				if m == nil {
-					continue
-				}
-				e.outbox[id][dir] = nil
-				ed := e.g.Edge(graph.EdgeID(id))
-				to := ed.V
-				if dir == 1 {
-					to = ed.U
-				}
-				inboxes[to] = append(inboxes[to], *m)
-				delivered = true
-			}
-		}
-		anyAwake := false
-		for v := range e.ctxs {
-			if e.ctxs[v].awake || len(inboxes[v]) > 0 {
-				anyAwake = true
-				break
-			}
-		}
-		if !delivered && !anyAwake {
-			return nil
-		}
-		e.stats.Rounds++
-		if e.stats.Rounds > e.opts.MaxRounds {
-			return fmt.Errorf("%w: %d", ErrRoundLimit, e.opts.MaxRounds)
-		}
-		var rec TraceRound
-		if e.opts.Trace != nil {
-			rec.Round = e.stats.Rounds
-			for v := range inboxes {
-				rec.Delivered += len(inboxes[v])
-			}
-		}
-		sentBefore := e.stats.Messages
-		active := active[:0]
-		for v := range e.ctxs {
-			if e.ctxs[v].awake || len(inboxes[v]) > 0 {
-				active = append(active, v)
-			}
-		}
-		rec.Activated = len(active)
-		e.runHandlers(active, inboxes)
-		e.collect()
-		if err := e.failure(); err != nil {
+		ran, err := e.stepRound()
+		if err != nil {
 			return err
 		}
-		if e.opts.Trace != nil {
-			rec.Sent = int(e.stats.Messages - sentBefore)
-			e.opts.Trace.Rounds = append(e.opts.Trace.Rounds, rec)
+		if !ran {
+			return nil
 		}
 	}
 }
 
-// runHandlers dispatches one round's handlers for the active vertices,
-// sharding them across the worker pool. Handlers read only their own
-// state and the round's immutable inboxes and write only their own Ctx
-// (send buffer, counters, RNG), so sharding is race-free; determinism
-// follows from the canonical merge in collect.
-func (e *Engine) runHandlers(active []int, inboxes [][]Message) {
-	round := e.stats.Rounds
-	dispatch := func(v int) {
-		ctx := &e.ctxs[v]
-		ctx.awake = false // programs re-arm via Stay or by sending later
-		ctx.round = round
-		e.progs[v].Handle(ctx, inboxes[v])
-		inboxes[v] = inboxes[v][:0]
+// stepRound executes one synchronous round: deliver the previous batch's
+// messages, run the handlers of the activated vertices, and close the
+// batch. It reports false (without running anything) once the phase is
+// quiescent — no message in flight and no vertex awake. A steady-state
+// step performs no heap allocations: every buffer it touches (dirty
+// list, inboxes, worklists, send arenas) is engine- or vertex-owned and
+// reused across rounds.
+func (e *Engine) stepRound() (bool, error) {
+	// The worklist starts as the vertices woken by the previous batch;
+	// delivery appends the vertices that receive a message.
+	e.work, e.next = e.next, e.work[:0]
+	delivered := len(e.dirty)
+	if delivered > 0 {
+		// Deliver queued messages in edge-id order (direction 0 first)
+		// so the inbox order of every vertex is canonical. The dirty
+		// list holds exactly one batch's sends; sorting restores the
+		// canonical order regardless of which vertices sent.
+		slices.Sort(e.dirty)
+		par := (e.batch - 1) & 1 // arena parity of the sending batch
+		for _, slot := range e.dirty {
+			id := graph.EdgeID(slot >> 1)
+			om := e.outbox[slot]
+			ed := e.g.Edge(id)
+			to := ed.V
+			if slot&1 == 1 {
+				to = ed.U
+			}
+			words := e.ctxs[om.from].wbuf[par][om.off : om.off+om.n]
+			e.inboxes[to] = append(e.inboxes[to], Message{From: om.from, Via: id, Words: words})
+			if !e.queued[to] {
+				e.queued[to] = true
+				e.work = append(e.work, int32(to))
+			}
+		}
+		e.dirty = e.dirty[:0]
 	}
+	if len(e.work) == 0 {
+		return false, nil
+	}
+	e.stats.Rounds++
+	if e.stats.Rounds > e.opts.MaxRounds {
+		return false, fmt.Errorf("%w: %d", ErrRoundLimit, e.opts.MaxRounds)
+	}
+	var rec TraceRound
+	if e.opts.Trace != nil {
+		rec.Round = e.stats.Rounds
+		rec.Delivered = delivered
+		rec.Activated = len(e.work)
+	}
+	sentBefore := e.stats.Messages
+	e.runHandlers()
+	e.collect(e.work)
+	if err := e.failure(); err != nil {
+		return false, err
+	}
+	if e.opts.Trace != nil {
+		rec.Sent = int(e.stats.Messages - sentBefore)
+		e.opts.Trace.Rounds = append(e.opts.Trace.Rounds, rec)
+	}
+	return true, nil
+}
+
+// dispatch runs one vertex's handler for the current round. Handlers
+// read only their own state and the round's immutable inboxes and write
+// only their own Ctx (send buffer, arena, counters, RNG) and worklist
+// marker, so dispatching distinct vertices concurrently is race-free.
+func (e *Engine) dispatch(v int32, round int) {
+	c := &e.ctxs[v]
+	c.awake = false // programs re-arm via Stay or by sending later
+	c.round = round
+	e.queued[v] = false
+	e.progs[v].Handle(c, e.inboxes[v])
+	e.inboxes[v] = e.inboxes[v][:0]
+}
+
+// runHandlers dispatches one round's handlers for the worklist vertices,
+// sharding them across the worker pool. Determinism follows from the
+// canonical merge in collect.
+func (e *Engine) runHandlers() {
+	round := e.stats.Rounds
 	workers := e.opts.Workers
-	if workers > len(active) {
-		workers = len(active)
+	if workers > len(e.work) {
+		workers = len(e.work)
 	}
 	if workers <= 1 {
-		for _, v := range active {
-			dispatch(v)
+		for _, v := range e.work {
+			e.dispatch(v, round)
 		}
 		return
 	}
 	var wg sync.WaitGroup
-	chunk := (len(active) + workers - 1) / workers
-	for start := 0; start < len(active); start += chunk {
+	chunk := (len(e.work) + workers - 1) / workers
+	for start := 0; start < len(e.work); start += chunk {
 		end := start + chunk
-		if end > len(active) {
-			end = len(active)
+		if end > len(e.work) {
+			end = len(e.work)
 		}
 		wg.Add(1)
-		go func(part []int) {
+		go func(part []int32) {
 			defer wg.Done()
 			for _, v := range part {
-				dispatch(v)
+				e.dispatch(v, round)
 			}
-		}(active[start:end])
+		}(e.work[start:end])
 	}
 	wg.Wait()
 }

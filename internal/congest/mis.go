@@ -13,11 +13,15 @@ import (
 type misProgram struct {
 	inMIS []bool // shared
 
-	active      bool
-	decided     bool
-	rank        float64
-	nbrActive   map[graph.EdgeID]bool
-	nbrRank     map[graph.EdgeID]float64
+	active  bool
+	decided bool
+	rank    float64
+	// Per-neighbor state, dense by adjacency slot (see Ctx.SlotOf):
+	// nbrActive[slot] tracks whether that neighbor still competes;
+	// nbrRank[slot] is its rank this phase, valid when nbrHasRank[slot].
+	nbrActive   []bool
+	nbrRank     []float64
+	nbrHasRank  []bool
 	awaitDecide bool
 }
 
@@ -29,10 +33,11 @@ const (
 
 func (p *misProgram) Init(ctx *Ctx) {
 	p.active = true
-	p.nbrActive = make(map[graph.EdgeID]bool, ctx.Degree())
-	p.nbrRank = make(map[graph.EdgeID]float64, ctx.Degree())
-	for _, h := range ctx.Neighbors() {
-		p.nbrActive[h.ID] = true
+	p.nbrActive = make([]bool, ctx.Degree())
+	p.nbrRank = make([]float64, ctx.Degree())
+	p.nbrHasRank = make([]bool, ctx.Degree())
+	for i := range p.nbrActive {
+		p.nbrActive[i] = true
 	}
 	p.startPhase(ctx)
 }
@@ -51,11 +56,11 @@ func (p *misProgram) startPhase(ctx *Ctx) {
 	}
 	p.rank = ctx.Rand().Float64()
 	p.awaitDecide = true
-	for id, act := range p.nbrActive {
-		if !act {
+	for i, h := range ctx.Neighbors() {
+		if !p.nbrActive[i] {
 			continue
 		}
-		if err := ctx.Send(id, misMsgRank, int64(math.Float64bits(p.rank))); err != nil {
+		if err := ctx.Send(h.ID, misMsgRank, int64(math.Float64bits(p.rank))); err != nil {
 			ctx.Fail(err)
 			return
 		}
@@ -65,9 +70,11 @@ func (p *misProgram) startPhase(ctx *Ctx) {
 
 func (p *misProgram) Handle(ctx *Ctx, inbox []Message) {
 	for _, m := range inbox {
+		slot := ctx.SlotOf(m.Via)
 		switch m.Words[0] {
 		case misMsgRank:
-			p.nbrRank[m.Via] = math.Float64frombits(uint64(m.Words[1]))
+			p.nbrRank[slot] = math.Float64frombits(uint64(m.Words[1]))
+			p.nbrHasRank[slot] = true
 		case misMsgJoin:
 			// An MIS neighbor: leave the computation.
 			if p.active && !p.decided {
@@ -75,9 +82,9 @@ func (p *misProgram) Handle(ctx *Ctx, inbox []Message) {
 				p.decided = true
 				p.announceLeave(ctx)
 			}
-			p.nbrActive[m.Via] = false
+			p.nbrActive[slot] = false
 		case misMsgLeave:
-			p.nbrActive[m.Via] = false
+			p.nbrActive[slot] = false
 		}
 	}
 	if p.awaitDecide && p.active && !p.decided {
@@ -88,31 +95,30 @@ func (p *misProgram) Handle(ctx *Ctx, inbox []Message) {
 func (p *misProgram) decide(ctx *Ctx) {
 	p.awaitDecide = false
 	win := true
-	for _, h := range ctx.Neighbors() {
-		if !p.nbrActive[h.ID] {
+	for i, h := range ctx.Neighbors() {
+		if !p.nbrActive[i] {
 			continue
 		}
-		r, ok := p.nbrRank[h.ID]
-		if !ok {
+		if !p.nbrHasRank[i] {
 			// Neighbor's rank not yet delivered; decide next round.
 			p.awaitDecide = true
 			ctx.Stay()
 			return
 		}
-		if rankLess(r, h.To, p.rank, ctx.V()) {
+		if rankLess(p.nbrRank[i], h.To, p.rank, ctx.V()) {
 			win = false
 		}
 	}
 	// Ranks consumed; a fresh phase resamples.
-	for id := range p.nbrRank {
-		delete(p.nbrRank, id)
+	for i := range p.nbrHasRank {
+		p.nbrHasRank[i] = false
 	}
 	if win {
 		p.inMIS[ctx.V()] = true
 		p.decided = true
-		for id, act := range p.nbrActive {
-			if act {
-				if err := ctx.Send(id, misMsgJoin); err != nil {
+		for i, h := range ctx.Neighbors() {
+			if p.nbrActive[i] {
+				if err := ctx.Send(h.ID, misMsgJoin); err != nil {
 					ctx.Fail(err)
 					return
 				}
@@ -122,9 +128,9 @@ func (p *misProgram) decide(ctx *Ctx) {
 }
 
 func (p *misProgram) announceLeave(ctx *Ctx) {
-	for id, act := range p.nbrActive {
-		if act {
-			if err := ctx.Send(id, misMsgLeave); err != nil {
+	for i, h := range ctx.Neighbors() {
+		if p.nbrActive[i] {
+			if err := ctx.Send(h.ID, misMsgLeave); err != nil {
 				ctx.Fail(err)
 				return
 			}

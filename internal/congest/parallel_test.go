@@ -80,6 +80,7 @@ func BenchmarkEngineParallelism(b *testing.B) {
 	g := graph.Grid(40, 40, 2, 1)
 	for _, workers := range []int{1, 4} {
 		b.Run(map[int]string{1: "sequential", 4: "workers-4"}[workers], func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				parent := make([]graph.EdgeID, g.N())
 				depth := make([]int32, g.N())

@@ -123,12 +123,14 @@ type broadcastAllProgram struct {
 	initial  map[graph.Vertex][]int64
 	received []map[int64]bool // shared: per-vertex set of known tokens
 	known    []int64          // local arrival order
-	cursor   map[graph.EdgeID]int
+	// cursor[slot] counts the tokens already forwarded on the incident
+	// edge at adjacency slot `slot` (dense per-neighbor state).
+	cursor []int
 }
 
 func (p *broadcastAllProgram) Init(ctx *Ctx) {
 	v := ctx.V()
-	p.cursor = make(map[graph.EdgeID]int, ctx.Degree())
+	p.cursor = make([]int, ctx.Degree())
 	p.received[v] = make(map[int64]bool)
 	for _, tok := range p.initial[v] {
 		p.received[v][tok] = true
@@ -155,8 +157,8 @@ func (p *broadcastAllProgram) Handle(ctx *Ctx, inbox []Message) {
 // token (one per edge per round — the pipelining of Lemma 1).
 func (p *broadcastAllProgram) pump(ctx *Ctx) {
 	pending := false
-	for _, h := range ctx.Neighbors() {
-		cur := p.cursor[h.ID]
+	for i, h := range ctx.Neighbors() {
+		cur := p.cursor[i]
 		if cur < len(p.known) {
 			if err := ctx.Send(h.ID, p.known[cur]); err != nil {
 				if !errors.Is(err, ErrEdgeBusy) {
@@ -164,9 +166,9 @@ func (p *broadcastAllProgram) pump(ctx *Ctx) {
 					return
 				}
 			} else {
-				p.cursor[h.ID] = cur + 1
+				p.cursor[i] = cur + 1
 			}
-			if p.cursor[h.ID] < len(p.known) {
+			if p.cursor[i] < len(p.known) {
 				pending = true
 			}
 		}

@@ -1,0 +1,27 @@
+package congest
+
+// fastSource is a splitmix64-backed math/rand Source64. The engine
+// creates one RNG per vertex; the standard library's default source
+// carries a 607-word lagged-Fibonacci state whose seeding dominated
+// engine construction (half the wall clock of a whole 2048-vertex MIS
+// run was rngSource.Seed). splitmix64 has 8 bytes of state, seeds in
+// one multiply, and passes BigCrush — ample for simulation sampling.
+// Streams remain fully determined by (engine seed, vertex id), so runs
+// stay bit-identical for every worker count.
+type fastSource struct{ state uint64 }
+
+func newFastSource(seed int64) *fastSource {
+	return &fastSource{state: uint64(seed)}
+}
+
+func (s *fastSource) Uint64() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (s *fastSource) Int63() int64 { return int64(s.Uint64() >> 1) }
+
+func (s *fastSource) Seed(seed int64) { s.state = uint64(seed) }

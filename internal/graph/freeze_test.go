@@ -1,0 +1,150 @@
+package graph
+
+import "testing"
+
+// TestFreezePreservesAdjacency: freezing must not change anything
+// observable through the read API — adjacency contents and order,
+// degrees, and Validate.
+func TestFreezePreservesAdjacency(t *testing.T) {
+	g := ErdosRenyi(80, 0.08, 5, 2)
+	type snap struct {
+		deg int
+		adj []Half
+	}
+	before := make([]snap, g.N())
+	for v := 0; v < g.N(); v++ {
+		before[v] = snap{g.Degree(Vertex(v)), append([]Half(nil), g.Neighbors(Vertex(v))...)}
+	}
+	g.Freeze()
+	if !g.Frozen() {
+		t.Fatal("Freeze did not freeze")
+	}
+	g.Freeze() // idempotent
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < g.N(); v++ {
+		if g.Degree(Vertex(v)) != before[v].deg {
+			t.Fatalf("degree of %d changed", v)
+		}
+		hs := g.Neighbors(Vertex(v))
+		for i, h := range hs {
+			if h != before[v].adj[i] {
+				t.Fatalf("adjacency of %d changed at slot %d", v, i)
+			}
+		}
+	}
+}
+
+// TestSlotIndex: Slot is the inverse of Neighbors indexing, for both
+// representations.
+func TestSlotIndex(t *testing.T) {
+	g := Grid(5, 6, 3, 1)
+	check := func() {
+		t.Helper()
+		for v := 0; v < g.N(); v++ {
+			for i, h := range g.Neighbors(Vertex(v)) {
+				if got := g.Slot(Vertex(v), h.ID); got != i {
+					t.Fatalf("Slot(%d, %d) = %d want %d", v, h.ID, got, i)
+				}
+			}
+		}
+	}
+	check() // build representation
+	g.Freeze()
+	check() // CSR representation
+	if g.Slot(0, EdgeID(g.M())) != -1 || g.Slot(0, NoEdge) != -1 {
+		t.Fatal("out-of-range edge id must give slot -1")
+	}
+	// A non-endpoint vertex gives -1.
+	e := g.Edge(0)
+	for v := 0; v < g.N(); v++ {
+		if Vertex(v) != e.U && Vertex(v) != e.V {
+			if g.Slot(Vertex(v), 0) != -1 {
+				t.Fatalf("Slot(%d, 0) should be -1", v)
+			}
+			break
+		}
+	}
+}
+
+// TestEdgeBetween: O(1) neighbor lookup matches a linear scan and
+// returns the first edge in the source's adjacency order, in both
+// representations.
+func TestEdgeBetween(t *testing.T) {
+	g := New(4)
+	a := g.MustAddEdge(0, 1, 1)
+	g.MustAddEdge(1, 2, 1)
+	b := g.MustAddEdge(0, 1, 2) // parallel edge, later in adjacency order
+	_ = b
+	check := func() {
+		t.Helper()
+		if id, ok := g.EdgeBetween(0, 1); !ok || id != a {
+			t.Fatalf("EdgeBetween(0,1) = %d,%v want %d", id, ok, a)
+		}
+		if _, ok := g.EdgeBetween(0, 2); ok {
+			t.Fatal("EdgeBetween(0,2) should not exist")
+		}
+		if _, ok := g.EdgeBetween(0, 99); ok {
+			t.Fatal("out-of-range target must miss")
+		}
+	}
+	check()
+	g.Freeze()
+	check()
+}
+
+// TestThawOnAddEdge: mutating a frozen graph transparently thaws it and
+// keeps the structure consistent.
+func TestThawOnAddEdge(t *testing.T) {
+	g := Cycle(6, 1)
+	g.Freeze()
+	id := g.MustAddEdge(0, 3, 2)
+	if g.Frozen() {
+		t.Fatal("AddEdge left the graph frozen")
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := g.EdgeBetween(0, 3); !ok || got != id {
+		t.Fatalf("new edge not found: %d %v", got, ok)
+	}
+	g.Freeze()
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if d := g.BFSHops(0)[3]; d != 1 {
+		t.Fatalf("hop distance over new edge = %d", d)
+	}
+}
+
+// TestCloneOfFrozen: clones of frozen graphs are mutable and identical.
+func TestCloneOfFrozen(t *testing.T) {
+	g := RandomGeometric(50, 2, 3)
+	g.Freeze()
+	c := g.Clone()
+	if c.Frozen() {
+		t.Fatal("clone should be in build representation")
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if c.N() != g.N() || c.M() != g.M() {
+		t.Fatal("clone size mismatch")
+	}
+	for v := 0; v < g.N(); v++ {
+		ch, gh := c.Neighbors(Vertex(v)), g.Neighbors(Vertex(v))
+		if len(ch) != len(gh) {
+			t.Fatalf("degree mismatch at %d", v)
+		}
+		for i := range ch {
+			if ch[i] != gh[i] {
+				t.Fatalf("adjacency mismatch at %d slot %d", v, i)
+			}
+		}
+	}
+	c.MustAddEdge(0, Vertex(c.N()-1), 5)
+	if c.M() != g.M()+1 {
+		t.Fatal("clone mutation leaked")
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sort"
 )
 
 // Generators for the workloads used throughout the evaluation. All
@@ -161,34 +162,74 @@ func UnitBallGraph(pts *Points, radius float64) *Graph {
 			}
 		}
 	}
-	// Connect components greedily via closest cross pairs.
+	// Connect components via closest cross pairs: one O(n²) pass
+	// computes, for every pair of radius-graph components, its closest
+	// vertex pair; processing those candidates in increasing (d, i, j)
+	// order with a union-find then adds exactly the edges the former
+	// greedy repeat-scan loop chose (global-minimum merging is the
+	// matroid greedy, i.e. Kruskal on the candidate set), in the same
+	// order — identical output, but O(n² + C² log C) instead of
+	// O(n² · C) for C components.
 	uf := newUnionFind(n)
 	for _, e := range pend {
 		uf.union(e.i, e.j)
 	}
-	for {
-		roots := map[int]bool{}
-		for i := 0; i < n; i++ {
-			roots[uf.find(i)] = true
+	comp := make([]int32, n)
+	var nComp int32
+	for i := 0; i < n; i++ {
+		comp[i] = -1
+	}
+	for i := 0; i < n; i++ {
+		r := uf.find(i)
+		if comp[r] < 0 {
+			comp[r] = nComp
+			nComp++
 		}
-		if len(roots) <= 1 {
-			break
-		}
-		best := pe{-1, -1, math.Inf(1)}
+		comp[i] = comp[r]
+	}
+	if nComp > 1 {
+		// Closest pair per component pair; ties keep the smaller (i, j),
+		// which the ascending scan visits first.
+		closest := make(map[int64]pe)
 		for i := 0; i < n; i++ {
 			for j := i + 1; j < n; j++ {
-				if uf.find(i) != uf.find(j) {
-					if d := pts.Dist(i, j); d < best.d {
-						best = pe{i, j, d}
-					}
+				a, b := comp[i], comp[j]
+				if a == b {
+					continue
+				}
+				if a > b {
+					a, b = b, a
+				}
+				key := int64(a)*int64(nComp) + int64(b)
+				d := pts.Dist(i, j)
+				if cur, ok := closest[key]; !ok || d < cur.d {
+					closest[key] = pe{i, j, d}
 				}
 			}
 		}
-		pend = append(pend, best)
-		if best.d > 0 && best.d < minD {
-			minD = best.d
+		cand := make([]pe, 0, len(closest))
+		for _, e := range closest {
+			cand = append(cand, e)
 		}
-		uf.union(best.i, best.j)
+		sort.Slice(cand, func(x, y int) bool {
+			if cand[x].d != cand[y].d {
+				return cand[x].d < cand[y].d
+			}
+			if cand[x].i != cand[y].i {
+				return cand[x].i < cand[y].i
+			}
+			return cand[x].j < cand[y].j
+		})
+		for _, e := range cand {
+			if uf.find(e.i) == uf.find(e.j) {
+				continue
+			}
+			uf.union(e.i, e.j)
+			pend = append(pend, e)
+			if e.d > 0 && e.d < minD {
+				minD = e.d
+			}
+		}
 	}
 	scale := 1.0
 	if minD > 0 && minD < 1 {

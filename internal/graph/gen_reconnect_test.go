@@ -1,0 +1,101 @@
+package graph
+
+import (
+	"math"
+	"testing"
+)
+
+// reconnectGreedyReference is the original O(n²·components) reconnection
+// loop of UnitBallGraph, kept as the oracle for the one-pass
+// implementation: repeatedly add the globally closest cross-component
+// pair (first in (i, j) scan order among ties) until connected.
+func reconnectGreedyReference(pts *Points, radius float64) *Graph {
+	n := pts.N()
+	g := New(n)
+	type pe struct {
+		i, j int
+		d    float64
+	}
+	var pend []pe
+	minD := math.Inf(1)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			d := pts.Dist(i, j)
+			if d <= radius && d > 0 {
+				pend = append(pend, pe{i, j, d})
+				if d < minD {
+					minD = d
+				}
+			}
+		}
+	}
+	uf := newUnionFind(n)
+	for _, e := range pend {
+		uf.union(e.i, e.j)
+	}
+	for {
+		roots := map[int]bool{}
+		for i := 0; i < n; i++ {
+			roots[uf.find(i)] = true
+		}
+		if len(roots) <= 1 {
+			break
+		}
+		best := pe{-1, -1, math.Inf(1)}
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if uf.find(i) != uf.find(j) {
+					if d := pts.Dist(i, j); d < best.d {
+						best = pe{i, j, d}
+					}
+				}
+			}
+		}
+		pend = append(pend, best)
+		if best.d > 0 && best.d < minD {
+			minD = best.d
+		}
+		uf.union(best.i, best.j)
+	}
+	scale := 1.0
+	if minD > 0 && minD < 1 {
+		scale = 1 / minD
+	}
+	for _, e := range pend {
+		g.MustAddEdge(Vertex(e.i), Vertex(e.j), e.d*scale)
+	}
+	return g
+}
+
+// TestUnitBallGraphReconnectMatchesGreedy: the one-pass reconnection
+// must reproduce the greedy loop bit-for-bit — same edges, same
+// insertion order, same weights — across radii that leave the radius
+// graph shattered into many components.
+func TestUnitBallGraphReconnectMatchesGreedy(t *testing.T) {
+	for _, tc := range []struct {
+		n      int
+		radius float64
+		seed   int64
+	}{
+		{60, 0.05, 1},  // many singleton components
+		{80, 0.12, 2},  // several mid-size components
+		{50, 0.30, 3},  // nearly connected
+		{40, 0.001, 4}, // fully shattered
+	} {
+		pts := RandomPoints(tc.n, 2, 1, tc.seed)
+		got := UnitBallGraph(pts, tc.radius)
+		want := reconnectGreedyReference(pts, tc.radius)
+		if got.M() != want.M() {
+			t.Fatalf("n=%d r=%v: %d edges, want %d", tc.n, tc.radius, got.M(), want.M())
+		}
+		for id := 0; id < want.M(); id++ {
+			ge, we := got.Edge(EdgeID(id)), want.Edge(EdgeID(id))
+			if ge != we {
+				t.Fatalf("n=%d r=%v: edge %d = %+v, want %+v", tc.n, tc.radius, id, ge, we)
+			}
+		}
+		if !got.Connected() {
+			t.Fatalf("n=%d r=%v: reconnected graph not connected", tc.n, tc.radius)
+		}
+	}
+}

@@ -56,10 +56,35 @@ type Half struct {
 
 // Graph is an undirected weighted graph. The zero value is unusable; use
 // New.
+//
+// A Graph has two representations. While edges are being added it keeps
+// a per-vertex adjacency slice (the build representation). Freeze
+// converts it to a CSR (compressed sparse row) layout — one flat []Half
+// plus per-vertex offsets — which is cache-friendlier for traversal and
+// additionally indexes every edge by its position ("slot") inside each
+// endpoint's adjacency list and by its endpoint pair. All read methods
+// work in both states; AddEdge on a frozen graph transparently thaws it
+// back to the build representation first.
 type Graph struct {
 	n     int
 	edges []Edge
-	adj   [][]Half
+	// Build representation: adj[v] is v's adjacency list. nil once
+	// frozen.
+	adj [][]Half
+	// Frozen (CSR) representation. halves holds the adjacency lists
+	// back to back in vertex order: vertex v's neighbors are
+	// halves[offsets[v]:offsets[v+1]]. Adjacency order is identical to
+	// the build representation (edge-insertion order per vertex).
+	frozen  bool
+	offsets []int32 // len n+1
+	halves  []Half  // len 2M
+	// slotU[id]/slotV[id] is the index of edge id within the adjacency
+	// list of its U/V endpoint — the O(1) "adjacency slot" used by the
+	// CONGEST engine to give programs dense per-neighbor state.
+	slotU, slotV []int32
+	// nbr maps an ordered endpoint pair to the first edge between them
+	// (in the source's adjacency order), making EdgeBetween O(1).
+	nbr map[int64]EdgeID
 }
 
 // Errors returned by Graph mutation methods.
@@ -86,7 +111,8 @@ func (g *Graph) M() int { return len(g.edges) }
 
 // AddEdge inserts the undirected edge {u,v} with weight w and returns its
 // id. Parallel edges are permitted (the lightest matters for shortest
-// paths); self loops and non-positive weights are rejected.
+// paths); self loops and non-positive weights are rejected. Adding to a
+// frozen graph thaws it back to the build representation.
 func (g *Graph) AddEdge(u, v Vertex, w float64) (EdgeID, error) {
 	if u == v {
 		return NoEdge, fmt.Errorf("%w: {%d,%d}", ErrSelfLoop, u, v)
@@ -97,11 +123,122 @@ func (g *Graph) AddEdge(u, v Vertex, w float64) (EdgeID, error) {
 	if !(w > 0) || math.IsInf(w, 0) || math.IsNaN(w) {
 		return NoEdge, fmt.Errorf("%w: %v", ErrBadWeight, w)
 	}
+	if g.frozen {
+		g.thaw()
+	}
 	id := EdgeID(len(g.edges))
 	g.edges = append(g.edges, Edge{U: u, V: v, W: w})
 	g.adj[u] = append(g.adj[u], Half{To: v, W: w, ID: id})
 	g.adj[v] = append(g.adj[v], Half{To: u, W: w, ID: id})
 	return id, nil
+}
+
+// nbrKey packs an ordered (from, to) endpoint pair into one map key.
+func nbrKey(from, to Vertex) int64 {
+	return int64(uint32(from))<<32 | int64(uint32(to))
+}
+
+// Freeze converts the graph to its CSR representation and builds the
+// slot and endpoint-pair indexes. Idempotent; O(n+m). The CONGEST
+// engine freezes its graph on construction; generators may call it
+// eagerly once done mutating. Freeze must not be called concurrently
+// with other methods (reads of a frozen graph are safe to share).
+func (g *Graph) Freeze() {
+	if g.frozen {
+		return
+	}
+	m := len(g.edges)
+	g.offsets = make([]int32, g.n+1)
+	for v := range g.adj {
+		g.offsets[v+1] = g.offsets[v] + int32(len(g.adj[v]))
+	}
+	g.halves = make([]Half, 0, 2*m)
+	for v := range g.adj {
+		g.halves = append(g.halves, g.adj[v]...)
+	}
+	g.slotU = make([]int32, m)
+	g.slotV = make([]int32, m)
+	g.nbr = make(map[int64]EdgeID, 2*m)
+	for v := 0; v < g.n; v++ {
+		hs := g.halves[g.offsets[v]:g.offsets[v+1]]
+		for i, h := range hs {
+			if g.edges[h.ID].U == Vertex(v) {
+				g.slotU[h.ID] = int32(i)
+			} else {
+				g.slotV[h.ID] = int32(i)
+			}
+			key := nbrKey(Vertex(v), h.To)
+			if _, ok := g.nbr[key]; !ok {
+				g.nbr[key] = h.ID
+			}
+		}
+	}
+	g.adj = nil
+	g.frozen = true
+}
+
+// Frozen reports whether the graph is in its CSR representation.
+func (g *Graph) Frozen() bool { return g.frozen }
+
+// thaw rebuilds the build representation from the CSR layout so that
+// edges can be added again.
+func (g *Graph) thaw() {
+	adj := make([][]Half, g.n)
+	for v := 0; v < g.n; v++ {
+		hs := g.halves[g.offsets[v]:g.offsets[v+1]]
+		if len(hs) > 0 {
+			adj[v] = append([]Half(nil), hs...)
+		}
+	}
+	g.adj = adj
+	g.frozen = false
+	g.offsets, g.halves, g.slotU, g.slotV, g.nbr = nil, nil, nil, nil, nil
+}
+
+// Slot returns the index of edge id within the adjacency list of its
+// endpoint v — i.e. Neighbors(v)[Slot(v, id)].ID == id — or -1 if v is
+// not an endpoint of the edge. O(1) on a frozen graph.
+func (g *Graph) Slot(v Vertex, id EdgeID) int {
+	if int(id) < 0 || int(id) >= len(g.edges) || int(v) < 0 || int(v) >= g.n {
+		return -1
+	}
+	if !g.frozen {
+		for i, h := range g.adj[v] {
+			if h.ID == id {
+				return i
+			}
+		}
+		return -1
+	}
+	e := g.edges[id]
+	switch v {
+	case e.U:
+		return int(g.slotU[id])
+	case e.V:
+		return int(g.slotV[id])
+	}
+	return -1
+}
+
+// EdgeBetween returns the first edge between u and v (in u's adjacency
+// order) and whether one exists. O(1) on a frozen graph.
+func (g *Graph) EdgeBetween(u, v Vertex) (EdgeID, bool) {
+	if int(u) < 0 || int(u) >= g.n || int(v) < 0 || int(v) >= g.n {
+		return NoEdge, false
+	}
+	if g.frozen {
+		id, ok := g.nbr[nbrKey(u, v)]
+		if !ok {
+			return NoEdge, false
+		}
+		return id, true
+	}
+	for _, h := range g.adj[u] {
+		if h.To == v {
+			return h.ID, true
+		}
+	}
+	return NoEdge, false
 }
 
 // MustAddEdge is AddEdge for generators and tests where inputs are known
@@ -122,11 +259,22 @@ func (g *Graph) Edge(id EdgeID) Edge { return g.edges[id] }
 func (g *Graph) Edges() []Edge { return g.edges }
 
 // Neighbors returns the adjacency list of v. The returned slice is owned
-// by the graph; callers must not mutate it.
-func (g *Graph) Neighbors(v Vertex) []Half { return g.adj[v] }
+// by the graph; callers must not mutate it. On a frozen graph this is a
+// subslice of the flat CSR array (no pointer chase).
+func (g *Graph) Neighbors(v Vertex) []Half {
+	if g.frozen {
+		return g.halves[g.offsets[v]:g.offsets[v+1]]
+	}
+	return g.adj[v]
+}
 
 // Degree returns the degree of v (counting parallel edges).
-func (g *Graph) Degree(v Vertex) int { return len(g.adj[v]) }
+func (g *Graph) Degree(v Vertex) int {
+	if g.frozen {
+		return int(g.offsets[v+1] - g.offsets[v])
+	}
+	return len(g.adj[v])
+}
 
 // TotalWeight returns the sum of all edge weights.
 func (g *Graph) TotalWeight() float64 {
@@ -174,14 +322,17 @@ func (g *Graph) AspectRatio() float64 {
 	return maxW / minW
 }
 
-// Clone returns a deep copy of g.
+// Clone returns a deep copy of g in the build representation (the copy
+// is mutable regardless of whether g was frozen).
 func (g *Graph) Clone() *Graph {
 	c := New(g.n)
 	c.edges = make([]Edge, len(g.edges))
 	copy(c.edges, g.edges)
-	for v := range g.adj {
-		c.adj[v] = make([]Half, len(g.adj[v]))
-		copy(c.adj[v], g.adj[v])
+	for v := 0; v < g.n; v++ {
+		hs := g.Neighbors(Vertex(v))
+		if len(hs) > 0 {
+			c.adj[v] = append([]Half(nil), hs...)
+		}
 	}
 	return c
 }
@@ -238,7 +389,7 @@ func (g *Graph) Connected() bool {
 	for len(stack) > 0 {
 		v := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		for _, h := range g.adj[v] {
+		for _, h := range g.Neighbors(v) {
 			if !seen[h.To] {
 				seen[h.To] = true
 				count++
@@ -267,7 +418,7 @@ func (g *Graph) Components() ([]int32, int) {
 		for len(stack) > 0 {
 			v := stack[len(stack)-1]
 			stack = stack[:len(stack)-1]
-			for _, h := range g.adj[v] {
+			for _, h := range g.Neighbors(v) {
 				if comp[h.To] < 0 {
 					comp[h.To] = next
 					stack = append(stack, h.To)
@@ -292,7 +443,7 @@ func (g *Graph) BFSHops(src Vertex) []int32 {
 	for len(queue) > 0 {
 		v := queue[0]
 		queue = queue[1:]
-		for _, h := range g.adj[v] {
+		for _, h := range g.Neighbors(v) {
 			if dist[h.To] < 0 {
 				dist[h.To] = dist[v] + 1
 				queue = append(queue, h.To)
@@ -317,7 +468,7 @@ func (g *Graph) BFSTree(src Vertex) (parent []EdgeID, hops []int32) {
 	for len(queue) > 0 {
 		v := queue[0]
 		queue = queue[1:]
-		for _, h := range g.adj[v] {
+		for _, h := range g.Neighbors(v) {
 			if hops[h.To] < 0 {
 				hops[h.To] = hops[v] + 1
 				parent[h.To] = h.ID
@@ -375,14 +526,14 @@ func (g *Graph) HopDiameterApprox() int {
 // DegreeHistogram returns counts of vertex degrees (index = degree).
 func (g *Graph) DegreeHistogram() []int {
 	maxDeg := 0
-	for v := range g.adj {
-		if len(g.adj[v]) > maxDeg {
-			maxDeg = len(g.adj[v])
+	for v := 0; v < g.n; v++ {
+		if d := g.Degree(Vertex(v)); d > maxDeg {
+			maxDeg = d
 		}
 	}
 	hist := make([]int, maxDeg+1)
-	for v := range g.adj {
-		hist[len(g.adj[v])]++
+	for v := 0; v < g.n; v++ {
+		hist[g.Degree(Vertex(v))]++
 	}
 	return hist
 }
@@ -393,13 +544,23 @@ func (g *Graph) Validate() error {
 	if g.n < 0 {
 		return fmt.Errorf("graph: negative vertex count %d", g.n)
 	}
-	if len(g.adj) != g.n {
+	if !g.frozen && len(g.adj) != g.n {
 		return fmt.Errorf("graph: adj length %d != n %d", len(g.adj), g.n)
 	}
+	if g.frozen {
+		if len(g.offsets) != g.n+1 {
+			return fmt.Errorf("graph: offsets length %d != n+1 %d", len(g.offsets), g.n+1)
+		}
+		if int(g.offsets[g.n]) != len(g.halves) || len(g.halves) != 2*len(g.edges) {
+			return fmt.Errorf("graph: CSR halves length %d, offsets end %d, 2m %d",
+				len(g.halves), g.offsets[g.n], 2*len(g.edges))
+		}
+	}
 	degSum := 0
-	for v := range g.adj {
-		degSum += len(g.adj[v])
-		for _, h := range g.adj[v] {
+	for v := 0; v < g.n; v++ {
+		hs := g.Neighbors(Vertex(v))
+		degSum += len(hs)
+		for i, h := range hs {
 			if int(h.To) < 0 || int(h.To) >= g.n {
 				return fmt.Errorf("graph: vertex %d has neighbor %d out of range", v, h.To)
 			}
@@ -412,6 +573,9 @@ func (g *Graph) Validate() error {
 			}
 			if !((e.U == Vertex(v) && e.V == h.To) || (e.V == Vertex(v) && e.U == h.To)) {
 				return fmt.Errorf("graph: half-edge endpoints mismatch on edge %d", h.ID)
+			}
+			if g.frozen && g.Slot(Vertex(v), h.ID) != i {
+				return fmt.Errorf("graph: slot index stale for edge %d at vertex %d", h.ID, v)
 			}
 		}
 	}

@@ -90,7 +90,7 @@ func (g *Graph) DijkstraBounded(src Vertex, bound float64) *SPTree {
 		if dv > t.Dist[v] {
 			continue
 		}
-		for _, half := range g.adj[v] {
+		for _, half := range g.Neighbors(v) {
 			nd := dv + half.W
 			if nd < t.Dist[half.To] && nd <= bound {
 				t.Dist[half.To] = nd
@@ -126,7 +126,7 @@ func (g *Graph) DijkstraMultiSource(sources []Vertex, bound float64) (dist []flo
 		if dv > dist[v] {
 			continue
 		}
-		for _, half := range g.adj[v] {
+		for _, half := range g.Neighbors(v) {
 			nd := dv + half.W
 			if nd < dist[half.To] && nd <= bound {
 				dist[half.To] = nd
@@ -155,7 +155,7 @@ func (g *Graph) BellmanFordHops(src Vertex, h int) []float64 {
 		var next []Vertex
 		for _, v := range frontier {
 			dv := dist[v]
-			for _, half := range g.adj[v] {
+			for _, half := range g.Neighbors(v) {
 				if nd := dv + half.W; nd < dist[half.To] {
 					dist[half.To] = nd
 					if !inNext[half.To] {
@@ -191,7 +191,7 @@ func (g *Graph) BellmanFordHopsTree(src Vertex, h int) ([]float64, []EdgeID) {
 		var next []Vertex
 		for _, v := range frontier {
 			dv := dist[v]
-			for _, half := range g.adj[v] {
+			for _, half := range g.Neighbors(v) {
 				if nd := dv + half.W; nd < dist[half.To] {
 					dist[half.To] = nd
 					parent[half.To] = half.ID
