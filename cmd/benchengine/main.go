@@ -8,6 +8,14 @@
 //
 //	go run ./cmd/benchengine -out BENCH_engine.json
 //
+// With -scenario the same measurement runs on any registered scenario
+// spec instead of the canonical workload — useful for profiling the
+// engine on other topology families. Scenario runs are not comparable
+// to the frozen baseline, so the report then carries only the "after"
+// numbers:
+//
+//	go run ./cmd/benchengine -scenario ba:m=4 -n 8192 -out /tmp/ba.json
+//
 // For per-round micro-costs (dense vs sparse traffic) see
 // BenchmarkSteadyStateRound in internal/congest; for the multi-core
 // profile run BenchmarkEngineWorkers with -benchmem.
@@ -21,6 +29,7 @@ import (
 	"testing"
 
 	"lightnet/internal/congest"
+	"lightnet/internal/experiments"
 	"lightnet/internal/graph"
 )
 
@@ -37,12 +46,14 @@ type Measurement struct {
 	Messages    int64   `json:"messages"`
 }
 
-// Report is the schema of BENCH_engine.json.
+// Report is the schema of BENCH_engine.json. Before and the speedup
+// are present only for the canonical workload; -scenario runs are not
+// comparable to the frozen baseline and carry just the After numbers.
 type Report struct {
-	Workload          string      `json:"workload"`
-	Before            Measurement `json:"before"`
-	After             Measurement `json:"after"`
-	SpeedupNsPerRound float64     `json:"speedup_ns_per_round"`
+	Workload          string       `json:"workload"`
+	Before            *Measurement `json:"before,omitempty"`
+	After             Measurement  `json:"after"`
+	SpeedupNsPerRound float64      `json:"speedup_ns_per_round,omitempty"`
 }
 
 // baseline is the pre-refactor engine (commit 986341d: per-message heap
@@ -65,15 +76,29 @@ func workloadGraph() *graph.Graph {
 
 func main() {
 	out := flag.String("out", "BENCH_engine.json", "output path")
+	scenario := flag.String("scenario", "", "scenario spec to benchmark instead of the canonical workload (not baseline-comparable)")
+	n := flag.Int("n", 2048, "graph size for -scenario runs")
+	seed := flag.Int64("seed", 1, "graph seed for -scenario runs")
 	flag.Parse()
-	if err := run(*out); err != nil {
+	if err := run(*out, *scenario, *n, *seed); err != nil {
 		fmt.Fprintln(os.Stderr, "benchengine:", err)
 		os.Exit(1)
 	}
 }
 
-func run(out string) error {
+func run(out, scenario string, n int, seed int64) error {
 	g := workloadGraph()
+	workload := "Luby MIS on ErdosRenyi(n=2048, p=24/n, maxW=9, seed=1), " +
+		"engine seed 3, workers=1 (the BenchmarkEngineWorkers workload)"
+	comparable := true
+	if scenario != "" {
+		var err error
+		if g, err = experiments.BuildWorkload(scenario, n, seed); err != nil {
+			return err
+		}
+		workload = fmt.Sprintf("Luby MIS on scenario %q (n=%d, seed=%d), engine seed 3, workers=1", scenario, n, seed)
+		comparable = false
+	}
 	// One reference run for the round/message counts (deterministic:
 	// fixed seeds, worker count does not change results).
 	_, stats, err := congest.RunLubyMISWorkers(g, 3, 1)
@@ -97,12 +122,10 @@ func run(out string) error {
 		BytesPerOp:  res.AllocedBytesPerOp(),
 		Messages:    stats.Messages,
 	}
-	rep := Report{
-		Workload: "Luby MIS on ErdosRenyi(n=2048, p=24/n, maxW=9, seed=1), " +
-			"engine seed 3, workers=1 (the BenchmarkEngineWorkers workload)",
-		Before:            baseline,
-		After:             after,
-		SpeedupNsPerRound: baseline.NsPerRound / after.NsPerRound,
+	rep := Report{Workload: workload, After: after}
+	if comparable {
+		rep.Before = &baseline
+		rep.SpeedupNsPerRound = baseline.NsPerRound / after.NsPerRound
 	}
 	buf, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -112,8 +135,13 @@ func run(out string) error {
 	if err := os.WriteFile(out, buf, 0o644); err != nil {
 		return err
 	}
-	fmt.Printf("workload: %s\nns/round: %.0f -> %.0f (%.2fx)\nallocs/op: %d -> %d\nwrote %s\n",
-		rep.Workload, baseline.NsPerRound, after.NsPerRound, rep.SpeedupNsPerRound,
-		baseline.AllocsPerOp, after.AllocsPerOp, out)
+	if comparable {
+		fmt.Printf("workload: %s\nns/round: %.0f -> %.0f (%.2fx)\nallocs/op: %d -> %d\nwrote %s\n",
+			rep.Workload, baseline.NsPerRound, after.NsPerRound, rep.SpeedupNsPerRound,
+			baseline.AllocsPerOp, after.AllocsPerOp, out)
+	} else {
+		fmt.Printf("workload: %s\nns/round: %.0f allocs/op: %d messages: %d\nwrote %s\n",
+			rep.Workload, after.NsPerRound, after.AllocsPerOp, after.Messages, out)
+	}
 	return nil
 }

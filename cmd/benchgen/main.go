@@ -1,0 +1,156 @@
+// Command benchgen measures the generator layer's spatial-hash
+// geometric builder against the O(n²) brute-force reference on 100k
+// uniform points in [0,1]² and writes BENCH_generators.json. Both
+// builders produce bit-identical graphs (verified edge by edge on
+// every run, and oracle-tested in internal/graph), so each comparison
+// is a pure same-work speed measurement. Two radius regimes are
+// reported:
+//
+//   - sparse (0.3× the connectivity radius): construction is
+//     scan-dominated and the point set is slightly shattered, so the
+//     comparison covers both the pair scan and the component
+//     reconnection — the regimes where the builders actually differ
+//     (O(n + m) grid vs two O(n²) passes).
+//   - dense (the connectivity radius): millions of edges, where both
+//     builders share the same multi-second edge-materialization cost
+//     and the end-to-end gap narrows accordingly.
+//
+// A final grid-only datapoint records that a million-point build is
+// practical, which the quadratic builder cannot attempt (5·10¹¹
+// distance evaluations). Rerun after generator changes:
+//
+//	go run ./cmd/benchgen -out BENCH_generators.json
+//
+// The million-point build needs a few GB of memory; skip it with
+// -million=false on small machines.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"lightnet/internal/graph"
+)
+
+// Comparison is one brute-vs-grid measurement of the same graph.
+type Comparison struct {
+	Regime  string  `json:"regime"`
+	Radius  float64 `json:"radius"`
+	Edges   int     `json:"edges"`
+	BruteMS float64 `json:"brute_ms"`
+	GridMS  float64 `json:"grid_ms"`
+	Speedup float64 `json:"speedup"`
+}
+
+// Report is the schema of BENCH_generators.json.
+type Report struct {
+	Workload    string       `json:"workload"`
+	N           int          `json:"n"`
+	Dim         int          `json:"dim"`
+	Comparisons []Comparison `json:"comparisons"`
+	// MillionPoint is the grid-only feasibility datapoint (absent with
+	// -million=false).
+	MillionPoint *MillionPoint `json:"million_point,omitempty"`
+}
+
+// MillionPoint records the grid builder alone at n = 1e6.
+type MillionPoint struct {
+	N      int     `json:"n"`
+	Radius float64 `json:"radius"`
+	Edges  int     `json:"edges"`
+	WallMS float64 `json:"wall_ms"`
+}
+
+func main() {
+	out := flag.String("out", "BENCH_generators.json", "output path")
+	n := flag.Int("n", 100000, "points for the brute-vs-grid comparison")
+	seed := flag.Int64("seed", 1, "point-set seed")
+	million := flag.Bool("million", true, "also record the grid-only 1M-point build")
+	flag.Parse()
+	if err := run(*out, *n, *seed, *million); err != nil {
+		fmt.Fprintln(os.Stderr, "benchgen:", err)
+		os.Exit(1)
+	}
+}
+
+// compare builds the same unit-ball graph with both builders, verifies
+// bit-identical output, and returns the timed comparison.
+func compare(regime string, pts *graph.Points, radius float64) (Comparison, error) {
+	n := pts.N()
+	fmt.Printf("%s: n=%d radius=%.5f\n", regime, n, radius)
+	gridStart := time.Now()
+	gg := graph.UnitBallGraph(pts, radius)
+	gridMS := float64(time.Since(gridStart).Microseconds()) / 1000
+	fmt.Printf("  grid:  %8.0f ms, %d edges\n", gridMS, gg.M())
+	fmt.Println("  brute: running the O(n²) reference (this is the slow part)...")
+	bruteStart := time.Now()
+	bg := graph.UnitBallGraphBrute(pts, radius)
+	bruteMS := float64(time.Since(bruteStart).Microseconds()) / 1000
+	fmt.Printf("  brute: %8.0f ms, %d edges (%.1fx)\n", bruteMS, bg.M(), bruteMS/gridMS)
+	if gg.M() != bg.M() {
+		return Comparison{}, fmt.Errorf("%s: builders disagree: %d vs %d edges", regime, gg.M(), bg.M())
+	}
+	for id := 0; id < gg.M(); id++ {
+		if gg.Edge(graph.EdgeID(id)) != bg.Edge(graph.EdgeID(id)) {
+			return Comparison{}, fmt.Errorf("%s: builders disagree on edge %d", regime, id)
+		}
+	}
+	return Comparison{
+		Regime:  regime,
+		Radius:  radius,
+		Edges:   gg.M(),
+		BruteMS: bruteMS,
+		GridMS:  gridMS,
+		Speedup: bruteMS / gridMS,
+	}, nil
+}
+
+func run(out string, n int, seed int64, million bool) error {
+	const dim = 2
+	rc := graph.ConnectivityRadius(n, dim)
+	pts := graph.RandomPoints(n, dim, 1, seed)
+	rep := Report{
+		Workload: fmt.Sprintf("UnitBallGraph vs UnitBallGraphBrute on RandomPoints(n=%d, dim=%d, side=1, seed=%d); bit-identical outputs verified per run", n, dim, seed),
+		N:        n,
+		Dim:      dim,
+	}
+	sparse, err := compare("sparse (0.3x connectivity radius, exercises reconnection)", pts, 0.3*rc)
+	if err != nil {
+		return err
+	}
+	dense, err := compare("dense (connectivity radius)", pts, rc)
+	if err != nil {
+		return err
+	}
+	rep.Comparisons = []Comparison{sparse, dense}
+
+	if million {
+		const mn = 1_000_000
+		// Half the connectivity radius: sparse enough to fit in memory
+		// (the giant component plus stragglers), so the build also
+		// exercises the grid-based component reconnection at scale.
+		mr := 0.5 * graph.ConnectivityRadius(mn, dim)
+		fmt.Printf("million-point feasibility: n=%d radius=%.6f...\n", mn, mr)
+		mpts := graph.RandomPoints(mn, dim, 1, seed)
+		mStart := time.Now()
+		mg := graph.UnitBallGraph(mpts, mr)
+		mMS := float64(time.Since(mStart).Microseconds()) / 1000
+		fmt.Printf("  grid: %.0f ms, %d edges, connected=%v\n", mMS, mg.M(), mg.Connected())
+		rep.MillionPoint = &MillionPoint{N: mn, Radius: mr, Edges: mg.M(), WallMS: mMS}
+	}
+
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(out, buf, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("sparse speedup: %.1fx, dense speedup: %.1fx; wrote %s\n",
+		sparse.Speedup, dense.Speedup, out)
+	return nil
+}

@@ -11,6 +11,15 @@
 //	lightnet -obj psi       -graph hard -n 400
 //	lightnet -obj mst       -graph er -n 1024
 //
+// -graph accepts any scenario spec from the registry — a name plus
+// optional parameters, e.g. "ba:m=4,maxw=10" or "knn:k=6,dim=3". The
+// scenarios subcommand lists the catalog (full details in
+// docs/SCENARIOS.md):
+//
+//	lightnet scenarios
+//	lightnet -obj spanner -graph ba:m=4 -n 4096
+//	lightnet -obj mst -graph edgelist:path=road.txt
+//
 // The bench subcommand runs the reproducible experiment pipeline: a
 // JSON grid file (seed, repeats, sizes, workloads, per-construction
 // knobs) is swept and a timestamped run folder of per-experiment CSVs
@@ -41,6 +50,10 @@ func main() {
 			fmt.Fprintln(os.Stderr, "lightnet bench:", err)
 			os.Exit(1)
 		}
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "scenarios" {
+		printScenarios()
 		return
 	}
 	if err := run(); err != nil {
@@ -81,7 +94,7 @@ func runBench(args []string) error {
 func run() error {
 	var (
 		obj   = flag.String("obj", "spanner", "spanner|slt|sltinv|net|doubling|psi|mst")
-		kind  = flag.String("graph", "er", "er|geometric|grid|complete|hard|path")
+		kind  = flag.String("graph", "er", "scenario spec, e.g. er, geometric:dim=3, ba:m=4 (see `lightnet scenarios`)")
 		n     = flag.Int("n", 512, "number of vertices")
 		k     = flag.Int("k", 2, "spanner stretch parameter")
 		eps   = flag.Float64("eps", 0.25, "ε")
@@ -260,22 +273,25 @@ func runEngineDemos(g *lightnet.Graph, seed int64) error {
 	return nil
 }
 
+// makeGraph resolves -graph through the scenario registry, so the CLI
+// accepts exactly the specs the grid format does.
 func makeGraph(kind string, n int, seed int64) (*lightnet.Graph, error) {
-	switch kind {
-	case "er":
-		return lightnet.ErdosRenyi(n, 12/float64(n), 50, seed), nil
-	case "geometric":
-		return lightnet.RandomGeometric(n, 2, seed), nil
-	case "grid":
-		side := int(math.Sqrt(float64(n)))
-		return lightnet.GridGraph(side, side, 4, seed), nil
-	case "complete":
-		return lightnet.CompleteGraph(n, 1000, seed), nil
-	case "hard":
-		return lightnet.HardInstance(n, float64(n)*10, seed), nil
-	case "path":
-		return lightnet.PathGraph(n, 1), nil
-	default:
-		return nil, errors.New("unknown graph kind " + kind)
+	return experiments.BuildWorkload(kind, n, seed)
+}
+
+// printScenarios lists the scenario catalog: every registered family
+// with its parameters and defaults.
+func printScenarios() {
+	fmt.Println("scenario specs: name or name:key=val,key=val (docs/SCENARIOS.md)")
+	fmt.Println()
+	for _, s := range experiments.Scenarios() {
+		fmt.Printf("%-10s %s\n", s.Name, s.Summary)
+		for _, p := range s.Params {
+			if p.Default == "" {
+				fmt.Printf("    %-8s %s\n", p.Name, p.Doc)
+			} else {
+				fmt.Printf("    %-8s %s (default %s)\n", p.Name, p.Doc, p.Default)
+			}
+		}
 	}
 }

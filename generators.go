@@ -67,6 +67,37 @@ func HardInstance(n int, heavy float64, seed int64) *Graph {
 	return graph.HardInstance(n, heavy, seed)
 }
 
+// BarabasiAlbert returns a preferential-attachment graph: each
+// arriving vertex attaches to m distinct earlier vertices with
+// probability proportional to their degree. Connected, power-law
+// degree tail, weights uniform in [1, maxW].
+func BarabasiAlbert(n, m int, maxW float64, seed int64) *Graph {
+	return graph.BarabasiAlbert(n, m, maxW, seed)
+}
+
+// PlantedPartition returns a connected k-cluster planted-partition
+// (stochastic block model) graph: intra-block pairs with probability
+// pin, inter-block with pout, weights uniform in [1, maxW]. Generation
+// is O(n + edges) via geometric gap skipping.
+func PlantedPartition(n, k int, pin, pout, maxW float64, seed int64) *Graph {
+	return graph.PlantedPartition(n, k, pin, pout, maxW, seed)
+}
+
+// KNearestNeighbor returns the symmetrised k-nearest-neighbor graph of
+// n uniform points in [0,1]^dim, weighted by Euclidean distance
+// (scaled so the minimum weight is >= 1) and stitched to be connected.
+func KNearestNeighbor(n, dim, k int, seed int64) *Graph {
+	return graph.KNearestNeighborGraph(graph.RandomPoints(n, dim, 1, seed), k)
+}
+
+// ReadEdgeList ingests a whitespace-separated "u v [w]" edge list
+// (SNAP-style; # or % comments; weight defaults to 1). Arbitrary
+// vertex tokens are remapped to dense ids; labels records the original
+// token of each vertex.
+func ReadEdgeList(r io.Reader) (g *Graph, labels []string, err error) {
+	return graph.ReadEdgeList(r)
+}
+
 // EstimateDoublingDimension estimates the doubling dimension of g's
 // shortest-path metric by sampled greedy ball covers.
 func EstimateDoublingDimension(g *Graph, samples int, seed int64) float64 {

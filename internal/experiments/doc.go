@@ -1,0 +1,44 @@
+// Package experiments is the evaluation layer: the scenario registry
+// that names every workload the repo can generate, the reproducible
+// grid pipeline behind `lightnet bench`, and the paper-table
+// regenerators behind cmd/benchtab.
+//
+// # Scenario registry
+//
+// scenarios.go maps one-line spec strings to generator closures:
+//
+//	er                 geometric:dim=3        ba:m=4,maxw=10
+//	knn:k=6            planted:k=8,pin=0.2    edgelist:path=road.txt
+//
+// A spec is a scenario name plus optional key=val parameters; defaults
+// are merged and unknown names or keys are rejected at validation
+// time. ParseWorkload resolves a spec, BuildWorkload generates the
+// graph from (spec, n, seed), and Scenarios lists the catalog (full
+// documentation with doubling dimensions and edge-count asymptotics:
+// docs/SCENARIOS.md). The same specs are accepted by the grid JSON
+// "workloads" array, by `lightnet -graph`, and by
+// `cmd/benchengine -scenario`, so every experiment cell is
+// reproducible from one line. Parameterless legacy specs ("er",
+// "geometric", "grid", "complete", "hard", "path") rebuild the
+// pre-registry pipeline graphs bit for bit.
+//
+// # Grid pipeline
+//
+// grid.go defines the JSON experiment-grid format — a base seed,
+// repeats, size and workload sweeps, and per-construction knobs — and
+// RunGrid executes every cell into a run folder: grid.json (resolved,
+// for provenance), csv/ with one CSV per experiment, and logs/run.log.
+// Re-running the same grid reproduces identical CSV bytes except the
+// trailing wall-time column; CI enforces this for the scenario smoke
+// grid (examples/grids/scenarios.json).
+//
+// # Paper tables
+//
+// experiments.go regenerates the paper's evaluation: one function per
+// experiment id of DESIGN.md (Table 1 rows E-T1.1..E-T1.4, the
+// structural figures E-F1/E-F3, the lower-bound reduction E-LB, the
+// trade-off curve E-KRY, the baseline comparison E-BS and the
+// ablations E-ABL). Each returns a formatted Table; cmd/benchtab
+// prints them all and EXPERIMENTS.md records the outputs next to the
+// paper's claims.
+package experiments

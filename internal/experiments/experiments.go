@@ -1,9 +1,3 @@
-// Package experiments regenerates the paper's evaluation: one function
-// per experiment id of DESIGN.md (Table 1 rows E-T1.1..E-T1.4, the
-// structural figures E-F1/E-F3, the lower-bound reduction E-LB, the
-// trade-off curve E-KRY, the baseline comparison E-BS and the ablations
-// E-ABL). Each returns a formatted Table; cmd/benchtab prints them all
-// and EXPERIMENTS.md records the outputs next to the paper's claims.
 package experiments
 
 import (

@@ -33,8 +33,10 @@ type Grid struct {
 	Repeats int `json:"repeats"`
 	// Sizes are the vertex counts swept.
 	Sizes []int `json:"sizes"`
-	// Workloads are the graph families swept:
-	// er | geometric | grid | complete | hard | path.
+	// Workloads are the scenario specs swept: any registered scenario
+	// name, optionally with parameters — "er", "geometric:dim=3",
+	// "ba:m=4,maxw=10" (see the registry in scenarios.go and the
+	// catalog in docs/SCENARIOS.md).
 	Workloads []string `json:"workloads"`
 	// Workers configures the CONGEST engine pool for engine specs
 	// (0 = GOMAXPROCS). Ledger-accounted constructions ignore it.
@@ -106,10 +108,8 @@ func (g *Grid) Validate() error {
 		g.Workloads = []string{"er"}
 	}
 	for _, w := range g.Workloads {
-		switch w {
-		case "er", "geometric", "grid", "complete", "hard", "path":
-		default:
-			return fmt.Errorf("unknown workload %q", w)
+		if err := ValidateWorkload(w); err != nil {
+			return fmt.Errorf("workload %q: %w", w, err)
 		}
 	}
 	if len(g.Experiments) == 0 {
@@ -215,25 +215,6 @@ func (r Row) Record() []string {
 		strconv.FormatInt(r.Rounds, 10), strconv.FormatInt(r.Messages, 10),
 		strconv.Itoa(r.Size), f(r.Lightness), f(r.Stretch),
 		strconv.FormatFloat(r.WallMS, 'f', 3, 64),
-	}
-}
-
-// buildWorkload generates one graph of the named family.
-func buildWorkload(kind string, n int, seed int64) *graph.Graph {
-	switch kind {
-	case "geometric":
-		return graph.RandomGeometric(n, 2, seed)
-	case "grid":
-		side := isqrt(n)
-		return graph.Grid(side, side, 4, seed)
-	case "complete":
-		return graph.Complete(n, 1000, seed)
-	case "hard":
-		return graph.HardInstance(n, float64(n)*10, seed)
-	case "path":
-		return graph.Path(n, 1)
-	default: // er
-		return graph.ErdosRenyi(n, 12.0/float64(n), 50, seed)
 	}
 }
 
@@ -444,7 +425,10 @@ func runSpec(g *Grid, spec Spec, name, dir string, graphs map[graphKey]*graph.Gr
 				key := graphKey{kind, n, seed}
 				gr, ok := graphs[key]
 				if !ok {
-					gr = buildWorkload(kind, n, seed)
+					var err error
+					if gr, err = BuildWorkload(kind, n, seed); err != nil {
+						return fmt.Errorf("%s n=%d seed=%d: %w", kind, n, seed, err)
+					}
 					graphs[key] = gr
 				}
 				row, err := runCell(spec, gr, seed, g.Workers)

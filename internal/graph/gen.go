@@ -135,6 +135,15 @@ func RandomPoints(n, dim int, side float64, seed int64) *Points {
 	return p
 }
 
+// pe is a pending geometric edge: a point pair (i < j) and its
+// Euclidean distance. The (d, i, j) tuple order over pe values (see
+// peLess) is the tie-stable total order every geometric builder and
+// its brute-force oracle share.
+type pe struct {
+	i, j int
+	d    float64
+}
+
 // UnitBallGraph builds the unit-ball graph of the point set: an edge
 // between every pair at Euclidean distance <= radius, weighted by that
 // distance (scaled so the minimum weight is >= 1). If the result is
@@ -142,13 +151,78 @@ func RandomPoints(n, dim int, side float64, seed int64) *Points {
 // component by the closest inter-component pair, preserving the doubling
 // structure. This is the doubling-graph workload of §7 (and the graph
 // family of [DPP06]).
+//
+// Pairs are found with a spatial-hash cell grid (cells of side radius,
+// 3^dim-neighborhood probes), so construction is O(n + m) for roughly
+// uniform point sets and million-point instances are practical. The
+// output is bit-identical — same edges, same insertion order, same
+// weights — to the O(n²) reference builder UnitBallGraphBrute, which is
+// kept as the oracle for tests and benchmarks.
 func UnitBallGraph(pts *Points, radius float64) *Graph {
 	n := pts.N()
 	g := New(n)
-	type pe struct {
-		i, j int
-		d    float64
+	var pend []pe
+	minD := math.Inf(1)
+	if n > 0 && radius > 0 {
+		cg := newCellGrid(pts, radius)
+		var cand []pairCand
+		for i := 0; i < n; i++ {
+			cand = cg.radiusPartners(i, radius, cand[:0])
+			// Ascending j reproduces the brute-force (i, j) scan order.
+			sort.Slice(cand, func(x, y int) bool { return cand[x].j < cand[y].j })
+			for _, c := range cand {
+				pend = append(pend, pe{i: i, j: int(c.j), d: c.d})
+				if c.d < minD {
+					minD = c.d
+				}
+			}
+		}
 	}
+	return reconnectAndBuild(g, pts, pend, minD)
+}
+
+// reconnectAndBuild is the shared epilogue of the grid-backed
+// geometric builders: stitch the components of the pending edge set
+// with the exact closest-cross-pair MST, rescale so the minimum weight
+// is >= 1, and materialise the edges in order.
+func reconnectAndBuild(g *Graph, pts *Points, pend []pe, minD float64) *Graph {
+	n := pts.N()
+	uf := newUnionFind(n)
+	for _, e := range pend {
+		uf.union(e.i, e.j)
+	}
+	components := 0
+	for i := 0; i < n; i++ {
+		if uf.find(i) == i {
+			components++
+		}
+	}
+	if components > 1 {
+		for _, e := range crossComponentMST(pts, uf) {
+			pend = append(pend, e)
+			if e.d > 0 && e.d < minD {
+				minD = e.d
+			}
+		}
+	}
+	scale := 1.0
+	if minD > 0 && minD < 1 {
+		scale = 1 / minD
+	}
+	for _, e := range pend {
+		g.MustAddEdge(Vertex(e.i), Vertex(e.j), e.d*scale)
+	}
+	return g
+}
+
+// UnitBallGraphBrute is the O(n²) reference implementation of
+// UnitBallGraph: a full pair scan plus a quadratic closest-cross-pair
+// reconnection. It defines the expected output bit for bit; the
+// spatial-hash builder is oracle-tested against it and benchmarked
+// against it in cmd/benchgen.
+func UnitBallGraphBrute(pts *Points, radius float64) *Graph {
+	n := pts.N()
+	g := New(n)
 	var pend []pe
 	minD := math.Inf(1)
 	for i := 0; i < n; i++ {
@@ -241,14 +315,193 @@ func UnitBallGraph(pts *Points, radius float64) *Graph {
 	return g
 }
 
+// ConnectivityRadius is the standard random-geometric connection
+// radius c·(log n / n)^{1/dim} at which n uniform points in [0,1]^dim
+// are connected w.h.p. — the single source of truth for the constant,
+// shared by RandomGeometric, the "ubg" scenario default and the
+// generator benchmarks.
+func ConnectivityRadius(n, dim int) float64 {
+	return 1.6 * math.Pow(math.Log(float64(n+1))/float64(n), 1/float64(dim))
+}
+
 // RandomGeometric is a convenience wrapper: n uniform points in
-// [0,1]^dim connected at the standard connectivity radius
-// c·(log n / n)^{1/dim}, producing a connected low-doubling-dimension
-// graph.
+// [0,1]^dim connected at ConnectivityRadius, producing a connected
+// low-doubling-dimension graph.
 func RandomGeometric(n, dim int, seed int64) *Graph {
-	pts := RandomPoints(n, dim, 1, seed)
-	r := 1.6 * math.Pow(math.Log(float64(n+1))/float64(n), 1/float64(dim))
-	return UnitBallGraph(pts, r)
+	return UnitBallGraph(RandomPoints(n, dim, 1, seed), ConnectivityRadius(n, dim))
+}
+
+// KNearestNeighborGraph connects every point to its k nearest other
+// points at positive Euclidean distance (ties broken towards the
+// smaller index), weighted by distance and scaled so the minimum
+// weight is >= 1. The per-point neighborhoods are symmetrised, so an
+// edge appears once even when both endpoints select each other and
+// every vertex has degree >= k (for k < n with distinct positions).
+// Disconnected outputs are stitched by closest cross-component pairs
+// exactly like UnitBallGraph. Built on the spatial-hash grid:
+// O(n + k·n) expected for roughly uniform point sets.
+func KNearestNeighborGraph(pts *Points, k int) *Graph {
+	n := pts.N()
+	if k >= n {
+		k = n - 1
+	}
+	g := New(n)
+	var pend []pe
+	minD := math.Inf(1)
+	if n > 0 && k > 0 {
+		cg := newCellGrid(pts, spacingCellSize(pts))
+		seen := make(map[int64]bool, n*k)
+		var best []pairCand
+		for i := 0; i < n; i++ {
+			best = cg.kNearest(i, k, best[:0])
+			for _, c := range best {
+				a, b := i, int(c.j)
+				if a > b {
+					a, b = b, a
+				}
+				key := int64(a)*int64(n) + int64(b)
+				if seen[key] {
+					continue
+				}
+				seen[key] = true
+				pend = append(pend, pe{i: a, j: b, d: c.d})
+				if c.d < minD {
+					minD = c.d
+				}
+			}
+		}
+	}
+	return reconnectAndBuild(g, pts, pend, minD)
+}
+
+// BarabasiAlbert returns a preferential-attachment graph: vertices
+// arrive in id order and each new vertex attaches to min(m, v)
+// distinct earlier vertices sampled with probability proportional to
+// their current degree (the [BA99] process, implemented with the
+// standard repeated-endpoints list). The result is connected by
+// construction, has m·n − O(m²) edges and a power-law degree tail —
+// the overlay-network stress family with large doubling dimension.
+// Weights are uniform in [1, maxW].
+func BarabasiAlbert(n, m int, maxW float64, seed int64) *Graph {
+	if m < 1 {
+		m = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	g := New(n)
+	// chain holds every edge endpoint once; sampling a uniform entry is
+	// sampling a vertex with probability proportional to its degree.
+	chain := make([]int32, 0, 2*m*n)
+	chosen := make([]int32, 0, m)
+	for v := 1; v < n; v++ {
+		mm := m
+		if v < m {
+			mm = v
+		}
+		chosen = chosen[:0]
+		for len(chosen) < mm {
+			var t int32
+			if len(chain) == 0 {
+				t = int32(rng.Intn(v))
+			} else {
+				t = chain[rng.Intn(len(chain))]
+			}
+			dup := false
+			for _, c := range chosen {
+				if c == t {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				chosen = append(chosen, t)
+			}
+		}
+		for _, t := range chosen {
+			g.MustAddEdge(Vertex(t), Vertex(v), 1+rng.Float64()*(maxW-1))
+			chain = append(chain, t, int32(v))
+		}
+	}
+	return g
+}
+
+// PlantedPartition returns a k-cluster planted-partition graph (the
+// symmetric stochastic block model): n vertices in k contiguous
+// near-equal blocks, each intra-block pair connected independently
+// with probability pin and each inter-block pair with probability
+// pout, plus a random recursive tree inside every block and one
+// attachment edge per block so the graph is always connected. Pair
+// sampling uses geometric gap skipping, so generation costs
+// O(n + edges) — million-vertex instances are practical — rather than
+// the O(n²) of a full pair scan. Weights are uniform in [1, maxW].
+func PlantedPartition(n, k int, pin, pout, maxW float64, seed int64) *Graph {
+	if k < 1 {
+		k = 1
+	}
+	if k > n {
+		k = n
+	}
+	rng := rand.New(rand.NewSource(seed))
+	g := New(n)
+	blk := (n + k - 1) / k
+	w := func() float64 { return 1 + rng.Float64()*(maxW-1) }
+	// Connectivity skeleton: each vertex attaches to a uniform earlier
+	// vertex of its own block (random recursive tree per block); each
+	// block's first vertex attaches to a uniform earlier vertex, tying
+	// the blocks together.
+	for v := 1; v < n; v++ {
+		start := (v / blk) * blk
+		if v == start {
+			g.MustAddEdge(Vertex(rng.Intn(v)), Vertex(v), w())
+		} else {
+			g.MustAddEdge(Vertex(start+rng.Intn(v-start)), Vertex(v), w())
+		}
+	}
+	// Planted edges. For each u the candidates v > u split into one
+	// contiguous intra-block range and one contiguous inter-block range,
+	// each sampled with geometric skipping.
+	for u := 0; u < n; u++ {
+		end := (u/blk + 1) * blk
+		if end > n {
+			end = n
+		}
+		sampleRange(rng, u+1, end, pin, func(v int) {
+			g.MustAddEdge(Vertex(u), Vertex(v), w())
+		})
+		sampleRange(rng, end, n, pout, func(v int) {
+			g.MustAddEdge(Vertex(u), Vertex(v), w())
+		})
+	}
+	return g
+}
+
+// sampleRange invokes fn for each v in [lo, hi) independently with
+// probability p. Runs of misses are skipped in O(1) each by drawing
+// the geometric gap to the next hit, so the cost is proportional to
+// the number of hits, not the range length.
+func sampleRange(rng *rand.Rand, lo, hi int, p float64, fn func(v int)) {
+	if p <= 0 || lo >= hi {
+		return
+	}
+	if p >= 1 {
+		for v := lo; v < hi; v++ {
+			fn(v)
+		}
+		return
+	}
+	logq := math.Log1p(-p)
+	v := lo
+	for {
+		gap := math.Floor(math.Log1p(-rng.Float64()) / logq)
+		if gap >= float64(hi-v) {
+			return
+		}
+		v += int(gap)
+		fn(v)
+		v++
+		if v >= hi {
+			return
+		}
+	}
 }
 
 // HardInstance generates the lower-bound graph family in the spirit of

@@ -1,0 +1,220 @@
+package graph
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// sameEdges reports whether two graphs have identical edge lists.
+func sameEdges(a, b *Graph) bool {
+	if a.N() != b.N() || a.M() != b.M() {
+		return false
+	}
+	for id := 0; id < a.M(); id++ {
+		if a.Edge(EdgeID(id)) != b.Edge(EdgeID(id)) {
+			return false
+		}
+	}
+	return true
+}
+
+// checkFamily runs the shared generator properties: structural
+// validity, connectivity, minimum weight >= 1, seed determinism (same
+// seed reproduces the graph bit for bit, a different seed does not),
+// and the frozen-CSR round-trip (Freeze keeps the graph valid and
+// Clone recovers an identical mutable copy).
+func checkFamily(t *testing.T, name string, gen func(seed int64) *Graph) {
+	t.Helper()
+	g := gen(1)
+	if err := g.Validate(); err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	if !g.Connected() {
+		t.Fatalf("%s: not connected", name)
+	}
+	if minW, _ := g.MinMaxWeight(); minW < 1 {
+		t.Fatalf("%s: min weight %v < 1", name, minW)
+	}
+	if !sameEdges(g, gen(1)) {
+		t.Fatalf("%s: same seed produced different graphs", name)
+	}
+	if sameEdges(g, gen(2)) {
+		t.Fatalf("%s: different seeds produced identical graphs", name)
+	}
+	g.Freeze()
+	if err := g.Validate(); err != nil {
+		t.Fatalf("%s frozen: %v", name, err)
+	}
+	c := g.Clone()
+	if c.Frozen() {
+		t.Fatalf("%s: clone of frozen graph should be mutable", name)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatalf("%s clone: %v", name, err)
+	}
+	if !sameEdges(g, c) {
+		t.Fatalf("%s: frozen round-trip changed the edge list", name)
+	}
+}
+
+func TestBarabasiAlbertProperties(t *testing.T) {
+	const n, m = 300, 3
+	checkFamily(t, "ba", func(seed int64) *Graph {
+		return BarabasiAlbert(n, m, 10, seed)
+	})
+	g := BarabasiAlbert(n, m, 10, 1)
+	// Exactly sum_{v=1}^{n-1} min(m, v) edges.
+	wantM := 0
+	for v := 1; v < n; v++ {
+		if v < m {
+			wantM += v
+		} else {
+			wantM += m
+		}
+	}
+	if g.M() != wantM {
+		t.Fatalf("ba: m=%d, want %d", g.M(), wantM)
+	}
+	// Every vertex arriving after the seed phase attaches to m distinct
+	// targets, so its degree is at least m.
+	for v := m; v < n; v++ {
+		if d := g.Degree(Vertex(v)); d < m {
+			t.Fatalf("ba: degree(%d)=%d < m=%d", v, d, m)
+		}
+	}
+	// Preferential attachment concentrates degree: the maximum degree
+	// must far exceed the mean (a uniform-attachment tree stays near
+	// O(log n); a power-law tail does not).
+	maxDeg := 0
+	for v := 0; v < n; v++ {
+		if d := g.Degree(Vertex(v)); d > maxDeg {
+			maxDeg = d
+		}
+	}
+	if maxDeg < 4*m {
+		t.Fatalf("ba: max degree %d suspiciously flat for preferential attachment", maxDeg)
+	}
+}
+
+func TestPlantedPartitionProperties(t *testing.T) {
+	const (
+		n, k = 240, 4
+		pin  = 0.25
+		pout = 0.005
+	)
+	checkFamily(t, "planted", func(seed int64) *Graph {
+		return PlantedPartition(n, k, pin, pout, 8, seed)
+	})
+	g := PlantedPartition(n, k, pin, pout, 8, 1)
+	blk := (n + k - 1) / k
+	intra, cross := 0, 0
+	for _, e := range g.Edges() {
+		if int(e.U)/blk == int(e.V)/blk {
+			intra++
+		} else {
+			cross++
+		}
+	}
+	// With pin >> pout the planted structure must dominate: intra-block
+	// pairs are ~1/k of all pairs yet carry most edges.
+	if intra <= 4*cross {
+		t.Fatalf("planted: intra=%d cross=%d — partition structure not planted", intra, cross)
+	}
+	// Degenerate parameters still produce a valid connected graph.
+	for _, tc := range []struct{ n, k int }{{10, 1}, {10, 10}, {7, 3}} {
+		h := PlantedPartition(tc.n, tc.k, 0.5, 0.1, 4, 3)
+		if err := h.Validate(); err != nil || !h.Connected() {
+			t.Fatalf("planted n=%d k=%d: invalid (%v) or disconnected", tc.n, tc.k, err)
+		}
+	}
+}
+
+func TestKNearestNeighborGraphProperties(t *testing.T) {
+	const n, dim, k = 200, 2, 4
+	checkFamily(t, "knn", func(seed int64) *Graph {
+		return KNearestNeighborGraph(RandomPoints(n, dim, 1, seed), k)
+	})
+	g := KNearestNeighborGraph(RandomPoints(n, dim, 1, 1), k)
+	for v := 0; v < n; v++ {
+		if d := g.Degree(Vertex(v)); d < k {
+			t.Fatalf("knn: degree(%d)=%d < k=%d", v, d, k)
+		}
+	}
+	// k >= n degenerates to the complete graph on distinct positions.
+	small := KNearestNeighborGraph(RandomPoints(5, 2, 1, 9), 10)
+	if small.M() != 10 {
+		t.Fatalf("knn k>=n: m=%d, want complete graph 10", small.M())
+	}
+}
+
+func TestReadEdgeList(t *testing.T) {
+	in := `
+# a SNAP-style comment
+% and a Network-Repository-style one
+a b 2.5
+b c
+c a 1.25
+c c 9
+a b 4
+`
+	g, labels, err := ReadEdgeList(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []string{"a", "b", "c"}; len(labels) != len(want) || labels[0] != "a" || labels[1] != "b" || labels[2] != "c" {
+		t.Fatalf("labels = %v, want %v", labels, want)
+	}
+	// Self-loop dropped, parallel a-b kept.
+	if g.N() != 3 || g.M() != 4 {
+		t.Fatalf("shape n=%d m=%d, want 3/4", g.N(), g.M())
+	}
+	if e := g.Edge(0); e.U != 0 || e.V != 1 || e.W != 2.5 {
+		t.Fatalf("edge 0 = %+v", e)
+	}
+	if e := g.Edge(1); e.W != 1 {
+		t.Fatalf("default weight = %v, want 1", e.W)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, bad := range []string{
+		"a b c d",  // too many fields
+		"a b nope", // unparsable weight
+		"a b -3",   // non-positive weight
+		"a b 0",    // zero weight
+		"a b +Inf", // infinite weight
+	} {
+		if _, _, err := ReadEdgeList(strings.NewReader(bad)); err == nil {
+			t.Fatalf("accepted malformed line %q", bad)
+		}
+	}
+}
+
+func TestSampleRange(t *testing.T) {
+	draw := func(p float64) []int {
+		rng := rand.New(rand.NewSource(5))
+		var hits []int
+		sampleRange(rng, 0, 1000, p, func(v int) { hits = append(hits, v) })
+		return hits
+	}
+	if hits := draw(1.0); len(hits) != 1000 {
+		t.Fatalf("p=1: %d hits, want 1000", len(hits))
+	}
+	if hits := draw(0); len(hits) != 0 {
+		t.Fatalf("p=0: %d hits, want 0", len(hits))
+	}
+	hits := draw(0.3)
+	if len(hits) < 200 || len(hits) > 400 {
+		t.Fatalf("p=0.3: %d hits, far from the expected 300", len(hits))
+	}
+	for i, h := range hits {
+		if h < 0 || h >= 1000 {
+			t.Fatalf("hit %d out of range", h)
+		}
+		if i > 0 && h <= hits[i-1] {
+			t.Fatalf("hits not strictly increasing at %d", i)
+		}
+	}
+}

@@ -1,17 +1,3 @@
-// Package graph provides the weighted-graph substrate used by every
-// algorithm in this repository: an adjacency-list representation with
-// stable edge identifiers, exact shortest-path routines, hop (unweighted)
-// traversals, and structural queries (connectivity, hop-diameter, aspect
-// ratio).
-//
-// Conventions shared across the repository:
-//
-//   - Vertices are dense integers in [0, N).
-//   - Edges are undirected; each edge has a unique EdgeID assigned in
-//     insertion order. Both half-edges share the EdgeID.
-//   - Weights are strictly positive float64s. The paper assumes minimum
-//     weight 1 and maximum poly(n); generators follow that convention but
-//     the algorithms only require positivity.
 package graph
 
 import (
@@ -241,8 +227,16 @@ func (g *Graph) EdgeBetween(u, v Vertex) (EdgeID, bool) {
 	return NoEdge, false
 }
 
-// MustAddEdge is AddEdge for generators and tests where inputs are known
-// valid; it panics on error (program-construction bug, not runtime input).
+// MustAddEdge is AddEdge for callers whose inputs satisfy AddEdge's
+// contract by construction — distinct in-range endpoints and a
+// positive, finite weight. The generators qualify: their endpoints are
+// loop indices in [0, n) with u != v, and every weight is either a
+// positive constant or 1 + rng.Float64()·(maxW−1) >= 1 for the
+// finite maxW they are called with, so the panic below is unreachable
+// from them (TestMustAddEdge pins both directions). Code handling
+// untrusted input — file ingestion, CLI parameters — must use AddEdge
+// and propagate the error instead; a panic here is a
+// program-construction bug, never a data error.
 func (g *Graph) MustAddEdge(u, v Vertex, w float64) EdgeID {
 	id, err := g.AddEdge(u, v, w)
 	if err != nil {

@@ -522,3 +522,38 @@ func TestDegreeHistogram(t *testing.T) {
 		t.Fatalf("hist = %v", h)
 	}
 }
+
+// TestMustAddEdge pins both sides of MustAddEdge's contract: valid
+// generator-style inputs never panic, and each AddEdge rejection
+// (self loop, out-of-range endpoint, non-positive or non-finite
+// weight) panics with the underlying error rather than corrupting the
+// graph.
+func TestMustAddEdge(t *testing.T) {
+	g := New(3)
+	if id := g.MustAddEdge(0, 1, 1.5); id != 0 {
+		t.Fatalf("id = %d, want 0", id)
+	}
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: no panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("self loop", func() { g.MustAddEdge(1, 1, 1) })
+	mustPanic("out of range", func() { g.MustAddEdge(0, 7, 1) })
+	mustPanic("negative vertex", func() { g.MustAddEdge(-1, 0, 1) })
+	mustPanic("zero weight", func() { g.MustAddEdge(0, 2, 0) })
+	mustPanic("negative weight", func() { g.MustAddEdge(0, 2, -2) })
+	mustPanic("inf weight", func() { g.MustAddEdge(0, 2, math.Inf(1)) })
+	mustPanic("nan weight", func() { g.MustAddEdge(0, 2, math.NaN()) })
+	// The failed inserts must not have touched the graph.
+	if g.M() != 1 || g.Degree(0) != 1 || g.Degree(2) != 0 {
+		t.Fatalf("graph mutated by rejected inserts: m=%d", g.M())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -37,6 +37,75 @@ func (g *Graph) WriteTo(w io.Writer) (int64, error) {
 	return total, bw.Flush()
 }
 
+// ReadEdgeList parses a whitespace-separated edge list — the de-facto
+// format of real-world graph datasets (SNAP, Network Repository):
+//
+//	# comment (also %)
+//	<u> <v> [<w>]
+//
+// The weight defaults to 1 and must be positive and finite. Vertex ids
+// are arbitrary tokens, not necessarily dense integers; they are mapped
+// to dense [0, n) in order of first appearance, and the returned labels
+// slice records the original token of each vertex. Self-loops are
+// skipped (the Graph type rejects them); parallel edges are kept, as in
+// AddEdge. Connectivity is not checked — callers that require a
+// connected graph (most constructions here) must verify it.
+func ReadEdgeList(r io.Reader) (*Graph, []string, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	type rawEdge struct {
+		u, v Vertex
+		w    float64
+	}
+	var edges []rawEdge
+	ids := make(map[string]Vertex)
+	var labels []string
+	intern := func(tok string) Vertex {
+		if v, ok := ids[tok]; ok {
+			return v
+		}
+		v := Vertex(len(labels))
+		ids[tok] = v
+		labels = append(labels, tok)
+		return v
+	}
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") || strings.HasPrefix(text, "%") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) != 2 && len(fields) != 3 {
+			return nil, nil, fmt.Errorf("graph: edgelist line %d: want \"u v [w]\", got %q", line, text)
+		}
+		w := 1.0
+		if len(fields) == 3 {
+			var err error
+			w, err = strconv.ParseFloat(fields[2], 64)
+			if err != nil {
+				return nil, nil, fmt.Errorf("graph: edgelist line %d: bad weight %q: %w", line, fields[2], err)
+			}
+		}
+		u, v := intern(fields[0]), intern(fields[1])
+		if u == v {
+			continue
+		}
+		edges = append(edges, rawEdge{u: u, v: v, w: w})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, nil, fmt.Errorf("graph: edgelist read: %w", err)
+	}
+	g := New(len(labels))
+	for _, e := range edges {
+		if _, err := g.AddEdge(e.u, e.v, e.w); err != nil {
+			return nil, nil, fmt.Errorf("graph: edgelist %s-%s: %w", labels[e.u], labels[e.v], err)
+		}
+	}
+	return g, labels, nil
+}
+
 // Read parses a graph in the WriteTo format.
 func Read(r io.Reader) (*Graph, error) {
 	sc := bufio.NewScanner(r)

@@ -1,0 +1,479 @@
+package graph
+
+import (
+	"math"
+	"sort"
+)
+
+// Spatial-hash cell grid: the geometric-query substrate behind the
+// scalable generators. Points are bucketed into axis-aligned cubes of
+// side cellSize keyed by their hashed integer cell coordinates, so a
+// radius-r query probes only the 3^dim cells around a point and a
+// nearest-neighbor query walks outward ring by ring — O(1) expected
+// per query on roughly uniform point sets, instead of the O(n) scan a
+// brute-force pass needs per point.
+//
+// Hash collisions between distinct cells are benign by construction:
+// a colliding bucket only *adds* far-away candidates (rejected by the
+// exact distance check) — a point is always found when its own cell's
+// key is probed, so no real candidate is ever dropped.
+
+// pairCand is one candidate partner of a query point.
+type pairCand struct {
+	j int32
+	d float64
+}
+
+// cellGrid buckets a point set into cubes of side cellSize. The zero
+// value is unusable; use newCellGrid. Query methods share scratch
+// buffers, so a cellGrid must not be used concurrently.
+type cellGrid struct {
+	pts      *Points
+	cellSize float64
+	min      []float64 // per-dimension lower corner of the bounding box
+	span     []int64   // per-dimension number of cells covering the box
+	maxRing  int       // Chebyshev radius that covers the whole grid
+	buckets  map[uint64][]int32
+
+	// Scratch reused across queries (coords of the current point's
+	// cell, ring base and cursor, odometer state, probed bucket keys).
+	coords, base, cur []int64
+	offs, lo, hi      []int
+	probe             []uint64
+}
+
+// newCellGrid buckets pts into cells of side cellSize (> 0).
+func newCellGrid(pts *Points, cellSize float64) *cellGrid {
+	n, dim := pts.N(), pts.Dim
+	cg := &cellGrid{
+		pts:      pts,
+		cellSize: cellSize,
+		min:      make([]float64, dim),
+		span:     make([]int64, dim),
+		buckets:  make(map[uint64][]int32, n),
+		coords:   make([]int64, dim),
+		base:     make([]int64, dim),
+		cur:      make([]int64, dim),
+		offs:     make([]int, dim),
+		lo:       make([]int, dim),
+		hi:       make([]int, dim),
+	}
+	maxC := make([]float64, dim)
+	for d := 0; d < dim; d++ {
+		cg.min[d] = math.Inf(1)
+		maxC[d] = math.Inf(-1)
+	}
+	for i := 0; i < n; i++ {
+		for d := 0; d < dim; d++ {
+			x := pts.Coords[i*dim+d]
+			if x < cg.min[d] {
+				cg.min[d] = x
+			}
+			if x > maxC[d] {
+				maxC[d] = x
+			}
+		}
+	}
+	for d := 0; d < dim; d++ {
+		cg.span[d] = 1
+		if n > 0 {
+			cg.span[d] = int64(math.Floor((maxC[d]-cg.min[d])/cellSize)) + 1
+		}
+		if int(cg.span[d]) > cg.maxRing {
+			cg.maxRing = int(cg.span[d])
+		}
+	}
+	for i := 0; i < n; i++ {
+		cg.cellOf(i)
+		key := hashCellCoords(cg.coords)
+		cg.buckets[key] = append(cg.buckets[key], int32(i))
+	}
+	return cg
+}
+
+// cellOf fills cg.coords with the cell coordinates of point i.
+func (cg *cellGrid) cellOf(i int) {
+	dim := cg.pts.Dim
+	for d := 0; d < dim; d++ {
+		cg.coords[d] = int64(math.Floor((cg.pts.Coords[i*dim+d] - cg.min[d]) / cg.cellSize))
+	}
+}
+
+// hashCellCoords mixes integer cell coordinates into one bucket key
+// (splitmix64 finalizer per coordinate, FNV-style combine).
+func hashCellCoords(c []int64) uint64 {
+	h := uint64(0xcbf29ce484222325)
+	for _, v := range c {
+		x := uint64(v) + 0x9e3779b97f4a7c15
+		x ^= x >> 30
+		x *= 0xbf58476d1ce4e5b9
+		x ^= x >> 27
+		x *= 0x94d049bb133111eb
+		x ^= x >> 31
+		h = (h ^ x) * 0x100000001b3
+	}
+	return h
+}
+
+// radiusPartners appends to dst every point j > i with
+// 0 < Dist(i, j) <= radius, in arbitrary order (callers sort). Only
+// the 3^dim cells around i's cell are probed, which suffices when the
+// grid's cellSize >= radius.
+func (cg *cellGrid) radiusPartners(i int, radius float64, dst []pairCand) []pairCand {
+	dim := cg.pts.Dim
+	cg.cellOf(i)
+	copy(cg.base, cg.coords)
+	cg.probe = cg.probe[:0]
+	for d := 0; d < dim; d++ {
+		cg.offs[d] = -1
+	}
+	for {
+		oob := false
+		for d := 0; d < dim; d++ {
+			cg.cur[d] = cg.base[d] + int64(cg.offs[d])
+			if cg.cur[d] < 0 || cg.cur[d] >= cg.span[d] {
+				oob = true
+				break
+			}
+		}
+		if !oob {
+			key := hashCellCoords(cg.cur)
+			if !containsKey(cg.probe, key) {
+				cg.probe = append(cg.probe, key)
+				for _, j := range cg.buckets[key] {
+					if int(j) <= i {
+						continue
+					}
+					d := cg.pts.Dist(i, int(j))
+					if d <= radius && d > 0 {
+						dst = append(dst, pairCand{j: j, d: d})
+					}
+				}
+			}
+		}
+		d := 0
+		for ; d < dim; d++ {
+			cg.offs[d]++
+			if cg.offs[d] <= 1 {
+				break
+			}
+			cg.offs[d] = -1
+		}
+		if d == dim {
+			break
+		}
+	}
+	return dst
+}
+
+// containsKey reports whether key is already in keys (the probe list is
+// at most 3^dim long, so a linear scan beats a map).
+func containsKey(keys []uint64, key uint64) bool {
+	for _, k := range keys {
+		if k == key {
+			return true
+		}
+	}
+	return false
+}
+
+// forEachRingCell calls fn with the bucket key of every in-bounds cell
+// at Chebyshev distance exactly r from the cell in cg.base. Each cell
+// is visited once: for every axis d0 and sign, the face offs[d0] = ±r
+// is enumerated with axes before d0 restricted to (-r, r) so faces do
+// not overlap at edges and corners.
+func (cg *cellGrid) forEachRingCell(r int, fn func(key uint64)) {
+	dim := cg.pts.Dim
+	if r == 0 {
+		fn(hashCellCoords(cg.base))
+		return
+	}
+	for d0 := 0; d0 < dim; d0++ {
+		for s := 0; s < 2; s++ {
+			face := r
+			if s == 1 {
+				face = -r
+			}
+			for d := 0; d < dim; d++ {
+				switch {
+				case d == d0:
+					cg.lo[d], cg.hi[d] = face, face
+				case d < d0:
+					cg.lo[d], cg.hi[d] = -(r - 1), r-1
+				default:
+					cg.lo[d], cg.hi[d] = -r, r
+				}
+			}
+			for d := 0; d < dim; d++ {
+				cg.offs[d] = cg.lo[d]
+			}
+			for {
+				oob := false
+				for d := 0; d < dim; d++ {
+					cg.cur[d] = cg.base[d] + int64(cg.offs[d])
+					if cg.cur[d] < 0 || cg.cur[d] >= cg.span[d] {
+						oob = true
+						break
+					}
+				}
+				if !oob {
+					fn(hashCellCoords(cg.cur))
+				}
+				d := 0
+				for ; d < dim; d++ {
+					cg.offs[d]++
+					if cg.offs[d] <= cg.hi[d] {
+						break
+					}
+					cg.offs[d] = cg.lo[d]
+				}
+				if d == dim {
+					break
+				}
+			}
+		}
+	}
+}
+
+// pairLess orders candidate partners of the same query point i by the
+// tuple (distance, min endpoint, max endpoint) — the total order the
+// brute-force builders use, which makes every geometric construction
+// here deterministic and tie-stable.
+func pairLess(i int, ja int, da float64, jb int, db float64) bool {
+	if da != db {
+		return da < db
+	}
+	amin, amax := i, ja
+	if ja < i {
+		amin, amax = ja, i
+	}
+	bmin, bmax := i, jb
+	if jb < i {
+		bmin, bmax = jb, i
+	}
+	if amin != bmin {
+		return amin < bmin
+	}
+	return amax < bmax
+}
+
+// nearestForeign returns the point j minimising the tuple
+// (Dist(i, j), min(i, j), max(i, j)) over all points whose union-find
+// root differs from i's. ok is false only when every point shares i's
+// component. The search walks cell rings outward and stops as soon as
+// every unvisited ring is provably farther than the current best
+// (ring r is at Euclidean distance >= (r-1)·cellSize).
+func (cg *cellGrid) nearestForeign(i int, uf *unionFind) (j int, d float64, ok bool) {
+	cg.cellOf(i)
+	copy(cg.base, cg.coords)
+	ri := uf.find(i)
+	bestJ, bestD := -1, math.Inf(1)
+	for r := 0; r <= cg.maxRing; r++ {
+		if bestJ >= 0 && float64(r-1)*cg.cellSize > bestD {
+			break
+		}
+		cg.forEachRingCell(r, func(key uint64) {
+			for _, cand := range cg.buckets[key] {
+				jj := int(cand)
+				if jj == i || uf.find(jj) == ri {
+					continue
+				}
+				dd := cg.pts.Dist(i, jj)
+				if bestJ < 0 || pairLess(i, jj, dd, bestJ, bestD) {
+					bestJ, bestD = jj, dd
+				}
+			}
+		})
+	}
+	if bestJ < 0 {
+		return -1, 0, false
+	}
+	return bestJ, bestD, true
+}
+
+// kNearest appends to dst the k nearest points to i at positive
+// distance, ordered by (distance, index). Fewer than k are returned
+// only when the point set has fewer than k distinct-position partners.
+func (cg *cellGrid) kNearest(i, k int, dst []pairCand) []pairCand {
+	if k <= 0 {
+		return dst
+	}
+	cg.cellOf(i)
+	copy(cg.base, cg.coords)
+	base := len(dst)
+	for r := 0; r <= cg.maxRing; r++ {
+		best := dst[base:]
+		if len(best) == k && float64(r-1)*cg.cellSize > best[len(best)-1].d {
+			break
+		}
+		cg.forEachRingCell(r, func(key uint64) {
+			for _, cand := range cg.buckets[key] {
+				jj := int(cand)
+				if jj == i {
+					continue
+				}
+				dd := cg.pts.Dist(i, jj)
+				if dd == 0 {
+					continue
+				}
+				dst = cg.insertKBest(dst, base, k, pairCand{j: int32(jj), d: dd})
+			}
+		})
+	}
+	return dst
+}
+
+// insertKBest inserts c into the sorted (by (d, j)) window dst[base:],
+// keeping at most k entries and dropping duplicates (a hash collision
+// can surface the same point from two rings).
+func (cg *cellGrid) insertKBest(dst []pairCand, base, k int, c pairCand) []pairCand {
+	win := dst[base:]
+	pos := sort.Search(len(win), func(x int) bool {
+		if win[x].d != c.d {
+			return win[x].d > c.d
+		}
+		return win[x].j >= c.j
+	})
+	if pos < len(win) && win[pos] == c {
+		return dst
+	}
+	if len(win) == k {
+		if pos == k {
+			return dst
+		}
+		copy(win[pos+1:], win[pos:k-1])
+		win[pos] = c
+		return dst
+	}
+	dst = append(dst, pairCand{})
+	win = dst[base:]
+	copy(win[pos+1:], win[pos:])
+	win[pos] = c
+	return dst
+}
+
+// spacingCellSize returns a cell side targeting O(1) points per cell on
+// roughly uniform point sets: the bounding-box extent divided into
+// n^(1/dim) cells per axis. Degenerate boxes (all points coincident)
+// fall back to a unit cell.
+func spacingCellSize(pts *Points) float64 {
+	n, dim := pts.N(), pts.Dim
+	span := 0.0
+	for d := 0; d < dim; d++ {
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for i := 0; i < n; i++ {
+			x := pts.Coords[i*dim+d]
+			if x < lo {
+				lo = x
+			}
+			if x > hi {
+				hi = x
+			}
+		}
+		if n > 0 && hi-lo > span {
+			span = hi - lo
+		}
+	}
+	cells := math.Ceil(math.Pow(float64(n), 1/float64(dim)))
+	cs := span / math.Max(cells, 1)
+	if !(cs > 0) {
+		cs = 1
+	}
+	return cs
+}
+
+// crossComponentMST returns — sorted ascending by (d, i, j) — the
+// exact edge set that Kruskal over *all* cross-component point pairs,
+// ordered by the tuple (distance, i, j), would select to connect the
+// components of uf: the minimum spanning tree of the component graph
+// under a total order, hence unique. uf is left fully merged.
+//
+// The implementation is Borůvka over the cell grid: each round, every
+// point outside the largest component looks up its nearest foreign
+// point (different root), each non-largest component keeps its minimum
+// outgoing tuple, and the proposals are applied in tuple order. Every
+// proposal is the minimum edge crossing its component's cut, so only
+// MST edges are ever added; every non-largest component merges each
+// round, so there are O(log C) rounds for C components.
+func crossComponentMST(pts *Points, uf *unionFind) []pe {
+	n := pts.N()
+	cg := newCellGrid(pts, spacingCellSize(pts))
+	size := make([]int32, n)
+	bestAt := make([]pe, n)
+	var roots []int
+	var out, props []pe
+	for {
+		for i := range size {
+			size[i] = 0
+		}
+		for i := 0; i < n; i++ {
+			size[uf.find(i)]++
+		}
+		roots = roots[:0]
+		largest := -1
+		for i := 0; i < n; i++ {
+			if size[i] > 0 {
+				roots = append(roots, i)
+				if largest < 0 || size[i] > size[largest] {
+					largest = i
+				}
+			}
+		}
+		if len(roots) <= 1 {
+			break
+		}
+		for _, r := range roots {
+			bestAt[r] = pe{i: -1, j: -1, d: math.Inf(1)}
+		}
+		for q := 0; q < n; q++ {
+			rq := uf.find(q)
+			if rq == largest {
+				continue
+			}
+			j, d, ok := cg.nearestForeign(q, uf)
+			if !ok {
+				continue
+			}
+			a, b := q, j
+			if a > b {
+				a, b = b, a
+			}
+			if cur := bestAt[rq]; cur.i < 0 || peLess(pe{i: a, j: b, d: d}, cur) {
+				bestAt[rq] = pe{i: a, j: b, d: d}
+			}
+		}
+		props = props[:0]
+		for _, r := range roots {
+			if r != largest && bestAt[r].i >= 0 {
+				props = append(props, bestAt[r])
+			}
+		}
+		if len(props) == 0 {
+			// Unreachable: with >1 components every point has a foreign
+			// point and the ring search covers the whole grid.
+			panic("graph: component reconnection stalled")
+		}
+		sort.Slice(props, func(x, y int) bool { return peLess(props[x], props[y]) })
+		for _, e := range props {
+			if uf.find(e.i) == uf.find(e.j) {
+				continue // duplicate: both endpoints proposed the same pair
+			}
+			uf.union(e.i, e.j)
+			out = append(out, e)
+		}
+	}
+	sort.Slice(out, func(x, y int) bool { return peLess(out[x], out[y]) })
+	return out
+}
+
+// peLess is the (d, i, j) tuple order shared by every geometric
+// builder and its brute-force oracle.
+func peLess(a, b pe) bool {
+	if a.d != b.d {
+		return a.d < b.d
+	}
+	if a.i != b.i {
+		return a.i < b.i
+	}
+	return a.j < b.j
+}
