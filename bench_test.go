@@ -95,6 +95,35 @@ func BenchmarkTable1SLT(b *testing.B) {
 	}
 }
 
+// BenchmarkSLTMeasured runs the §4 SLT as the measured-mode engine
+// pipeline (thirteen stages of genuine message passing on one
+// congest.Pipeline), reporting allocations alongside the measured round
+// count. The engine's own per-round data path stays allocation-free in
+// the steady state (TestSteadyStateAllocs); the allocations here are the
+// per-stage program state and the pipeline's outputs, so allocs/op
+// should scale with n and stage count, not with rounds.
+func BenchmarkSLTMeasured(b *testing.B) {
+	for _, kind := range []string{"er", "geo"} {
+		for _, n := range []int{256, 1024} {
+			b.Run(fmt.Sprintf("%s/n=%d", kind, n), func(b *testing.B) {
+				g := benchGraph(kind, n, 2)
+				b.ReportAllocs()
+				b.ResetTimer()
+				var last *SLTResult
+				for i := 0; i < b.N; i++ {
+					res, err := BuildSLT(g, 0, 0.5, WithSeed(1), WithMeasured())
+					if err != nil {
+						b.Fatal(err)
+					}
+					last = res
+				}
+				b.ReportMetric(float64(last.Cost.Rounds), "rounds")
+				b.ReportMetric(last.Lightness, "lightness")
+			})
+		}
+	}
+}
+
 // BenchmarkTable1Net is E-T1.3: the §6 net (Table 1 row 3).
 func BenchmarkTable1Net(b *testing.B) {
 	for _, n := range []int{256, 512} {

@@ -16,6 +16,13 @@
 //
 //	go run ./cmd/benchengine -scenario ba:m=4 -n 8192 -out /tmp/ba.json
 //
+// With -program slt-measured the measurement runs the full §4 SLT
+// engine pipeline (thirteen stages on one congest.Pipeline) instead of
+// the elementary MIS program, so the report tracks the measured-mode
+// pipeline's round cost and allocation profile:
+//
+//	go run ./cmd/benchengine -program slt-measured -scenario er -n 1024 -out /tmp/slt.json
+//
 // For per-round micro-costs (dense vs sparse traffic) see
 // BenchmarkSteadyStateRound in internal/congest; for the multi-core
 // profile run BenchmarkEngineWorkers with -benchmem.
@@ -28,6 +35,7 @@ import (
 	"os"
 	"testing"
 
+	"lightnet"
 	"lightnet/internal/congest"
 	"lightnet/internal/experiments"
 	"lightnet/internal/graph"
@@ -49,11 +57,15 @@ type Measurement struct {
 // Report is the schema of BENCH_engine.json. Before and the speedup
 // are present only for the canonical workload; -scenario runs are not
 // comparable to the frozen baseline and carry just the After numbers.
+// Canonical runs additionally record the measured-mode SLT pipeline
+// (2048-vertex er scenario, eps=0.5) so the pipeline's round cost is
+// tracked alongside the elementary hot path.
 type Report struct {
 	Workload          string       `json:"workload"`
 	Before            *Measurement `json:"before,omitempty"`
 	After             Measurement  `json:"after"`
 	SpeedupNsPerRound float64      `json:"speedup_ns_per_round,omitempty"`
+	SLTPipeline       *Measurement `json:"slt_pipeline,omitempty"`
 }
 
 // baseline is the pre-refactor engine (commit 986341d: per-message heap
@@ -77,16 +89,17 @@ func workloadGraph() *graph.Graph {
 func main() {
 	out := flag.String("out", "BENCH_engine.json", "output path")
 	scenario := flag.String("scenario", "", "scenario spec to benchmark instead of the canonical workload (not baseline-comparable)")
+	program := flag.String("program", "mis", "workload program: mis (canonical) | slt-measured (the full §4 engine pipeline; not baseline-comparable)")
 	n := flag.Int("n", 2048, "graph size for -scenario runs")
 	seed := flag.Int64("seed", 1, "graph seed for -scenario runs")
 	flag.Parse()
-	if err := run(*out, *scenario, *n, *seed); err != nil {
+	if err := run(*out, *scenario, *program, *n, *seed); err != nil {
 		fmt.Fprintln(os.Stderr, "benchengine:", err)
 		os.Exit(1)
 	}
 }
 
-func run(out, scenario string, n int, seed int64) error {
+func run(out, scenario, program string, n int, seed int64) error {
 	g := workloadGraph()
 	workload := "Luby MIS on ErdosRenyi(n=2048, p=24/n, maxW=9, seed=1), " +
 		"engine seed 3, workers=1 (the BenchmarkEngineWorkers workload)"
@@ -98,6 +111,12 @@ func run(out, scenario string, n int, seed int64) error {
 		}
 		workload = fmt.Sprintf("Luby MIS on scenario %q (n=%d, seed=%d), engine seed 3, workers=1", scenario, n, seed)
 		comparable = false
+	}
+	if program == "slt-measured" {
+		return runSLTMeasured(out, g, workload)
+	}
+	if program != "mis" {
+		return fmt.Errorf("unknown -program %q (mis|slt-measured)", program)
 	}
 	// One reference run for the round/message counts (deterministic:
 	// fixed seeds, worker count does not change results).
@@ -126,6 +145,11 @@ func run(out, scenario string, n int, seed int64) error {
 	if comparable {
 		rep.Before = &baseline
 		rep.SpeedupNsPerRound = baseline.NsPerRound / after.NsPerRound
+		m, err := measureSLTPipeline(g)
+		if err != nil {
+			return err
+		}
+		rep.SLTPipeline = m
 	}
 	buf, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -143,5 +167,58 @@ func run(out, scenario string, n int, seed int64) error {
 		fmt.Printf("workload: %s\nns/round: %.0f allocs/op: %d messages: %d\nwrote %s\n",
 			rep.Workload, after.NsPerRound, after.AllocsPerOp, after.Messages, out)
 	}
+	return nil
+}
+
+// measureSLTPipeline benchmarks the full measured-mode SLT pipeline
+// (thirteen engine stages on one pipeline instance, workers=1) on g:
+// per-op wall time, allocations and measured round/message totals.
+func measureSLTPipeline(g *graph.Graph) (*Measurement, error) {
+	ref, err := lightnet.BuildSLT(g, 0, 0.5, lightnet.WithSeed(1), lightnet.WithMeasured(), lightnet.WithWorkers(1))
+	if err != nil {
+		return nil, err
+	}
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := lightnet.BuildSLT(g, 0, 0.5, lightnet.WithSeed(1), lightnet.WithMeasured(), lightnet.WithWorkers(1)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	rounds := int(ref.Cost.Rounds)
+	return &Measurement{
+		Commit:      "HEAD",
+		NsPerOp:     res.NsPerOp(),
+		RoundsPerOp: rounds,
+		NsPerRound:  float64(res.NsPerOp()) / float64(rounds),
+		AllocsPerOp: res.AllocsPerOp(),
+		BytesPerOp:  res.AllocedBytesPerOp(),
+		Messages:    ref.Cost.Messages,
+	}, nil
+}
+
+// runSLTMeasured writes a report measuring only the SLT pipeline (the
+// -program slt-measured mode). Not comparable to the frozen Luby MIS
+// baseline, so only the After numbers are recorded.
+func runSLTMeasured(out string, g *graph.Graph, base string) error {
+	m, err := measureSLTPipeline(g)
+	if err != nil {
+		return err
+	}
+	rep := Report{
+		Workload: "measured-mode SLT pipeline (eps=0.5, seed 1, workers=1) instead of " + base,
+		After:    *m,
+	}
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(out, buf, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("workload: %s\nns/round: %.0f allocs/op: %d rounds: %d messages: %d\nwrote %s\n",
+		rep.Workload, rep.After.NsPerRound, rep.After.AllocsPerOp, rep.After.RoundsPerOp, rep.After.Messages, out)
 	return nil
 }

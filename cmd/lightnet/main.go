@@ -5,11 +5,18 @@
 //
 //	lightnet -obj spanner   -graph er -n 512 -k 2 -eps 0.25
 //	lightnet -obj slt       -graph geometric -n 512 -eps 0.5 -root 0
+//	lightnet -obj slt       -graph er -n 512 -eps 0.5 -mode measured
 //	lightnet -obj sltinv    -graph er -n 512 -gamma 0.25
 //	lightnet -obj net       -graph grid -n 400 -scale 10 -delta 0.5
 //	lightnet -obj doubling  -graph geometric -n 256 -eps 0.5
 //	lightnet -obj psi       -graph hard -n 400
 //	lightnet -obj mst       -graph er -n 1024
+//
+// The SLT supports two execution modes: -mode accounted (default)
+// charges the paper's primitive round formulas to a ledger; -mode
+// measured runs the full §4 pipeline as genuine per-vertex message
+// passing on the CONGEST engine and reports measured rounds, messages
+// and a per-stage breakdown. Both build the identical tree, bit for bit.
 //
 // -graph accepts any scenario spec from the registry — a name plus
 // optional parameters, e.g. "ba:m=4,maxw=10" or "knn:k=6,dim=3". The
@@ -37,6 +44,8 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"sort"
+	"strings"
 	"time"
 
 	"lightnet"
@@ -102,12 +111,26 @@ func run() error {
 		scale = flag.Float64("scale", 0, "net scale Δ (default: diameter/6)")
 		delta = flag.Float64("delta", 0.5, "net approximation δ")
 		root  = flag.Int("root", 0, "SLT root")
+		mode  = flag.String("mode", "accounted", "slt execution: accounted (ledger formulas) | measured (genuine engine message passing)")
+		work  = flag.Int("workers", 0, "engine worker pool for measured runs (0 = GOMAXPROCS)")
 		seed  = flag.Int64("seed", 1, "random seed")
 		nover = flag.Bool("noverify", false, "skip exact verification (large graphs)")
 		load  = flag.String("load", "", "load the graph from this file instead of generating")
 		save  = flag.String("save", "", "save the generated graph to this file")
 	)
 	flag.Parse()
+
+	// Fail fast on mode misuse: only the SLT supports measured
+	// execution, matching the grid format's validation.
+	switch *mode {
+	case "accounted":
+	case "measured":
+		if *obj != "slt" {
+			return fmt.Errorf("-mode measured is supported only for -obj slt (got %q)", *obj)
+		}
+	default:
+		return fmt.Errorf("unknown -mode %q (accounted|measured)", *mode)
+	}
 
 	var g *lightnet.Graph
 	var err error
@@ -156,11 +179,17 @@ func run() error {
 				maxS, meanS, float64(2**k-1)*(1+*eps))
 		}
 	case "slt":
-		res, err := lightnet.BuildSLT(g, lightnet.Vertex(*root), *eps, lightnet.WithSeed(*seed))
+		sltOpts := []lightnet.Option{lightnet.WithSeed(*seed)}
+		if *mode == "measured" {
+			sltOpts = append(sltOpts, lightnet.WithMeasured(), lightnet.WithWorkers(*work))
+		}
+		res, err := lightnet.BuildSLT(g, lightnet.Vertex(*root), *eps, sltOpts...)
 		if err != nil {
 			return err
 		}
-		fmt.Printf("slt: lightness=%.3f rounds=%d\n", res.Lightness, res.Cost.Rounds)
+		fmt.Printf("slt: lightness=%.3f rounds=%d messages=%d mode=%s\n",
+			res.Lightness, res.Cost.Rounds, res.Cost.Messages, *mode)
+		printBreakdown(res.Cost)
 		if !*nover {
 			light, stretch, err := lightnet.VerifySLT(g, res)
 			if err != nil {
@@ -271,6 +300,30 @@ func runEngineDemos(g *lightnet.Graph, seed int64) error {
 		return err
 	}
 	return nil
+}
+
+// printBreakdown dumps a cost's per-stage breakdown one line deep:
+// measured pipelines in stage-execution order, accounted ledgers in the
+// canonical sorted-label order (Ledger.Labels) — both deterministic, so
+// CLI output is reproducible byte-for-byte.
+func printBreakdown(c lightnet.Cost) {
+	parts := make([]string, 0, len(c.Breakdown))
+	if c.Measured {
+		for _, s := range c.Stages {
+			parts = append(parts, fmt.Sprintf("%s:%d", s.Stage, s.Rounds))
+		}
+		fmt.Printf("stages: %s\n", strings.Join(parts, ";"))
+		return
+	}
+	labels := make([]string, 0, len(c.Breakdown))
+	for label := range c.Breakdown {
+		labels = append(labels, label)
+	}
+	sort.Strings(labels)
+	for _, label := range labels {
+		parts = append(parts, fmt.Sprintf("%s:%d", label, c.Breakdown[label]))
+	}
+	fmt.Printf("breakdown: %s\n", strings.Join(parts, ";"))
 }
 
 // makeGraph resolves -graph through the scenario registry, so the CLI

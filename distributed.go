@@ -23,6 +23,9 @@ type EngineStats struct {
 	// Phases is the number of global phases (for multi-phase programs
 	// such as Borůvka and Luby MIS).
 	Phases int
+	// Stages is the ordered per-stage breakdown for pipeline runs
+	// (DistributedSLT); nil for elementary single-program runs.
+	Stages []StageCost
 }
 
 func engineStats(s congest.Stats) EngineStats {
@@ -47,6 +50,25 @@ func DistributedBFS(g *Graph, root Vertex, seed int64) ([]EdgeID, []int32, Engin
 		return nil, nil, engineStats(s), fmt.Errorf("lightnet: %w", err)
 	}
 	return parent, depth, engineStats(s), nil
+}
+
+// DistributedSLT builds the §4 shallow-light tree entirely as engine
+// message passing: the Borůvka MST, tree rooting, Bellman-Ford SPT,
+// Euler-tour positioning, two-phase break-point selection and final SPT
+// inside H all run as per-vertex programs on one pipeline (see
+// internal/congest.Pipeline). The returned statistics are measured per
+// stage; the tree is bit-identical to BuildSLT's for the same seed.
+func DistributedSLT(g *Graph, root Vertex, eps float64, seed int64) (*SLTResult, EngineStats, error) {
+	res, err := BuildSLT(g, root, eps, WithSeed(seed), WithMeasured())
+	if err != nil {
+		return nil, EngineStats{}, err
+	}
+	stats := EngineStats{
+		Rounds:   int(res.Cost.Rounds),
+		Messages: res.Cost.Messages,
+		Stages:   res.Cost.Stages,
+	}
+	return res, stats, nil
 }
 
 // DistributedMIS runs the Luby-style maximal-independent-set program

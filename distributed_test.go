@@ -44,6 +44,47 @@ func TestDistributedBFSPublic(t *testing.T) {
 	}
 }
 
+// TestDistributedSLTPublic: the measured pipeline at the public API —
+// same tree as the accounted builder, measured cost with a per-stage
+// breakdown summing to the totals.
+func TestDistributedSLTPublic(t *testing.T) {
+	g := ErdosRenyi(120, 0.07, 10, 5)
+	res, stats, err := DistributedSLT(g, 0, 0.5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc, err := BuildSLT(g, 0, 0.5, WithSeed(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.TreeEdges) != len(acc.TreeEdges) {
+		t.Fatalf("tree size %d vs accounted %d", len(res.TreeEdges), len(acc.TreeEdges))
+	}
+	for i := range acc.TreeEdges {
+		if res.TreeEdges[i] != acc.TreeEdges[i] {
+			t.Fatalf("tree edge %d differs: %d vs %d", i, res.TreeEdges[i], acc.TreeEdges[i])
+		}
+	}
+	for v := range acc.Dist {
+		if res.Dist[v] != acc.Dist[v] {
+			t.Fatalf("dist[%d] %v vs %v", v, res.Dist[v], acc.Dist[v])
+		}
+	}
+	if !res.Cost.Measured || res.Cost.Rounds == 0 || len(stats.Stages) == 0 {
+		t.Fatalf("measured cost missing: %+v", res.Cost)
+	}
+	var sum int64
+	for _, s := range stats.Stages {
+		sum += s.Rounds
+	}
+	if sum != int64(stats.Rounds) {
+		t.Fatalf("stage rounds %d do not sum to total %d", sum, stats.Rounds)
+	}
+	if acc.Cost.Measured || acc.Cost.Stages != nil {
+		t.Fatalf("accounted cost mislabeled as measured: %+v", acc.Cost)
+	}
+}
+
 func TestDistributedMISAndRulingSetPublic(t *testing.T) {
 	g := ErdosRenyi(60, 0.1, 4, 5)
 	mis, _, err := DistributedMIS(g, 1)

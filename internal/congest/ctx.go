@@ -73,6 +73,14 @@ func (c *Ctx) SlotOf(id graph.EdgeID) int { return c.engine.g.Slot(c.v, id) }
 // Rand returns this vertex's private deterministic RNG.
 func (c *Ctx) Rand() *rand.Rand { return c.rng }
 
+// Allowed reports whether the edge may be used by the current program:
+// true unless the running pipeline stage is restricted to a subgraph
+// that excludes it (see Pipeline and the Restrict stage option).
+func (c *Ctx) Allowed(id graph.EdgeID) bool {
+	r := c.engine.restrict
+	return r == nil || r[id]
+}
+
 // Stay keeps the vertex awake next round even without incoming messages.
 func (c *Ctx) Stay() { c.awake = true }
 
@@ -100,6 +108,9 @@ func (c *Ctx) Send(via graph.EdgeID, words ...int64) error {
 		dir = 1
 	default:
 		return fmt.Errorf("%w: vertex %d edge %d", ErrNotNeighbor, c.v, via)
+	}
+	if e.restrict != nil && !e.restrict[via] {
+		return fmt.Errorf("%w: edge %d from %d", ErrEdgeRestricted, via, c.v)
 	}
 	// The (edge, direction) slot is owned by this vertex, so the only
 	// possible duplicate is an earlier send of our own in this batch;
@@ -138,9 +149,14 @@ func (c *Ctx) SendTo(to graph.Vertex, words ...int64) error {
 
 // Broadcast sends the same payload over every incident edge. Edges
 // already used this round are skipped (callers that need exactly-once
-// semantics should send manually).
+// semantics should send manually), as are edges outside a restricted
+// stage's subgraph — so a program written with Broadcast runs unchanged
+// on a tree or subgraph stage.
 func (c *Ctx) Broadcast(words ...int64) error {
 	for _, h := range c.Neighbors() {
+		if !c.Allowed(h.ID) {
+			continue
+		}
 		if err := c.Send(h.ID, words...); err != nil {
 			if errors.Is(err, ErrEdgeBusy) {
 				continue

@@ -1,35 +1,3 @@
-// Package congest implements the CONGEST model of distributed computation
-// used by the paper: n processors, one per graph vertex, communicating in
-// synchronous rounds by exchanging messages of O(log n) bits over the
-// graph edges.
-//
-// The package provides two layers:
-//
-//  1. A genuine synchronous message-passing Engine. Vertex algorithms are
-//     written as Programs; the engine enforces the CONGEST constraints
-//     (at most one message per edge direction per round, bounded message
-//     size) and accounts rounds and messages. The elementary distributed
-//     algorithms of the paper (BFS trees, pipelined broadcast — Lemma 1,
-//     convergecast, Bellman-Ford, Borůvka fragments, Luby MIS, the
-//     [EN17b] unweighted spanner) run on this engine. Rounds execute on
-//     a deterministic worker pool (Options.Workers): within a round the
-//     handlers of distinct vertices are independent by construction, so
-//     the engine shards them across workers and merges the buffered
-//     outgoing messages in canonical vertex order — the results are
-//     bit-identical for every worker count.
-//
-//  2. A Ledger for primitive-level round accounting, used by the
-//     composite constructions of §3–§7, which the paper itself expresses
-//     as sequences of primitives with known costs (Lemma 1 broadcast:
-//     O(M+D); fragment-local pipelining: O(fragment hop-diameter); etc.).
-//
-// The engine's per-round data path is allocation-free in the steady
-// state (see docs/ARCHITECTURE.md, "Performance"): message payloads live
-// in per-vertex double-buffered arenas reused across rounds, the outbox
-// is a flat array of value slots addressed by (edge, direction), and
-// each round touches only the active state — a dirty-edge list of
-// pending deliveries and a worklist of awake/receiving vertices — so a
-// sparse-traffic round costs O(active), not O(n+m).
 package congest
 
 import (
@@ -87,6 +55,14 @@ type Engine struct {
 	queued     []bool
 	batch      uint64 // current handler batch (Init, each round, each PhaseDone)
 	stats      Stats
+	// restrict, when non-nil, limits the current program (pipeline stage)
+	// to the marked edge subset: Ctx.Send on an unmarked edge fails and
+	// Ctx.Broadcast skips unmarked edges. Stage-scoped; see Pipeline.
+	restrict []bool
+	// roundLimit is the absolute round count at which the current program
+	// aborts; Run sets it from Options.MaxRounds, Pipeline re-arms it per
+	// stage so every stage gets its own budget.
+	roundLimit int
 	mu         sync.Mutex // guards failed under parallel execution
 	failed     error
 }
@@ -154,10 +130,9 @@ func (e *Engine) collectVertex(v int32) {
 	}
 }
 
-// NewEngine builds an engine over g; factory is called once per vertex to
-// create its Program. The graph is frozen to its CSR representation (see
-// graph.Freeze): callers must not mutate it while the engine exists.
-func NewEngine(g *graph.Graph, factory func(v graph.Vertex) Program, opts Options) *Engine {
+// newEngine builds the engine core over g without installing programs;
+// NewEngine and Pipeline install them (once, or once per stage).
+func newEngine(g *graph.Graph, opts Options) *Engine {
 	if opts.MaxWords == 0 {
 		opts.MaxWords = MaxWordsDefault
 	}
@@ -172,17 +147,18 @@ func NewEngine(g *graph.Graph, factory func(v graph.Vertex) Program, opts Option
 	}
 	g.Freeze()
 	e := &Engine{
-		g:       g,
-		opts:    opts,
-		progs:   make([]Program, g.N()),
-		ctxs:    make([]Ctx, g.N()),
-		outbox:  make([]outMsg, 2*g.M()),
-		used:    make([]uint64, 2*g.M()),
-		inboxes: make([][]Message, g.N()),
-		work:    make([]int32, 0, g.N()),
-		next:    make([]int32, 0, g.N()),
-		queued:  make([]bool, g.N()),
-		batch:   1, // 0 is the "never sent" stamp in used
+		g:          g,
+		opts:       opts,
+		progs:      make([]Program, g.N()),
+		ctxs:       make([]Ctx, g.N()),
+		outbox:     make([]outMsg, 2*g.M()),
+		used:       make([]uint64, 2*g.M()),
+		inboxes:    make([][]Message, g.N()),
+		work:       make([]int32, 0, g.N()),
+		next:       make([]int32, 0, g.N()),
+		queued:     make([]bool, g.N()),
+		batch:      1, // 0 is the "never sent" stamp in used
+		roundLimit: opts.MaxRounds,
 	}
 	base := newFastSource(opts.Seed)
 	for v := 0; v < g.N(); v++ {
@@ -192,6 +168,16 @@ func NewEngine(g *graph.Graph, factory func(v graph.Vertex) Program, opts Option
 			rng:    rand.New(newFastSource(base.Int63())),
 			awake:  true,
 		}
+	}
+	return e
+}
+
+// NewEngine builds an engine over g; factory is called once per vertex to
+// create its Program. The graph is frozen to its CSR representation (see
+// graph.Freeze): callers must not mutate it while the engine exists.
+func NewEngine(g *graph.Graph, factory func(v graph.Vertex) Program, opts Options) *Engine {
+	e := newEngine(g, opts)
+	for v := 0; v < g.N(); v++ {
 		e.progs[v] = factory(graph.Vertex(v))
 	}
 	return e
@@ -207,17 +193,25 @@ func (e *Engine) Stats() Stats { return e.stats }
 // the statistics. It returns an error if a program violated the CONGEST
 // constraints, reported failure, or the round limit was hit.
 func (e *Engine) Run() (Stats, error) {
+	err := e.runProgram()
+	return e.stats, err
+}
+
+// runProgram drives the currently installed programs from Init to
+// quiescence across all phases, accumulating into e.stats. It is the
+// shared body of Run and of every Pipeline stage.
+func (e *Engine) runProgram() error {
 	for v := range e.progs {
 		e.progs[v].Init(&e.ctxs[v])
 		if err := e.failure(); err != nil {
 			e.collect(nil)
-			return e.stats, err
+			return err
 		}
 	}
 	e.collect(nil)
 	for {
 		if err := e.runPhase(); err != nil {
-			return e.stats, err
+			return err
 		}
 		e.stats.Phases++
 		more := false
@@ -228,12 +222,12 @@ func (e *Engine) Run() (Stats, error) {
 			}
 			if err := e.failure(); err != nil {
 				e.collect(nil)
-				return e.stats, err
+				return err
 			}
 		}
 		e.collect(nil)
 		if !more {
-			return e.stats, nil
+			return nil
 		}
 		e.stats.Rounds += e.opts.PhaseSyncCost
 		e.stats.SyncCosts += e.opts.PhaseSyncCost
@@ -294,8 +288,8 @@ func (e *Engine) stepRound() (bool, error) {
 		return false, nil
 	}
 	e.stats.Rounds++
-	if e.stats.Rounds > e.opts.MaxRounds {
-		return false, fmt.Errorf("%w: %d", ErrRoundLimit, e.opts.MaxRounds)
+	if e.stats.Rounds > e.roundLimit {
+		return false, fmt.Errorf("%w: %d", ErrRoundLimit, e.roundLimit)
 	}
 	var rec TraceRound
 	if e.opts.Trace != nil {

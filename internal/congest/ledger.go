@@ -84,7 +84,9 @@ func (l *Ledger) Merge(other *Ledger) {
 	l.ChargeMessages(other.messages)
 }
 
-// ByLabel returns a copy of the per-label round totals.
+// ByLabel returns a copy of the per-label round totals. Map iteration
+// order is random; anything that prints or serializes the breakdown must
+// iterate Labels() instead so output is reproducible byte-for-byte.
 func (l *Ledger) ByLabel() map[string]int64 {
 	out := make(map[string]int64, len(l.byLabel))
 	for k, v := range l.byLabel {
@@ -93,14 +95,20 @@ func (l *Ledger) ByLabel() map[string]int64 {
 	return out
 }
 
-// String renders the ledger as a sorted per-label breakdown.
-func (l *Ledger) String() string {
+// Labels returns the charged labels sorted lexicographically — the
+// canonical deterministic order for dumping a ledger (CSV, CLI, logs).
+func (l *Ledger) Labels() []string {
 	labels := make([]string, len(l.order))
 	copy(labels, l.order)
 	sort.Strings(labels)
+	return labels
+}
+
+// String renders the ledger as a sorted per-label breakdown.
+func (l *Ledger) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "rounds=%d messages=%d", l.rounds, l.messages)
-	for _, label := range labels {
+	for _, label := range l.Labels() {
 		fmt.Fprintf(&b, " %s=%d", label, l.byLabel[label])
 	}
 	return b.String()

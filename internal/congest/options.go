@@ -52,6 +52,7 @@ var (
 	ErrMsgTooLarge    = errors.New("congest: message exceeds word limit")
 	ErrEdgeBusy       = errors.New("congest: edge already used this round")
 	ErrNotNeighbor    = errors.New("congest: target is not a neighbor")
+	ErrEdgeRestricted = errors.New("congest: edge outside the stage's subgraph")
 	ErrRoundLimit     = errors.New("congest: round limit exceeded")
 	ErrProgramFailure = errors.New("congest: program reported failure")
 )

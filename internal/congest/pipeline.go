@@ -1,0 +1,138 @@
+package congest
+
+import (
+	"fmt"
+
+	"lightnet/internal/graph"
+)
+
+// This file is the program-composition layer of the package (layer 2 of
+// the package doc): a Pipeline sequences multiple Programs — stages — on
+// ONE engine instance over one shared frozen CSR graph.
+//
+// Composite CONGEST constructions are sequences of distributed
+// sub-algorithms over the same network: an MST, then a rooting pass over
+// its tree edges, then a shortest-path phase, and so on. Running each
+// sub-algorithm on a fresh Engine would work, but would re-freeze the
+// graph, reset the per-vertex RNG streams, and make every stage's cost an
+// isolated number. The Pipeline instead:
+//
+//   - keeps the engine's graph, arenas, outbox and per-vertex RNGs alive
+//     across stages (the RNG streams continue, so a randomized stage
+//     followed by another is deterministically reproducible as a whole);
+//   - carries per-vertex state between stages through caller-owned
+//     slices: the stage programs of one construction share a state
+//     struct and each vertex writes only its own slots, exactly the
+//     contract Program already imposes for the worker pool;
+//   - records per-stage Stats next to the engine's cumulative Stats, so
+//     a pipeline's cost is analyzable phase by phase;
+//   - optionally restricts a stage to an edge subset (Restrict): sends
+//     outside the subset fail, Broadcast skips them. A BFS program run
+//     under Restrict(treeEdges) roots a tree without knowing it is not
+//     seeing the whole graph.
+//
+// Determinism: stages run strictly one after another on the same
+// deterministic round loop, so everything that holds for a single
+// program run (bit-identical results, Stats and RNG streams for every
+// worker count) holds for a pipeline as a whole.
+type Pipeline struct {
+	eng    *Engine
+	stages []StageStats
+	err    error // first stage failure; poisons subsequent stages
+}
+
+// StageStats is the measured cost of one pipeline stage.
+type StageStats struct {
+	Name  string
+	Stats Stats
+}
+
+// NewPipeline builds a pipeline over g. The graph is frozen to its CSR
+// representation; callers must not mutate it while the pipeline exists.
+// Options apply to every stage (MaxRounds is the default per-stage round
+// budget; see StageMaxRounds).
+func NewPipeline(g *graph.Graph, opts Options) *Pipeline {
+	return &Pipeline{eng: newEngine(g, opts)}
+}
+
+// Graph returns the shared communication graph.
+func (p *Pipeline) Graph() *graph.Graph { return p.eng.g }
+
+// stageConfig collects per-stage options.
+type stageConfig struct {
+	restrict  []bool
+	maxRounds int
+}
+
+// StageOption configures one pipeline stage.
+type StageOption func(*stageConfig)
+
+// Restrict limits the stage to the marked edges (indexed by edge id,
+// length M): Ctx.Send on an unmarked edge returns ErrEdgeRestricted and
+// Ctx.Broadcast skips unmarked edges. The slice is read during the stage
+// only; callers may reuse it afterwards.
+func Restrict(edges []bool) StageOption {
+	return func(c *stageConfig) { c.restrict = edges }
+}
+
+// StageMaxRounds overrides the stage's round budget (default:
+// Options.MaxRounds, counted per stage, not cumulatively).
+func StageMaxRounds(r int) StageOption {
+	return func(c *stageConfig) { c.maxRounds = r }
+}
+
+// RunStage installs one Program per vertex via factory and drives it
+// from Init to quiescence (across all its phases), exactly as
+// Engine.Run would. Per-vertex Ctx state (RNG streams, arenas) persists
+// from prior stages; every vertex starts the stage awake, so Handle runs
+// at least once per vertex. Returns the stage's own Stats (also recorded
+// in Stages). A failed stage poisons the pipeline: subsequent RunStage
+// calls return the same error without running.
+func (p *Pipeline) RunStage(name string, factory func(v graph.Vertex) Program, sopts ...StageOption) (Stats, error) {
+	var cfg stageConfig
+	for _, o := range sopts {
+		o(&cfg)
+	}
+	e := p.eng
+	if p.err != nil {
+		return Stats{}, fmt.Errorf("congest: stage %q after failed stage: %w", name, p.err)
+	}
+	before := e.stats
+	e.restrict = cfg.restrict
+	budget := cfg.maxRounds
+	if budget <= 0 {
+		budget = e.opts.MaxRounds
+	}
+	e.roundLimit = e.stats.Rounds + budget
+	e.stats.MaxWords = 0 // track the stage's own peak message size
+	for v := range e.ctxs {
+		e.ctxs[v].awake = true
+		e.progs[v] = factory(graph.Vertex(v))
+	}
+	err := e.runProgram()
+	e.restrict = nil
+	st := Stats{
+		Rounds:    e.stats.Rounds - before.Rounds,
+		Messages:  e.stats.Messages - before.Messages,
+		Words:     e.stats.Words - before.Words,
+		MaxWords:  e.stats.MaxWords,
+		Phases:    e.stats.Phases - before.Phases,
+		SyncCosts: e.stats.SyncCosts - before.SyncCosts,
+	}
+	if before.MaxWords > e.stats.MaxWords {
+		e.stats.MaxWords = before.MaxWords // restore the cumulative peak
+	}
+	p.stages = append(p.stages, StageStats{Name: name, Stats: st})
+	if err != nil {
+		p.err = err
+		return st, fmt.Errorf("congest: stage %q: %w", name, err)
+	}
+	return st, nil
+}
+
+// Stages returns the per-stage statistics in execution order. The slice
+// is owned by the pipeline; callers must not mutate it.
+func (p *Pipeline) Stages() []StageStats { return p.stages }
+
+// Total returns the cumulative statistics across all stages run so far.
+func (p *Pipeline) Total() Stats { return p.eng.stats }

@@ -53,6 +53,18 @@ func (p *bfsProgram) Handle(ctx *Ctx, inbox []Message) {
 	}
 }
 
+// BFSFactory returns the per-vertex BFS-tree program factory for use as
+// a Pipeline stage: layered flooding from root, writing each vertex's
+// parent edge (NoEdge at the root and unreachable vertices) and hop
+// depth (-1 if unreachable) into the shared slices (length N). Under
+// Restrict the flood stays inside the stage's subgraph — restricted to
+// a spanning tree's edges it roots that tree, the parent being unique.
+func BFSFactory(root graph.Vertex, parent []graph.EdgeID, depth []int32) func(graph.Vertex) Program {
+	return func(graph.Vertex) Program {
+		return &bfsProgram{root: root, depth: depth, parent: parent}
+	}
+}
+
 // RunBFS builds a BFS tree from root on the engine and returns per-vertex
 // parent edges (NoEdge at the root), depths (-1 if unreachable), and run
 // statistics. The measured round count is Θ(D).

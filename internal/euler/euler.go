@@ -25,7 +25,12 @@ type Tour struct {
 	// walk returns to the root at position 2n-2.
 	Order []graph.Vertex
 	// R[i] is the visit time of x_i: the walked distance from the root
-	// along L (R_x in the paper). R[2n-2] = 2·w(T).
+	// along L (R_x in the paper). R[2n-2] = 2·w(T) up to rounding. The
+	// values are computed from the staged recurrence of §3.3 — v's k-th
+	// appearance is at start(z_{k-1}) + g(z_{k-1}) + w(v, z_{k-1}) — the
+	// exact float arithmetic the distributed convergecast/downcast
+	// performs, so the measured engine pipeline (internal/slt, Measured
+	// mode) reproduces every R bit-for-bit.
 	R []float64
 	// Idx[v] lists the tour positions at which v appears, increasing.
 	// |Idx[v]| = deg_T(v), except the root with deg_T(rt)+1.
@@ -99,6 +104,18 @@ func Build(t *mst.Tree, f *mst.Fragments, l *congest.Ledger, hopDiam int) (*Tour
 		Length: g[t.Root],
 	}
 	tour.appendWalk(start, g)
+	// Overwrite the walk's running-sum times with the staged per-vertex
+	// recurrence: R at v's first appearance is start(v); after the k-th
+	// child excursion the walk is back at v at start(z_k)+g(z_k)+w(v,z_k).
+	// Mathematically identical to the walk's accumulation; in floats this
+	// is the grouping the distributed stages compute.
+	for v := range tour.Idx {
+		idxs := tour.Idx[v]
+		tour.R[idxs[0]] = start[v]
+		for k, c := range t.Child[v] {
+			tour.R[idxs[k+1]] = start[c] + g[c] + t.EdgeWeight(c)
+		}
+	}
 	if err := tour.verifyAgainstDirect(); err != nil {
 		return nil, err
 	}

@@ -8,6 +8,7 @@ import (
 	"os"
 	"path/filepath"
 	"strconv"
+	"strings"
 	"time"
 
 	"lightnet/internal/congest"
@@ -67,6 +68,11 @@ type Spec struct {
 	// Program selects the engine program for construction "engine":
 	// bfs | boruvka | mis | en17. Default bfs.
 	Program string `json:"program"`
+	// Mode selects accounted (default) or measured execution for
+	// constructions that support both; "measured" runs the construction
+	// as genuine message passing on the CONGEST engine. Currently only
+	// "slt" supports "measured".
+	Mode string `json:"mode"`
 }
 
 // LoadGrid reads and validates a JSON grid file.
@@ -147,6 +153,15 @@ func (g *Grid) Validate() error {
 				return fmt.Errorf("experiment %d: unknown engine program %q", i, s.Program)
 			}
 		}
+		switch s.Mode {
+		case "", "accounted":
+		case "measured":
+			if s.Construction != "slt" {
+				return fmt.Errorf("experiment %d: mode \"measured\" supported only for construction \"slt\"", i)
+			}
+		default:
+			return fmt.Errorf("experiment %d: unknown mode %q", i, s.Mode)
+		}
 	}
 	return nil
 }
@@ -185,18 +200,23 @@ type Row struct {
 	Seed         int64
 	Repeat       int
 	Params       string
+	Mode         string // accounted | measured
 	Rounds       int64
 	Messages     int64
 	Size         int     // edges of the subgraph, or net points
 	Lightness    float64 // NaN when not applicable
 	Stretch      float64 // NaN when not verified / not applicable
-	WallMS       float64
+	// Stages is the per-stage round breakdown ("stage:rounds;..."):
+	// pipeline order for measured runs, sorted ledger labels for
+	// accounted ones. Deterministic, so CSVs reproduce byte-for-byte.
+	Stages string
+	WallMS float64
 }
 
 // csvHeader matches Row.Record.
 var csvHeader = []string{
-	"construction", "workload", "n", "m", "seed", "repeat", "params",
-	"rounds", "messages", "size", "lightness", "stretch", "wall_ms",
+	"construction", "workload", "n", "m", "seed", "repeat", "params", "mode",
+	"rounds", "messages", "size", "lightness", "stretch", "stages", "wall_ms",
 }
 
 // Record renders the row as CSV fields. Floats use fixed precision so
@@ -211,19 +231,43 @@ func (r Row) Record() []string {
 	return []string{
 		r.Construction, r.Workload,
 		strconv.Itoa(r.N), strconv.Itoa(r.M),
-		strconv.FormatInt(r.Seed, 10), strconv.Itoa(r.Repeat), r.Params,
+		strconv.FormatInt(r.Seed, 10), strconv.Itoa(r.Repeat), r.Params, r.Mode,
 		strconv.FormatInt(r.Rounds, 10), strconv.FormatInt(r.Messages, 10),
-		strconv.Itoa(r.Size), f(r.Lightness), f(r.Stretch),
+		strconv.Itoa(r.Size), f(r.Lightness), f(r.Stretch), r.Stages,
 		strconv.FormatFloat(r.WallMS, 'f', 3, 64),
 	}
+}
+
+// stageBreakdown renders a measured pipeline's per-stage rounds in
+// execution order.
+func stageBreakdown(stages []congest.StageStats) string {
+	parts := make([]string, len(stages))
+	for i, s := range stages {
+		parts[i] = fmt.Sprintf("%s:%d", s.Name, s.Stats.Rounds)
+	}
+	return strings.Join(parts, ";")
+}
+
+// ledgerBreakdown renders an accounted ledger's per-label rounds in the
+// canonical sorted order (Ledger.Labels), keeping CSV output
+// byte-reproducible.
+func ledgerBreakdown(l *congest.Ledger) string {
+	by := l.ByLabel()
+	labels := l.Labels()
+	parts := make([]string, len(labels))
+	for i, label := range labels {
+		parts[i] = fmt.Sprintf("%s:%d", label, by[label])
+	}
+	return strings.Join(parts, ";")
 }
 
 // runCell executes one grid cell and fills every Row column except the
 // identity ones the caller owns.
 func runCell(spec Spec, g *graph.Graph, seed int64, workers int) (Row, error) {
-	row := Row{Lightness: math.NaN(), Stretch: math.NaN()}
+	row := Row{Lightness: math.NaN(), Stretch: math.NaN(), Mode: "accounted"}
 	if spec.Construction == "engine" {
 		row.Params = fmt.Sprintf("program=%s workers=%d", spec.Program, workers)
+		row.Mode = "measured" // elementary programs are always measured
 		start := time.Now()
 		stats, size, err := runEngineCell(spec.Program, g, seed, workers)
 		if err != nil {
@@ -231,6 +275,7 @@ func runCell(spec Spec, g *graph.Graph, seed int64, workers int) (Row, error) {
 		}
 		row.WallMS = float64(time.Since(start).Microseconds()) / 1000
 		row.Rounds, row.Messages, row.Size = int64(stats.Rounds), stats.Messages, size
+		row.Stages = fmt.Sprintf("%s:%d", spec.Program, stats.Rounds) // one-stage run
 		return row, nil
 	}
 	// Only the ledger-accounted constructions need the hop-diameter
@@ -257,11 +302,20 @@ func runCell(spec Spec, g *graph.Graph, seed int64, workers int) (Row, error) {
 		}
 	case "slt":
 		row.Params = fmt.Sprintf("eps=%g", spec.Eps)
-		res, err := slt.Build(g, 0, spec.Eps, slt.Options{Seed: seed, Ledger: led, HopDiam: d})
+		sopts := slt.Options{Seed: seed, Ledger: led, HopDiam: d}
+		if spec.Mode == "measured" {
+			row.Mode = "measured"
+			sopts.Mode = slt.Measured
+			sopts.Workers = workers
+		}
+		res, err := slt.Build(g, 0, spec.Eps, sopts)
 		if err != nil {
 			return row, err
 		}
 		row.Size, row.Lightness = len(res.TreeEdges), res.Lightness
+		if res.Stages != nil {
+			row.Stages = stageBreakdown(res.Stages) // pipeline order
+		}
 		if spec.Verify {
 			light, stretch, err := slt.Verify(g, res)
 			if err != nil {
@@ -318,6 +372,9 @@ func runCell(spec Spec, g *graph.Graph, seed int64, workers int) (Row, error) {
 	}
 	row.WallMS = float64(time.Since(start).Microseconds()) / 1000
 	row.Rounds, row.Messages = led.Rounds(), led.Messages()
+	if row.Stages == "" {
+		row.Stages = ledgerBreakdown(led) // sorted-label dump
+	}
 	return row, nil
 }
 
@@ -390,6 +447,9 @@ func RunGrid(g *Grid, dir string, logw io.Writer) error {
 		name := fmt.Sprintf("%02d-%s", i+1, spec.Construction)
 		if spec.Construction == "engine" {
 			name += "-" + spec.Program
+		}
+		if spec.Mode == "measured" {
+			name += "-measured"
 		}
 		if err := runSpec(g, spec, name, dir, graphs, log); err != nil {
 			return fmt.Errorf("experiment %s: %w", name, err)

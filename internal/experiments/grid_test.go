@@ -35,6 +35,8 @@ func TestGridValidateRejects(t *testing.T) {
 		{Sizes: []int{64}, Workloads: []string{"mystery"},
 			Experiments: []Spec{{Construction: "spanner"}}},
 		{Sizes: []int{64}, Experiments: []Spec{{Construction: "engine", Program: "nope"}}},
+		{Sizes: []int{64}, Experiments: []Spec{{Construction: "spanner", Mode: "measured"}}},
+		{Sizes: []int{64}, Experiments: []Spec{{Construction: "slt", Mode: "nope"}}},
 	}
 	for i := range bad {
 		if err := bad[i].Validate(); err == nil {
@@ -97,6 +99,65 @@ func TestRunGridReproducible(t *testing.T) {
 		if lines := strings.Count(string(a), "\n"); lines != 1+len(grid.Workloads)*len(grid.Sizes)*grid.Repeats {
 			t.Fatalf("%s: want %d rows+header, got %d lines", rel,
 				len(grid.Workloads)*len(grid.Sizes)*grid.Repeats, lines)
+		}
+	}
+}
+
+// TestGridMeasuredSLT: a grid sweeping the same SLT spec in both modes
+// writes a mode column and per-stage breakdown, and the measured rows
+// certify the identical tree (size, lightness, stretch) as the
+// accounted ones.
+func TestGridMeasuredSLT(t *testing.T) {
+	grid := &Grid{
+		Seed: 3, Sizes: []int{48}, Workloads: []string{"er"},
+		Experiments: []Spec{
+			{Construction: "slt", Eps: 0.5, Verify: true},
+			{Construction: "slt", Eps: 0.5, Verify: true, Mode: "measured"},
+		},
+	}
+	dir := t.TempDir()
+	if err := RunGrid(grid, dir, nil); err != nil {
+		t.Fatal(err)
+	}
+	read := func(name string) [][]string {
+		data, err := os.ReadFile(filepath.Join(dir, "csv", name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var rows [][]string
+		for _, line := range strings.Split(strings.TrimSpace(string(data)), "\n") {
+			rows = append(rows, strings.Split(line, ","))
+		}
+		return rows
+	}
+	acc := read("01-slt.csv")
+	mea := read("02-slt-measured.csv")
+	col := func(name string) int {
+		for i, h := range acc[0] {
+			if h == name {
+				return i
+			}
+		}
+		t.Fatalf("missing column %q", name)
+		return -1
+	}
+	modeC, stagesC := col("mode"), col("stages")
+	for r := 1; r < len(acc); r++ {
+		if acc[r][modeC] != "accounted" || mea[r][modeC] != "measured" {
+			t.Fatalf("mode column wrong: %q vs %q", acc[r][modeC], mea[r][modeC])
+		}
+		if !strings.Contains(mea[r][stagesC], "mst:") || !strings.Contains(mea[r][stagesC], "final-spt:") {
+			t.Fatalf("measured stage breakdown missing: %q", mea[r][stagesC])
+		}
+		if !strings.Contains(acc[r][stagesC], "sssp/approx-spt:") {
+			t.Fatalf("accounted label breakdown missing: %q", acc[r][stagesC])
+		}
+		// Identical trees: size, lightness and verified stretch agree.
+		for _, name := range []string{"size", "lightness", "stretch"} {
+			c := col(name)
+			if acc[r][c] != mea[r][c] {
+				t.Fatalf("row %d: %s differs between modes: %q vs %q", r, name, acc[r][c], mea[r][c])
+			}
 		}
 	}
 }

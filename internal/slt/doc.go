@@ -16,4 +16,14 @@
 // tree (package sssp) connects them back to the root; the loss of the
 // two-phase rule against the sequential break-point rule is quantified
 // by experiment E-ABL-a.
+//
+// The construction runs in two modes (Options.Mode). Accounted (the
+// default) executes the sequential builders and charges the paper's
+// primitive round formulas to a ledger. Measured executes the entire
+// pipeline as per-vertex message passing on the CONGEST engine —
+// thirteen stages composed with congest.Pipeline (measured.go,
+// programs.go) — and reports rounds and messages counted from actual
+// exchanges, stage by stage. Both modes build the bit-identical tree
+// for the same seed; see docs/ARCHITECTURE.md, "Measured vs accounted
+// costs".
 package slt

@@ -1,0 +1,234 @@
+package slt
+
+// Measured-mode construction: the full §4 SLT pipeline executed as
+// genuine per-vertex message passing on the CONGEST engine, composed
+// with congest.Pipeline. Where the Accounted builder charges the
+// paper's primitive round formulas, this path runs the primitives and
+// counts the rounds and messages that actually cross the edges:
+//
+//	stage       program                               §/primitive
+//	mst         Borůvka/controlled-GHS                §3 (MST)
+//	tree        BFS flood restricted to tree edges    §3 (rooting)
+//	spt         Bellman-Ford on perturbed weights     §4 ([BKKL17] substitute)
+//	spt-dist    true-distance downcast over the SPT   (re-measuring)
+//	euler-up    subtree tour-length convergecast      §3.2 (ℓ, g)
+//	euler-down  DFS interval-start downcast           §3.3 (t(v))
+//	bfs         BFS tree of G                         Lemma 1 substrate
+//	bp-walk     interval walkers along the tour       §4.1 phase 1
+//	bp-heads    head-tuple upcast to rt               §4.1 phase 2 (up)
+//	bp-select   central filter + reverse routing      §4.1 phase 2 (down)
+//	h-mark      SPT path marking toward rt            §4.2 (ABP, building H)
+//	final-spt   Bellman-Ford restricted to H          §4 step 5
+//	final-dist  true-distance downcast                (re-measuring)
+//
+// The output tree is bit-identical to the Accounted builder's for the
+// same seed (asserted by TestMeasuredMatchesAccounted): every float that
+// flows into the tree is computed by the same operations in the same
+// order on both paths, and the randomized ingredients (the perturbed
+// substitute weights) are pure per-edge hash functions shared by both.
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"lightnet/internal/congest"
+	"lightnet/internal/graph"
+	"lightnet/internal/mst"
+	"lightnet/internal/sssp"
+)
+
+// buildMeasured runs the pipeline above. Called from Build once the
+// arguments are validated and n >= 2.
+func buildMeasured(g *graph.Graph, rt graph.Vertex, eps float64, opts Options) (*Result, error) {
+	if opts.SPTMode != 0 && opts.SPTMode != sssp.ModePerturbed {
+		return nil, fmt.Errorf("slt: measured mode supports only the perturbed SPT substitute (mode %d requested)", opts.SPTMode)
+	}
+	if opts.SequentialBP {
+		return nil, fmt.Errorf("slt: measured mode runs the two-phase break-point rule; SequentialBP is a sequential baseline")
+	}
+	n, m := g.N(), g.M()
+	st := &mstate{
+		g:           g,
+		rt:          rt,
+		eps:         eps,
+		alpha:       isqrt(n),
+		m:           2*n - 1,
+		pw1:         sssp.PerturbedWeights(g, eps, opts.Seed),
+		pw2:         sssp.PerturbedWeights(g, eps, opts.Seed+1),
+		inTree:      make([]bool, m),
+		treeParent:  make([]graph.EdgeID, n),
+		treeDepth:   make([]int32, n),
+		sptParent:   make([]graph.EdgeID, n),
+		rootDist:    makeInf(n, rt),
+		bfsParent:   make([]graph.EdgeID, n),
+		bfsDepth:    make([]int32, n),
+		vs:          make([]vtour, n),
+		inH:         make([]bool, m),
+		finalParent: make([]graph.EdgeID, n),
+		finalDist:   makeInf(n, rt),
+	}
+	pipe := congest.NewPipeline(g, congest.Options{
+		Seed:      opts.Seed,
+		Workers:   opts.Workers,
+		MaxRounds: 16*n + 1024, // Borůvka's budget; ample for every stage
+	})
+	run := func(name string, factory func(graph.Vertex) congest.Program, so ...congest.StageOption) error {
+		_, err := pipe.RunStage(name, factory, so...)
+		return err
+	}
+
+	if err := run("mst", congest.BoruvkaFactory(st.inTree)); err != nil {
+		return nil, fmt.Errorf("slt: %w", err)
+	}
+	treeEdges := 0
+	for _, in := range st.inTree {
+		if in {
+			treeEdges++
+		}
+	}
+	if treeEdges != n-1 {
+		return nil, fmt.Errorf("slt: %w", mst.ErrDisconnected)
+	}
+	if err := run("tree", congest.BFSFactory(rt, st.treeParent, st.treeDepth),
+		congest.Restrict(st.inTree)); err != nil {
+		return nil, fmt.Errorf("slt: %w", err)
+	}
+	if err := run("spt", func(graph.Vertex) congest.Program {
+		return &sptProg{src: rt, pw: st.pw1, parent: st.sptParent}
+	}); err != nil {
+		return nil, fmt.Errorf("slt: %w", err)
+	}
+	if err := run("spt-dist", func(graph.Vertex) congest.Program {
+		return &distDownProg{root: rt, parent: st.sptParent, dist: st.rootDist}
+	}); err != nil {
+		return nil, fmt.Errorf("slt: %w", err)
+	}
+	if err := run("euler-up", func(graph.Vertex) congest.Program {
+		return &eulerUpProg{st: st}
+	}, congest.Restrict(st.inTree)); err != nil {
+		return nil, fmt.Errorf("slt: %w", err)
+	}
+	if err := run("euler-down", func(graph.Vertex) congest.Program {
+		return &eulerDownProg{st: st}
+	}, congest.Restrict(st.inTree)); err != nil {
+		return nil, fmt.Errorf("slt: %w", err)
+	}
+	if err := run("bfs", congest.BFSFactory(rt, st.bfsParent, st.bfsDepth)); err != nil {
+		return nil, fmt.Errorf("slt: %w", err)
+	}
+	if err := run("bp-walk", func(graph.Vertex) congest.Program {
+		return &bpWalkProg{st: st}
+	}, congest.Restrict(st.inTree)); err != nil {
+		return nil, fmt.Errorf("slt: %w", err)
+	}
+	if err := run("bp-heads", func(graph.Vertex) congest.Program {
+		return &bpHeadsProg{st: st}
+	}); err != nil {
+		return nil, fmt.Errorf("slt: %w", err)
+	}
+	if err := run("bp-select", func(graph.Vertex) congest.Program {
+		return &bpSelectProg{st: st}
+	}); err != nil {
+		return nil, fmt.Errorf("slt: %w", err)
+	}
+	if err := run("h-mark", func(graph.Vertex) congest.Program {
+		return &hMarkProg{st: st}
+	}); err != nil {
+		return nil, fmt.Errorf("slt: %w", err)
+	}
+	inHAll := make([]bool, m)
+	for id := 0; id < m; id++ {
+		inHAll[id] = st.inTree[id] || st.inH[id]
+	}
+	if err := run("final-spt", func(graph.Vertex) congest.Program {
+		return &sptProg{src: rt, pw: st.pw2, parent: st.finalParent}
+	}, congest.Restrict(inHAll)); err != nil {
+		return nil, fmt.Errorf("slt: %w", err)
+	}
+	if err := run("final-dist", func(graph.Vertex) congest.Program {
+		return &distDownProg{root: rt, parent: st.finalParent, dist: st.finalDist}
+	}, congest.Restrict(inHAll)); err != nil {
+		return nil, fmt.Errorf("slt: %w", err)
+	}
+
+	res := assembleMeasured(g, st)
+	res.Stages = pipe.Stages()
+	if opts.Ledger != nil {
+		// No formula charges on this path: the ledger records the
+		// measured per-stage engine stats, label-comparable with the
+		// accounted breakdown.
+		for _, s := range res.Stages {
+			opts.Ledger.ChargeRoundsOf("engine/"+s.Name, s.Stats)
+		}
+	}
+	return res, nil
+}
+
+// assembleMeasured folds the distributed outputs into a Result with the
+// same accumulation orders as the accounted assembly (bit-identity).
+func assembleMeasured(g *graph.Graph, st *mstate) *Result {
+	n := g.N()
+	// MST weight in Kruskal's (w, id) order — the accounted total.
+	ids := make([]graph.EdgeID, 0, n-1)
+	for id, in := range st.inTree {
+		if in {
+			ids = append(ids, graph.EdgeID(id))
+		}
+	}
+	sort.Slice(ids, func(a, b int) bool {
+		ea, eb := g.Edge(ids[a]), g.Edge(ids[b])
+		if ea.W != eb.W {
+			return ea.W < eb.W
+		}
+		return ids[a] < ids[b]
+	})
+	var mstWeight float64
+	for _, id := range ids {
+		mstWeight += g.Edge(id).W
+	}
+	breakPoints := 0
+	for v := range st.vs {
+		for _, b := range st.vs[v].bp {
+			if b {
+				breakPoints++
+			}
+		}
+	}
+	hEdges := make([]graph.EdgeID, 0, 2*n)
+	for id := 0; id < g.M(); id++ {
+		if st.inTree[id] || st.inH[id] {
+			hEdges = append(hEdges, graph.EdgeID(id))
+		}
+	}
+	res := &Result{
+		Source:      st.rt,
+		Parent:      st.finalParent,
+		Dist:        st.finalDist,
+		MSTWeight:   mstWeight,
+		BreakPoints: breakPoints,
+		HWeight:     canonicalWeight(g, hEdges),
+	}
+	for v := 0; v < n; v++ {
+		if id := st.finalParent[v]; id != graph.NoEdge {
+			res.TreeEdges = append(res.TreeEdges, id)
+			res.Weight += g.Edge(id).W
+		}
+	}
+	if mstWeight > 0 {
+		res.Lightness = res.Weight / mstWeight
+	} else {
+		res.Lightness = 1
+	}
+	return res
+}
+
+// makeInf returns an all-+Inf distance slice with 0 at the root.
+func makeInf(n int, rt graph.Vertex) []float64 {
+	d := make([]float64, n)
+	for i := range d {
+		d[i] = math.Inf(1)
+	}
+	d[rt] = 0
+	return d
+}

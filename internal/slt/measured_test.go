@@ -1,0 +1,185 @@
+package slt
+
+import (
+	"strings"
+	"testing"
+
+	"lightnet/internal/congest"
+	"lightnet/internal/graph"
+	"lightnet/internal/sssp"
+)
+
+// requireSameResult asserts field-by-field bit-identity of two Results.
+func requireSameResult(t *testing.T, want, got *Result) {
+	t.Helper()
+	if got.Source != want.Source {
+		t.Fatalf("source %d vs %d", got.Source, want.Source)
+	}
+	if len(got.TreeEdges) != len(want.TreeEdges) {
+		t.Fatalf("tree size %d vs %d", len(got.TreeEdges), len(want.TreeEdges))
+	}
+	for i := range want.TreeEdges {
+		if got.TreeEdges[i] != want.TreeEdges[i] {
+			t.Fatalf("tree edge %d: %d vs %d", i, got.TreeEdges[i], want.TreeEdges[i])
+		}
+	}
+	for v := range want.Parent {
+		if got.Parent[v] != want.Parent[v] {
+			t.Fatalf("parent of %d: %d vs %d", v, got.Parent[v], want.Parent[v])
+		}
+		if got.Dist[v] != want.Dist[v] {
+			t.Fatalf("dist of %d: %v vs %v (must be bit-identical)", v, got.Dist[v], want.Dist[v])
+		}
+	}
+	if got.Weight != want.Weight || got.MSTWeight != want.MSTWeight || got.Lightness != want.Lightness {
+		t.Fatalf("weight/lightness differ: (%v,%v,%v) vs (%v,%v,%v)",
+			got.Weight, got.MSTWeight, got.Lightness, want.Weight, want.MSTWeight, want.Lightness)
+	}
+	if got.BreakPoints != want.BreakPoints {
+		t.Fatalf("break points %d vs %d", got.BreakPoints, want.BreakPoints)
+	}
+	if got.HWeight != want.HWeight {
+		t.Fatalf("H weight %v vs %v", got.HWeight, want.HWeight)
+	}
+}
+
+// TestMeasuredMatchesAccounted is the pipeline's headline guarantee: the
+// tree built by genuine message passing is bit-identical to the
+// accounted builder's tree for the same seed — every edge id, every
+// float distance, every certification scalar.
+func TestMeasuredMatchesAccounted(t *testing.T) {
+	for _, tg := range testGraphs() {
+		t.Run(tg.name, func(t *testing.T) {
+			for _, eps := range []float64{0.25, 0.5, 1.0} {
+				for _, seed := range []int64{1, 7} {
+					acc, err := Build(tg.g, 0, eps, Options{Seed: seed})
+					if err != nil {
+						t.Fatal(err)
+					}
+					mea, err := Build(tg.g, 0, eps, Options{Seed: seed, Mode: Measured})
+					if err != nil {
+						t.Fatal(err)
+					}
+					requireSameResult(t, acc, mea)
+					if len(mea.Stages) == 0 {
+						t.Fatal("measured result carries no stage stats")
+					}
+					// The measured tree must also certify.
+					if _, _, err := Verify(tg.g, mea); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestMeasuredDifferentRoots: bit-identity holds for non-zero roots.
+func TestMeasuredDifferentRoots(t *testing.T) {
+	g := graph.Grid(8, 8, 3, 5)
+	for _, rt := range []graph.Vertex{0, 27, 63} {
+		acc, err := Build(g, rt, 0.5, Options{Seed: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		mea, err := Build(g, rt, 0.5, Options{Seed: 4, Mode: Measured})
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireSameResult(t, acc, mea)
+	}
+}
+
+// TestMeasuredNoFormulaCharges: the measured path makes no ledger
+// formula charges — every label it records is a per-stage engine
+// measurement.
+func TestMeasuredNoFormulaCharges(t *testing.T) {
+	g := graph.ErdosRenyi(100, 0.08, 10, 1)
+	l := congest.NewLedger()
+	res, err := Build(g, 0, 0.5, Options{Seed: 1, Ledger: l, Mode: Measured})
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels := l.Labels()
+	if len(labels) == 0 {
+		t.Fatal("measured run recorded nothing")
+	}
+	for _, label := range labels {
+		if !strings.HasPrefix(label, "engine/") {
+			t.Fatalf("formula charge %q on the measured path", label)
+		}
+	}
+	if len(labels) != len(res.Stages) {
+		t.Fatalf("%d ledger labels vs %d stages", len(labels), len(res.Stages))
+	}
+	var stageRounds int64
+	for _, s := range res.Stages {
+		stageRounds += int64(s.Stats.Rounds)
+	}
+	if l.Rounds() != stageRounds {
+		t.Fatalf("ledger rounds %d != stage sum %d", l.Rounds(), stageRounds)
+	}
+}
+
+// TestMeasuredWithinEnvelope: measured rounds stay within a constant
+// factor of the ledger's §4 Õ(√n + D) prediction on graphs whose MST and
+// SPT depths are moderate (the regime the paper's pipelining targets).
+func TestMeasuredWithinEnvelope(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"er-196", graph.ErdosRenyi(196, 0.05, 8, 3)},
+		{"geometric-144", graph.RandomGeometric(144, 2, 9)},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			d := tc.g.HopDiameterApprox()
+			acc := congest.NewLedger()
+			if _, err := Build(tc.g, 0, 0.5, Options{Seed: 2, Ledger: acc, HopDiam: d}); err != nil {
+				t.Fatal(err)
+			}
+			mea := congest.NewLedger()
+			if _, err := Build(tc.g, 0, 0.5, Options{Seed: 2, Ledger: mea, Mode: Measured}); err != nil {
+				t.Fatal(err)
+			}
+			if mea.Rounds() == 0 || mea.Messages() == 0 {
+				t.Fatal("no measured cost recorded")
+			}
+			// The accounted ledger is the paper's asymptotic prediction
+			// with its own constants; the measured engine must land
+			// within a constant factor of it.
+			if mea.Rounds() > 25*acc.Rounds() {
+				t.Fatalf("measured rounds %d outside the envelope of accounted %d", mea.Rounds(), acc.Rounds())
+			}
+		})
+	}
+}
+
+// TestMeasuredRejectsSequentialOptions: the sequential baselines cannot
+// run on the measured path.
+func TestMeasuredRejectsSequentialOptions(t *testing.T) {
+	g := graph.Path(8, 1)
+	if _, err := Build(g, 0, 0.5, Options{Mode: Measured, SPTMode: sssp.ModeExact}); err == nil {
+		t.Fatal("exact SPT accepted in measured mode")
+	}
+	if _, err := Build(g, 0, 0.5, Options{Mode: Measured, SequentialBP: true}); err == nil {
+		t.Fatal("sequential break-point rule accepted in measured mode")
+	}
+	disc := graph.New(4)
+	disc.MustAddEdge(0, 1, 1)
+	if _, err := Build(disc, 0, 0.5, Options{Mode: Measured}); err == nil {
+		t.Fatal("disconnected graph accepted in measured mode")
+	}
+}
+
+// TestMeasuredSingleVertex: the n=1 early return covers measured mode.
+func TestMeasuredSingleVertex(t *testing.T) {
+	g := graph.New(1)
+	res, err := Build(g, 0, 0.5, Options{Mode: Measured})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Lightness != 1 || len(res.TreeEdges) != 0 {
+		t.Fatalf("singleton measured SLT wrong: %+v", res)
+	}
+}

@@ -3,12 +3,29 @@ package slt
 import (
 	"fmt"
 	"math"
+	"slices"
 
 	"lightnet/internal/congest"
 	"lightnet/internal/euler"
 	"lightnet/internal/graph"
 	"lightnet/internal/mst"
 	"lightnet/internal/sssp"
+)
+
+// Mode selects how the construction executes and how its distributed
+// cost is obtained.
+type Mode int
+
+const (
+	// Accounted (the default) runs the sequential builders and charges
+	// the paper's primitive-level round formulas to the ledger.
+	Accounted Mode = iota
+	// Measured runs the full §4 pipeline as genuine per-vertex message
+	// passing on the CONGEST engine (see measured.go): rounds and
+	// messages are counted from actual exchanges, stage by stage, and
+	// no formula charges are made. The resulting tree is bit-identical
+	// to the Accounted builder's tree for the same seed.
+	Measured
 )
 
 // Result is a constructed SLT plus its certification data.
@@ -29,6 +46,9 @@ type Result struct {
 	// HWeight the weight of the intermediate graph H.
 	BreakPoints int
 	HWeight     float64
+	// Stages is the per-stage measured engine cost, in pipeline order
+	// (Measured mode only; nil for Accounted).
+	Stages []congest.StageStats
 }
 
 // Options configure Build.
@@ -42,6 +62,11 @@ type Options struct {
 	// SequentialBP switches to the single-pass sequential break-point
 	// rule (the non-distributable baseline; ablation E-ABL).
 	SequentialBP bool
+	// Mode selects Accounted (default) or Measured execution.
+	Mode Mode
+	// Workers sizes the engine worker pool in Measured mode
+	// (0 = GOMAXPROCS); results are identical for every worker count.
+	Workers int
 }
 
 // Build constructs a (1+O(ε), 1+O(1/ε))-SLT rooted at rt.
@@ -56,6 +81,9 @@ func Build(g *graph.Graph, rt graph.Vertex, eps float64, opts Options) (*Result,
 	if n == 1 {
 		return &Result{Source: rt, Parent: []graph.EdgeID{graph.NoEdge},
 			Dist: []float64{0}, Lightness: 1}, nil
+	}
+	if opts.Mode == Measured {
+		return buildMeasured(g, rt, eps, opts)
 	}
 	// Step 1: MST, fragments, Euler tour (§3).
 	mstEdges, mstWeight, err := mst.Kruskal(g)
@@ -78,9 +106,7 @@ func Build(g *graph.Graph, rt graph.Vertex, eps float64, opts Options) (*Result,
 		return nil, fmt.Errorf("slt: %w", err)
 	}
 	// Step 2: approximate SPT T_rt (the [BKKL17] substitute).
-	spt, err := sssp.ApproxSPT(g, rt, eps, sssp.Options{
-		Mode: opts.SPTMode, Seed: opts.Seed, Ledger: opts.Ledger, HopDiam: opts.HopDiam,
-	})
+	spt, err := approxSPT(g, rt, eps, opts.Seed, opts)
 	if err != nil {
 		return nil, fmt.Errorf("slt: %w", err)
 	}
@@ -101,33 +127,24 @@ func Build(g *graph.Graph, rt graph.Vertex, eps float64, opts Options) (*Result,
 		frags.ChargeLocalPipeline(opts.Ledger, "slt/abp-local")
 		frags.ChargeFragmentBroadcast(opts.Ledger, "slt/abp-bcast", opts.HopDiam)
 	}
-	var hWeight float64
-	for _, id := range hEdges {
-		hWeight += g.Edge(id).W
-	}
+	hWeight := canonicalWeight(g, hEdges)
 	// Step 5: final approximate SPT inside H.
-	sub := g.Subgraph(hEdges)
-	final, err := sssp.ApproxSPT(sub, rt, eps, sssp.Options{
-		Mode: opts.SPTMode, Seed: opts.Seed + 1, Ledger: opts.Ledger, HopDiam: opts.HopDiam,
-	})
+	finalParent, finalDist, err := finalSPT(g, hEdges, rt, eps, opts)
 	if err != nil {
 		return nil, fmt.Errorf("slt: final SPT: %w", err)
 	}
 	res := &Result{
 		Source:      rt,
-		Parent:      make([]graph.EdgeID, n),
-		Dist:        final.Dist,
+		Parent:      finalParent,
+		Dist:        finalDist,
 		MSTWeight:   mstWeight,
 		BreakPoints: len(bp),
 		HWeight:     hWeight,
 	}
 	for v := 0; v < n; v++ {
-		res.Parent[v] = graph.NoEdge
-		if id := final.Parent[v]; id != graph.NoEdge {
-			orig := hEdges[id] // Subgraph assigns ids in insertion order
-			res.Parent[v] = orig
-			res.TreeEdges = append(res.TreeEdges, orig)
-			res.Weight += g.Edge(orig).W
+		if id := finalParent[v]; id != graph.NoEdge {
+			res.TreeEdges = append(res.TreeEdges, id)
+			res.Weight += g.Edge(id).W
 		}
 	}
 	if mstWeight > 0 {
@@ -136,6 +153,75 @@ func Build(g *graph.Graph, rt graph.Vertex, eps float64, opts Options) (*Result,
 		res.Lightness = 1
 	}
 	return res, nil
+}
+
+// approxSPT is the accounted Step-2/Step-5 SPT. In the default perturbed
+// mode it uses the hash-keyed substitute weights of
+// sssp.PerturbedWeights — a function of (seed, original edge id) — so
+// the measured pipeline can reproduce the identical tree; other modes
+// delegate to sssp.ApproxSPT as before.
+func approxSPT(g *graph.Graph, rt graph.Vertex, eps float64, seed int64, opts Options) (*sssp.Tree, error) {
+	if opts.SPTMode == 0 || opts.SPTMode == sssp.ModePerturbed {
+		sssp.ChargeBKKL(opts.Ledger, "sssp/approx-spt", g.N(), opts.HopDiam, eps)
+		return sssp.SPTOnWeights(g, rt, sssp.PerturbedWeights(g, eps, seed))
+	}
+	return sssp.ApproxSPT(g, rt, eps, sssp.Options{
+		Mode: opts.SPTMode, Seed: seed, Ledger: opts.Ledger, HopDiam: opts.HopDiam,
+	})
+}
+
+// finalSPT computes the Step-5 approximate SPT inside H and maps it back
+// to original edge ids with true-weight distances. In perturbed mode the
+// substitute weights are keyed by ORIGINAL edge id (seed+1), so the
+// measured pipeline's restricted Bellman-Ford pass finds the identical
+// tree without knowing the sequential H-edge ordering.
+func finalSPT(g *graph.Graph, hEdges []graph.EdgeID, rt graph.Vertex, eps float64, opts Options) ([]graph.EdgeID, []float64, error) {
+	n := g.N()
+	parent := make([]graph.EdgeID, n)
+	if opts.SPTMode == 0 || opts.SPTMode == sssp.ModePerturbed {
+		sssp.ChargeBKKL(opts.Ledger, "sssp/approx-spt", n, opts.HopDiam, eps)
+		pw := sssp.PerturbedWeights(g, eps, opts.Seed+1)
+		sub := graph.New(n)
+		for _, id := range hEdges {
+			e := g.Edge(id)
+			sub.MustAddEdge(e.U, e.V, pw[id])
+		}
+		t := sub.Dijkstra(rt)
+		for v := range parent {
+			parent[v] = graph.NoEdge
+			if id := t.Parent[v]; id != graph.NoEdge {
+				parent[v] = hEdges[id] // sub ids follow insertion order
+			}
+		}
+		return parent, remeasure(g, rt, parent), nil
+	}
+	sub := g.Subgraph(hEdges)
+	final, err := sssp.ApproxSPT(sub, rt, eps, sssp.Options{
+		Mode: opts.SPTMode, Seed: opts.Seed + 1, Ledger: opts.Ledger, HopDiam: opts.HopDiam,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	for v := range parent {
+		parent[v] = graph.NoEdge
+		if id := final.Parent[v]; id != graph.NoEdge {
+			parent[v] = hEdges[id]
+		}
+	}
+	return parent, final.Dist, nil
+}
+
+// canonicalWeight sums the edge weights in ascending edge-id order, the
+// accumulation order shared by the accounted and measured paths so the
+// reported floats agree bit-for-bit.
+func canonicalWeight(g *graph.Graph, ids []graph.EdgeID) float64 {
+	sorted := append([]graph.EdgeID(nil), ids...)
+	slices.Sort(sorted)
+	var w float64
+	for _, id := range sorted {
+		w += g.Edge(id).W
+	}
+	return w
 }
 
 // twoPhaseBreakPoints is the distributed selection of §4.1: the tour is

@@ -92,6 +92,50 @@ func ApproxSPT(g *graph.Graph, rt graph.Vertex, eps float64, opts Options) (*Tre
 	}
 }
 
+// PerturbedWeights returns the (1+eps)-perturbed substitute weights
+// w'(e) = w(e)·(1 + eps·u_e), where u_e ∈ [0,1) is a splitmix64 hash of
+// (seed, edge id). Unlike a sequential RNG stream, each edge's
+// perturbation is a pure function of its own id: the per-vertex programs
+// of the measured CONGEST pipeline and the sequential accounted builders
+// derive identical weights independently, without any coordination —
+// the property the slt package's Measured-mode bit-identity rests on.
+// In the CONGEST model both endpoints of an edge know its id, so this
+// is locally computable. With probability 1 the perturbed weights are
+// pairwise distinct, making the perturbed SPT unique.
+func PerturbedWeights(g *graph.Graph, eps float64, seed int64) []float64 {
+	pw := make([]float64, g.M())
+	for id, e := range g.Edges() {
+		pw[id] = e.W * (1 + eps*hashU01(seed, id))
+	}
+	return pw
+}
+
+// hashU01 maps (seed, id) to a uniform float in [0,1) via splitmix64.
+func hashU01(seed int64, id int) float64 {
+	z := uint64(seed) ^ 0x9e3779b97f4a7c15
+	z += (uint64(id) + 1) * 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return float64(z>>11) / (1 << 53)
+}
+
+// SPTOnWeights computes the exact shortest-path tree of g under the
+// substitute weights pw (indexed by edge id) and returns it re-measured
+// under g's true weights. With pw = PerturbedWeights(g, eps, seed) the
+// result is a (1+eps)-approximate SPT, and — because the substitute
+// weights are generic — the tree is unique, so any exact SSSP algorithm
+// on pw (centralized Dijkstra or distributed Bellman-Ford run to
+// quiescence) returns the identical parent set.
+func SPTOnWeights(g *graph.Graph, rt graph.Vertex, pw []float64) (*Tree, error) {
+	rew, err := g.Reweighted(func(id graph.EdgeID, _ graph.Edge) float64 { return pw[id] })
+	if err != nil {
+		return nil, fmt.Errorf("sssp: substitute weights: %w", err)
+	}
+	t := rew.Dijkstra(rt)
+	return remeasure(g, rt, t.Parent), nil
+}
+
 // perturbedSPT runs Dijkstra on weights inflated by up to (1+eps).
 // The result is the SPT of the perturbed graph, re-measured under the
 // true weights; the stretch bound follows from w <= w' <= (1+eps)w.

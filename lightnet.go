@@ -53,26 +53,54 @@ const NoEdge = graph.NoEdge
 // NewGraph returns an empty graph on n vertices.
 func NewGraph(n int) *Graph { return graph.New(n) }
 
-// Cost is the distributed cost of a construction under the paper's
-// CONGEST accounting.
+// Cost is the distributed cost of a construction: either the paper's
+// CONGEST accounting (Measured == false) or rounds and messages counted
+// from actual engine message passing (Measured == true).
 type Cost struct {
 	// Rounds is the total number of synchronous rounds.
 	Rounds int64
 	// Messages is the total number of O(log n)-bit messages.
 	Messages int64
-	// Breakdown maps pipeline-stage labels to their round counts.
+	// Breakdown maps pipeline-stage labels to their round counts. Map
+	// order is random; iterate sorted keys (or Stages) when printing.
 	Breakdown map[string]int64
+	// Stages is the ordered per-stage breakdown of a measured pipeline
+	// run (nil for accounted constructions).
+	Stages []StageCost
+	// Measured reports whether Rounds/Messages were measured from real
+	// message exchanges rather than charged by the paper's formulas.
+	Measured bool
+}
+
+// StageCost is the measured cost of one pipeline stage.
+type StageCost struct {
+	Stage    string
+	Rounds   int64
+	Messages int64
 }
 
 func costOf(l *congest.Ledger) Cost {
 	return Cost{Rounds: l.Rounds(), Messages: l.Messages(), Breakdown: l.ByLabel()}
 }
 
+func stageCosts(stages []congest.StageStats) []StageCost {
+	if len(stages) == 0 {
+		return nil
+	}
+	out := make([]StageCost, len(stages))
+	for i, s := range stages {
+		out[i] = StageCost{Stage: s.Name, Rounds: int64(s.Stats.Rounds), Messages: s.Stats.Messages}
+	}
+	return out
+}
+
 // options is the shared option state.
 type options struct {
-	seed    int64
-	hopDiam int
-	sptMode sssp.Mode
+	seed     int64
+	hopDiam  int
+	sptMode  sssp.Mode
+	measured bool
+	workers  int
 }
 
 // Option configures a builder.
@@ -88,6 +116,17 @@ func WithHopDiameter(d int) Option { return func(o *options) { o.hopDiam = d } }
 // WithExactSPT makes builders use exact shortest-path trees instead of
 // the default genuinely-(1+ε)-approximate ones.
 func WithExactSPT() Option { return func(o *options) { o.sptMode = sssp.ModeExact } }
+
+// WithMeasured runs the construction as genuine per-vertex message
+// passing on the CONGEST engine instead of charging the paper's round
+// formulas: Cost then reports measured rounds/messages with a per-stage
+// breakdown, and the result is bit-identical to the accounted builder's
+// for the same seed. Currently supported by BuildSLT.
+func WithMeasured() Option { return func(o *options) { o.measured = true } }
+
+// WithWorkers sizes the engine worker pool for measured-mode runs
+// (0 = GOMAXPROCS). Results are identical for every worker count.
+func WithWorkers(n int) Option { return func(o *options) { o.workers = n } }
 
 func buildOptions(g *Graph, opts []Option) options {
 	o := options{seed: 1, sptMode: sssp.ModePerturbed}
@@ -153,12 +192,19 @@ type SLTResult struct {
 }
 
 // BuildSLT builds the §4 SLT: root stretch 1+O(ε), lightness 1+O(1/ε),
-// in Õ(√n + D)·poly(1/ε) rounds.
+// in Õ(√n + D)·poly(1/ε) rounds. With WithMeasured the whole pipeline
+// executes as per-vertex message passing on the CONGEST engine and the
+// cost is measured rather than charged (same tree, bit for bit).
 func BuildSLT(g *Graph, root Vertex, eps float64, opts ...Option) (*SLTResult, error) {
 	o := buildOptions(g, opts)
 	ledger := congest.NewLedger()
+	mode := slt.Accounted
+	if o.measured {
+		mode = slt.Measured
+	}
 	res, err := slt.Build(g, root, eps, slt.Options{
 		Seed: o.seed, Ledger: ledger, HopDiam: o.hopDiam, SPTMode: o.sptMode,
+		Mode: mode, Workers: o.workers,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("lightnet: %w", err)
@@ -181,6 +227,9 @@ func BuildSLTInverse(g *Graph, root Vertex, gamma float64, opts ...Option) (*SLT
 }
 
 func sltResult(root Vertex, res *slt.Result, ledger *congest.Ledger) *SLTResult {
+	cost := costOf(ledger)
+	cost.Stages = stageCosts(res.Stages)
+	cost.Measured = res.Stages != nil
 	return &SLTResult{
 		Root:      root,
 		TreeEdges: res.TreeEdges,
@@ -188,7 +237,7 @@ func sltResult(root Vertex, res *slt.Result, ledger *congest.Ledger) *SLTResult 
 		Dist:      res.Dist,
 		Lightness: res.Lightness,
 		MSTWeight: res.MSTWeight,
-		Cost:      costOf(ledger),
+		Cost:      cost,
 	}
 }
 
