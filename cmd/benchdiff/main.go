@@ -1,0 +1,180 @@
+// Command benchdiff is the CI bench-regression gate: it compares a
+// fresh benchmark report against the committed baseline and exits
+// non-zero when the fresh numbers regress.
+//
+//	go run ./cmd/benchengine -out /tmp/engine.json
+//	go run ./cmd/benchdiff -kind engine -baseline BENCH_engine.json -current /tmp/engine.json
+//
+//	go run ./cmd/benchgen -million=false -out /tmp/gen.json
+//	go run ./cmd/benchdiff -kind generators -baseline BENCH_generators.json -current /tmp/gen.json
+//
+// What is gated, per measurement present in both reports:
+//
+//   - deterministic fields (rounds/op, messages, edge counts) must match
+//     exactly — the workloads are seed-fixed, so any drift means the
+//     algorithm changed and the baseline must be regenerated in the same
+//     change;
+//   - allocs/op must not grow by more than -max-alloc-increase (default
+//     1%): allocation counts of the deterministic single-worker runs are
+//     machine-independent, so this catches a hot path starting to
+//     allocate — the steady-state rounds themselves are pinned to zero
+//     allocations by TestSteadyStateAllocs in internal/congest;
+//   - ns/round (engine) and the brute-vs-grid speedup (generators) must
+//     not regress by more than -max-ns-regress (default 25%). Wall-clock
+//     ratios carry machine variance; CI passes a looser bound than the
+//     default when the runner class differs from the machine that wrote
+//     the baseline.
+//
+// Updating the baseline: when a change intentionally alters the gated
+// numbers (an engine or generator change), regenerate the committed
+// files on a quiet machine and commit them with the change —
+//
+//	go run ./cmd/benchengine -out BENCH_engine.json
+//	go run ./cmd/benchgen -out BENCH_generators.json
+//
+// — so the gate's next comparison starts from the new trajectory. The
+// docs/ARCHITECTURE.md "Performance" section describes the workflow.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"lightnet/internal/benchfmt"
+)
+
+func main() {
+	kind := flag.String("kind", "engine", "report schema: engine | generators")
+	basePath := flag.String("baseline", "", "committed baseline JSON (e.g. BENCH_engine.json)")
+	curPath := flag.String("current", "", "freshly generated JSON to gate")
+	maxNs := flag.Float64("max-ns-regress", 0.25, "tolerated fractional ns/round (or speedup) regression")
+	maxAlloc := flag.Float64("max-alloc-increase", 0.01, "tolerated fractional allocs/op increase")
+	flag.Parse()
+	if *basePath == "" || *curPath == "" {
+		fmt.Fprintln(os.Stderr, "benchdiff: -baseline and -current are required")
+		os.Exit(2)
+	}
+	violations, err := diff(*kind, *basePath, *curPath, *maxNs, *maxAlloc)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	if len(violations) > 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: %d regression(s) against %s:\n", len(violations), *basePath)
+		for _, v := range violations {
+			fmt.Fprintln(os.Stderr, "  -", v)
+		}
+		fmt.Fprintln(os.Stderr, "if intentional, regenerate the baseline (see cmd/benchdiff docs)")
+		os.Exit(1)
+	}
+	fmt.Printf("benchdiff: %s within tolerance of %s (ns %.0f%%, allocs %.0f%%)\n",
+		*curPath, *basePath, *maxNs*100, *maxAlloc*100)
+}
+
+func diff(kind, basePath, curPath string, maxNs, maxAlloc float64) ([]string, error) {
+	switch kind {
+	case "engine":
+		base, err := benchfmt.LoadEngine(basePath)
+		if err != nil {
+			return nil, err
+		}
+		cur, err := benchfmt.LoadEngine(curPath)
+		if err != nil {
+			return nil, err
+		}
+		return diffEngine(base, cur, maxNs, maxAlloc), nil
+	case "generators":
+		base, err := benchfmt.LoadGenerators(basePath)
+		if err != nil {
+			return nil, err
+		}
+		cur, err := benchfmt.LoadGenerators(curPath)
+		if err != nil {
+			return nil, err
+		}
+		return diffGenerators(base, cur, maxNs), nil
+	default:
+		return nil, fmt.Errorf("unknown -kind %q (engine|generators)", kind)
+	}
+}
+
+// diffEngine gates every measurement present in the baseline: the
+// canonical after numbers plus the measured-mode pipelines.
+func diffEngine(base, cur *benchfmt.EngineReport, maxNs, maxAlloc float64) []string {
+	if cur.Workload != base.Workload {
+		return []string{fmt.Sprintf("workload mismatch: baseline %q vs fresh %q (run benchengine in the baseline's mode)",
+			base.Workload, cur.Workload)}
+	}
+	var out []string
+	out = append(out, diffMeasurement("after", &base.After, &cur.After, maxNs, maxAlloc)...)
+	out = append(out, diffMeasurement("slt_pipeline", base.SLTPipeline, cur.SLTPipeline, maxNs, maxAlloc)...)
+	out = append(out, diffMeasurement("spanner_pipeline", base.SpannerPipeline, cur.SpannerPipeline, maxNs, maxAlloc)...)
+	return out
+}
+
+func diffMeasurement(name string, base, cur *benchfmt.Measurement, maxNs, maxAlloc float64) []string {
+	if base == nil {
+		return nil // not gated yet: commit a regenerated baseline to start
+	}
+	if cur == nil {
+		return []string{fmt.Sprintf("%s: measurement missing from the fresh report", name)}
+	}
+	var out []string
+	if cur.RoundsPerOp != base.RoundsPerOp {
+		out = append(out, fmt.Sprintf("%s: rounds/op changed %d -> %d (deterministic workload; algorithm drift)",
+			name, base.RoundsPerOp, cur.RoundsPerOp))
+	}
+	if cur.Messages != base.Messages {
+		out = append(out, fmt.Sprintf("%s: messages changed %d -> %d (deterministic workload; algorithm drift)",
+			name, base.Messages, cur.Messages))
+	}
+	if limit := float64(base.AllocsPerOp) * (1 + maxAlloc); float64(cur.AllocsPerOp) > limit {
+		out = append(out, fmt.Sprintf("%s: allocs/op %d -> %d exceeds +%.0f%% tolerance",
+			name, base.AllocsPerOp, cur.AllocsPerOp, maxAlloc*100))
+	}
+	if limit := base.NsPerRound * (1 + maxNs); cur.NsPerRound > limit {
+		out = append(out, fmt.Sprintf("%s: ns/round %.0f -> %.0f exceeds +%.0f%% tolerance",
+			name, base.NsPerRound, cur.NsPerRound, maxNs*100))
+	}
+	return out
+}
+
+// diffGenerators gates the brute-vs-grid comparisons: edge counts are
+// deterministic and must match; the speedup ratio (machine-neutral: both
+// builders run on the same host in the same process) must not shrink
+// beyond tolerance. The million-point datapoint is compared only when
+// both reports carry it (CI skips it with -million=false).
+func diffGenerators(base, cur *benchfmt.GeneratorsReport, maxRegress float64) []string {
+	var out []string
+	if base.N != cur.N || base.Dim != cur.Dim {
+		out = append(out, fmt.Sprintf("workload mismatch: baseline n=%d dim=%d vs fresh n=%d dim=%d (run benchgen with the baseline's parameters)",
+			base.N, base.Dim, cur.N, cur.Dim))
+		return out
+	}
+	curBy := make(map[string]benchfmt.GeneratorComparison, len(cur.Comparisons))
+	for _, c := range cur.Comparisons {
+		curBy[c.Regime] = c
+	}
+	for _, b := range base.Comparisons {
+		c, ok := curBy[b.Regime]
+		if !ok {
+			out = append(out, fmt.Sprintf("%s: regime missing from the fresh report", b.Regime))
+			continue
+		}
+		if c.Edges != b.Edges {
+			out = append(out, fmt.Sprintf("%s: edges changed %d -> %d (deterministic build; generator drift)",
+				b.Regime, b.Edges, c.Edges))
+		}
+		if floor := b.Speedup / (1 + maxRegress); c.Speedup < floor {
+			out = append(out, fmt.Sprintf("%s: speedup %.1fx -> %.1fx below -%.0f%% tolerance",
+				b.Regime, b.Speedup, c.Speedup, maxRegress*100))
+		}
+	}
+	if base.MillionPoint != nil && cur.MillionPoint != nil &&
+		cur.MillionPoint.Edges != base.MillionPoint.Edges {
+		out = append(out, fmt.Sprintf("million_point: edges changed %d -> %d (deterministic build; generator drift)",
+			base.MillionPoint.Edges, cur.MillionPoint.Edges))
+	}
+	return out
+}

@@ -1,0 +1,128 @@
+package main
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"lightnet/internal/benchfmt"
+)
+
+func engineReport(nsPerRound float64, allocs, messages int64, rounds int) *benchfmt.EngineReport {
+	m := benchfmt.Measurement{
+		Commit: "x", NsPerOp: int64(nsPerRound) * int64(rounds), RoundsPerOp: rounds,
+		NsPerRound: nsPerRound, AllocsPerOp: allocs, BytesPerOp: 1 << 20, Messages: messages,
+	}
+	p := m
+	return &benchfmt.EngineReport{Workload: "w", After: m, SLTPipeline: &p, SpannerPipeline: &p}
+}
+
+func TestEngineIdenticalPasses(t *testing.T) {
+	base := engineReport(1000, 500, 12345, 15)
+	if v := diffEngine(base, engineReport(1000, 500, 12345, 15), 0.25, 0.01); len(v) != 0 {
+		t.Fatalf("identical reports flagged: %v", v)
+	}
+	// Improvements pass too.
+	if v := diffEngine(base, engineReport(700, 400, 12345, 15), 0.25, 0.01); len(v) != 0 {
+		t.Fatalf("improvement flagged: %v", v)
+	}
+	// Within-tolerance noise passes.
+	if v := diffEngine(base, engineReport(1200, 500, 12345, 15), 0.25, 0.01); len(v) != 0 {
+		t.Fatalf("within-tolerance noise flagged: %v", v)
+	}
+}
+
+func TestEngineSyntheticRegressionFails(t *testing.T) {
+	base := engineReport(1000, 500, 12345, 15)
+	cases := []struct {
+		name string
+		cur  *benchfmt.EngineReport
+	}{
+		{"ns-regress", engineReport(1300, 500, 12345, 15)},
+		{"alloc-increase", engineReport(1000, 520, 12345, 15)},
+		{"message-drift", engineReport(1000, 500, 12999, 15)},
+		{"round-drift", engineReport(1000, 500, 12345, 17)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if v := diffEngine(base, tc.cur, 0.25, 0.01); len(v) == 0 {
+				t.Fatal("regression not flagged")
+			}
+		})
+	}
+	// A pipeline entry disappearing from the fresh report is a coverage
+	// loss and must fail.
+	cur := engineReport(1000, 500, 12345, 15)
+	cur.SpannerPipeline = nil
+	if v := diffEngine(base, cur, 0.25, 0.01); len(v) == 0 {
+		t.Fatal("missing pipeline measurement not flagged")
+	}
+	// The converse — baseline without the entry — is not gated yet.
+	base.SpannerPipeline = nil
+	if v := diffEngine(base, engineReport(1000, 500, 12345, 15), 0.25, 0.01); len(v) != 0 {
+		t.Fatalf("ungated new measurement flagged: %v", v)
+	}
+}
+
+// TestEngineWorkloadMismatch: a fresh report from a different workload
+// (e.g. a -scenario run) is reported as a mismatch, not as algorithm
+// drift.
+func TestEngineWorkloadMismatch(t *testing.T) {
+	base := engineReport(1000, 500, 12345, 15)
+	cur := engineReport(1000, 500, 99999, 20)
+	cur.Workload = "Luby MIS on scenario \"ba:m=4\""
+	v := diffEngine(base, cur, 0.25, 0.01)
+	if len(v) != 1 || !strings.Contains(v[0], "workload mismatch") {
+		t.Fatalf("want a single workload-mismatch violation, got %v", v)
+	}
+}
+
+func genReport(edges int, speedup float64) *benchfmt.GeneratorsReport {
+	return &benchfmt.GeneratorsReport{
+		Workload: "w", N: 100000, Dim: 2,
+		Comparisons: []benchfmt.GeneratorComparison{
+			{Regime: "sparse", Radius: 0.005, Edges: edges, BruteMS: 100 * speedup, GridMS: 100, Speedup: speedup},
+		},
+		MillionPoint: &benchfmt.MillionPoint{N: 1000000, Radius: 0.003, Edges: 13852117, WallMS: 20000},
+	}
+}
+
+func TestGeneratorsGate(t *testing.T) {
+	base := genReport(415347, 50)
+	if v := diffGenerators(base, genReport(415347, 50), 0.25); len(v) != 0 {
+		t.Fatalf("identical reports flagged: %v", v)
+	}
+	if v := diffGenerators(base, genReport(415347, 30), 0.25); len(v) == 0 {
+		t.Fatal("speedup regression not flagged")
+	}
+	if v := diffGenerators(base, genReport(415000, 50), 0.25); len(v) == 0 {
+		t.Fatal("edge drift not flagged")
+	}
+	// Fresh run without the million-point datapoint still passes (CI
+	// skips it with -million=false).
+	cur := genReport(415347, 50)
+	cur.MillionPoint = nil
+	if v := diffGenerators(base, cur, 0.25); len(v) != 0 {
+		t.Fatalf("absent million-point flagged: %v", v)
+	}
+}
+
+// TestCommittedBaselinesSelfConsistent: diffing the committed baselines
+// against themselves passes — the gate's fixed point, and a parse check
+// of the real files.
+func TestCommittedBaselinesSelfConsistent(t *testing.T) {
+	root := filepath.Join("..", "..")
+	for _, tc := range []struct{ kind, file string }{
+		{"engine", "BENCH_engine.json"},
+		{"generators", "BENCH_generators.json"},
+	} {
+		path := filepath.Join(root, tc.file)
+		v, err := diff(tc.kind, path, path, 0.25, 0.01)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.file, err)
+		}
+		if len(v) != 0 {
+			t.Fatalf("%s not self-consistent: %v", tc.file, v)
+		}
+	}
+}

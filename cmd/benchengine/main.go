@@ -4,7 +4,8 @@
 // seed 3, workers=1) and writes BENCH_engine.json recording ns/round,
 // allocations and messages next to the frozen pre-refactor baseline.
 // The checked-in JSON is the start of the repo's performance
-// trajectory; rerun after engine changes:
+// trajectory; rerun after engine changes (cmd/benchdiff gates CI on
+// regressions against the committed file):
 //
 //	go run ./cmd/benchengine -out BENCH_engine.json
 //
@@ -16,10 +17,11 @@
 //
 //	go run ./cmd/benchengine -scenario ba:m=4 -n 8192 -out /tmp/ba.json
 //
-// With -program slt-measured the measurement runs the full §4 SLT
-// engine pipeline (thirteen stages on one congest.Pipeline) instead of
-// the elementary MIS program, so the report tracks the measured-mode
-// pipeline's round cost and allocation profile:
+// With -program slt-measured or -program spanner-measured the
+// measurement runs the corresponding full measured-mode engine pipeline
+// (§4 SLT / §5 light spanner on one congest.Pipeline) instead of the
+// elementary MIS program, so the report tracks that pipeline's round
+// cost and allocation profile:
 //
 //	go run ./cmd/benchengine -program slt-measured -scenario er -n 1024 -out /tmp/slt.json
 //
@@ -29,50 +31,23 @@
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"testing"
 
 	"lightnet"
+	"lightnet/internal/benchfmt"
 	"lightnet/internal/congest"
 	"lightnet/internal/experiments"
 	"lightnet/internal/graph"
 )
 
-// Measurement is one engine datapoint on the canonical workload.
-type Measurement struct {
-	// Commit identifies the engine version ("baseline" numbers are
-	// frozen from the pre-refactor engine).
-	Commit      string  `json:"commit"`
-	NsPerOp     int64   `json:"ns_per_op"`
-	RoundsPerOp int     `json:"rounds_per_op"`
-	NsPerRound  float64 `json:"ns_per_round"`
-	AllocsPerOp int64   `json:"allocs_per_op"`
-	BytesPerOp  int64   `json:"bytes_per_op"`
-	Messages    int64   `json:"messages"`
-}
-
-// Report is the schema of BENCH_engine.json. Before and the speedup
-// are present only for the canonical workload; -scenario runs are not
-// comparable to the frozen baseline and carry just the After numbers.
-// Canonical runs additionally record the measured-mode SLT pipeline
-// (2048-vertex er scenario, eps=0.5) so the pipeline's round cost is
-// tracked alongside the elementary hot path.
-type Report struct {
-	Workload          string       `json:"workload"`
-	Before            *Measurement `json:"before,omitempty"`
-	After             Measurement  `json:"after"`
-	SpeedupNsPerRound float64      `json:"speedup_ns_per_round,omitempty"`
-	SLTPipeline       *Measurement `json:"slt_pipeline,omitempty"`
-}
-
 // baseline is the pre-refactor engine (commit 986341d: per-message heap
 // allocation, full edge/vertex scans per round, map-keyed per-neighbor
 // program state), measured on the same workload and host class with
 // go test -bench BenchmarkEngineWorkers/workers=1 -benchmem.
-var baseline = Measurement{
+var baseline = benchfmt.Measurement{
 	Commit:      "986341d",
 	NsPerOp:     55582765,
 	RoundsPerOp: 13,
@@ -89,7 +64,7 @@ func workloadGraph() *graph.Graph {
 func main() {
 	out := flag.String("out", "BENCH_engine.json", "output path")
 	scenario := flag.String("scenario", "", "scenario spec to benchmark instead of the canonical workload (not baseline-comparable)")
-	program := flag.String("program", "mis", "workload program: mis (canonical) | slt-measured (the full §4 engine pipeline; not baseline-comparable)")
+	program := flag.String("program", "mis", "workload program: mis (canonical) | slt-measured | spanner-measured (full measured-mode engine pipelines; not baseline-comparable)")
 	n := flag.Int("n", 2048, "graph size for -scenario runs")
 	seed := flag.Int64("seed", 1, "graph seed for -scenario runs")
 	flag.Parse()
@@ -112,11 +87,12 @@ func run(out, scenario, program string, n int, seed int64) error {
 		workload = fmt.Sprintf("Luby MIS on scenario %q (n=%d, seed=%d), engine seed 3, workers=1", scenario, n, seed)
 		comparable = false
 	}
-	if program == "slt-measured" {
-		return runSLTMeasured(out, g, workload)
-	}
-	if program != "mis" {
-		return fmt.Errorf("unknown -program %q (mis|slt-measured)", program)
+	switch program {
+	case "slt-measured", "spanner-measured":
+		return runPipelineOnly(out, program, g, workload)
+	case "mis":
+	default:
+		return fmt.Errorf("unknown -program %q (mis|slt-measured|spanner-measured)", program)
 	}
 	// One reference run for the round/message counts (deterministic:
 	// fixed seeds, worker count does not change results).
@@ -132,7 +108,7 @@ func run(out, scenario, program string, n int, seed int64) error {
 			}
 		}
 	})
-	after := Measurement{
+	after := benchfmt.Measurement{
 		Commit:      "HEAD",
 		NsPerOp:     res.NsPerOp(),
 		RoundsPerOp: stats.Rounds,
@@ -141,22 +117,18 @@ func run(out, scenario, program string, n int, seed int64) error {
 		BytesPerOp:  res.AllocedBytesPerOp(),
 		Messages:    stats.Messages,
 	}
-	rep := Report{Workload: workload, After: after}
+	rep := benchfmt.EngineReport{Workload: workload, After: after}
 	if comparable {
 		rep.Before = &baseline
 		rep.SpeedupNsPerRound = baseline.NsPerRound / after.NsPerRound
-		m, err := measureSLTPipeline(g)
-		if err != nil {
+		if rep.SLTPipeline, err = measurePipeline("slt-measured", g); err != nil {
 			return err
 		}
-		rep.SLTPipeline = m
+		if rep.SpannerPipeline, err = measurePipeline("spanner-measured", g); err != nil {
+			return err
+		}
 	}
-	buf, err := json.MarshalIndent(rep, "", "  ")
-	if err != nil {
-		return err
-	}
-	buf = append(buf, '\n')
-	if err := os.WriteFile(out, buf, 0o644); err != nil {
+	if err := benchfmt.WriteFile(out, rep); err != nil {
 		return err
 	}
 	if comparable {
@@ -170,52 +142,65 @@ func run(out, scenario, program string, n int, seed int64) error {
 	return nil
 }
 
-// measureSLTPipeline benchmarks the full measured-mode SLT pipeline
-// (thirteen engine stages on one pipeline instance, workers=1) on g:
-// per-op wall time, allocations and measured round/message totals.
-func measureSLTPipeline(g *graph.Graph) (*Measurement, error) {
-	ref, err := lightnet.BuildSLT(g, 0, 0.5, lightnet.WithSeed(1), lightnet.WithMeasured(), lightnet.WithWorkers(1))
+// measurePipeline benchmarks one full measured-mode pipeline (all
+// engine stages on one pipeline instance, workers=1) on g: per-op wall
+// time, allocations and measured round/message totals. The SLT runs at
+// eps=0.5, the spanner at k=2, eps=0.25 — the headline grid parameters.
+func measurePipeline(program string, g *graph.Graph) (*benchfmt.Measurement, error) {
+	build := func() (lightnet.Cost, error) {
+		switch program {
+		case "spanner-measured":
+			res, err := lightnet.BuildLightSpanner(g, 2, 0.25, lightnet.WithSeed(1), lightnet.WithMeasured(), lightnet.WithWorkers(1))
+			if err != nil {
+				return lightnet.Cost{}, err
+			}
+			return res.Cost, nil
+		default:
+			res, err := lightnet.BuildSLT(g, 0, 0.5, lightnet.WithSeed(1), lightnet.WithMeasured(), lightnet.WithWorkers(1))
+			if err != nil {
+				return lightnet.Cost{}, err
+			}
+			return res.Cost, nil
+		}
+	}
+	ref, err := build()
 	if err != nil {
 		return nil, err
 	}
 	res := testing.Benchmark(func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			if _, err := lightnet.BuildSLT(g, 0, 0.5, lightnet.WithSeed(1), lightnet.WithMeasured(), lightnet.WithWorkers(1)); err != nil {
+			if _, err := build(); err != nil {
 				b.Fatal(err)
 			}
 		}
 	})
-	rounds := int(ref.Cost.Rounds)
-	return &Measurement{
+	rounds := int(ref.Rounds)
+	return &benchfmt.Measurement{
 		Commit:      "HEAD",
 		NsPerOp:     res.NsPerOp(),
 		RoundsPerOp: rounds,
 		NsPerRound:  float64(res.NsPerOp()) / float64(rounds),
 		AllocsPerOp: res.AllocsPerOp(),
 		BytesPerOp:  res.AllocedBytesPerOp(),
-		Messages:    ref.Cost.Messages,
+		Messages:    ref.Messages,
 	}, nil
 }
 
-// runSLTMeasured writes a report measuring only the SLT pipeline (the
-// -program slt-measured mode). Not comparable to the frozen Luby MIS
-// baseline, so only the After numbers are recorded.
-func runSLTMeasured(out string, g *graph.Graph, base string) error {
-	m, err := measureSLTPipeline(g)
+// runPipelineOnly writes a report measuring only the requested pipeline
+// (the -program slt-measured / spanner-measured modes). Not comparable
+// to the frozen Luby MIS baseline, so only the After numbers are
+// recorded.
+func runPipelineOnly(out, program string, g *graph.Graph, base string) error {
+	m, err := measurePipeline(program, g)
 	if err != nil {
 		return err
 	}
-	rep := Report{
-		Workload: "measured-mode SLT pipeline (eps=0.5, seed 1, workers=1) instead of " + base,
+	rep := benchfmt.EngineReport{
+		Workload: fmt.Sprintf("measured-mode %s pipeline (seed 1, workers=1) instead of %s", program, base),
 		After:    *m,
 	}
-	buf, err := json.MarshalIndent(rep, "", "  ")
-	if err != nil {
-		return err
-	}
-	buf = append(buf, '\n')
-	if err := os.WriteFile(out, buf, 0o644); err != nil {
+	if err := benchfmt.WriteFile(out, rep); err != nil {
 		return err
 	}
 	fmt.Printf("workload: %s\nns/round: %.0f allocs/op: %d rounds: %d messages: %d\nwrote %s\n",

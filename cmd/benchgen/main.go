@@ -17,7 +17,8 @@
 //
 // A final grid-only datapoint records that a million-point build is
 // practical, which the quadratic builder cannot attempt (5·10¹¹
-// distance evaluations). Rerun after generator changes:
+// distance evaluations). Rerun after generator changes (cmd/benchdiff
+// gates CI on regressions against the committed file):
 //
 //	go run ./cmd/benchgen -out BENCH_generators.json
 //
@@ -26,43 +27,17 @@
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"time"
 
+	"lightnet/internal/benchfmt"
 	"lightnet/internal/graph"
 )
 
-// Comparison is one brute-vs-grid measurement of the same graph.
-type Comparison struct {
-	Regime  string  `json:"regime"`
-	Radius  float64 `json:"radius"`
-	Edges   int     `json:"edges"`
-	BruteMS float64 `json:"brute_ms"`
-	GridMS  float64 `json:"grid_ms"`
-	Speedup float64 `json:"speedup"`
-}
-
-// Report is the schema of BENCH_generators.json.
-type Report struct {
-	Workload    string       `json:"workload"`
-	N           int          `json:"n"`
-	Dim         int          `json:"dim"`
-	Comparisons []Comparison `json:"comparisons"`
-	// MillionPoint is the grid-only feasibility datapoint (absent with
-	// -million=false).
-	MillionPoint *MillionPoint `json:"million_point,omitempty"`
-}
-
-// MillionPoint records the grid builder alone at n = 1e6.
-type MillionPoint struct {
-	N      int     `json:"n"`
-	Radius float64 `json:"radius"`
-	Edges  int     `json:"edges"`
-	WallMS float64 `json:"wall_ms"`
-}
+// The report schema (benchfmt.GeneratorsReport) is shared with the
+// cmd/benchdiff regression gate.
 
 func main() {
 	out := flag.String("out", "BENCH_generators.json", "output path")
@@ -78,7 +53,7 @@ func main() {
 
 // compare builds the same unit-ball graph with both builders, verifies
 // bit-identical output, and returns the timed comparison.
-func compare(regime string, pts *graph.Points, radius float64) (Comparison, error) {
+func compare(regime string, pts *graph.Points, radius float64) (benchfmt.GeneratorComparison, error) {
 	n := pts.N()
 	fmt.Printf("%s: n=%d radius=%.5f\n", regime, n, radius)
 	gridStart := time.Now()
@@ -91,14 +66,14 @@ func compare(regime string, pts *graph.Points, radius float64) (Comparison, erro
 	bruteMS := float64(time.Since(bruteStart).Microseconds()) / 1000
 	fmt.Printf("  brute: %8.0f ms, %d edges (%.1fx)\n", bruteMS, bg.M(), bruteMS/gridMS)
 	if gg.M() != bg.M() {
-		return Comparison{}, fmt.Errorf("%s: builders disagree: %d vs %d edges", regime, gg.M(), bg.M())
+		return benchfmt.GeneratorComparison{}, fmt.Errorf("%s: builders disagree: %d vs %d edges", regime, gg.M(), bg.M())
 	}
 	for id := 0; id < gg.M(); id++ {
 		if gg.Edge(graph.EdgeID(id)) != bg.Edge(graph.EdgeID(id)) {
-			return Comparison{}, fmt.Errorf("%s: builders disagree on edge %d", regime, id)
+			return benchfmt.GeneratorComparison{}, fmt.Errorf("%s: builders disagree on edge %d", regime, id)
 		}
 	}
-	return Comparison{
+	return benchfmt.GeneratorComparison{
 		Regime:  regime,
 		Radius:  radius,
 		Edges:   gg.M(),
@@ -112,7 +87,7 @@ func run(out string, n int, seed int64, million bool) error {
 	const dim = 2
 	rc := graph.ConnectivityRadius(n, dim)
 	pts := graph.RandomPoints(n, dim, 1, seed)
-	rep := Report{
+	rep := benchfmt.GeneratorsReport{
 		Workload: fmt.Sprintf("UnitBallGraph vs UnitBallGraphBrute on RandomPoints(n=%d, dim=%d, side=1, seed=%d); bit-identical outputs verified per run", n, dim, seed),
 		N:        n,
 		Dim:      dim,
@@ -125,7 +100,7 @@ func run(out string, n int, seed int64, million bool) error {
 	if err != nil {
 		return err
 	}
-	rep.Comparisons = []Comparison{sparse, dense}
+	rep.Comparisons = []benchfmt.GeneratorComparison{sparse, dense}
 
 	if million {
 		const mn = 1_000_000
@@ -139,15 +114,10 @@ func run(out string, n int, seed int64, million bool) error {
 		mg := graph.UnitBallGraph(mpts, mr)
 		mMS := float64(time.Since(mStart).Microseconds()) / 1000
 		fmt.Printf("  grid: %.0f ms, %d edges, connected=%v\n", mMS, mg.M(), mg.Connected())
-		rep.MillionPoint = &MillionPoint{N: mn, Radius: mr, Edges: mg.M(), WallMS: mMS}
+		rep.MillionPoint = &benchfmt.MillionPoint{N: mn, Radius: mr, Edges: mg.M(), WallMS: mMS}
 	}
 
-	buf, err := json.MarshalIndent(rep, "", "  ")
-	if err != nil {
-		return err
-	}
-	buf = append(buf, '\n')
-	if err := os.WriteFile(out, buf, 0o644); err != nil {
+	if err := benchfmt.WriteFile(out, rep); err != nil {
 		return err
 	}
 	fmt.Printf("sparse speedup: %.1fx, dense speedup: %.1fx; wrote %s\n",

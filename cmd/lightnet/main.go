@@ -4,6 +4,7 @@
 // Usage:
 //
 //	lightnet -obj spanner   -graph er -n 512 -k 2 -eps 0.25
+//	lightnet -obj spanner   -graph er -n 512 -k 2 -mode measured
 //	lightnet -obj slt       -graph geometric -n 512 -eps 0.5 -root 0
 //	lightnet -obj slt       -graph er -n 512 -eps 0.5 -mode measured
 //	lightnet -obj sltinv    -graph er -n 512 -gamma 0.25
@@ -12,11 +13,14 @@
 //	lightnet -obj psi       -graph hard -n 400
 //	lightnet -obj mst       -graph er -n 1024
 //
-// The SLT supports two execution modes: -mode accounted (default)
-// charges the paper's primitive round formulas to a ledger; -mode
-// measured runs the full §4 pipeline as genuine per-vertex message
-// passing on the CONGEST engine and reports measured rounds, messages
-// and a per-stage breakdown. Both build the identical tree, bit for bit.
+// The SLT and the spanner support two execution modes: -mode accounted
+// (default) charges the paper's primitive round formulas to a ledger;
+// -mode measured runs the full §4/§5 pipeline as genuine per-vertex
+// message passing on the CONGEST engine and reports measured rounds,
+// messages and a per-stage breakdown. A measured run builds the
+// identical object, bit for bit, as its accounted twin (for the
+// spanner: the accounted run with -cluster baswana, the distributable
+// per-bucket choice the pipeline executes).
 //
 // -graph accepts any scenario spec from the registry — a name plus
 // optional parameters, e.g. "ba:m=4,maxw=10" or "knn:k=6,dim=3". The
@@ -111,7 +115,8 @@ func run() error {
 		scale = flag.Float64("scale", 0, "net scale Δ (default: diameter/6)")
 		delta = flag.Float64("delta", 0.5, "net approximation δ")
 		root  = flag.Int("root", 0, "SLT root")
-		mode  = flag.String("mode", "accounted", "slt execution: accounted (ledger formulas) | measured (genuine engine message passing)")
+		mode  = flag.String("mode", "accounted", "slt/spanner execution: accounted (ledger formulas) | measured (genuine engine message passing)")
+		clust = flag.String("cluster", "en17", "spanner per-bucket algorithm: en17 | greedy | baswana (measured mode implies baswana)")
 		work  = flag.Int("workers", 0, "engine worker pool for measured runs (0 = GOMAXPROCS)")
 		seed  = flag.Int64("seed", 1, "random seed")
 		nover = flag.Bool("noverify", false, "skip exact verification (large graphs)")
@@ -120,16 +125,37 @@ func run() error {
 	)
 	flag.Parse()
 
-	// Fail fast on mode misuse: only the SLT supports measured
-	// execution, matching the grid format's validation.
+	// Fail fast on mode misuse: only the SLT and the spanner support
+	// measured execution, matching the grid format's validation.
 	switch *mode {
 	case "accounted":
 	case "measured":
-		if *obj != "slt" {
-			return fmt.Errorf("-mode measured is supported only for -obj slt (got %q)", *obj)
+		if *obj != "slt" && *obj != "spanner" {
+			return fmt.Errorf("-mode measured is supported only for -obj slt and -obj spanner (got %q)", *obj)
 		}
 	default:
 		return fmt.Errorf("unknown -mode %q (accounted|measured)", *mode)
+	}
+	switch *clust {
+	case "en17", "greedy", "baswana":
+	default:
+		return fmt.Errorf("unknown -cluster %q (en17|greedy|baswana)", *clust)
+	}
+	// Mirror the grid format's validation: -cluster applies only to the
+	// spanner, and a measured spanner always runs the baswana bucket
+	// clustering — an explicitly different -cluster is a contradiction,
+	// not something to override silently.
+	clusterSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "cluster" {
+			clusterSet = true
+		}
+	})
+	if clusterSet && *obj != "spanner" {
+		return fmt.Errorf("-cluster applies only to -obj spanner (got %q)", *obj)
+	}
+	if *mode == "measured" && clusterSet && *clust != "baswana" {
+		return fmt.Errorf("-mode measured runs the baswana bucket clustering (got -cluster %q)", *clust)
 	}
 
 	var g *lightnet.Graph
@@ -164,12 +190,25 @@ func run() error {
 
 	switch *obj {
 	case "spanner":
-		res, err := lightnet.BuildLightSpanner(g, *k, *eps, lightnet.WithSeed(*seed))
+		spOpts := []lightnet.Option{lightnet.WithSeed(*seed)}
+		switch *clust {
+		case "greedy":
+			spOpts = append(spOpts, lightnet.WithBucketAlgo(lightnet.BucketGreedy))
+		case "baswana":
+			spOpts = append(spOpts, lightnet.WithBucketAlgo(lightnet.BucketBaswana))
+		}
+		if *mode == "measured" {
+			spOpts = append(spOpts, lightnet.WithMeasured(), lightnet.WithWorkers(*work))
+		}
+		res, err := lightnet.BuildLightSpanner(g, *k, *eps, spOpts...)
 		if err != nil {
 			return err
 		}
-		fmt.Printf("spanner: edges=%d lightness=%.2f rounds=%d messages=%d\n",
-			len(res.Edges), res.Lightness, res.Cost.Rounds, res.Cost.Messages)
+		fmt.Printf("spanner: edges=%d lightness=%.2f rounds=%d messages=%d mode=%s\n",
+			len(res.Edges), res.Lightness, res.Cost.Rounds, res.Cost.Messages, *mode)
+		if res.Cost.Measured {
+			printBreakdown(res.Cost)
+		}
 		if !*nover {
 			maxS, meanS, err := lightnet.VerifySpanner(g, res)
 			if err != nil {

@@ -71,6 +71,26 @@ func DistributedSLT(g *Graph, root Vertex, eps float64, seed int64) (*SLTResult,
 	return res, stats, nil
 }
 
+// DistributedLightSpanner builds the §5 light spanner entirely as
+// engine message passing: the Borůvka MST, the MST-weight funnel and
+// flood that anchor the weight buckets, and every bucket's Baswana-Sen
+// clustering run as per-vertex programs on one pipeline (see
+// internal/congest.Pipeline). The returned statistics are measured per
+// stage; the spanner is bit-identical to BuildLightSpanner's accounted
+// Baswana-Sen bucket variant for the same seed.
+func DistributedLightSpanner(g *Graph, k int, eps float64, seed int64) (*SpannerResult, EngineStats, error) {
+	res, err := BuildLightSpanner(g, k, eps, WithSeed(seed), WithMeasured())
+	if err != nil {
+		return nil, EngineStats{}, err
+	}
+	stats := EngineStats{
+		Rounds:   int(res.Cost.Rounds),
+		Messages: res.Cost.Messages,
+		Stages:   res.Cost.Stages,
+	}
+	return res, stats, nil
+}
+
 // DistributedMIS runs the Luby-style maximal-independent-set program
 // (O(log n) phases w.h.p.) and returns the indicator vector.
 func DistributedMIS(g *Graph, seed int64) ([]bool, EngineStats, error) {

@@ -85,6 +85,43 @@ func TestDistributedSLTPublic(t *testing.T) {
 	}
 }
 
+func TestDistributedLightSpannerPublic(t *testing.T) {
+	g := ErdosRenyi(120, 0.07, 30, 5)
+	res, stats, err := DistributedLightSpanner(g, 2, 0.25, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The accounted twin of a measured spanner is the BucketBaswana run.
+	acc, err := BuildLightSpanner(g, 2, 0.25, WithSeed(3), WithBucketAlgo(BucketBaswana))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Edges) != len(acc.Edges) {
+		t.Fatalf("spanner size %d vs accounted %d", len(res.Edges), len(acc.Edges))
+	}
+	for i := range acc.Edges {
+		if res.Edges[i] != acc.Edges[i] {
+			t.Fatalf("edge %d differs: %d vs %d", i, res.Edges[i], acc.Edges[i])
+		}
+	}
+	if res.Weight != acc.Weight || res.Lightness != acc.Lightness {
+		t.Fatalf("weights differ: (%v,%v) vs (%v,%v)", res.Weight, res.Lightness, acc.Weight, acc.Lightness)
+	}
+	if !res.Cost.Measured || res.Cost.Rounds == 0 || len(stats.Stages) == 0 {
+		t.Fatalf("measured cost missing: %+v", res.Cost)
+	}
+	var sum int64
+	for _, s := range stats.Stages {
+		sum += s.Rounds
+	}
+	if sum != int64(stats.Rounds) {
+		t.Fatalf("stage rounds %d do not sum to total %d", sum, stats.Rounds)
+	}
+	if acc.Cost.Measured || acc.Cost.Stages != nil {
+		t.Fatalf("accounted cost mislabeled as measured: %+v", acc.Cost)
+	}
+}
+
 func TestDistributedMISAndRulingSetPublic(t *testing.T) {
 	g := ErdosRenyi(60, 0.1, 4, 5)
 	mis, _, err := DistributedMIS(g, 1)

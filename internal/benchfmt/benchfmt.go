@@ -1,0 +1,112 @@
+// Package benchfmt defines the JSON schemas of the repository's
+// committed benchmark baselines — BENCH_engine.json (cmd/benchengine)
+// and BENCH_generators.json (cmd/benchgen) — shared by the writers and
+// by the CI regression gate (cmd/benchdiff). Keeping the schema in one
+// place guarantees the gate always parses exactly what the harnesses
+// emit.
+package benchfmt
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// Measurement is one engine datapoint on a fixed workload.
+type Measurement struct {
+	// Commit identifies the engine version ("baseline" numbers are
+	// frozen from the pre-refactor engine).
+	Commit      string  `json:"commit"`
+	NsPerOp     int64   `json:"ns_per_op"`
+	RoundsPerOp int     `json:"rounds_per_op"`
+	NsPerRound  float64 `json:"ns_per_round"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	Messages    int64   `json:"messages"`
+}
+
+// EngineReport is the schema of BENCH_engine.json. Before and the
+// speedup are present only for the canonical workload; -scenario runs
+// are not comparable to the frozen baseline and carry just the After
+// numbers. Canonical runs additionally record the measured-mode SLT and
+// spanner pipelines so their round cost and allocation profile are
+// tracked alongside the elementary hot path.
+type EngineReport struct {
+	Workload          string       `json:"workload"`
+	Before            *Measurement `json:"before,omitempty"`
+	After             Measurement  `json:"after"`
+	SpeedupNsPerRound float64      `json:"speedup_ns_per_round,omitempty"`
+	SLTPipeline       *Measurement `json:"slt_pipeline,omitempty"`
+	SpannerPipeline   *Measurement `json:"spanner_pipeline,omitempty"`
+}
+
+// GeneratorComparison is one brute-vs-grid measurement of the same
+// graph built by both generator implementations.
+type GeneratorComparison struct {
+	Regime  string  `json:"regime"`
+	Radius  float64 `json:"radius"`
+	Edges   int     `json:"edges"`
+	BruteMS float64 `json:"brute_ms"`
+	GridMS  float64 `json:"grid_ms"`
+	Speedup float64 `json:"speedup"`
+}
+
+// MillionPoint records the grid builder alone at n = 1e6.
+type MillionPoint struct {
+	N      int     `json:"n"`
+	Radius float64 `json:"radius"`
+	Edges  int     `json:"edges"`
+	WallMS float64 `json:"wall_ms"`
+}
+
+// GeneratorsReport is the schema of BENCH_generators.json.
+type GeneratorsReport struct {
+	Workload    string                `json:"workload"`
+	N           int                   `json:"n"`
+	Dim         int                   `json:"dim"`
+	Comparisons []GeneratorComparison `json:"comparisons"`
+	// MillionPoint is the grid-only feasibility datapoint (absent with
+	// -million=false).
+	MillionPoint *MillionPoint `json:"million_point,omitempty"`
+}
+
+// WriteFile marshals the report (any of the schemas above) as indented
+// JSON with a trailing newline — the exact format of the committed
+// baselines, so regeneration produces minimal diffs.
+func WriteFile(path string, report any) error {
+	buf, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	return os.WriteFile(path, buf, 0o644)
+}
+
+// LoadEngine reads and parses an engine report.
+func LoadEngine(path string) (*EngineReport, error) {
+	var rep EngineReport
+	if err := load(path, &rep); err != nil {
+		return nil, err
+	}
+	return &rep, nil
+}
+
+// LoadGenerators reads and parses a generators report.
+func LoadGenerators(path string) (*GeneratorsReport, error) {
+	var rep GeneratorsReport
+	if err := load(path, &rep); err != nil {
+		return nil, err
+	}
+	return &rep, nil
+}
+
+func load(path string, into any) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("benchfmt: %w", err)
+	}
+	if err := json.Unmarshal(data, into); err != nil {
+		return fmt.Errorf("benchfmt: parse %s: %w", path, err)
+	}
+	return nil
+}

@@ -1,0 +1,135 @@
+package congest
+
+import (
+	"sort"
+	"testing"
+
+	"lightnet/internal/graph"
+)
+
+// TestFunnelFactory: every vertex's tuples reach the root, exactly once,
+// over the BFS tree, within O(tuples + depth) rounds.
+func TestFunnelFactory(t *testing.T) {
+	g := graph.ErdosRenyi(80, 0.06, 5, 3)
+	pipe := NewPipeline(g, Options{Seed: 1})
+	parent := make([]graph.EdgeID, g.N())
+	depth := make([]int32, g.N())
+	if _, err := pipe.RunStage("bfs", BFSFactory(0, parent, depth)); err != nil {
+		t.Fatal(err)
+	}
+	// Two-word tuples (v, 2v+1), one per vertex.
+	initial := make([][]int64, g.N())
+	for v := range initial {
+		initial[v] = []int64{int64(v), int64(2*v + 1)}
+	}
+	var sink []int64
+	stats, err := pipe.RunStage("funnel", FunnelFactory(0, parent, 2, initial, &sink))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sink) != 2*g.N() {
+		t.Fatalf("sink holds %d words, want %d", len(sink), 2*g.N())
+	}
+	got := make([]int64, 0, g.N())
+	for i := 0; i < len(sink); i += 2 {
+		if sink[i+1] != 2*sink[i]+1 {
+			t.Fatalf("tuple (%d,%d) corrupted", sink[i], sink[i+1])
+		}
+		got = append(got, sink[i])
+	}
+	sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+	for v := range got {
+		if got[v] != int64(v) {
+			t.Fatalf("vertex %d missing or duplicated (saw %d)", v, got[v])
+		}
+	}
+	if limit := g.N() + int(maxDepth(depth)) + 8; stats.Rounds > limit {
+		t.Fatalf("funnel took %d rounds, want <= %d (pipelined)", stats.Rounds, limit)
+	}
+}
+
+// TestFunnelFactoryDeterministicAcrossWorkers: the sink's delivery order
+// is canonical for every worker count.
+func TestFunnelFactoryDeterministicAcrossWorkers(t *testing.T) {
+	g := graph.RandomGeometric(60, 2, 5)
+	run := func(workers int) []int64 {
+		pipe := NewPipeline(g, Options{Seed: 1, Workers: workers})
+		parent := make([]graph.EdgeID, g.N())
+		depth := make([]int32, g.N())
+		if _, err := pipe.RunStage("bfs", BFSFactory(0, parent, depth)); err != nil {
+			t.Fatal(err)
+		}
+		initial := make([][]int64, g.N())
+		for v := range initial {
+			initial[v] = []int64{int64(v)}
+		}
+		var sink []int64
+		if _, err := pipe.RunStage("funnel", FunnelFactory(0, parent, 1, initial, &sink)); err != nil {
+			t.Fatal(err)
+		}
+		return sink
+	}
+	ref := run(1)
+	for _, w := range []int{2, 8} {
+		got := run(w)
+		if len(got) != len(ref) {
+			t.Fatalf("workers=%d: %d words vs %d", w, len(got), len(ref))
+		}
+		for i := range ref {
+			if got[i] != ref[i] {
+				t.Fatalf("workers=%d: word %d is %d, want %d (canonical order)", w, i, got[i], ref[i])
+			}
+		}
+	}
+}
+
+// TestFloodWordFactory: the word reaches every vertex in O(D) rounds,
+// also under a restricted stage.
+func TestFloodWordFactory(t *testing.T) {
+	g := graph.Grid(8, 8, 4, 2)
+	pipe := NewPipeline(g, Options{Seed: 1})
+	out := make([]int64, g.N())
+	stats, err := pipe.RunStage("flood", FloodWordFactory(5, 424242, out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v, w := range out {
+		if w != 424242 {
+			t.Fatalf("vertex %d got %d", v, w)
+		}
+	}
+	if stats.Rounds > 2*g.N() {
+		t.Fatalf("flood took %d rounds", stats.Rounds)
+	}
+	// Restricted to a spanning tree the flood still reaches everyone.
+	parent := make([]graph.EdgeID, g.N())
+	depth := make([]int32, g.N())
+	if _, err := pipe.RunStage("bfs", BFSFactory(0, parent, depth)); err != nil {
+		t.Fatal(err)
+	}
+	tree := make([]bool, g.M())
+	for _, e := range parent {
+		if e != graph.NoEdge {
+			tree[e] = true
+		}
+	}
+	out2 := make([]int64, g.N())
+	if _, err := pipe.RunStage("flood-tree", FloodWordFactory(0, 7, out2), Restrict(tree)); err != nil {
+		t.Fatal(err)
+	}
+	for v, w := range out2 {
+		if w != 7 {
+			t.Fatalf("restricted flood: vertex %d got %d", v, w)
+		}
+	}
+}
+
+func maxDepth(depth []int32) int32 {
+	var m int32
+	for _, d := range depth {
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}

@@ -314,6 +314,123 @@ func RunConvergecastSum(g *graph.Graph, root graph.Vertex, values []int64, seed 
 	return sum[root], stats, err
 }
 
+// funnelProgram routes fixed-width tuples to a root along a parent
+// forest (typically a BFS tree), one tuple per edge per round — the
+// Lemma 1 convergecast pipelining: M tuples arrive within O(M + depth)
+// rounds. Tuples accumulate at the root in delivery order, which the
+// engine makes canonical (independent of worker scheduling); callers
+// needing a specific order sort the sink afterwards.
+type funnelProgram struct {
+	NoPhases
+	root   graph.Vertex
+	parent []graph.EdgeID
+	width  int
+	// initial[v] holds v's own tuples, flattened (len a multiple of
+	// width); sink collects everything at the root (root-only write).
+	initial [][]int64
+	sink    *[]int64
+	queue   []int64
+}
+
+func (p *funnelProgram) Init(ctx *Ctx) {
+	v := ctx.V()
+	if own := p.initial[v]; len(own) > 0 {
+		if v == p.root {
+			*p.sink = append(*p.sink, own...)
+		} else {
+			p.queue = append(p.queue, own...)
+		}
+	}
+	p.pump(ctx)
+}
+
+func (p *funnelProgram) Handle(ctx *Ctx, inbox []Message) {
+	v := ctx.V()
+	for _, m := range inbox {
+		if v == p.root {
+			*p.sink = append(*p.sink, m.Words...)
+		} else {
+			p.queue = append(p.queue, m.Words...)
+		}
+	}
+	p.pump(ctx)
+}
+
+func (p *funnelProgram) pump(ctx *Ctx) {
+	v := ctx.V()
+	if v == p.root || len(p.queue) == 0 {
+		return
+	}
+	e := p.parent[v]
+	if e == graph.NoEdge {
+		ctx.Fail(errors.New("congest: funnel vertex with tuples but no parent"))
+		return
+	}
+	if err := ctx.Send(e, p.queue[:p.width]...); err != nil {
+		ctx.Fail(err)
+		return
+	}
+	p.queue = p.queue[p.width:]
+	if len(p.queue) > 0 {
+		ctx.Stay()
+	}
+}
+
+// FunnelFactory returns a pipeline-stage factory that routes every
+// vertex's fixed-width tuples (initial[v], flattened) to root along the
+// given parent forest and appends them — flattened, in canonical
+// delivery order — to *sink. width must be at most the engine's
+// MaxWords. Measured rounds are O(total tuples + tree depth).
+func FunnelFactory(root graph.Vertex, parent []graph.EdgeID, width int, initial [][]int64, sink *[]int64) func(graph.Vertex) Program {
+	return func(graph.Vertex) Program {
+		return &funnelProgram{root: root, parent: parent, width: width, initial: initial, sink: sink}
+	}
+}
+
+// floodWordProgram floods one word from src to every vertex: each vertex
+// stores the first copy it receives and re-broadcasts once. O(D) rounds,
+// at most 2M messages. Under Restrict the flood stays inside the stage's
+// subgraph.
+type floodWordProgram struct {
+	NoPhases
+	src  graph.Vertex
+	word int64
+	out  []int64 // shared, per-vertex received value
+	have bool
+}
+
+func (p *floodWordProgram) Init(ctx *Ctx) {
+	if ctx.V() == p.src {
+		p.have = true
+		p.out[ctx.V()] = p.word
+		if err := ctx.Broadcast(p.word); err != nil {
+			ctx.Fail(err)
+		}
+	}
+}
+
+func (p *floodWordProgram) Handle(ctx *Ctx, inbox []Message) {
+	if p.have || len(inbox) == 0 {
+		return
+	}
+	p.have = true
+	p.out[ctx.V()] = inbox[0].Words[0]
+	if err := ctx.Broadcast(p.out[ctx.V()]); err != nil {
+		ctx.Fail(err)
+	}
+}
+
+// FloodWordFactory returns a pipeline-stage factory that floods a single
+// word from src to all vertices, storing it in out (length N, written at
+// every reached vertex including src). The Measured pipelines use it to
+// fix globally known scalars — e.g. the MST weight that anchors the §5
+// weight buckets — in O(D) real rounds.
+func FloodWordFactory(src graph.Vertex, word int64, out []int64) func(graph.Vertex) Program {
+	return func(graph.Vertex) Program {
+		return &floodWordProgram{src: src, word: word, out: out}
+	}
+}
+
 // bellmanFordProgram runs h rounds of distributed Bellman-Ford from a
 // source; each vertex ends with its h-hop-bounded distance.
 type bellmanFordProgram struct {

@@ -70,9 +70,15 @@ type Spec struct {
 	Program string `json:"program"`
 	// Mode selects accounted (default) or measured execution for
 	// constructions that support both; "measured" runs the construction
-	// as genuine message passing on the CONGEST engine. Currently only
-	// "slt" supports "measured".
+	// as genuine message passing on the CONGEST engine. Supported by
+	// "slt" and "spanner".
 	Mode string `json:"mode"`
+	// Cluster selects the spanner's per-bucket algorithm: en17 (default,
+	// the paper's choice) | greedy | baswana (the distributable [BS07]
+	// choice the measured pipeline executes — a measured spanner spec
+	// implies it, and its accounted twin must set it explicitly for the
+	// outputs to be comparable).
+	Cluster string `json:"cluster"`
 }
 
 // LoadGrid reads and validates a JSON grid file.
@@ -156,11 +162,24 @@ func (g *Grid) Validate() error {
 		switch s.Mode {
 		case "", "accounted":
 		case "measured":
-			if s.Construction != "slt" {
-				return fmt.Errorf("experiment %d: mode \"measured\" supported only for construction \"slt\"", i)
+			if s.Construction != "slt" && s.Construction != "spanner" {
+				return fmt.Errorf("experiment %d: mode \"measured\" supported only for constructions \"slt\" and \"spanner\"", i)
 			}
 		default:
 			return fmt.Errorf("experiment %d: unknown mode %q", i, s.Mode)
+		}
+		switch s.Cluster {
+		case "":
+		case "en17", "greedy", "baswana":
+			if s.Construction != "spanner" {
+				return fmt.Errorf("experiment %d: cluster %q applies only to construction \"spanner\"", i, s.Cluster)
+			}
+		default:
+			return fmt.Errorf("experiment %d: unknown cluster %q (en17|greedy|baswana)", i, s.Cluster)
+		}
+		if s.Construction == "spanner" && s.Mode == "measured" &&
+			s.Cluster != "" && s.Cluster != "baswana" {
+			return fmt.Errorf("experiment %d: measured spanner runs the baswana bucket clustering (got cluster %q)", i, s.Cluster)
 		}
 	}
 	return nil
@@ -285,14 +304,34 @@ func runCell(spec Spec, g *graph.Graph, seed int64, workers int) (Row, error) {
 	start := time.Now()
 	switch spec.Construction {
 	case "spanner":
+		cluster := spec.Cluster
+		if spec.Mode == "measured" {
+			cluster = "baswana" // the measured pipeline's bucket algorithm
+		}
 		row.Params = fmt.Sprintf("k=%d eps=%g", spec.K, spec.Eps)
-		res, err := spanner.BuildLight(g, spec.K, spec.Eps, spanner.Options{
-			Seed: seed, Ledger: led, HopDiam: d,
-		})
+		if cluster != "" && cluster != "en17" {
+			row.Params += " cluster=" + cluster
+		}
+		sopts := spanner.Options{Seed: seed, Ledger: led, HopDiam: d}
+		switch cluster {
+		case "greedy":
+			sopts.Cluster = spanner.ClusterGreedy
+		case "baswana":
+			sopts.Cluster = spanner.ClusterBaswana
+		}
+		if spec.Mode == "measured" {
+			row.Mode = "measured"
+			sopts.Mode = spanner.Measured
+			sopts.Workers = workers
+		}
+		res, err := spanner.BuildLight(g, spec.K, spec.Eps, sopts)
 		if err != nil {
 			return row, err
 		}
 		row.Size, row.Lightness = len(res.Edges), res.Lightness
+		if res.Stages != nil {
+			row.Stages = stageBreakdown(res.Stages) // pipeline order
+		}
 		if spec.Verify {
 			maxS, _, err := metrics.EdgeStretch(g, g.Subgraph(res.Edges))
 			if err != nil {

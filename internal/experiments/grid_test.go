@@ -35,8 +35,11 @@ func TestGridValidateRejects(t *testing.T) {
 		{Sizes: []int{64}, Workloads: []string{"mystery"},
 			Experiments: []Spec{{Construction: "spanner"}}},
 		{Sizes: []int{64}, Experiments: []Spec{{Construction: "engine", Program: "nope"}}},
-		{Sizes: []int{64}, Experiments: []Spec{{Construction: "spanner", Mode: "measured"}}},
+		{Sizes: []int{64}, Experiments: []Spec{{Construction: "net", Mode: "measured"}}},
 		{Sizes: []int{64}, Experiments: []Spec{{Construction: "slt", Mode: "nope"}}},
+		{Sizes: []int{64}, Experiments: []Spec{{Construction: "spanner", Cluster: "nope"}}},
+		{Sizes: []int{64}, Experiments: []Spec{{Construction: "slt", Cluster: "baswana"}}},
+		{Sizes: []int{64}, Experiments: []Spec{{Construction: "spanner", Mode: "measured", Cluster: "en17"}}},
 	}
 	for i := range bad {
 		if err := bad[i].Validate(); err == nil {
@@ -153,6 +156,71 @@ func TestGridMeasuredSLT(t *testing.T) {
 			t.Fatalf("accounted label breakdown missing: %q", acc[r][stagesC])
 		}
 		// Identical trees: size, lightness and verified stretch agree.
+		for _, name := range []string{"size", "lightness", "stretch"} {
+			c := col(name)
+			if acc[r][c] != mea[r][c] {
+				t.Fatalf("row %d: %s differs between modes: %q vs %q", r, name, acc[r][c], mea[r][c])
+			}
+		}
+	}
+}
+
+// TestGridMeasuredSpanner mirrors the SLT measured-grid test for the §5
+// spanner: an accounted baswana spec and a measured spec must produce
+// identical identity/quality columns, with a per-bucket stage breakdown
+// on the measured rows — exactly the invariant the CI measured smoke
+// enforces on examples/grids/measured.json.
+func TestGridMeasuredSpanner(t *testing.T) {
+	grid := &Grid{
+		Seed: 3, Sizes: []int{48}, Workloads: []string{"er"},
+		Experiments: []Spec{
+			{Construction: "spanner", K: 2, Eps: 0.25, Verify: true, Cluster: "baswana"},
+			{Construction: "spanner", K: 2, Eps: 0.25, Verify: true, Mode: "measured"},
+		},
+	}
+	dir := t.TempDir()
+	if err := RunGrid(grid, dir, nil); err != nil {
+		t.Fatal(err)
+	}
+	read := func(name string) [][]string {
+		data, err := os.ReadFile(filepath.Join(dir, "csv", name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var rows [][]string
+		for _, line := range strings.Split(strings.TrimSpace(string(data)), "\n") {
+			rows = append(rows, strings.Split(line, ","))
+		}
+		return rows
+	}
+	acc := read("01-spanner.csv")
+	mea := read("02-spanner-measured.csv")
+	col := func(name string) int {
+		for i, h := range acc[0] {
+			if h == name {
+				return i
+			}
+		}
+		t.Fatalf("missing column %q", name)
+		return -1
+	}
+	modeC, stagesC, paramsC := col("mode"), col("stages"), col("params")
+	for r := 1; r < len(acc); r++ {
+		if acc[r][modeC] != "accounted" || mea[r][modeC] != "measured" {
+			t.Fatalf("mode column wrong: %q vs %q", acc[r][modeC], mea[r][modeC])
+		}
+		if acc[r][paramsC] != mea[r][paramsC] {
+			t.Fatalf("params differ: %q vs %q", acc[r][paramsC], mea[r][paramsC])
+		}
+		for _, stage := range []string{"mst:", "mst-weight-up:", "bucket-"} {
+			if !strings.Contains(mea[r][stagesC], stage) {
+				t.Fatalf("measured stage breakdown missing %q: %q", stage, mea[r][stagesC])
+			}
+		}
+		if !strings.Contains(acc[r][stagesC], "spanner/bucket-baswana:") {
+			t.Fatalf("accounted label breakdown missing: %q", acc[r][stagesC])
+		}
+		// Identical spanners: size, lightness and verified stretch agree.
 		for _, name := range []string{"size", "lightness", "stretch"} {
 			c := col(name)
 			if acc[r][c] != mea[r][c] {

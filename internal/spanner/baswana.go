@@ -3,12 +3,197 @@ package spanner
 import (
 	"fmt"
 	"math"
-	"math/rand"
 	"sort"
 
 	"lightnet/internal/congest"
 	"lightnet/internal/graph"
 )
+
+// This file implements the [BS07] Baswana-Sen (2k−1)-spanner: the paper
+// uses it on the low-weight bucket E′ (§5), and — via ClusterBaswana —
+// as the distributable per-bucket clustering choice that the Measured
+// execution mode runs as genuine message passing.
+//
+// Randomness discipline: cluster-center sampling is a pure hash of
+// (seed, phase, center id) — sampleU01 — not a sequential RNG stream.
+// Every vertex can therefore evaluate locally, for any cluster id it
+// hears about, whether that cluster is sampled in the current phase;
+// the sequential builder (baswanaCore) and the per-vertex CONGEST
+// program (bsProgram in programs.go) derive identical decisions from
+// identical bits without any coordination. This is the same discipline
+// sssp.PerturbedWeights established for the SLT's Measured mode.
+//
+// Both executions share the per-vertex transition functions bsPhase and
+// bsFinal below, so their outputs agree edge-for-edge by construction.
+
+// sampleU01 maps (seed, phase, v) to a uniform float in [0,1) via
+// splitmix64 — the locally computable sampling shared by the sequential
+// and distributed Baswana-Sen.
+func sampleU01(seed int64, phase int, v graph.Vertex) float64 {
+	z := uint64(seed) ^ 0x9e3779b97f4a7c15
+	z += (uint64(phase) + 1) * 0xbf58476d1ce4e5b9
+	z += (uint64(v) + 1) * 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return float64(z>>11) / (1 << 53)
+}
+
+// bsProb is the [BS07] center-sampling probability n^{-1/k} — one
+// shared expression so the sequential and distributed executions compare
+// against the identical float.
+func bsProb(g *graph.Graph, k int) float64 {
+	return math.Pow(float64(g.N()), -1.0/float64(k))
+}
+
+// bsSampled reports whether cluster center c is sampled in the given
+// phase. Any assigned cluster label is its own center (the Baswana-Sen
+// invariant), so callers may evaluate it for any label they hold.
+func bsSampled(seed int64, phase int, c graph.Vertex, prob float64) bool {
+	return sampleU01(seed, phase, c) < prob
+}
+
+// bsNeighbor is one participating neighbor as one endpoint sees it: the
+// neighbor's current cluster label and the connecting edge. Both the
+// sequential builder and the per-vertex program materialize exactly this
+// view (from the shared cluster slice and from received messages,
+// respectively) before calling the transition functions.
+type bsNeighbor struct {
+	cluster graph.Vertex
+	w       float64
+	id      graph.EdgeID
+}
+
+// bsCand is the lightest edge to one adjacent cluster, in the total
+// (w, id) edge order.
+type bsCand struct {
+	w  float64
+	id graph.EdgeID
+}
+
+// bsBestPer returns, for every adjacent cluster other than own, the
+// lightest connecting edge. Ties in w break by edge id, so the result is
+// independent of neighbor iteration order.
+func bsBestPer(own graph.Vertex, nbrs []bsNeighbor) map[graph.Vertex]bsCand {
+	best := make(map[graph.Vertex]bsCand)
+	for _, h := range nbrs {
+		c := h.cluster
+		if c == graph.NoVertex || c == own {
+			continue
+		}
+		if b, ok := best[c]; !ok || h.w < b.w || (h.w == b.w && h.id < b.id) {
+			best[c] = bsCand{w: h.w, id: h.id}
+		}
+	}
+	return best
+}
+
+// bsPhase is one vertex's phase-p transition: given its own cluster and
+// its neighbors' phase-(p−1) clusters, it returns the next cluster label
+// (NoVertex when the vertex leaves the process) and the edges it keeps.
+// Pure function of its arguments plus the sampling hash — the shared
+// step of the sequential and distributed executions.
+func bsPhase(cur graph.Vertex, nbrs []bsNeighbor, phase int, seed int64, prob float64) (graph.Vertex, []graph.EdgeID) {
+	if cur == graph.NoVertex {
+		return graph.NoVertex, nil
+	}
+	if bsSampled(seed, phase, cur, prob) {
+		return cur, nil // stays in its (sampled) cluster
+	}
+	bestPer := bsBestPer(cur, nbrs)
+	// Lightest edge to a sampled cluster, if any.
+	var bestSampled bsCand
+	bestCluster := graph.NoVertex
+	for c, b := range bestPer {
+		if !bsSampled(seed, phase, c, prob) {
+			continue
+		}
+		if bestCluster == graph.NoVertex || b.w < bestSampled.w ||
+			(b.w == bestSampled.w && b.id < bestSampled.id) {
+			bestSampled = b
+			bestCluster = c
+		}
+	}
+	var keep []graph.EdgeID
+	if bestCluster == graph.NoVertex {
+		// Not adjacent to any sampled cluster: keep the lightest edge to
+		// every adjacent cluster; leave the process.
+		for _, b := range bestPer {
+			keep = append(keep, b.id)
+		}
+		return graph.NoVertex, keep
+	}
+	// Join the sampled cluster; keep that edge plus the lightest edge to
+	// every strictly lighter cluster.
+	keep = append(keep, bestSampled.id)
+	for c, b := range bestPer {
+		if c != bestCluster && b.w < bestSampled.w {
+			keep = append(keep, b.id)
+		}
+	}
+	return bestCluster, keep
+}
+
+// bsFinal is the last phase: the vertex keeps its lightest edge to every
+// adjacent cluster of the final clustering.
+func bsFinal(cur graph.Vertex, nbrs []bsNeighbor) []graph.EdgeID {
+	bestPer := bsBestPer(cur, nbrs)
+	keep := make([]graph.EdgeID, 0, len(bestPer))
+	for _, b := range bestPer {
+		keep = append(keep, b.id)
+	}
+	return keep
+}
+
+// baswanaCore is the sequential [BS07] reference: k−1 synchronous
+// clustering phases followed by the final per-cluster edge selection,
+// over the whole graph (sub nil) or the edge subset marked by sub
+// (indexed by edge id, length M; vertex ids stay the original ones).
+// Returns the kept edge ids, sorted ascending, and the final per-vertex
+// clustering (NoVertex for vertices that left the process) — the exact
+// outputs the Measured pipeline's bucket stages reproduce.
+func baswanaCore(g *graph.Graph, sub []bool, k int, seed int64) ([]graph.EdgeID, []graph.Vertex) {
+	n := g.N()
+	prob := bsProb(g, k)
+	cluster := make([]graph.Vertex, n)
+	for v := range cluster {
+		cluster[v] = graph.Vertex(v)
+	}
+	kept := make(map[graph.EdgeID]bool)
+	var nbrs []bsNeighbor
+	neighborsOf := func(v graph.Vertex) []bsNeighbor {
+		nbrs = nbrs[:0]
+		for _, h := range g.Neighbors(v) {
+			if sub != nil && !sub[h.ID] {
+				continue
+			}
+			nbrs = append(nbrs, bsNeighbor{cluster: cluster[h.To], w: h.W, id: h.ID})
+		}
+		return nbrs
+	}
+	for phase := 1; phase < k; phase++ {
+		next := make([]graph.Vertex, n)
+		for v := 0; v < n; v++ {
+			nx, keep := bsPhase(cluster[v], neighborsOf(graph.Vertex(v)), phase, seed, prob)
+			next[v] = nx
+			for _, id := range keep {
+				kept[id] = true
+			}
+		}
+		cluster = next
+	}
+	for v := 0; v < n; v++ {
+		for _, id := range bsFinal(cluster[v], neighborsOf(graph.Vertex(v))) {
+			kept[id] = true
+		}
+	}
+	out := make([]graph.EdgeID, 0, len(kept))
+	for id := range kept {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, cluster
+}
 
 // BaswanaSen computes a (2k−1)-spanner of g with O(k·n^{1+1/k}) edges
 // in expectation — the [BS07] algorithm, which runs in O(k) rounds in
@@ -19,117 +204,12 @@ func BaswanaSen(g *graph.Graph, k int, seed int64, ledger *congest.Ledger, hopDi
 	if k < 1 {
 		return nil, fmt.Errorf("spanner: k %d < 1", k)
 	}
-	n := g.N()
 	if ledger != nil {
 		ledger.Charge("baswana-sen", int64(4*k+hopDiam))
 		ledger.ChargeMessages(int64(k) * int64(g.M()))
 	}
-	rng := rand.New(rand.NewSource(seed))
-	prob := math.Pow(float64(n), -1.0/float64(k))
-
-	spanner := make(map[graph.EdgeID]bool)
-	add := func(id graph.EdgeID) { spanner[id] = true }
-
-	// cluster[v]: center of v's cluster, or NoVertex if unclustered
-	// (removed from the process).
-	cluster := make([]graph.Vertex, n)
-	for v := range cluster {
-		cluster[v] = graph.Vertex(v)
-	}
-	// Active edges: both endpoints clustered, different clusters.
-	type cand struct {
-		w  float64
-		id graph.EdgeID
-	}
-	for phase := 1; phase < k; phase++ {
-		// Sample cluster centers.
-		sampled := make(map[graph.Vertex]bool)
-		for v := 0; v < n; v++ {
-			if cluster[v] == graph.Vertex(v) && rng.Float64() < prob {
-				sampled[graph.Vertex(v)] = true
-			}
-		}
-		next := make([]graph.Vertex, n)
-		for v := 0; v < n; v++ {
-			cur := cluster[v]
-			if cur == graph.NoVertex {
-				next[v] = graph.NoVertex
-				continue
-			}
-			if sampled[cur] {
-				next[v] = cur // stays in its (sampled) cluster
-				continue
-			}
-			// Lightest incident edge per neighboring cluster.
-			bestPer := make(map[graph.Vertex]cand)
-			for _, h := range g.Neighbors(graph.Vertex(v)) {
-				c := cluster[h.To]
-				if c == graph.NoVertex || c == cur {
-					continue
-				}
-				if b, ok := bestPer[c]; !ok || h.W < b.w || (h.W == b.w && h.ID < b.id) {
-					bestPer[c] = cand{w: h.W, id: h.ID}
-				}
-			}
-			// Lightest edge to a sampled cluster, if any.
-			var bestSampled cand
-			bestSampledCluster := graph.NoVertex
-			for c, b := range bestPer {
-				if !sampled[c] {
-					continue
-				}
-				if bestSampledCluster == graph.NoVertex || b.w < bestSampled.w ||
-					(b.w == bestSampled.w && b.id < bestSampled.id) {
-					bestSampled = b
-					bestSampledCluster = c
-				}
-			}
-			if bestSampledCluster == graph.NoVertex {
-				// Not adjacent to any sampled cluster: add the lightest
-				// edge to every adjacent cluster; leave the process.
-				for _, b := range bestPer {
-					add(b.id)
-				}
-				next[v] = graph.NoVertex
-				continue
-			}
-			// Join the sampled cluster; add that edge plus the lightest
-			// edge to every strictly lighter cluster.
-			add(bestSampled.id)
-			next[v] = bestSampledCluster
-			for c, b := range bestPer {
-				if c != bestSampledCluster && b.w < bestSampled.w {
-					add(b.id)
-				}
-			}
-		}
-		cluster = next
-	}
-	// Final phase: every vertex adds its lightest edge to every adjacent
-	// cluster of the last clustering.
-	for v := 0; v < n; v++ {
-		bestPer := make(map[graph.Vertex]cand)
-		for _, h := range g.Neighbors(graph.Vertex(v)) {
-			c := cluster[h.To]
-			if c == graph.NoVertex || c == cluster[v] {
-				continue
-			}
-			if b, ok := bestPer[c]; !ok || h.W < b.w || (h.W == b.w && h.ID < b.id) {
-				bestPer[c] = cand{w: h.W, id: h.ID}
-			}
-		}
-		for _, b := range bestPer {
-			add(b.id)
-		}
-	}
-	// Intra-cluster connectivity: the phase-joining edges added above
-	// already connect every vertex to its cluster center chain.
-	out := make([]graph.EdgeID, 0, len(spanner))
-	for id := range spanner {
-		out = append(out, id)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out, nil
+	edges, _ := baswanaCore(g, nil, k, seed)
+	return edges, nil
 }
 
 // Greedy computes the greedy t-spanner [ADD+93]: edges in weight order,

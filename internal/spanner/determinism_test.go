@@ -1,0 +1,44 @@
+package spanner
+
+// Measured-pipeline determinism suite, the spanner-level extension of
+// the engine's determinism_test.go contract: the measured spanner must
+// produce bit-identical results and per-stage statistics for every
+// worker-pool size. Run under -race this also exercises the worker pool
+// across all pipeline stages, including the per-bucket restricted
+// Baswana-Sen fan-out.
+
+import (
+	"testing"
+)
+
+// workerCounts mirrors the engine determinism suite: 1 is the
+// sequential reference.
+var workerCounts = []int{1, 2, 8}
+
+func TestSpannerMeasuredDeterministicAcrossWorkers(t *testing.T) {
+	for _, tg := range spannerTestGraphs() {
+		t.Run(tg.name, func(t *testing.T) {
+			run := func(workers int) *Result {
+				res, err := BuildLight(tg.g, 2, 0.25, Options{Seed: 7, Mode: Measured, Workers: workers})
+				if err != nil {
+					t.Fatalf("workers=%d: %v", workers, err)
+				}
+				return res
+			}
+			ref := run(workerCounts[0])
+			for _, w := range workerCounts[1:] {
+				got := run(w)
+				requireSameSpanner(t, ref, got)
+				if len(got.Stages) != len(ref.Stages) {
+					t.Fatalf("workers=%d: %d stages vs %d", w, len(got.Stages), len(ref.Stages))
+				}
+				for i := range ref.Stages {
+					if got.Stages[i] != ref.Stages[i] {
+						t.Fatalf("workers=%d stage %q stats differ: %+v vs %+v",
+							w, ref.Stages[i].Name, got.Stages[i], ref.Stages[i])
+					}
+				}
+			}
+		})
+	}
+}

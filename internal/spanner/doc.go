@@ -5,8 +5,19 @@
 // baseline.
 //
 // BuildLight partitions edges into O(log_{1+ε} n) weight buckets
-// relative to the MST weight, runs a cluster-level [EN17b] spanner
-// (k+2 rounds per bucket) or Baswana-Sen on each, and returns the
-// union plus the MST: stretch (2k−1)(1+ε), size O(k·n^{1+1/k}),
-// lightness O(k·n^{1/k}), in Õ(n^{1/2+1/(4k+2)} + D) rounds.
+// relative to the MST weight, runs a per-bucket cluster spanner —
+// [EN17b] on the tour-based cluster graph (k+2 rounds per bucket,
+// the paper's choice), centralized greedy, or [BS07] directly on the
+// bucket's edges (ClusterBaswana) — and returns the union plus the MST:
+// stretch (2k−1)(1+ε), size O(k·n^{1+1/k}), lightness O(k·n^{1/k}), in
+// Õ(n^{1/2+1/(4k+2)} + D) rounds.
+//
+// Execution modes: Accounted (default) runs sequentially and charges the
+// paper's round formulas to the ledger; Measured (Options.Mode) runs the
+// whole construction — Borůvka MST, BFS tree, MST-weight funnel and
+// flood, and every bucket's Baswana-Sen clustering — as genuine
+// per-vertex message passing on one congest.Pipeline, with per-stage
+// measured statistics. Both modes produce bit-identical spanners for the
+// same seed when the accounted run uses ClusterBaswana (see measured.go
+// and the determinism test suite).
 package spanner

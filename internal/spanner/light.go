@@ -11,6 +11,24 @@ import (
 	"lightnet/internal/mst"
 )
 
+// Mode selects how BuildLight executes and how its distributed cost is
+// obtained.
+type Mode int
+
+const (
+	// Accounted (the default) runs the sequential builders and charges
+	// the paper's primitive-level round formulas to the ledger.
+	Accounted Mode = iota
+	// Measured runs the full §5 pipeline as genuine per-vertex message
+	// passing on the CONGEST engine (see measured.go): rounds and
+	// messages are counted from actual exchanges, stage by stage, and no
+	// formula charges are made. The per-bucket algorithm is the
+	// distributable ClusterBaswana choice; the resulting spanner is
+	// bit-identical to the Accounted builder's with Cluster =
+	// ClusterBaswana for the same seed.
+	Measured
+)
+
 // Result is a constructed light spanner with its diagnostics.
 type Result struct {
 	// Edges of the spanner (original graph ids), including the MST.
@@ -25,6 +43,9 @@ type Result struct {
 	BaswanaEdges   int
 	// Buckets carries per-scale diagnostics.
 	Buckets []BucketInfo
+	// Stages is the per-stage measured engine cost, in pipeline order
+	// (Measured mode only; nil for Accounted).
+	Stages []congest.StageStats
 }
 
 // BucketInfo describes one weight scale E_i.
@@ -32,9 +53,9 @@ type BucketInfo struct {
 	Index        int
 	WMax         float64 // w_i = L/(1+ε)^i
 	Edges        int     // |E_i|
-	Clusters     int     // |C_i| (clusters actually touched by E_i)
+	Clusters     int     // clusters actually touched by E_i
 	CaseTwo      bool    // refined clustering with communication intervals
-	SpannerEdges int     // edges added by the [EN17b] simulation
+	SpannerEdges int     // edges kept by the per-bucket spanner
 	Retries      int     // re-runs needed to meet the size bound (§5.1)
 }
 
@@ -50,6 +71,12 @@ const (
 	// sequential constructions [ES16, ENS15] apply per bucket — the
 	// E-ABL-d ablation quantifying the cost of distributability.
 	ClusterGreedy
+	// ClusterBaswana runs the [BS07] clustering directly on the bucket's
+	// edge subset of the original graph — the O(k)-round per-bucket
+	// choice the Measured pipeline executes as real message passing
+	// (bucket edges are within a (1+ε) factor of the scale w_i, so the
+	// per-bucket size bound still controls the bucket's weight).
+	ClusterBaswana
 )
 
 // Options configure BuildLight.
@@ -57,17 +84,23 @@ type Options struct {
 	Seed    int64
 	Ledger  *congest.Ledger
 	HopDiam int
-	// Root of the MST for the Euler tour; defaults to vertex 0.
+	// Root of the MST for the Euler tour; defaults to vertex 0. In
+	// Measured mode it roots the BFS tree of the weight-fixing stages.
 	Root graph.Vertex
 	// MaxRetries bounds the §5.1 re-run loop per bucket (default 8).
 	MaxRetries int
 	// Cluster selects the per-bucket spanner algorithm.
 	Cluster ClusterAlgo
+	// Mode selects Accounted (default) or Measured execution.
+	Mode Mode
+	// Workers sizes the engine worker pool in Measured mode
+	// (0 = GOMAXPROCS); results are identical for every worker count.
+	Workers int
 }
 
 // BuildLight is Theorem 2: a (2k−1)(1+ε)-spanner with O(k·n^{1+1/k})
 // edges and lightness O(k·n^{1/k}), in Õ(n^{1/2+1/(4k+2)} + D) rounds
-// (charged to the ledger).
+// (charged to the ledger, or measured on the engine in Measured mode).
 func BuildLight(g *graph.Graph, k int, eps float64, opts Options) (*Result, error) {
 	if k < 1 {
 		return nil, fmt.Errorf("spanner: k %d < 1", k)
@@ -83,11 +116,14 @@ func BuildLight(g *graph.Graph, k int, eps float64, opts Options) (*Result, erro
 		}
 		return &Result{Edges: all, Lightness: 1}, nil
 	}
+	if opts.Mode == Measured {
+		return buildMeasured(g, k, eps, opts)
+	}
 	maxRetries := opts.MaxRetries
 	if maxRetries == 0 {
 		maxRetries = 8
 	}
-	// MST, fragments, Euler tour (§3).
+	// MST (§3).
 	mstEdges, mstWeight, err := mst.Kruskal(g)
 	if err != nil {
 		return nil, fmt.Errorf("spanner: %w", err)
@@ -95,17 +131,22 @@ func BuildLight(g *graph.Graph, k int, eps float64, opts Options) (*Result, erro
 	if opts.Ledger != nil {
 		mst.ChargeConstruction(opts.Ledger, n, opts.HopDiam)
 	}
-	tree, err := mst.NewTree(g, mstEdges, opts.Root)
-	if err != nil {
-		return nil, fmt.Errorf("spanner: %w", err)
-	}
-	frags, err := mst.Decompose(tree, isqrt(n))
-	if err != nil {
-		return nil, fmt.Errorf("spanner: %w", err)
-	}
-	tour, err := euler.Build(tree, frags, opts.Ledger, opts.HopDiam)
-	if err != nil {
-		return nil, fmt.Errorf("spanner: %w", err)
+	// Fragments and the Euler tour (§3) ground the tour-based cluster
+	// partitions; the ClusterBaswana choice clusters on the bucket's own
+	// edges instead and needs neither.
+	var tour *euler.Tour
+	if opts.Cluster != ClusterBaswana {
+		tree, err := mst.NewTree(g, mstEdges, opts.Root)
+		if err != nil {
+			return nil, fmt.Errorf("spanner: %w", err)
+		}
+		frags, err := mst.Decompose(tree, isqrt(n))
+		if err != nil {
+			return nil, fmt.Errorf("spanner: %w", err)
+		}
+		if tour, err = euler.Build(tree, frags, opts.Ledger, opts.HopDiam); err != nil {
+			return nil, fmt.Errorf("spanner: %w", err)
+		}
 	}
 	bigL := 2 * mstWeight
 
@@ -125,8 +166,84 @@ func BuildLight(g *graph.Graph, k int, eps float64, opts Options) (*Result, erro
 		onMST[id] = true
 	}
 
-	// Partition the non-MST edges: E′ (≤ L/n), buckets (L/n, L], and
-	// heavy edges (> L, covered by the MST alone).
+	lowIDs, buckets := partitionEdges(g, onMST, bigL, eps)
+	res.LowBucketEdges = len(lowIDs)
+
+	// One edge mask serves every Baswana-Sen run (each edge belongs to
+	// at most one bucket): mark a bucket's ids, run, clear them — O(|E_i|)
+	// per bucket instead of a fresh O(M) slice each time.
+	var bsMask []bool
+	maskOf := func(ids []graph.EdgeID) []bool {
+		if bsMask == nil {
+			bsMask = make([]bool, g.M())
+		}
+		for _, id := range ids {
+			bsMask[id] = true
+		}
+		return bsMask
+	}
+	unmask := func(ids []graph.EdgeID) {
+		for _, id := range ids {
+			bsMask[id] = false
+		}
+	}
+
+	// Low bucket E′: Baswana-Sen on G′ = (V, E′).
+	if len(lowIDs) > 0 {
+		if opts.Ledger != nil {
+			opts.Ledger.Charge("spanner/low-baswana", int64(4*k+opts.HopDiam))
+			opts.Ledger.ChargeMessages(int64(k) * int64(len(lowIDs)))
+		}
+		bsEdges, _ := baswanaCore(g, maskOf(lowIDs), k, opts.Seed)
+		unmask(lowIDs)
+		for _, id := range bsEdges {
+			add(id)
+		}
+		res.BaswanaEdges = len(bsEdges)
+	}
+
+	// Weight buckets, lightest scale first (i ascending = heavier first;
+	// order does not matter, keep index order for reproducibility).
+	idxs := make([]int, 0, len(buckets))
+	for i := range buckets {
+		idxs = append(idxs, i)
+	}
+	sort.Ints(idxs)
+	caseThreshold := eps * math.Pow(float64(n), float64(k)/float64(2*k+1))
+	for _, i := range idxs {
+		ei := buckets[i]
+		wi := bigL / math.Pow(1+eps, float64(i))
+		var info BucketInfo
+		if opts.Cluster == ClusterBaswana {
+			info = buildBucketBaswana(g, ei, i, wi, k, opts, maskOf(ei), add)
+			unmask(ei)
+		} else {
+			caseTwo := math.Pow(1+eps, float64(i)) >= caseThreshold
+			if info, err = buildBucket(g, tour, ei, i, wi, eps, k, caseTwo, maxRetries, opts, add); err != nil {
+				return nil, fmt.Errorf("spanner: bucket %d: %w", i, err)
+			}
+		}
+		res.Buckets = append(res.Buckets, info)
+	}
+
+	sort.Slice(res.Edges, func(a, b int) bool { return res.Edges[a] < res.Edges[b] })
+	res.Weight = g.WeightOf(res.Edges)
+	if mstWeight > 0 {
+		res.Lightness = res.Weight / mstWeight
+	} else {
+		res.Lightness = 1
+	}
+	return res, nil
+}
+
+// partitionEdges splits the non-MST edges by weight relative to L: E′
+// (≤ L/n), the buckets (L/n, L] with i = ⌊log_{1+ε}(L/w)⌋ clamped to
+// [0, ⌈log_{1+ε} n⌉], and heavy edges (> L, covered by the MST alone).
+// Locally computable once L is known — both endpoints of an edge know
+// its weight — so the Measured pipeline applies the identical
+// arithmetic after its weight-broadcast stage.
+func partitionEdges(g *graph.Graph, onMST []bool, bigL, eps float64) ([]graph.EdgeID, map[int][]graph.EdgeID) {
+	n := g.N()
 	var lowIDs []graph.EdgeID
 	buckets := make(map[int][]graph.EdgeID)
 	maxBucket := int(math.Ceil(math.Log(float64(n)) / math.Log(1+eps)))
@@ -148,48 +265,57 @@ func BuildLight(g *graph.Graph, k int, eps float64, opts Options) (*Result, erro
 			buckets[i] = append(buckets[i], graph.EdgeID(id))
 		}
 	}
-	res.LowBucketEdges = len(lowIDs)
+	return lowIDs, buckets
+}
 
-	// Low bucket E′: Baswana-Sen on G′ = (V, E′).
-	if len(lowIDs) > 0 {
-		sub := g.Subgraph(lowIDs)
-		bsEdges, err := BaswanaSen(sub, k, opts.Seed, opts.Ledger, opts.HopDiam)
-		if err != nil {
-			return nil, fmt.Errorf("spanner: low bucket: %w", err)
-		}
-		for _, subID := range bsEdges {
-			add(lowIDs[subID])
-		}
-		res.BaswanaEdges = len(bsEdges)
-	}
+// bucketSeed derives the per-bucket sampling seed, shared by the
+// accounted ClusterBaswana path and the Measured pipeline stages. The
+// offset keeps every scale's seed distinct from the low bucket's
+// (which samples with the base seed).
+func bucketSeed(seed int64, idx int) int64 { return seed + int64(idx+1)*131 }
 
-	// Weight buckets, lightest scale first (i ascending = heavier first;
-	// order does not matter, keep index order for reproducibility).
-	idxs := make([]int, 0, len(buckets))
-	for i := range buckets {
-		idxs = append(idxs, i)
-	}
-	sort.Ints(idxs)
-	caseThreshold := eps * math.Pow(float64(n), float64(k)/float64(2*k+1))
-	for _, i := range idxs {
-		ei := buckets[i]
-		wi := bigL / math.Pow(1+eps, float64(i))
-		caseTwo := math.Pow(1+eps, float64(i)) >= caseThreshold
-		info, err := buildBucket(g, tour, ei, i, wi, eps, k, caseTwo, maxRetries, opts, add)
-		if err != nil {
-			return nil, fmt.Errorf("spanner: bucket %d: %w", i, err)
-		}
-		res.Buckets = append(res.Buckets, info)
-	}
+// buildBucketBaswana is the ClusterBaswana per-bucket step: the [BS07]
+// clustering run on the bucket's edge subset of the original graph —
+// O(k) rounds per bucket, executed for real by the Measured pipeline.
+// sub is the bucket's edge mask (ei's ids marked, caller-owned).
+func buildBucketBaswana(g *graph.Graph, ei []graph.EdgeID, idx int, wi float64,
+	k int, opts Options, sub []bool, add func(graph.EdgeID)) BucketInfo {
 
-	sort.Slice(res.Edges, func(a, b int) bool { return res.Edges[a] < res.Edges[b] })
-	res.Weight = g.WeightOf(res.Edges)
-	if mstWeight > 0 {
-		res.Lightness = res.Weight / mstWeight
-	} else {
-		res.Lightness = 1
+	kept, cluster := baswanaCore(g, sub, k, bucketSeed(opts.Seed, idx))
+	for _, id := range kept {
+		add(id)
 	}
-	return res, nil
+	info := BucketInfo{
+		Index:        idx,
+		WMax:         wi,
+		Edges:        len(ei),
+		Clusters:     countClusters(g, ei, cluster),
+		SpannerEdges: len(kept),
+	}
+	if opts.Ledger != nil {
+		// k+1 rounds of local exchange on the bucket's edges (buckets run
+		// back to back in the pipeline, so the rounds add up).
+		opts.Ledger.Charge("spanner/bucket-baswana", int64(k+1))
+		opts.Ledger.ChargeMessages(int64(k+1) * 2 * int64(len(ei)))
+	}
+	return info
+}
+
+// countClusters counts the distinct final cluster labels among the
+// endpoints of the bucket's edges (vertices that left the process carry
+// no label). The same fold runs on the Measured pipeline's per-vertex
+// clustering output.
+func countClusters(g *graph.Graph, ei []graph.EdgeID, cluster []graph.Vertex) int {
+	seen := make(map[graph.Vertex]bool)
+	for _, id := range ei {
+		e := g.Edge(id)
+		for _, v := range [2]graph.Vertex{e.U, e.V} {
+			if c := cluster[v]; c != graph.NoVertex {
+				seen[c] = true
+			}
+		}
+	}
+	return len(seen)
 }
 
 // buildBucket clusters the vertices at scale i, simulates [EN17b] on the

@@ -1,0 +1,134 @@
+package spanner
+
+// The per-vertex CONGEST program of the Measured-mode spanner pipeline
+// (see measured.go for the stage sequence): the [BS07] Baswana-Sen
+// clustering run for real on a bucket's edge subset via a restricted
+// pipeline stage. Every vertex writes only its own slots of the shared
+// result slices — the engine's contract for race-free execution on the
+// worker pool.
+//
+// Bit-identity discipline: the per-phase transition is the pure function
+// bsPhase/bsFinal shared with the sequential baswanaCore, and the
+// cluster sampling is the pure hash sampleU01 of (seed, phase, center).
+// A vertex that hears a neighbor's cluster label can therefore evaluate
+// that cluster's sampling locally; the distributed run keeps exactly the
+// edge set the sequential run keeps.
+//
+// Protocol (k+1 measured rounds on the bucket's edges):
+//
+//	round 0 (Init)  every vertex broadcasts its initial cluster (itself)
+//	round 1..k−1    receive neighbors' phase-(r−1) labels, apply bsPhase,
+//	                broadcast the new label
+//	round k         receive the final clustering, apply bsFinal; done
+//
+// Every participating vertex broadcasts every round through k−1, so
+// every participating vertex has mail — and thus a Handle call — in
+// every round through k; no explicit keep-alive is needed.
+
+import (
+	"lightnet/internal/congest"
+	"lightnet/internal/graph"
+)
+
+type bsProgram struct {
+	congest.NoPhases
+	k    int
+	seed int64
+	prob float64
+	sub  []bool // the bucket's edge mask (also the stage's Restrict mask)
+
+	cluster []graph.Vertex   // shared: final clustering (own slot)
+	chosen  [][]graph.EdgeID // shared: per-vertex kept edges (own slot)
+
+	cur        graph.Vertex
+	nbrCluster []graph.Vertex // last announced label per adjacency slot
+	nbrs       []bsNeighbor   // scratch view for bsPhase/bsFinal
+	round      int            // stage-local round: Handle calls so far
+	done       bool
+}
+
+func (p *bsProgram) Init(ctx *congest.Ctx) {
+	v := ctx.V()
+	p.cur = v
+	p.chosen[v] = p.chosen[v][:0]
+	deg := 0
+	for _, h := range ctx.Neighbors() {
+		if p.sub[h.ID] {
+			deg++
+		}
+	}
+	if deg == 0 {
+		// No participating edges: the whole evolution is local (the
+		// vertex stays its own cluster while sampled, then leaves) —
+		// the same trajectory the sequential core walks for it.
+		for phase := 1; phase < p.k; phase++ {
+			p.cur, _ = bsPhase(p.cur, nil, phase, p.seed, p.prob)
+		}
+		p.cluster[v] = p.cur
+		p.done = true
+		return
+	}
+	p.nbrCluster = make([]graph.Vertex, ctx.Degree())
+	for i := range p.nbrCluster {
+		p.nbrCluster[i] = graph.NoVertex
+	}
+	if err := ctx.Broadcast(int64(p.cur)); err != nil {
+		ctx.Fail(err)
+	}
+}
+
+func (p *bsProgram) Handle(ctx *congest.Ctx, inbox []congest.Message) {
+	if p.done {
+		return
+	}
+	for _, m := range inbox {
+		p.nbrCluster[ctx.SlotOf(m.Via)] = graph.Vertex(m.Words[0])
+	}
+	v := ctx.V()
+	// Engine rounds are cumulative across pipeline stages; the protocol
+	// round is local to this stage. Every participating vertex handles
+	// mail in every protocol round (see the file comment), so counting
+	// Handle calls reproduces the round index.
+	p.round++
+	r := p.round
+	if r < p.k {
+		// Phase r: transition on the neighbors' phase-(r−1) labels.
+		next, keep := bsPhase(p.cur, p.view(ctx), r, p.seed, p.prob)
+		p.cur = next
+		p.chosen[v] = append(p.chosen[v], keep...)
+		if err := ctx.Broadcast(int64(p.cur)); err != nil {
+			ctx.Fail(err)
+		}
+		return
+	}
+	// Round k: final selection on the phase-(k−1) clustering.
+	p.chosen[v] = append(p.chosen[v], bsFinal(p.cur, p.view(ctx))...)
+	p.cluster[v] = p.cur
+	p.done = true
+}
+
+// view materializes the bsNeighbor slice of the participating incident
+// edges — the identical per-vertex view baswanaCore builds from the
+// shared cluster slice.
+func (p *bsProgram) view(ctx *congest.Ctx) []bsNeighbor {
+	p.nbrs = p.nbrs[:0]
+	for i, h := range ctx.Neighbors() {
+		if !p.sub[h.ID] {
+			continue
+		}
+		p.nbrs = append(p.nbrs, bsNeighbor{cluster: p.nbrCluster[i], w: h.W, id: h.ID})
+	}
+	return p.nbrs
+}
+
+// bsFactory returns the per-vertex Baswana-Sen stage factory for one
+// bucket: sub is the bucket's edge mask (pass the same slice to
+// congest.Restrict), cluster and chosen the shared output slices
+// (length N; chosen slices are reset per stage by each owner).
+func bsFactory(g *graph.Graph, k int, seed int64, sub []bool,
+	cluster []graph.Vertex, chosen [][]graph.EdgeID) func(graph.Vertex) congest.Program {
+	prob := bsProb(g, k)
+	return func(graph.Vertex) congest.Program {
+		return &bsProgram{k: k, seed: seed, prob: prob, sub: sub, cluster: cluster, chosen: chosen}
+	}
+}

@@ -101,6 +101,7 @@ type options struct {
 	sptMode  sssp.Mode
 	measured bool
 	workers  int
+	buckets  BucketAlgo
 }
 
 // Option configures a builder.
@@ -121,12 +122,39 @@ func WithExactSPT() Option { return func(o *options) { o.sptMode = sssp.ModeExac
 // passing on the CONGEST engine instead of charging the paper's round
 // formulas: Cost then reports measured rounds/messages with a per-stage
 // breakdown, and the result is bit-identical to the accounted builder's
-// for the same seed. Currently supported by BuildSLT.
+// for the same seed (for BuildLightSpanner, the accounted twin is the
+// distributable per-bucket Baswana-Sen clustering the pipeline
+// executes). Currently supported by BuildSLT and BuildLightSpanner.
 func WithMeasured() Option { return func(o *options) { o.measured = true } }
 
 // WithWorkers sizes the engine worker pool for measured-mode runs
 // (0 = GOMAXPROCS). Results are identical for every worker count.
 func WithWorkers(n int) Option { return func(o *options) { o.workers = n } }
+
+// BucketAlgo selects BuildLightSpanner's per-bucket cluster-spanner
+// algorithm.
+type BucketAlgo int
+
+// Per-bucket algorithm choices.
+const (
+	// BucketEN17 (default) simulates the [EN17b] randomized spanner on
+	// the tour-based cluster graph — the paper's choice.
+	BucketEN17 BucketAlgo = iota
+	// BucketGreedy runs the centralized greedy spanner per bucket (the
+	// sequential-construction ablation).
+	BucketGreedy
+	// BucketBaswana runs the [BS07] clustering directly on each bucket's
+	// edges — the O(k)-round distributable choice the measured pipeline
+	// executes; accounted runs with it are bit-comparable to measured
+	// ones.
+	BucketBaswana
+)
+
+// WithBucketAlgo selects the spanner's per-bucket algorithm (default
+// BucketEN17). A WithMeasured spanner always executes the BucketBaswana
+// clustering; combine it with an accounted BucketBaswana run to compare
+// identical outputs.
+func WithBucketAlgo(a BucketAlgo) Option { return func(o *options) { o.buckets = a } }
 
 func buildOptions(g *Graph, opts []Option) options {
 	o := options{seed: 1, sptMode: sssp.ModePerturbed}
@@ -152,22 +180,38 @@ type SpannerResult struct {
 
 // BuildLightSpanner builds the §5 spanner: stretch (2k−1)(1+ε),
 // O(k·n^{1+1/k}) edges, lightness O(k·n^{1/k}), in
-// Õ(n^{1/2+1/(4k+2)} + D) rounds.
+// Õ(n^{1/2+1/(4k+2)} + D) rounds. With WithMeasured the whole
+// construction — Borůvka MST, MST-weight fixing, and every weight
+// bucket's Baswana-Sen clustering — executes as per-vertex message
+// passing on the CONGEST engine and the cost is measured rather than
+// charged.
 func BuildLightSpanner(g *Graph, k int, eps float64, opts ...Option) (*SpannerResult, error) {
 	o := buildOptions(g, opts)
 	ledger := congest.NewLedger()
-	res, err := spanner.BuildLight(g, k, eps, spanner.Options{
-		Seed: o.seed, Ledger: ledger, HopDiam: o.hopDiam,
-	})
+	sopts := spanner.Options{Seed: o.seed, Ledger: ledger, HopDiam: o.hopDiam}
+	switch o.buckets {
+	case BucketGreedy:
+		sopts.Cluster = spanner.ClusterGreedy
+	case BucketBaswana:
+		sopts.Cluster = spanner.ClusterBaswana
+	}
+	if o.measured {
+		sopts.Mode = spanner.Measured
+		sopts.Workers = o.workers
+	}
+	res, err := spanner.BuildLight(g, k, eps, sopts)
 	if err != nil {
 		return nil, fmt.Errorf("lightnet: %w", err)
 	}
+	cost := costOf(ledger)
+	cost.Stages = stageCosts(res.Stages)
+	cost.Measured = res.Stages != nil
 	return &SpannerResult{
 		Edges:     res.Edges,
 		Weight:    res.Weight,
 		MSTWeight: res.MSTWeight,
 		Lightness: res.Lightness,
-		Cost:      costOf(ledger),
+		Cost:      cost,
 	}, nil
 }
 
