@@ -8,6 +8,9 @@
 //	go run ./cmd/benchgen -million=false -out /tmp/gen.json
 //	go run ./cmd/benchdiff -kind generators -baseline BENCH_generators.json -current /tmp/gen.json
 //
+//	go run ./cmd/benchquality -out /tmp/quality.json
+//	go run ./cmd/benchdiff -kind quality -baseline BENCH_quality.json -current /tmp/quality.json
+//
 // What is gated, per measurement present in both reports:
 //
 //   - deterministic fields (rounds/op, messages, edge counts) must match
@@ -25,6 +28,17 @@
 //     default when the runner class differs from the machine that wrote
 //     the baseline.
 //
+// The quality kind has no wall-clock at all, so its gate is strict: on
+// every fresh row the measured stretch (max and p99) must sit at or
+// under the paper bound 2k−1 unconditionally — this check does not
+// consult the baseline, so a bound violation can never be "regenerated
+// away" — the accounted and measured rows of each scenario must be
+// bit-identical (the pipeline equivalence contract), deterministic
+// fields must match the baseline exactly (near-exactly for floats, as
+// cross-platform insurance), and lightness plus its ratio vs the greedy
+// oracle must stay within -max-ratio-increase (default 5%) of the
+// committed envelope.
+//
 // Updating the baseline: when a change intentionally alters the gated
 // numbers (an engine or generator change), regenerate the committed
 // files on a quiet machine and commit them with the change —
@@ -39,23 +53,25 @@ package main
 import (
 	"flag"
 	"fmt"
+	"math"
 	"os"
 
 	"lightnet/internal/benchfmt"
 )
 
 func main() {
-	kind := flag.String("kind", "engine", "report schema: engine | generators")
+	kind := flag.String("kind", "engine", "report schema: engine | generators | quality")
 	basePath := flag.String("baseline", "", "committed baseline JSON (e.g. BENCH_engine.json)")
 	curPath := flag.String("current", "", "freshly generated JSON to gate")
 	maxNs := flag.Float64("max-ns-regress", 0.25, "tolerated fractional ns/round (or speedup) regression")
 	maxAlloc := flag.Float64("max-alloc-increase", 0.01, "tolerated fractional allocs/op increase")
+	maxRatio := flag.Float64("max-ratio-increase", 0.05, "tolerated fractional lightness (and ratio-vs-greedy) increase for -kind quality")
 	flag.Parse()
 	if *basePath == "" || *curPath == "" {
 		fmt.Fprintln(os.Stderr, "benchdiff: -baseline and -current are required")
 		os.Exit(2)
 	}
-	violations, err := diff(*kind, *basePath, *curPath, *maxNs, *maxAlloc)
+	violations, err := diff(*kind, *basePath, *curPath, *maxNs, *maxAlloc, *maxRatio)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchdiff:", err)
 		os.Exit(2)
@@ -72,7 +88,7 @@ func main() {
 		*curPath, *basePath, *maxNs*100, *maxAlloc*100)
 }
 
-func diff(kind, basePath, curPath string, maxNs, maxAlloc float64) ([]string, error) {
+func diff(kind, basePath, curPath string, maxNs, maxAlloc, maxRatio float64) ([]string, error) {
 	switch kind {
 	case "engine":
 		base, err := benchfmt.LoadEngine(basePath)
@@ -94,8 +110,18 @@ func diff(kind, basePath, curPath string, maxNs, maxAlloc float64) ([]string, er
 			return nil, err
 		}
 		return diffGenerators(base, cur, maxNs), nil
+	case "quality":
+		base, err := benchfmt.LoadQuality(basePath)
+		if err != nil {
+			return nil, err
+		}
+		cur, err := benchfmt.LoadQuality(curPath)
+		if err != nil {
+			return nil, err
+		}
+		return diffQuality(base, cur, maxRatio), nil
 	default:
-		return nil, fmt.Errorf("unknown -kind %q (engine|generators)", kind)
+		return nil, fmt.Errorf("unknown -kind %q (engine|generators|quality)", kind)
 	}
 }
 
@@ -175,6 +201,112 @@ func diffGenerators(base, cur *benchfmt.GeneratorsReport, maxRegress float64) []
 		cur.MillionPoint.Edges != base.MillionPoint.Edges {
 		out = append(out, fmt.Sprintf("million_point: edges changed %d -> %d (deterministic build; generator drift)",
 			base.MillionPoint.Edges, cur.MillionPoint.Edges))
+	}
+	return out
+}
+
+// qualityFloatTol is the relative slack for baseline comparison of the
+// deterministic float fields. The pipeline is bit-deterministic on one
+// platform; the hair of tolerance only absorbs cross-platform float
+// printing/summation differences, never a real quality change.
+const qualityFloatTol = 1e-9
+
+// nearlyEqual reports |a−b| within qualityFloatTol relative to scale.
+func nearlyEqual(a, b float64) bool {
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	return math.Abs(a-b) <= qualityFloatTol*math.Max(scale, 1)
+}
+
+// diffQuality gates the spanner-quality report. Three layers, strictest
+// first:
+//
+//  1. absolute: every fresh row's stretch (max and p99) must sit at or
+//     under its own bound column — checked against the CURRENT report
+//     only, so committing a bad baseline cannot mask a bound violation;
+//  2. cross-mode: the accounted and measured rows of each scenario in
+//     the fresh report must agree bit-for-bit (the mode-equivalence
+//     contract of the measured pipeline);
+//  3. baseline: deterministic fields must match the committed report
+//     (ints exactly, floats near-exactly), with lightness and
+//     ratio_vs_greedy allowed to improve freely but to worsen only
+//     within maxRatio.
+func diffQuality(base, cur *benchfmt.QualityReport, maxRatio float64) []string {
+	if base.K != cur.K || base.Eps != cur.Eps || base.N != cur.N ||
+		base.Seed != cur.Seed || base.Pairs != cur.Pairs {
+		return []string{fmt.Sprintf("workload mismatch: baseline k=%d eps=%g n=%d seed=%d pairs=%d vs fresh k=%d eps=%g n=%d seed=%d pairs=%d (run benchquality with the baseline's parameters)",
+			base.K, base.Eps, base.N, base.Seed, base.Pairs,
+			cur.K, cur.Eps, cur.N, cur.Seed, cur.Pairs)}
+	}
+	var out []string
+	curBy := make(map[string]benchfmt.QualityRow, len(cur.Rows))
+	for _, r := range cur.Rows {
+		key := r.Scenario + "/" + r.Mode
+		curBy[key] = r
+		if r.Stretch > r.Bound+qualityFloatTol {
+			out = append(out, fmt.Sprintf("%s: stretch %.6f exceeds the paper bound %g (construction broken)",
+				key, r.Stretch, r.Bound))
+		}
+		if r.StretchP99 > r.Bound+qualityFloatTol {
+			out = append(out, fmt.Sprintf("%s: stretch_p99 %.6f exceeds the paper bound %g (construction broken)",
+				key, r.StretchP99, r.Bound))
+		}
+	}
+	for _, acc := range cur.Rows {
+		if acc.Mode != "accounted" {
+			continue
+		}
+		mea, ok := curBy[acc.Scenario+"/measured"]
+		if !ok {
+			out = append(out, fmt.Sprintf("%s: accounted row has no measured counterpart", acc.Scenario))
+			continue
+		}
+		if acc.Edges != mea.Edges || acc.Lightness != mea.Lightness ||
+			acc.Stretch != mea.Stretch || acc.StretchP99 != mea.StretchP99 {
+			out = append(out, fmt.Sprintf("%s: accounted and measured rows diverge (edges %d vs %d, lightness %.9f vs %.9f) — mode-equivalence contract broken",
+				acc.Scenario, acc.Edges, mea.Edges, acc.Lightness, mea.Lightness))
+		}
+	}
+	for _, b := range base.Rows {
+		key := b.Scenario + "/" + b.Mode
+		c, ok := curBy[key]
+		if !ok {
+			out = append(out, fmt.Sprintf("%s: row missing from the fresh report", key))
+			continue
+		}
+		if c.N != b.N || c.M != b.M {
+			out = append(out, fmt.Sprintf("%s: input graph changed (n,m) (%d,%d) -> (%d,%d) (scenario drift)",
+				key, b.N, b.M, c.N, c.M))
+		}
+		if c.Edges != b.Edges {
+			out = append(out, fmt.Sprintf("%s: spanner edges changed %d -> %d (deterministic build; algorithm drift)",
+				key, b.Edges, c.Edges))
+		}
+		if c.GreedyEdges != b.GreedyEdges {
+			out = append(out, fmt.Sprintf("%s: greedy oracle edges changed %d -> %d (the oracle has no seed; this is a real change)",
+				key, b.GreedyEdges, c.GreedyEdges))
+		}
+		for _, f := range []struct {
+			name   string
+			bv, cv float64
+		}{
+			{"stretch", b.Stretch, c.Stretch},
+			{"stretch_p99", b.StretchP99, c.StretchP99},
+			{"greedy_lightness", b.GreedyLightness, c.GreedyLightness},
+			{"greedy_stretch", b.GreedyStretch, c.GreedyStretch},
+		} {
+			if !nearlyEqual(f.bv, f.cv) {
+				out = append(out, fmt.Sprintf("%s: %s changed %.9f -> %.9f (deterministic field drift)",
+					key, f.name, f.bv, f.cv))
+			}
+		}
+		if limit := b.Lightness * (1 + maxRatio); c.Lightness > limit+qualityFloatTol {
+			out = append(out, fmt.Sprintf("%s: lightness %.6f -> %.6f exceeds +%.0f%% envelope",
+				key, b.Lightness, c.Lightness, maxRatio*100))
+		}
+		if limit := b.RatioVsGreedy * (1 + maxRatio); c.RatioVsGreedy > limit+qualityFloatTol {
+			out = append(out, fmt.Sprintf("%s: ratio_vs_greedy %.6f -> %.6f exceeds +%.0f%% envelope",
+				key, b.RatioVsGreedy, c.RatioVsGreedy, maxRatio*100))
+		}
 	}
 	return out
 }

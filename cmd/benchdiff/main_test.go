@@ -107,6 +107,134 @@ func TestGeneratorsGate(t *testing.T) {
 	}
 }
 
+// qualityReport builds a two-scenario report whose accounted and
+// measured rows agree — the shape benchquality emits when the pipeline
+// contract holds.
+func qualityReport() *benchfmt.QualityReport {
+	rep := &benchfmt.QualityReport{K: 2, Eps: 0.25, N: 128, Seed: 1, Pairs: 2000}
+	for _, sc := range []struct {
+		name      string
+		edges     int
+		lightness float64
+		stretch   float64
+	}{
+		{"lbcycle", 128, 1.008, 1},
+		{"lbbipartite", 1072, 8.441, 3},
+	} {
+		for _, mode := range []string{"accounted", "measured"} {
+			rep.Rows = append(rep.Rows, benchfmt.QualityRow{
+				Scenario: sc.name, Mode: mode, N: 128, M: 4096, Bound: 3,
+				Edges: sc.edges, Lightness: sc.lightness,
+				Stretch: sc.stretch, StretchP99: sc.stretch,
+				GreedyEdges: 127, GreedyLightness: 1.0, GreedyStretch: 2.9,
+				RatioVsGreedy: sc.lightness,
+			})
+		}
+	}
+	return rep
+}
+
+func TestQualityIdenticalPasses(t *testing.T) {
+	if v := diffQuality(qualityReport(), qualityReport(), 0.05); len(v) != 0 {
+		t.Fatalf("identical reports flagged: %v", v)
+	}
+	// Lightness improvements pass (the envelope is one-sided) as long as
+	// the deterministic fields they feed move with them in the baseline —
+	// here only the envelope fields move.
+	cur := qualityReport()
+	for i := range cur.Rows {
+		cur.Rows[i].RatioVsGreedy *= 0.9
+	}
+	if v := diffQuality(qualityReport(), cur, 0.05); len(v) != 0 {
+		t.Fatalf("ratio improvement flagged: %v", v)
+	}
+}
+
+// TestQualitySyntheticRegressionFails proves the gate actually fails on
+// each class of quality regression — the acceptance criterion that the
+// bound check is demonstrably live, not vacuously green.
+func TestQualitySyntheticRegressionFails(t *testing.T) {
+	base := qualityReport()
+	mutate := func(f func(*benchfmt.QualityReport)) *benchfmt.QualityReport {
+		cur := qualityReport()
+		f(cur)
+		return cur
+	}
+	cases := []struct {
+		name string
+		cur  *benchfmt.QualityReport
+		want string
+	}{
+		{"stretch-above-bound", mutate(func(r *benchfmt.QualityReport) {
+			r.Rows[0].Stretch = 3.2
+			r.Rows[1].Stretch = 3.2 // keep modes consistent: the bound check alone must fire
+		}), "exceeds the paper bound"},
+		{"p99-above-bound", mutate(func(r *benchfmt.QualityReport) {
+			r.Rows[0].StretchP99 = 3.01
+			r.Rows[1].StretchP99 = 3.01
+		}), "stretch_p99"},
+		{"ratio-inflation", mutate(func(r *benchfmt.QualityReport) {
+			r.Rows[2].RatioVsGreedy *= 1.10
+			r.Rows[3].RatioVsGreedy *= 1.10
+		}), "ratio_vs_greedy"},
+		{"lightness-inflation", mutate(func(r *benchfmt.QualityReport) {
+			r.Rows[2].Lightness *= 1.10
+			r.Rows[3].Lightness *= 1.10
+		}), "lightness"},
+		{"edge-drift", mutate(func(r *benchfmt.QualityReport) {
+			r.Rows[0].Edges++
+			r.Rows[1].Edges++
+		}), "spanner edges changed"},
+		{"greedy-oracle-drift", mutate(func(r *benchfmt.QualityReport) {
+			r.Rows[0].GreedyEdges--
+			r.Rows[1].GreedyEdges--
+		}), "greedy oracle"},
+		{"mode-divergence", mutate(func(r *benchfmt.QualityReport) {
+			r.Rows[1].Lightness *= 1.001 // measured row drifts off accounted
+		}), "mode-equivalence"},
+		{"missing-row", mutate(func(r *benchfmt.QualityReport) {
+			r.Rows = r.Rows[:2]
+		}), "missing from the fresh report"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			v := diffQuality(base, tc.cur, 0.05)
+			if len(v) == 0 {
+				t.Fatal("regression not flagged")
+			}
+			if !strings.Contains(strings.Join(v, "\n"), tc.want) {
+				t.Fatalf("violations %v do not mention %q", v, tc.want)
+			}
+		})
+	}
+}
+
+// TestQualityBoundCheckIgnoresBaseline: a stretch violation fires even
+// when the baseline itself carries the same bad value — committing a
+// broken baseline cannot neutralise the paper-bound check.
+func TestQualityBoundCheckIgnoresBaseline(t *testing.T) {
+	bad := qualityReport()
+	for i := range bad.Rows {
+		bad.Rows[i].Stretch = 3.5
+	}
+	v := diffQuality(bad, bad, 0.05)
+	if len(v) == 0 {
+		t.Fatal("bound violation masked by a matching baseline")
+	}
+	if !strings.Contains(strings.Join(v, "\n"), "exceeds the paper bound") {
+		t.Fatalf("violations %v do not mention the paper bound", v)
+	}
+}
+
+func TestQualityWorkloadMismatch(t *testing.T) {
+	cur := qualityReport()
+	cur.Seed = 7
+	v := diffQuality(qualityReport(), cur, 0.05)
+	if len(v) != 1 || !strings.Contains(v[0], "workload mismatch") {
+		t.Fatalf("want a single workload-mismatch violation, got %v", v)
+	}
+}
+
 // TestCommittedBaselinesSelfConsistent: diffing the committed baselines
 // against themselves passes — the gate's fixed point, and a parse check
 // of the real files.
@@ -115,9 +243,10 @@ func TestCommittedBaselinesSelfConsistent(t *testing.T) {
 	for _, tc := range []struct{ kind, file string }{
 		{"engine", "BENCH_engine.json"},
 		{"generators", "BENCH_generators.json"},
+		{"quality", "BENCH_quality.json"},
 	} {
 		path := filepath.Join(root, tc.file)
-		v, err := diff(tc.kind, path, path, 0.25, 0.01)
+		v, err := diff(tc.kind, path, path, 0.25, 0.01, 0.05)
 		if err != nil {
 			t.Fatalf("%s: %v", tc.file, err)
 		}

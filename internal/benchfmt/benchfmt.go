@@ -1,9 +1,9 @@
 // Package benchfmt defines the JSON schemas of the repository's
-// committed benchmark baselines — BENCH_engine.json (cmd/benchengine)
-// and BENCH_generators.json (cmd/benchgen) — shared by the writers and
-// by the CI regression gate (cmd/benchdiff). Keeping the schema in one
-// place guarantees the gate always parses exactly what the harnesses
-// emit.
+// committed benchmark baselines — BENCH_engine.json (cmd/benchengine),
+// BENCH_generators.json (cmd/benchgen) and BENCH_quality.json
+// (cmd/benchquality) — shared by the writers and by the CI regression
+// gate (cmd/benchdiff). Keeping the schema in one place guarantees the
+// gate always parses exactly what the harnesses emit.
 package benchfmt
 
 import (
@@ -70,6 +70,45 @@ type GeneratorsReport struct {
 	MillionPoint *MillionPoint `json:"million_point,omitempty"`
 }
 
+// QualityRow is one (scenario, mode) datapoint of the quality report:
+// the §5 spanner built on a registry scenario, certified against the
+// paper's stretch bound and the independent greedy [ADD+93] baseline.
+// Every field is deterministic — seeds are fixed and the pair sampler is
+// a counter hash — so the gate compares exactly, with float tolerance
+// only as cross-platform insurance.
+type QualityRow struct {
+	// Scenario is the registry spec string the graph was built from.
+	Scenario string `json:"scenario"`
+	// Mode is accounted | measured; the two rows of one scenario must be
+	// bit-identical (the measured pipeline's contract).
+	Mode string `json:"mode"`
+	N    int    `json:"n"`
+	M    int    `json:"m"`
+	// Bound is the paper's stretch bound for the built configuration
+	// (2k−1 for the per-bucket Baswana–Sen); Stretch must never exceed it.
+	Bound           float64 `json:"bound"`
+	Edges           int     `json:"edges"`
+	Lightness       float64 `json:"lightness"`
+	Stretch         float64 `json:"stretch"`
+	StretchP99      float64 `json:"stretch_p99"`
+	GreedyEdges     int     `json:"greedy_edges"`
+	GreedyLightness float64 `json:"greedy_lightness"`
+	GreedyStretch   float64 `json:"greedy_stretch"`
+	// RatioVsGreedy = Lightness / GreedyLightness — the committed
+	// envelope the gate holds fresh runs to.
+	RatioVsGreedy float64 `json:"ratio_vs_greedy"`
+}
+
+// QualityReport is the schema of BENCH_quality.json (cmd/benchquality).
+type QualityReport struct {
+	K     int          `json:"k"`
+	Eps   float64      `json:"eps"`
+	N     int          `json:"n"`
+	Seed  int64        `json:"seed"`
+	Pairs int          `json:"pairs"`
+	Rows  []QualityRow `json:"rows"`
+}
+
 // WriteFile marshals the report (any of the schemas above) as indented
 // JSON with a trailing newline — the exact format of the committed
 // baselines, so regeneration produces minimal diffs.
@@ -85,6 +124,15 @@ func WriteFile(path string, report any) error {
 // LoadEngine reads and parses an engine report.
 func LoadEngine(path string) (*EngineReport, error) {
 	var rep EngineReport
+	if err := load(path, &rep); err != nil {
+		return nil, err
+	}
+	return &rep, nil
+}
+
+// LoadQuality reads and parses a quality report.
+func LoadQuality(path string) (*QualityReport, error) {
+	var rep QualityReport
 	if err := load(path, &rep); err != nil {
 		return nil, err
 	}

@@ -2,6 +2,7 @@ package congest
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 
 	"lightnet/internal/graph"
@@ -9,8 +10,11 @@ import (
 
 // workerCounts are the pool sizes the determinism tests compare. The
 // engine contract is bit-identical Stats, outputs and RNG streams for
-// every worker count; 1 is the sequential reference.
-var workerCounts = []int{1, 2, 8}
+// every worker count; 1 is the sequential reference. The set covers
+// odd counts that divide the vertex ranges unevenly (3, 7) and pools
+// larger than typical CI core counts (16), where workers contend for
+// OS threads and interleave unpredictably.
+var workerCounts = []int{1, 2, 3, 7, 8, 16}
 
 // runBFSWorkers runs the BFS program with a fixed seed and worker count.
 func runBFSWorkers(t *testing.T, g *graph.Graph, workers int) ([]int32, []graph.EdgeID, Stats) {
@@ -169,5 +173,26 @@ func BenchmarkEngineWorkers(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// TestEngineDeterministicUnderGOMAXPROCS1: a many-worker pool starved
+// down to a single OS thread serialises its goroutines in whatever
+// order the runtime picks — the strongest scheduling distortion
+// available in-process. Outputs and Stats must still match the
+// unconstrained run bit-for-bit.
+func TestEngineDeterministicUnderGOMAXPROCS1(t *testing.T) {
+	g := graph.ErdosRenyi(400, 0.03, 9, 11)
+	refDepth, refParent, refStats := runBFSWorkers(t, g, 8)
+	prev := runtime.GOMAXPROCS(1)
+	defer runtime.GOMAXPROCS(prev)
+	depth, parent, stats := runBFSWorkers(t, g, 8)
+	if stats != refStats {
+		t.Fatalf("GOMAXPROCS=1 stats differ: %+v vs %+v", stats, refStats)
+	}
+	for v := range refDepth {
+		if depth[v] != refDepth[v] || parent[v] != refParent[v] {
+			t.Fatalf("GOMAXPROCS=1 vertex %d: depth/parent differ", v)
+		}
 	}
 }

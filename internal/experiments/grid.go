@@ -79,6 +79,16 @@ type Spec struct {
 	// implies it, and its accounted twin must set it explicitly for the
 	// outputs to be comparable).
 	Cluster string `json:"cluster"`
+	// Quality computes the independent quality-oracle columns for
+	// spanner specs: the greedy [ADD+93] baseline at t = 2k−1 (lightness
+	// and exact stretch), the built spanner's lightness ratio against
+	// it, and the p99 of the deterministic pair-sampled stretch
+	// distribution. Implies exact stretch verification of the built
+	// spanner. Oracle time is excluded from wall_ms. Default false.
+	Quality bool `json:"quality"`
+	// QualityPairs caps the deterministic pair sample behind
+	// stretch_p99 (0 = default 2000; small graphs use exact all-pairs).
+	QualityPairs int `json:"quality_pairs"`
 }
 
 // LoadGrid reads and validates a JSON grid file.
@@ -181,6 +191,15 @@ func (g *Grid) Validate() error {
 			s.Cluster != "" && s.Cluster != "baswana" {
 			return fmt.Errorf("experiment %d: measured spanner runs the baswana bucket clustering (got cluster %q)", i, s.Cluster)
 		}
+		if s.Quality && s.Construction != "spanner" {
+			return fmt.Errorf("experiment %d: quality oracle columns apply only to construction \"spanner\"", i)
+		}
+		if s.QualityPairs < 0 {
+			return fmt.Errorf("experiment %d: negative quality_pairs", i)
+		}
+		if s.QualityPairs == 0 {
+			s.QualityPairs = 2000
+		}
 	}
 	return nil
 }
@@ -225,6 +244,15 @@ type Row struct {
 	Size         int     // edges of the subgraph, or net points
 	Lightness    float64 // NaN when not applicable
 	Stretch      float64 // NaN when not verified / not applicable
+	// Quality-oracle columns (Spec.Quality, spanner only; NaN renders
+	// empty otherwise): the greedy [ADD+93] baseline's lightness and
+	// exact stretch on the same graph, the built spanner's lightness
+	// ratio against it, and the p99 of the deterministic pair-sampled
+	// stretch distribution (metrics.PairStretchStats).
+	GreedyLightness float64
+	GreedyStretch   float64
+	RatioVsGreedy   float64
+	StretchP99      float64
 	// Stages is the per-stage round breakdown ("stage:rounds;..."):
 	// pipeline order for measured runs, sorted ledger labels for
 	// accounted ones. Deterministic, so CSVs reproduce byte-for-byte.
@@ -235,7 +263,9 @@ type Row struct {
 // csvHeader matches Row.Record.
 var csvHeader = []string{
 	"construction", "workload", "n", "m", "seed", "repeat", "params", "mode",
-	"rounds", "messages", "size", "lightness", "stretch", "stages", "wall_ms",
+	"rounds", "messages", "size", "lightness", "stretch",
+	"greedy_lightness", "greedy_stretch", "ratio_vs_greedy", "stretch_p99",
+	"stages", "wall_ms",
 }
 
 // Record renders the row as CSV fields. Floats use fixed precision so
@@ -252,7 +282,9 @@ func (r Row) Record() []string {
 		strconv.Itoa(r.N), strconv.Itoa(r.M),
 		strconv.FormatInt(r.Seed, 10), strconv.Itoa(r.Repeat), r.Params, r.Mode,
 		strconv.FormatInt(r.Rounds, 10), strconv.FormatInt(r.Messages, 10),
-		strconv.Itoa(r.Size), f(r.Lightness), f(r.Stretch), r.Stages,
+		strconv.Itoa(r.Size), f(r.Lightness), f(r.Stretch),
+		f(r.GreedyLightness), f(r.GreedyStretch), f(r.RatioVsGreedy), f(r.StretchP99),
+		r.Stages,
 		strconv.FormatFloat(r.WallMS, 'f', 3, 64),
 	}
 }
@@ -283,7 +315,14 @@ func ledgerBreakdown(l *congest.Ledger) string {
 // runCell executes one grid cell and fills every Row column except the
 // identity ones the caller owns.
 func runCell(spec Spec, g *graph.Graph, seed int64, workers int) (Row, error) {
-	row := Row{Lightness: math.NaN(), Stretch: math.NaN(), Mode: "accounted"}
+	row := Row{
+		Lightness: math.NaN(), Stretch: math.NaN(), Mode: "accounted",
+		GreedyLightness: math.NaN(), GreedyStretch: math.NaN(),
+		RatioVsGreedy: math.NaN(), StretchP99: math.NaN(),
+	}
+	// The quality oracle runs after the wall-time capture: it certifies
+	// the construction, it is not part of it.
+	var quality func() error
 	if spec.Construction == "engine" {
 		row.Params = fmt.Sprintf("program=%s workers=%d", spec.Program, workers)
 		row.Mode = "measured" // elementary programs are always measured
@@ -338,6 +377,11 @@ func runCell(spec Spec, g *graph.Graph, seed int64, workers int) (Row, error) {
 				return row, err
 			}
 			row.Stretch = maxS
+		}
+		if spec.Quality {
+			quality = func() error {
+				return fillQuality(&row, g, res, spec, seed)
+			}
 		}
 	case "slt":
 		row.Params = fmt.Sprintf("eps=%g", spec.Eps)
@@ -414,7 +458,49 @@ func runCell(spec Spec, g *graph.Graph, seed int64, workers int) (Row, error) {
 	if row.Stages == "" {
 		row.Stages = ledgerBreakdown(led) // sorted-label dump
 	}
+	if quality != nil {
+		if err := quality(); err != nil {
+			return row, err
+		}
+	}
 	return row, nil
+}
+
+// fillQuality computes the quality-oracle columns of a spanner row: the
+// greedy [ADD+93] baseline at t = 2k−1 built independently on the same
+// graph, exact per-edge stretch of both spanners, and the deterministic
+// pair-sampled stretch tail. Every value is a pure function of
+// (graph, spec, seed), so reruns reproduce the columns byte for byte and
+// the CI quality gate can diff them exactly.
+func fillQuality(row *Row, g *graph.Graph, res *spanner.Result, spec Spec, seed int64) error {
+	t := float64(2*spec.K - 1)
+	built := g.Subgraph(res.Edges)
+	if math.IsNaN(row.Stretch) {
+		maxS, _, err := metrics.EdgeStretch(g, built)
+		if err != nil {
+			return fmt.Errorf("quality: built stretch: %w", err)
+		}
+		row.Stretch = maxS
+	}
+	stats, err := metrics.PairStretchStats(g, built, spec.QualityPairs, seed)
+	if err != nil {
+		return fmt.Errorf("quality: pair stretch: %w", err)
+	}
+	row.StretchP99 = stats.P99
+	greedyIDs, err := spanner.Greedy(g, t)
+	if err != nil {
+		return fmt.Errorf("quality: greedy oracle: %w", err)
+	}
+	gMax, _, err := metrics.EdgeStretch(g, g.Subgraph(greedyIDs))
+	if err != nil {
+		return fmt.Errorf("quality: greedy stretch: %w", err)
+	}
+	row.GreedyStretch = gMax
+	row.GreedyLightness = metrics.Lightness(g, greedyIDs, res.MSTWeight)
+	if row.GreedyLightness > 0 {
+		row.RatioVsGreedy = row.Lightness / row.GreedyLightness
+	}
+	return nil
 }
 
 // runEngineCell runs one genuine message-passing program on the worker

@@ -3,6 +3,7 @@ package experiments
 import (
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"testing"
 )
@@ -40,6 +41,8 @@ func TestGridValidateRejects(t *testing.T) {
 		{Sizes: []int{64}, Experiments: []Spec{{Construction: "spanner", Cluster: "nope"}}},
 		{Sizes: []int{64}, Experiments: []Spec{{Construction: "slt", Cluster: "baswana"}}},
 		{Sizes: []int{64}, Experiments: []Spec{{Construction: "spanner", Mode: "measured", Cluster: "en17"}}},
+		{Sizes: []int{64}, Experiments: []Spec{{Construction: "slt", Quality: true}}},
+		{Sizes: []int{64}, Experiments: []Spec{{Construction: "spanner", Quality: true, QualityPairs: -1}}},
 	}
 	for i := range bad {
 		if err := bad[i].Validate(); err == nil {
@@ -241,6 +244,83 @@ func TestDefaultGridRuns(t *testing.T) {
 	for c, seen := range want {
 		if !seen {
 			t.Fatalf("default grid misses construction %s", c)
+		}
+	}
+}
+
+// TestGridQualityColumns: a quality-enabled spanner spec fills the four
+// oracle columns with parseable values honouring the oracle's own
+// invariants, quality-less rows leave them empty, and the adversarial
+// lbcycle workload pins ratio_vs_greedy to exactly 1 (any t < n-1
+// spanner of a uniform cycle is the whole cycle, and so is greedy).
+func TestGridQualityColumns(t *testing.T) {
+	grid := &Grid{
+		Seed: 3, Sizes: []int{48}, Workloads: []string{"lbcycle", "er"},
+		Experiments: []Spec{
+			{Construction: "spanner", K: 2, Eps: 0.25, Verify: true, Quality: true, Cluster: "baswana"},
+			{Construction: "spanner", K: 2, Eps: 0.25},
+		},
+	}
+	dir := t.TempDir()
+	if err := RunGrid(grid, dir, nil); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "csv", "01-spanner.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rows [][]string
+	for _, line := range strings.Split(strings.TrimSpace(string(data)), "\n") {
+		rows = append(rows, strings.Split(line, ","))
+	}
+	col := func(name string) int {
+		for i, h := range rows[0] {
+			if h == name {
+				return i
+			}
+		}
+		t.Fatalf("missing column %q", name)
+		return -1
+	}
+	wl := col("workload")
+	gl, gs := col("greedy_lightness"), col("greedy_stretch")
+	ratio, p99 := col("ratio_vs_greedy"), col("stretch_p99")
+	stretch := col("stretch")
+	parse := func(r int, c int) float64 {
+		v, err := strconv.ParseFloat(rows[r][c], 64)
+		if err != nil {
+			t.Fatalf("row %d col %d: %q not numeric: %v", r, c, rows[r][c], err)
+		}
+		return v
+	}
+	for r := 1; r < len(rows); r++ {
+		if parse(r, gs) > 3 {
+			t.Fatalf("row %d: greedy stretch %q exceeds its own bound 3", r, rows[r][gs])
+		}
+		if parse(r, p99) > parse(r, stretch)+1e-9 {
+			t.Fatalf("row %d: p99 %q above max stretch %q", r, rows[r][p99], rows[r][stretch])
+		}
+		if parse(r, gl) < 1 {
+			t.Fatalf("row %d: greedy lightness %q below 1", r, rows[r][gl])
+		}
+		if rows[r][wl] == "lbcycle" && rows[r][ratio] != "1.0000" {
+			t.Fatalf("lbcycle ratio_vs_greedy %q, want exactly 1.0000", rows[r][ratio])
+		}
+	}
+	// The quality-less experiment leaves the oracle columns empty.
+	data2, err := os.ReadFile(filepath.Join(dir, "csv", "02-spanner.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, line := range strings.Split(strings.TrimSpace(string(data2)), "\n") {
+		if i == 0 {
+			continue
+		}
+		f := strings.Split(line, ",")
+		for _, c := range []int{gl, gs, ratio, p99} {
+			if f[c] != "" {
+				t.Fatalf("quality-less row %d has oracle column value %q", i, f[c])
+			}
 		}
 	}
 }

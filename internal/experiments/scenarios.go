@@ -9,6 +9,7 @@ import (
 	"strings"
 
 	"lightnet/internal/graph"
+	"lightnet/internal/lowerbound"
 )
 
 // The scenario registry: every workload the experiment pipeline can
@@ -333,6 +334,57 @@ var scenarioList = []*Scenario{
 				return nil, err
 			}
 			return graph.PlantedPartition(n, k, pin, pout, maxw, seed), nil
+		},
+	},
+	{
+		Name:    "lbfan",
+		Summary: "[KRY95] shallow-light fan: unit arc + uniform heavy spokes, one maximal spanner bucket",
+		Params: []ParamSpec{
+			{Name: "spoke", Default: "", Doc: "spoke weight (default max(2, n/8)); all spokes share one weight bucket"},
+		},
+		Build: func(n int, seed int64, p Params) (*graph.Graph, error) {
+			spoke, err := p.float("spoke", math.Max(2, float64(n)/8))
+			if err != nil {
+				return nil, err
+			}
+			if err := checkWeight("spoke", spoke); err != nil {
+				return nil, err
+			}
+			return lowerbound.Fan(n, spoke)
+		},
+	},
+	{
+		Name:    "lbcycle",
+		Summary: "uniform cycle: every edge is forced into any t<n−1 spanner, ratio vs greedy exactly 1",
+		Params: []ParamSpec{
+			{Name: "w", Default: "1", Doc: "uniform edge weight"},
+		},
+		Build: func(n int, seed int64, p Params) (*graph.Graph, error) {
+			w, err := p.float("w", 1)
+			if err != nil {
+				return nil, err
+			}
+			if err := checkWeight("w", w); err != nil {
+				return nil, err
+			}
+			return lowerbound.Cycle(n, w)
+		},
+	},
+	{
+		Name:    "lbbipartite",
+		Summary: "uniform K_{n/2,n/2} (girth 4): detours are exactly 3 edges, pinning k=2 to the 2k−1 bound",
+		Params: []ParamSpec{
+			{Name: "w", Default: "1", Doc: "uniform edge weight"},
+		},
+		Build: func(n int, seed int64, p Params) (*graph.Graph, error) {
+			w, err := p.float("w", 1)
+			if err != nil {
+				return nil, err
+			}
+			if err := checkWeight("w", w); err != nil {
+				return nil, err
+			}
+			return lowerbound.CompleteBipartite(n, w)
 		},
 	},
 	{

@@ -103,6 +103,9 @@ func TestScenarioBuildRejections(t *testing.T) {
 		"ubg:dim=16",        // same
 		"ubg:radius=0",      // no edges possible, reconnect-only is a bug not a wish
 		"ubg:radius=+Inf",   // infinite radius
+		"lbfan:spoke=0.5",   // spokes below the unit arc weight
+		"lbcycle:w=0",       // zero weight
+		"lbbipartite:w=-1",  // negative weight
 	} {
 		if _, err := BuildWorkload(bad, 64, 1); err == nil {
 			t.Fatalf("spec %q built successfully", bad)
@@ -123,6 +126,9 @@ func TestScenarioFamiliesRunnable(t *testing.T) {
 		"knn", "knn:k=3,dim=3",
 		"ba", "ba:m=1", "ba:m=5,maxw=2",
 		"planted", "planted:k=2,pin=0.4,pout=0.05",
+		"lbfan", "lbfan:spoke=12",
+		"lbcycle", "lbcycle:w=4",
+		"lbbipartite", "lbbipartite:w=2",
 	}
 	covered := map[string]bool{"edgelist": true}
 	for _, spec := range specs {

@@ -2,6 +2,8 @@ package graph
 
 import (
 	"bytes"
+	"fmt"
+	"strconv"
 	"strings"
 	"testing"
 )
@@ -43,6 +45,61 @@ func FuzzRead(f *testing.F) {
 		}
 		if g2.N() != g.N() || g2.M() != g.M() {
 			t.Fatalf("round-trip changed shape")
+		}
+	})
+}
+
+// FuzzReadEdgeList exercises the real-world edge-list ingester (the
+// edgelist scenario's front door): it must never panic, anything it
+// accepts must validate with dense unique labels, and — when no label
+// collides with the comment syntax — re-serialising and re-reading must
+// preserve the shape.
+func FuzzReadEdgeList(f *testing.F) {
+	f.Add("0 1\n1 2\n")
+	f.Add("# comment\n% also comment\na b 2.5\nb c 0.75\n")
+	f.Add("x x 1\n")        // self-loop, skipped
+	f.Add("0 1 1\n0 1 2\n") // parallel edge, kept
+	f.Add("u v -3\n")       // negative weight, rejected
+	f.Add("u v NaN\n")      // non-finite weight, rejected
+	f.Add("one two three four\n")
+	f.Add("n0 n1 1e-300\nn1 n2 1e300\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		if len(input) > 1<<16 {
+			return
+		}
+		g, labels, err := ReadEdgeList(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		if g.N() != len(labels) {
+			t.Fatalf("n=%d but %d labels", g.N(), len(labels))
+		}
+		seen := make(map[string]bool, len(labels))
+		for _, l := range labels {
+			if seen[l] {
+				t.Fatalf("duplicate label %q", l)
+			}
+			seen[l] = true
+		}
+		if verr := g.Validate(); verr != nil {
+			t.Fatalf("accepted graph fails validation: %v", verr)
+		}
+		for _, l := range labels {
+			if strings.HasPrefix(l, "#") || strings.HasPrefix(l, "%") {
+				return // re-serialised line would read back as a comment
+			}
+		}
+		var buf bytes.Buffer
+		for _, e := range g.Edges() {
+			fmt.Fprintf(&buf, "%s %s %s\n", labels[e.U], labels[e.V],
+				strconv.FormatFloat(e.W, 'g', -1, 64))
+		}
+		g2, _, rerr := ReadEdgeList(&buf)
+		if rerr != nil {
+			t.Fatalf("round-trip re-read failed: %v", rerr)
+		}
+		if g2.M() != g.M() {
+			t.Fatalf("round-trip changed edge count %d -> %d", g.M(), g2.M())
 		}
 	})
 }

@@ -1,0 +1,96 @@
+package lowerbound
+
+import (
+	"fmt"
+
+	"lightnet/internal/graph"
+)
+
+// Adversarial instances: graph families sitting exactly on the paper's
+// quality bounds, promoted into the scenario registry (lbfan, lbcycle,
+// lbbipartite in internal/experiments) so grids, `lightnet bench` and
+// the CI quality gate run them as worst cases. Each family is engineered
+// so that a sloppy implementation — an off-by-one in the stretch check,
+// a dropped bucket, a mis-rounded weight class — produces a measurable
+// bound violation instead of a quietly degraded constant:
+//
+//   - Fan is the shallow-light tradeoff instance [KRY95]: a unit-weight
+//     arc with uniform heavy spokes to a hub. All spokes share one §5
+//     weight bucket, so the per-bucket clustering handles a maximal
+//     star of equal-weight edges; lightness of any bounded-stretch
+//     spanner is forced well above 1, making the ratio-vs-greedy
+//     envelope tight.
+//   - Cycle is the minimal rigidity instance: on a uniform cycle every
+//     edge's best detour costs (n−1)·w, so any t-spanner with
+//     t < n−1 must keep every edge. The oracle and the construction
+//     must agree exactly (ratio 1); any disagreement is a bug.
+//   - CompleteBipartite with uniform weights has girth 4: a dropped
+//     edge's best detour is exactly 3 unit edges, so for k = 2 the
+//     built spanner sits exactly AT the 2k−1 = 3 stretch bound. Every
+//     unit edge lands in the low bucket (w ≤ L/n for n ≥ 2), making
+//     this a pure Baswana–Sen stress where stretch > 2k−1 means the
+//     clustering broke.
+//
+// All three are deterministic (no randomness — adversaries don't roll
+// dice), so every quality number they produce is committed exactly in
+// BENCH_quality.json.
+
+// Fan builds the [KRY95] shallow-light tradeoff fan: vertex 0 is the
+// hub, vertices 1..n−1 form a unit-weight arc path, and every arc vertex
+// hangs off the hub by a spoke of weight spoke ≥ 1. The MST is the arc
+// plus one spoke; the remaining n−2 spokes are equal-weight non-MST
+// edges in a single §5 bucket.
+func Fan(n int, spoke float64) (*graph.Graph, error) {
+	if n < 3 {
+		return nil, fmt.Errorf("lowerbound: fan needs n >= 3, got %d", n)
+	}
+	if !(spoke >= 1) {
+		return nil, fmt.Errorf("lowerbound: spoke weight %g must be >= 1", spoke)
+	}
+	g := graph.New(n)
+	for v := 1; v < n-1; v++ {
+		g.MustAddEdge(graph.Vertex(v), graph.Vertex(v+1), 1)
+	}
+	for v := 1; v < n; v++ {
+		g.MustAddEdge(0, graph.Vertex(v), spoke)
+	}
+	return g, nil
+}
+
+// Cycle builds the uniform n-cycle with edge weight w: every edge's
+// alternative path costs (n−1)·w, so any spanner with stretch bound
+// t < n−1 must keep all n edges — lightness exactly n/(n−1), ratio vs
+// the greedy oracle exactly 1.
+func Cycle(n int, w float64) (*graph.Graph, error) {
+	if n < 3 {
+		return nil, fmt.Errorf("lowerbound: cycle needs n >= 3, got %d", n)
+	}
+	if !(w >= 1) {
+		return nil, fmt.Errorf("lowerbound: weight %g must be >= 1", w)
+	}
+	g := graph.New(n)
+	for v := 0; v < n; v++ {
+		g.MustAddEdge(graph.Vertex(v), graph.Vertex((v+1)%n), w)
+	}
+	return g, nil
+}
+
+// CompleteBipartite builds K_{⌊n/2⌋,⌈n/2⌉} with uniform weight w — the
+// girth-4 instance whose dropped edges have detours of exactly three
+// edges, pinning the k = 2 spanner to the 2k−1 stretch boundary.
+func CompleteBipartite(n int, w float64) (*graph.Graph, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("lowerbound: bipartite needs n >= 2, got %d", n)
+	}
+	if !(w >= 1) {
+		return nil, fmt.Errorf("lowerbound: weight %g must be >= 1", w)
+	}
+	a := n / 2
+	g := graph.New(n)
+	for u := 0; u < a; u++ {
+		for v := a; v < n; v++ {
+			g.MustAddEdge(graph.Vertex(u), graph.Vertex(v), w)
+		}
+	}
+	return g, nil
+}

@@ -1,0 +1,143 @@
+package lowerbound
+
+import (
+	"testing"
+
+	"lightnet/internal/graph"
+)
+
+func TestFanShape(t *testing.T) {
+	g, err := Fan(10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 10 {
+		t.Fatalf("n=%d", g.N())
+	}
+	// n-2 arc edges plus n-1 spokes.
+	if want := 8 + 9; g.M() != want {
+		t.Fatalf("m=%d, want %d", g.M(), want)
+	}
+	if !g.Connected() {
+		t.Fatal("fan not connected")
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// All spokes share one weight class — the single-bucket property the
+	// scenario exists to stress.
+	spokes := 0
+	for _, e := range g.Edges() {
+		if e.U == 0 || e.V == 0 {
+			if e.W != 5 {
+				t.Fatalf("spoke with weight %g", e.W)
+			}
+			spokes++
+		} else if e.W != 1 {
+			t.Fatalf("arc edge with weight %g", e.W)
+		}
+	}
+	if spokes != 9 {
+		t.Fatalf("%d spokes, want 9", spokes)
+	}
+}
+
+func TestCycleShape(t *testing.T) {
+	g, err := Cycle(12, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 12 || g.M() != 12 {
+		t.Fatalf("n=%d m=%d", g.N(), g.M())
+	}
+	if !g.Connected() {
+		t.Fatal("cycle not connected")
+	}
+	for _, e := range g.Edges() {
+		if e.W != 2 {
+			t.Fatalf("edge weight %g", e.W)
+		}
+	}
+	// Every vertex has degree exactly 2.
+	deg := make([]int, g.N())
+	for _, e := range g.Edges() {
+		deg[e.U]++
+		deg[e.V]++
+	}
+	for v, d := range deg {
+		if d != 2 {
+			t.Fatalf("vertex %d has degree %d", v, d)
+		}
+	}
+}
+
+func TestCompleteBipartiteShape(t *testing.T) {
+	for _, n := range []int{2, 7, 12} {
+		g, err := CompleteBipartite(n, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a := n / 2
+		if g.N() != n || g.M() != a*(n-a) {
+			t.Fatalf("n=%d: got n=%d m=%d, want m=%d", n, g.N(), g.M(), a*(n-a))
+		}
+		if !g.Connected() {
+			t.Fatalf("n=%d: not connected", n)
+		}
+		// No edge inside either side.
+		for _, e := range g.Edges() {
+			sideU, sideV := int(e.U) < a, int(e.V) < a
+			if sideU == sideV {
+				t.Fatalf("n=%d: edge %d-%d inside one side", n, e.U, e.V)
+			}
+		}
+	}
+}
+
+// TestBipartiteGirthFour: the property the scenario stresses — dropping
+// any edge leaves a detour of exactly 3 unit edges, pinning a k=2
+// spanner to the 2k-1 boundary.
+func TestBipartiteGirthFour(t *testing.T) {
+	g, err := CompleteBipartite(10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := 0; id < g.M(); id++ {
+		rest := make([]graph.EdgeID, 0, g.M()-1)
+		for j := 0; j < g.M(); j++ {
+			if j != id {
+				rest = append(rest, graph.EdgeID(j))
+			}
+		}
+		e := g.Edge(graph.EdgeID(id))
+		if d := g.Subgraph(rest).Dijkstra(e.U).Dist[e.V]; d != 3 {
+			t.Fatalf("edge %d-%d: detour %g, want exactly 3", e.U, e.V, d)
+		}
+	}
+}
+
+func TestInstanceValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		err  func() error
+	}{
+		{"fan-small-n", func() error { _, err := Fan(2, 5); return err }},
+		{"fan-light-spoke", func() error { _, err := Fan(10, 0.5); return err }},
+		{"cycle-small-n", func() error { _, err := Cycle(2, 1); return err }},
+		{"cycle-zero-w", func() error { _, err := Cycle(10, 0); return err }},
+		{"bipartite-small-n", func() error { _, err := CompleteBipartite(1, 1); return err }},
+		{"bipartite-nan-w", func() error { _, err := CompleteBipartite(10, nan()); return err }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if tc.err() == nil {
+				t.Fatal("invalid parameters accepted")
+			}
+		})
+	}
+}
+
+func nan() float64 {
+	var zero float64
+	return zero / zero
+}

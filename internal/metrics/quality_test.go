@@ -1,0 +1,133 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"lightnet/internal/graph"
+)
+
+func TestSamplePairsDeterministicAndValid(t *testing.T) {
+	a := SamplePairs(50, 500, 9)
+	b := SamplePairs(50, 500, 9)
+	if len(a) != 500 {
+		t.Fatalf("want 500 pairs, got %d", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("pair %d differs between identical calls: %v vs %v", i, a[i], b[i])
+		}
+		u, v := a[i][0], a[i][1]
+		if u == v {
+			t.Fatalf("pair %d is a self-pair (%d,%d)", i, u, v)
+		}
+		if u < 0 || int(u) >= 50 || v < 0 || int(v) >= 50 {
+			t.Fatalf("pair %d out of range: (%d,%d)", i, u, v)
+		}
+	}
+	// Different seeds give different streams.
+	c := SamplePairs(50, 500, 10)
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("seed does not influence the sample")
+	}
+	if SamplePairs(1, 10, 1) != nil || SamplePairs(10, 0, 1) != nil {
+		t.Fatal("degenerate inputs must return nil")
+	}
+}
+
+// TestPairStretchStatsIdentity: a spanner equal to the graph has
+// stretch exactly 1 everywhere, in both the exact and sampled regimes.
+func TestPairStretchStatsIdentity(t *testing.T) {
+	g := graph.ErdosRenyi(80, 0.1, 9, 3)
+	for _, maxPairs := range []int{1 << 20 /* exact */, 100 /* sampled */} {
+		st, err := PairStretchStats(g, g, maxPairs, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Max != 1 || st.Mean != 1 || st.P99 != 1 {
+			t.Fatalf("maxPairs=%d: identity spanner has stats %+v", maxPairs, st)
+		}
+		wantExact := maxPairs >= 80*79/2
+		if st.Exact != wantExact {
+			t.Fatalf("maxPairs=%d: Exact=%v, want %v", maxPairs, st.Exact, wantExact)
+		}
+		if st.Pairs == 0 {
+			t.Fatal("no pairs evaluated")
+		}
+	}
+}
+
+// TestPairStretchStatsKnownValue pins the computation on a hand-checked
+// instance: a triangle with the heavy edge removed. The only stretched
+// pair is (0,2): detour 2 vs direct 1.5, stretch 4/3.
+func TestPairStretchStatsKnownValue(t *testing.T) {
+	g := graph.New(3)
+	g.MustAddEdge(0, 1, 1)
+	g.MustAddEdge(1, 2, 1)
+	g.MustAddEdge(0, 2, 1.5)
+	h := graph.New(3)
+	h.MustAddEdge(0, 1, 1)
+	h.MustAddEdge(1, 2, 1)
+	st, err := PairStretchStats(g, h, 1000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 2.0 / 1.5
+	if !st.Exact || st.Pairs != 3 {
+		t.Fatalf("want exact over 3 pairs, got %+v", st)
+	}
+	if math.Abs(st.Max-want) > 1e-15 {
+		t.Fatalf("max %v, want %v", st.Max, want)
+	}
+	// One stretched pair out of three: p99 is the top order statistic.
+	if math.Abs(st.P99-want) > 1e-15 {
+		t.Fatalf("p99 %v, want %v", st.P99, want)
+	}
+	if wantMean := (1 + 1 + want) / 3; math.Abs(st.Mean-wantMean) > 1e-15 {
+		t.Fatalf("mean %v, want %v", st.Mean, wantMean)
+	}
+}
+
+// TestPairStretchStatsSampledDeterminism: the sampled regime is a pure
+// function of (g, h, maxPairs, seed) — the property that lets the grid
+// CSVs and BENCH_quality.json commit its output exactly.
+func TestPairStretchStatsSampledDeterminism(t *testing.T) {
+	g := graph.RandomGeometric(200, 2, 7)
+	// A shortest-path tree is the sparsest spanner that still reaches
+	// every vertex — plenty of stretch for the sampler to see.
+	h := g.Subgraph(g.Dijkstra(0).TreeEdges())
+	a, err := PairStretchStats(g, h, 300, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := PairStretchStats(g, h, 300, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("repeated sampled runs differ: %+v vs %+v", a, b)
+	}
+	if a.Exact {
+		t.Fatal("200-vertex graph with 300 pairs must be sampled, not exact")
+	}
+	if a.Max < 1 || a.P99 < 1 || a.P99 > a.Max || a.Mean > a.Max {
+		t.Fatalf("inconsistent stats: %+v", a)
+	}
+}
+
+// TestPairStretchStatsSpannerHoles: a spanner that disconnects a pair
+// connected in g is an error, not a silent skip.
+func TestPairStretchStatsSpannerHoles(t *testing.T) {
+	g := graph.Path(4, 1)
+	h := graph.New(4)
+	h.MustAddEdge(0, 1, 1) // vertices 2,3 unreachable
+	if _, err := PairStretchStats(g, h, 1000, 1); err == nil {
+		t.Fatal("disconnected spanner accepted")
+	}
+}

@@ -7,14 +7,16 @@ package slt
 // across all thirteen pipeline stages.
 
 import (
+	"runtime"
 	"testing"
 
 	"lightnet/internal/graph"
 )
 
 // workerCounts mirrors the engine determinism suite: 1 is the
-// sequential reference.
-var workerCounts = []int{1, 2, 8}
+// sequential reference; odd counts (3, 7) split vertex ranges unevenly
+// and 16 oversubscribes typical CI runners.
+var workerCounts = []int{1, 2, 3, 7, 8, 16}
 
 func TestMeasuredDeterministicAcrossWorkers(t *testing.T) {
 	for _, tc := range []struct {
@@ -47,5 +49,30 @@ func TestMeasuredDeterministicAcrossWorkers(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+// TestMeasuredDeterministicUnderGOMAXPROCS1: the 8-worker pipeline on a
+// single OS thread (fully serialised goroutine scheduling) must match
+// the unconstrained 8-worker run bit-for-bit.
+func TestMeasuredDeterministicUnderGOMAXPROCS1(t *testing.T) {
+	g := graph.ErdosRenyi(150, 0.06, 9, 11)
+	run := func() *Result {
+		res, err := Build(g, 0, 0.5, Options{Seed: 7, Mode: Measured, Workers: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	ref := run()
+	prev := runtime.GOMAXPROCS(1)
+	defer runtime.GOMAXPROCS(prev)
+	got := run()
+	requireSameResult(t, ref, got)
+	for i := range ref.Stages {
+		if got.Stages[i] != ref.Stages[i] {
+			t.Fatalf("GOMAXPROCS=1 stage %q stats differ: %+v vs %+v",
+				ref.Stages[i].Name, got.Stages[i], ref.Stages[i])
+		}
 	}
 }

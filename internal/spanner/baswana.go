@@ -211,35 +211,3 @@ func BaswanaSen(g *graph.Graph, k int, seed int64, ledger *congest.Ledger, hopDi
 	edges, _ := baswanaCore(g, nil, k, seed)
 	return edges, nil
 }
-
-// Greedy computes the greedy t-spanner [ADD+93]: edges in weight order,
-// kept iff the current spanner distance between the endpoints exceeds
-// t·w(e). Quality baseline — O(m·(m + n log n)) time, test scale only.
-func Greedy(g *graph.Graph, t float64) ([]graph.EdgeID, error) {
-	if t < 1 {
-		return nil, fmt.Errorf("spanner: stretch %v < 1", t)
-	}
-	ids := make([]graph.EdgeID, g.M())
-	for i := range ids {
-		ids[i] = graph.EdgeID(i)
-	}
-	edges := g.Edges()
-	sort.Slice(ids, func(a, b int) bool {
-		ea, eb := edges[ids[a]], edges[ids[b]]
-		if ea.W != eb.W {
-			return ea.W < eb.W
-		}
-		return ids[a] < ids[b]
-	})
-	h := graph.New(g.N())
-	var kept []graph.EdgeID
-	for _, id := range ids {
-		e := edges[id]
-		d := h.DijkstraBounded(e.U, t*e.W).Dist[e.V]
-		if d > t*e.W {
-			h.MustAddEdge(e.U, e.V, e.W)
-			kept = append(kept, id)
-		}
-	}
-	return kept, nil
-}

@@ -8,12 +8,14 @@ package spanner
 // Baswana-Sen fan-out.
 
 import (
+	"runtime"
 	"testing"
 )
 
 // workerCounts mirrors the engine determinism suite: 1 is the
-// sequential reference.
-var workerCounts = []int{1, 2, 8}
+// sequential reference; odd counts (3, 7) split vertex ranges unevenly
+// and 16 oversubscribes typical CI runners.
+var workerCounts = []int{1, 2, 3, 7, 8, 16}
 
 func TestSpannerMeasuredDeterministicAcrossWorkers(t *testing.T) {
 	for _, tg := range spannerTestGraphs() {
@@ -40,5 +42,30 @@ func TestSpannerMeasuredDeterministicAcrossWorkers(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+// TestSpannerMeasuredDeterministicUnderGOMAXPROCS1: the 8-worker
+// pipeline on a single OS thread (fully serialised goroutine
+// scheduling) must match the unconstrained 8-worker run bit-for-bit.
+func TestSpannerMeasuredDeterministicUnderGOMAXPROCS1(t *testing.T) {
+	tg := spannerTestGraphs()[0]
+	run := func() *Result {
+		res, err := BuildLight(tg.g, 2, 0.25, Options{Seed: 7, Mode: Measured, Workers: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	ref := run()
+	prev := runtime.GOMAXPROCS(1)
+	defer runtime.GOMAXPROCS(prev)
+	got := run()
+	requireSameSpanner(t, ref, got)
+	for i := range ref.Stages {
+		if got.Stages[i] != ref.Stages[i] {
+			t.Fatalf("GOMAXPROCS=1 stage %q stats differ: %+v vs %+v",
+				ref.Stages[i].Name, got.Stages[i], ref.Stages[i])
+		}
 	}
 }

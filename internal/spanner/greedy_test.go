@@ -1,0 +1,162 @@
+package spanner
+
+// Property suite for the greedy [ADD+93] oracle. The oracle certifies
+// every other spanner in the repo (grid quality columns, the CI quality
+// gate), so its own correctness is established here from first
+// principles: the t-spanner property is re-verified with full
+// independent Dijkstra runs — not the bounded searches Greedy itself
+// uses — minimality is checked edge-by-edge, and determinism is exact
+// (the oracle takes no seed, so two runs must agree bit-for-bit).
+
+import (
+	"testing"
+
+	"lightnet/internal/graph"
+)
+
+// greedyStretchOK verifies the t-spanner property of h over g the slow,
+// independent way: one full Dijkstra per distinct edge endpoint in h,
+// checking d_h(u,v) <= t*w(e) for every edge e of g. Max stretch over a
+// connected graph is always attained on an edge, so this is a complete
+// certificate.
+func greedyStretchOK(t *testing.T, g, h *graph.Graph, stretch float64) {
+	t.Helper()
+	trees := make(map[graph.Vertex]*graph.SPTree)
+	for _, e := range g.Edges() {
+		sp, ok := trees[e.U]
+		if !ok {
+			sp = h.Dijkstra(e.U)
+			trees[e.U] = sp
+		}
+		if d := sp.Dist[e.V]; d > stretch*e.W {
+			t.Fatalf("edge %d-%d w=%g: spanner distance %g exceeds %g", e.U, e.V, e.W, d, stretch*e.W)
+		}
+	}
+}
+
+func TestGreedyIsTSpanner(t *testing.T) {
+	for _, tg := range spannerTestGraphs() {
+		t.Run(tg.name, func(t *testing.T) {
+			for _, stretch := range []float64{1, 1.5, 3, 5} {
+				kept, err := Greedy(tg.g, stretch)
+				if err != nil {
+					t.Fatal(err)
+				}
+				greedyStretchOK(t, tg.g, tg.g.Subgraph(kept), stretch)
+			}
+		})
+	}
+}
+
+// TestGreedyMinimal: dropping any single kept edge breaks the stretch
+// guarantee for that edge's endpoints — the classic optimality property
+// of path-greedy (no edge is redundant), and the sharpest possible
+// check that the accept condition is neither too eager nor off by one.
+func TestGreedyMinimal(t *testing.T) {
+	for _, tg := range spannerTestGraphs() {
+		t.Run(tg.name, func(t *testing.T) {
+			const stretch = 3
+			kept, err := Greedy(tg.g, stretch)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for drop := range kept {
+				rest := make([]graph.EdgeID, 0, len(kept)-1)
+				rest = append(rest, kept[:drop]...)
+				rest = append(rest, kept[drop+1:]...)
+				h := tg.g.Subgraph(rest)
+				e := tg.g.Edge(kept[drop])
+				if d := h.DijkstraBounded(e.U, stretch*e.W).Dist[e.V]; d <= stretch*e.W {
+					t.Fatalf("edge %d-%d w=%g is redundant: distance without it is %g <= %g",
+						e.U, e.V, e.W, d, stretch*e.W)
+				}
+			}
+		})
+	}
+}
+
+// TestGreedyDeterministic: the oracle has no seed, so repeated runs must
+// return the identical edge-id sequence.
+func TestGreedyDeterministic(t *testing.T) {
+	for _, tg := range spannerTestGraphs() {
+		a, err := Greedy(tg.g, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Greedy(tg.g, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(a) != len(b) {
+			t.Fatalf("%s: %d vs %d edges", tg.name, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s: position %d: edge %d vs %d", tg.name, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+// TestGreedySubsetMatchesSubgraph: restricting by mask must behave
+// exactly like running the oracle on the graph containing only the
+// masked edges (same vertex set, same relative edge order).
+func TestGreedySubsetMatchesSubgraph(t *testing.T) {
+	g := graph.ErdosRenyi(100, 0.1, 17, 5)
+	sub := make([]bool, g.M())
+	var ids []graph.EdgeID
+	for i := 0; i < g.M(); i += 2 {
+		sub[i] = true
+		ids = append(ids, graph.EdgeID(i))
+	}
+	masked, err := GreedySubset(g, sub, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := Greedy(g.Subgraph(ids), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(masked) != len(plain) {
+		t.Fatalf("%d vs %d edges", len(masked), len(plain))
+	}
+	for i := range masked {
+		// Subgraph re-ids the masked edges densely in mask order, so
+		// original id 2j maps to subgraph id j.
+		if masked[i] != ids[plain[i]] {
+			t.Fatalf("position %d: edge %d vs subgraph edge %d (orig %d)",
+				i, masked[i], plain[i], ids[plain[i]])
+		}
+	}
+	for _, id := range masked {
+		if !sub[id] {
+			t.Fatalf("edge %d outside the mask", id)
+		}
+	}
+}
+
+func TestGreedyRejectsBadStretch(t *testing.T) {
+	g := graph.Path(4, 1)
+	for _, bad := range []float64{0.99, 0, -2} {
+		if _, err := Greedy(g, bad); err == nil {
+			t.Fatalf("stretch %g accepted", bad)
+		}
+	}
+}
+
+// TestGreedyOnCycleKeepsEverything pins the lbcycle adversarial
+// contract: with stretch below n-1 no cycle edge has a valid detour, so
+// the oracle keeps all n edges.
+func TestGreedyOnCycleKeepsEverything(t *testing.T) {
+	g := graph.New(10)
+	for v := 0; v < 10; v++ {
+		g.MustAddEdge(graph.Vertex(v), graph.Vertex((v+1)%10), 2)
+	}
+	kept, err := Greedy(g, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(kept) != 10 {
+		t.Fatalf("kept %d of 10 cycle edges", len(kept))
+	}
+}
