@@ -22,6 +22,14 @@
 // spanner: the accounted run with -cluster baswana, the distributable
 // per-bucket choice the pipeline executes).
 //
+// Measured runs accept -faults with a deterministic fault spec — the
+// engine then drops/duplicates/delays messages and crashes vertices per
+// the plan, every pipeline stage is validated and retried, and crash
+// faults degrade the build to the surviving component:
+//
+//	lightnet -obj slt -graph er -n 512 -mode measured -faults drop=0.002,delay=0.01
+//	lightnet -obj spanner -graph er -n 512 -mode measured -faults crash=17@0
+//
 // -graph accepts any scenario spec from the registry — a name plus
 // optional parameters, e.g. "ba:m=4,maxw=10" or "knn:k=6,dim=3". The
 // scenarios subcommand lists the catalog (full details in
@@ -37,8 +45,12 @@
 // plus logs is written. Re-running the same grid reproduces identical
 // CSV content modulo the wall-time column.
 //
+// Each completed cell is checkpointed in the run folder's manifest, so
+// a killed run resumes in seconds without recomputing finished cells:
+//
 //	lightnet bench -grid examples/grids/quick.json
 //	lightnet bench -grid grid.json -out results/nightly
+//	lightnet bench -grid grid.json -out results/nightly -resume
 //	lightnet bench                      (built-in headline grid)
 package main
 
@@ -80,11 +92,15 @@ func runBench(args []string) error {
 	fs := flag.NewFlagSet("bench", flag.ContinueOnError)
 	gridPath := fs.String("grid", "", "JSON experiment-grid file (default: built-in headline grid)")
 	out := fs.String("out", "", "output folder (default: bench-<timestamp>)")
+	resume := fs.Bool("resume", false, "resume a killed run: skip the cells -out's manifest marks done")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return nil
 		}
 		return err
+	}
+	if *resume && *out == "" {
+		return errors.New("-resume needs -out: the folder of the run to pick up")
 	}
 	grid := experiments.DefaultGrid()
 	if *gridPath != "" {
@@ -97,7 +113,7 @@ func runBench(args []string) error {
 	if dir == "" {
 		dir = "bench-" + time.Now().Format("20060102-150405")
 	}
-	if err := experiments.RunGrid(grid, dir, os.Stdout); err != nil {
+	if err := experiments.RunGridResume(grid, dir, os.Stdout, *resume); err != nil {
 		return err
 	}
 	fmt.Printf("run folder: %s (csv/ per experiment, logs/run.log, grid.json)\n", dir)
@@ -118,6 +134,8 @@ func run() error {
 		mode  = flag.String("mode", "accounted", "slt/spanner execution: accounted (ledger formulas) | measured (genuine engine message passing)")
 		clust = flag.String("cluster", "en17", "spanner per-bucket algorithm: en17 | greedy | baswana (measured mode implies baswana)")
 		work  = flag.Int("workers", 0, "engine worker pool for measured runs (0 = GOMAXPROCS)")
+		fspec = flag.String("faults", "", "fault spec for measured runs, e.g. drop=0.01,crash=5@10 (docs/ARCHITECTURE.md)")
+		retry = flag.Int("retries", 0, "per-stage validator retry budget for -faults runs (0 = default)")
 		seed  = flag.Int64("seed", 1, "random seed")
 		nover = flag.Bool("noverify", false, "skip exact verification (large graphs)")
 		load  = flag.String("load", "", "load the graph from this file instead of generating")
@@ -156,6 +174,12 @@ func run() error {
 	}
 	if *mode == "measured" && clusterSet && *clust != "baswana" {
 		return fmt.Errorf("-mode measured runs the baswana bucket clustering (got -cluster %q)", *clust)
+	}
+	if *fspec != "" && *mode != "measured" {
+		return fmt.Errorf("-faults requires -mode measured (the accounted path exchanges no messages)")
+	}
+	if *retry != 0 && *fspec == "" {
+		return fmt.Errorf("-retries requires -faults (fault-free stages do not retry)")
 	}
 
 	var g *lightnet.Graph
@@ -200,6 +224,9 @@ func run() error {
 		if *mode == "measured" {
 			spOpts = append(spOpts, lightnet.WithMeasured(), lightnet.WithWorkers(*work))
 		}
+		if *fspec != "" {
+			spOpts = append(spOpts, lightnet.WithFaultSpec(*fspec), lightnet.WithStageRetries(*retry))
+		}
 		res, err := lightnet.BuildLightSpanner(g, *k, *eps, spOpts...)
 		if err != nil {
 			return err
@@ -209,18 +236,27 @@ func run() error {
 		if res.Cost.Measured {
 			printBreakdown(res.Cost)
 		}
+		printFaults(res.Faults)
 		if !*nover {
-			maxS, meanS, err := lightnet.VerifySpanner(g, res)
-			if err != nil {
-				return err
+			if res.Faults != nil && res.Faults.Survivors < g.N() {
+				fmt.Printf("degraded to %d/%d survivors: skipping full-graph verification\n",
+					res.Faults.Survivors, g.N())
+			} else {
+				maxS, meanS, err := lightnet.VerifySpanner(g, res)
+				if err != nil {
+					return err
+				}
+				fmt.Printf("verified: stretch max=%.3f mean=%.3f (bound %.3f)\n",
+					maxS, meanS, float64(2**k-1)*(1+*eps))
 			}
-			fmt.Printf("verified: stretch max=%.3f mean=%.3f (bound %.3f)\n",
-				maxS, meanS, float64(2**k-1)*(1+*eps))
 		}
 	case "slt":
 		sltOpts := []lightnet.Option{lightnet.WithSeed(*seed)}
 		if *mode == "measured" {
 			sltOpts = append(sltOpts, lightnet.WithMeasured(), lightnet.WithWorkers(*work))
+		}
+		if *fspec != "" {
+			sltOpts = append(sltOpts, lightnet.WithFaultSpec(*fspec), lightnet.WithStageRetries(*retry))
 		}
 		res, err := lightnet.BuildSLT(g, lightnet.Vertex(*root), *eps, sltOpts...)
 		if err != nil {
@@ -229,12 +265,18 @@ func run() error {
 		fmt.Printf("slt: lightness=%.3f rounds=%d messages=%d mode=%s\n",
 			res.Lightness, res.Cost.Rounds, res.Cost.Messages, *mode)
 		printBreakdown(res.Cost)
+		printFaults(res.Faults)
 		if !*nover {
-			light, stretch, err := lightnet.VerifySLT(g, res)
-			if err != nil {
-				return err
+			if res.Faults != nil && res.Faults.Survivors < g.N() {
+				fmt.Printf("degraded to %d/%d survivors: skipping full-graph verification\n",
+					res.Faults.Survivors, g.N())
+			} else {
+				light, stretch, err := lightnet.VerifySLT(g, res)
+				if err != nil {
+					return err
+				}
+				fmt.Printf("verified: lightness=%.3f rootStretch=%.3f\n", light, stretch)
 			}
-			fmt.Printf("verified: lightness=%.3f rootStretch=%.3f\n", light, stretch)
 		}
 	case "sltinv":
 		res, err := lightnet.BuildSLTInverse(g, lightnet.Vertex(*root), *gamma, lightnet.WithSeed(*seed))
@@ -363,6 +405,16 @@ func printBreakdown(c lightnet.Cost) {
 		parts = append(parts, fmt.Sprintf("%s:%d", label, c.Breakdown[label]))
 	}
 	fmt.Printf("breakdown: %s\n", strings.Join(parts, ";"))
+}
+
+// printFaults dumps a faulted measured run's diagnostics (no-op for
+// fault-free runs).
+func printFaults(f *lightnet.FaultReport) {
+	if f == nil {
+		return
+	}
+	fmt.Printf("faults: dropped=%d duplicated=%d delayed=%d retries=%d survivors=%d\n",
+		f.Dropped, f.Duplicated, f.Delayed, f.Retries, f.Survivors)
 }
 
 // makeGraph resolves -graph through the scenario registry, so the CLI

@@ -56,6 +56,13 @@ const bvNoEdge = int64(math.MaxInt64)
 func (p *boruvkaProgram) Init(ctx *Ctx) {
 	p.frag = int64(ctx.V())
 	p.nbrFrag = make([]int64, ctx.Degree())
+	// -1 marks "never heard": a slot whose announce did not arrive —
+	// restricted edge, crashed or partitioned neighbor — is excluded
+	// from MOE candidates, so the program works on the reachable
+	// subgraph instead of merging with phantom fragment 0.
+	for i := range p.nbrFrag {
+		p.nbrFrag[i] = -1
+	}
 	p.treeAdj = make([]bool, ctx.Degree())
 	p.active = true
 	p.stage = bvStageAnnounce
@@ -175,7 +182,7 @@ func (p *boruvkaProgram) PhaseDone(ctx *Ctx) bool {
 		p.stage = bvStageAggregate
 		p.localW, p.localID = math.Inf(1), bvNoEdge
 		for i, h := range ctx.Neighbors() {
-			if p.nbrFrag[i] != p.frag && better(h.W, int64(h.ID), p.localW, p.localID) {
+			if p.nbrFrag[i] >= 0 && p.nbrFrag[i] != p.frag && better(h.W, int64(h.ID), p.localW, p.localID) {
 				p.localW, p.localID = h.W, int64(h.ID)
 			}
 		}

@@ -63,8 +63,13 @@ type Engine struct {
 	// aborts; Run sets it from Options.MaxRounds, Pipeline re-arms it per
 	// stage so every stage gets its own budget.
 	roundLimit int
-	mu         sync.Mutex // guards failed under parallel execution
-	failed     error
+	// fi, when non-nil, is the compiled Options.Faults plan (see
+	// faults.go). Every fault-aware path branches on a nil check so the
+	// fault-free hot path stays allocation-free and unchanged.
+	fi       *faultInjector
+	faultErr error // invalid Options.Faults; surfaced by runProgram
+	mu       sync.Mutex // guards failed under parallel execution
+	failed   error
 }
 
 func (e *Engine) fail(err error) {
@@ -160,6 +165,13 @@ func newEngine(g *graph.Graph, opts Options) *Engine {
 		batch:      1, // 0 is the "never sent" stamp in used
 		roundLimit: opts.MaxRounds,
 	}
+	if opts.Faults.Active() {
+		if err := opts.Faults.Validate(g.N()); err != nil {
+			e.faultErr = err
+		} else {
+			e.fi = newFaultInjector(opts.Faults, opts.Seed, g.N())
+		}
+	}
 	base := newFastSource(opts.Seed)
 	for v := 0; v < g.N(); v++ {
 		e.ctxs[v] = Ctx{
@@ -201,7 +213,17 @@ func (e *Engine) Run() (Stats, error) {
 // quiescence across all phases, accumulating into e.stats. It is the
 // shared body of Run and of every Pipeline stage.
 func (e *Engine) runProgram() error {
+	if e.faultErr != nil {
+		return e.faultErr
+	}
 	for v := range e.progs {
+		if e.fi != nil && e.fi.down(graph.Vertex(v), e.stats.Rounds) {
+			// A vertex crashed before this program started never runs
+			// Init; dispatch and PhaseDone skip it too, so the program
+			// simply does not exist at that vertex.
+			e.ctxs[v].awake = false
+			continue
+		}
 		e.progs[v].Init(&e.ctxs[v])
 		if err := e.failure(); err != nil {
 			e.collect(nil)
@@ -216,6 +238,9 @@ func (e *Engine) runProgram() error {
 		e.stats.Phases++
 		more := false
 		for v := range e.progs {
+			if e.fi != nil && e.fi.down(graph.Vertex(v), e.stats.Rounds) {
+				continue
+			}
 			if e.progs[v].PhaseDone(&e.ctxs[v]) {
 				e.ctxs[v].awake = true
 				more = true
@@ -260,7 +285,9 @@ func (e *Engine) stepRound() (bool, error) {
 	// delivery appends the vertices that receive a message.
 	e.work, e.next = e.next, e.work[:0]
 	delivered := len(e.dirty)
-	if delivered > 0 {
+	if e.fi != nil {
+		delivered = e.deliverWithFaults()
+	} else if delivered > 0 {
 		// Deliver queued messages in edge-id order (direction 0 first)
 		// so the inbox order of every vertex is canonical. The dirty
 		// list holds exactly one batch's sends; sorting restores the
@@ -285,6 +312,19 @@ func (e *Engine) stepRound() (bool, error) {
 		e.dirty = e.dirty[:0]
 	}
 	if len(e.work) == 0 {
+		if e.fi != nil && len(e.fi.delayed) > 0 {
+			// No handler runs this round, but delayed messages are still
+			// in flight: burn an idle round so they age towards delivery
+			// instead of quiescing with mail undelivered.
+			e.stats.Rounds++
+			if e.stats.Rounds > e.roundLimit {
+				return false, fmt.Errorf("%w: %d", ErrRoundLimit, e.roundLimit)
+			}
+			if e.opts.Trace != nil {
+				e.opts.Trace.Rounds = append(e.opts.Trace.Rounds, TraceRound{Round: e.stats.Rounds})
+			}
+			return true, nil
+		}
 		return false, nil
 	}
 	e.stats.Rounds++
@@ -316,11 +356,167 @@ func (e *Engine) stepRound() (bool, error) {
 // marker, so dispatching distinct vertices concurrently is race-free.
 func (e *Engine) dispatch(v int32, round int) {
 	c := &e.ctxs[v]
+	if e.fi != nil && e.fi.down(graph.Vertex(v), round) {
+		// Crashed vertex: its handler does not run and its inbox is
+		// discarded (the delivery loop already drops mail addressed to
+		// it; this catches vertices woken before the crash took effect).
+		c.awake = false
+		e.queued[v] = false
+		e.inboxes[v] = e.inboxes[v][:0]
+		return
+	}
 	c.awake = false // programs re-arm via Stay or by sending later
 	c.round = round
 	e.queued[v] = false
 	e.progs[v].Handle(c, e.inboxes[v])
 	e.inboxes[v] = e.inboxes[v][:0]
+}
+
+// deliverWithFaults is the fault-injecting twin of stepRound's delivery
+// loop, used when Options.Faults is active. It releases due delayed
+// messages, wakes vertices whose crash-restart round arrived, and runs
+// every fresh message through the plan: crash and partition checks
+// first (vertex-level faults), then one hash classification per
+// (round, directed edge) into drop / duplicate / delay. It returns the
+// number of messages actually placed in inboxes. Everything here is
+// driven by sorted slices and pure hashes of (seed, round, slot), so
+// the faulted delivery is exactly as deterministic as the fault-free
+// one.
+func (e *Engine) deliverWithFaults() int {
+	fi := e.fi
+	r := e.stats.Rounds + 1 // the round these messages arrive in
+	delivered := 0
+	// Wake crash-restart vertices whose time has come. The cursor is
+	// monotone: a restart round skipped while the network was quiescent
+	// is not replayed (the next pipeline stage re-awakens everyone).
+	for fi.nextRestart < len(fi.restarts) && fi.restarts[fi.nextRestart].round <= r {
+		v := fi.restarts[fi.nextRestart].v
+		fi.nextRestart++
+		if !e.queued[v] {
+			e.queued[v] = true
+			e.work = append(e.work, int32(v))
+		}
+	}
+	// Release delayed messages that are due. Insertion order is the
+	// canonical delivery order of their original rounds, so iterating in
+	// order keeps inboxes canonical. Crash and partition state apply at
+	// the actual arrival round.
+	if len(fi.delayed) > 0 {
+		kept := fi.delayed[:0]
+		for _, dm := range fi.delayed {
+			if dm.due > r {
+				kept = append(kept, dm)
+				continue
+			}
+			if fi.down(dm.to, r) {
+				fi.stats.CrashDropped++
+				continue
+			}
+			if fi.cut(dm.from, dm.to, r) {
+				fi.stats.PartitionDropped++
+				continue
+			}
+			e.deliver(dm.to, Message{From: dm.from, Via: dm.via, Words: dm.words})
+			delivered++
+		}
+		fi.delayed = kept
+	}
+	if len(e.dirty) > 0 {
+		slices.Sort(e.dirty)
+		par := (e.batch - 1) & 1
+		for _, slot := range e.dirty {
+			id := graph.EdgeID(slot >> 1)
+			om := e.outbox[slot]
+			ed := e.g.Edge(id)
+			to := ed.V
+			if slot&1 == 1 {
+				to = ed.U
+			}
+			words := e.ctxs[om.from].wbuf[par][om.off : om.off+om.n]
+			if fi.down(to, r) {
+				fi.stats.CrashDropped++
+				continue
+			}
+			if fi.cut(om.from, to, r) {
+				fi.stats.PartitionDropped++
+				continue
+			}
+			switch kind, extra := fi.classify(r, int64(slot)); kind {
+			case faultDrop:
+				fi.stats.Dropped++
+			case faultDup:
+				fi.stats.Duplicated++
+				m := Message{From: om.from, Via: id, Words: words}
+				e.deliver(to, m)
+				e.deliver(to, m)
+				delivered += 2
+			case faultDelay:
+				fi.stats.Delayed++
+				// Copy the payload: the sender's arena is only valid for
+				// this round.
+				fi.delayed = append(fi.delayed, delayedMsg{
+					due: r + extra, to: to, from: om.from, via: id,
+					words: append([]int64(nil), words...),
+				})
+			default:
+				e.deliver(to, Message{From: om.from, Via: id, Words: words})
+				delivered++
+			}
+		}
+		e.dirty = e.dirty[:0]
+	}
+	return delivered
+}
+
+// deliver appends one message to to's inbox and queues the vertex on
+// the current worklist.
+func (e *Engine) deliver(to graph.Vertex, m Message) {
+	e.inboxes[to] = append(e.inboxes[to], m)
+	if !e.queued[to] {
+		e.queued[to] = true
+		e.work = append(e.work, int32(to))
+	}
+}
+
+// FaultStats returns the faults injected so far (zero when
+// Options.Faults is nil or inactive).
+func (e *Engine) FaultStats() FaultStats {
+	if e.fi == nil {
+		return FaultStats{}
+	}
+	return e.fi.stats
+}
+
+// resetTransient clears every piece of in-flight execution state — the
+// failure flag, worklists, inboxes, pending sends and delayed messages
+// — so a pipeline stage can be retried on the same engine. Durable
+// state survives: program slices owned by the caller, per-vertex RNG
+// streams, cumulative stats, the crash-schedule cursor and fault
+// counters (a retry happens at later rounds, so it sees fresh fault
+// draws — that is what makes bounded retry converge under message
+// faults).
+func (e *Engine) resetTransient() {
+	e.mu.Lock()
+	e.failed = nil
+	e.mu.Unlock()
+	e.work = e.work[:0]
+	e.next = e.next[:0]
+	e.dirty = e.dirty[:0]
+	for v := range e.queued {
+		e.queued[v] = false
+	}
+	for v := range e.inboxes {
+		e.inboxes[v] = e.inboxes[v][:0]
+	}
+	for v := range e.ctxs {
+		c := &e.ctxs[v]
+		c.awake = false
+		c.pending = c.pending[:0]
+		c.sentMsgs, c.sentWords, c.maxWords = 0, 0, 0
+	}
+	if e.fi != nil {
+		e.fi.delayed = e.fi.delayed[:0]
+	}
 }
 
 // runHandlers dispatches one round's handlers for the worklist vertices,

@@ -1,0 +1,519 @@
+package congest
+
+// Deterministic fault injection for the engine: message drop / duplicate
+// / bounded-delay at the send→deliver boundary, and crash-stop /
+// crash-restart / partition schedules at the vertex level.
+//
+// Every fault decision is a pure splitmix64-style hash of
+// (plan seed, delivery round, directed edge slot) — the same discipline
+// as the sampling helpers of the spanner package — so the fault stream
+// is a function of the plan alone: bit-identical at every worker count,
+// under GOMAXPROCS=1, and across re-runs. Faulted executions therefore
+// stay exactly as reproducible as fault-free ones.
+//
+// Semantics, chosen once and documented here:
+//
+//   - Message faults are classified at delivery time, one hash draw per
+//     (round, directed edge). A dropped message vanishes; a duplicated
+//     one is delivered twice in the same inbox; a delayed one arrives
+//     1..MaxDelay rounds late (payload copied — arenas are only valid
+//     for one round). Delayed messages still honour crash and partition
+//     state at their actual arrival round.
+//   - A crashed vertex neither runs handlers nor receives messages;
+//     messages already in flight when the sender crashes are delivered
+//     (the network does not revoke them). Crash at round 0 means the
+//     vertex never runs Init; such crashes must be crash-stop — a vertex
+//     that never initialised cannot rejoin (Validate enforces this).
+//   - A restarted vertex is woken at its restart round if the network is
+//     still active then; otherwise it rejoins at the next pipeline stage
+//     (stages re-awaken every vertex). Its program state is whatever it
+//     held when it crashed.
+//   - A partition assigns every vertex a side by hash (P(side B) = Frac)
+//     and drops cross-side messages during [From, Until).
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+
+	"lightnet/internal/graph"
+)
+
+// Crash schedules one vertex failure. The vertex is down for every
+// round r with Round <= r < Restart (Restart == 0 means crash-stop:
+// down forever). Round 0 crashes the vertex before Init and therefore
+// requires Restart == 0.
+type Crash struct {
+	Vertex  graph.Vertex `json:"vertex"`
+	Round   int          `json:"round"`
+	Restart int          `json:"restart,omitempty"`
+}
+
+// Partition splits the vertex set in two for rounds [From, Until):
+// every vertex lands on side B with probability Frac (by seeded hash)
+// and messages crossing the cut are dropped.
+type Partition struct {
+	Frac  float64 `json:"frac"`
+	From  int     `json:"from"`
+	Until int     `json:"until"`
+}
+
+// FaultPlan is a deterministic fault schedule for an engine run. The
+// zero value injects nothing: an engine run under &FaultPlan{} is
+// bit-identical to one with Options.Faults == nil.
+type FaultPlan struct {
+	// Seed seeds the fault hash. 0 falls back to Options.Seed.
+	Seed int64 `json:"seed,omitempty"`
+	// Drop, Duplicate and Delay are per-message probabilities; their sum
+	// must not exceed 1.
+	Drop      float64 `json:"drop,omitempty"`
+	Duplicate float64 `json:"duplicate,omitempty"`
+	Delay     float64 `json:"delay,omitempty"`
+	// MaxDelay bounds the extra rounds a delayed message waits
+	// (uniform in 1..MaxDelay). Default 4.
+	MaxDelay   int         `json:"max_delay,omitempty"`
+	Crashes    []Crash     `json:"crashes,omitempty"`
+	Partitions []Partition `json:"partitions,omitempty"`
+}
+
+// FaultStats counts the faults an engine actually injected.
+type FaultStats struct {
+	Dropped          int64
+	Duplicated       int64
+	Delayed          int64
+	CrashDropped     int64 // messages dropped because the receiver was down
+	PartitionDropped int64 // messages dropped crossing a partition cut
+}
+
+// Active reports whether the plan injects any fault at all.
+func (p *FaultPlan) Active() bool {
+	if p == nil {
+		return false
+	}
+	return p.Drop > 0 || p.Duplicate > 0 || p.Delay > 0 ||
+		len(p.Crashes) > 0 || len(p.Partitions) > 0
+}
+
+// Validate checks the plan. n is the vertex count for bounds checks;
+// pass n <= 0 when the graph is not known yet (bounds are then checked
+// again by the engine that receives the plan).
+func (p *FaultPlan) Validate(n int) error {
+	if p == nil {
+		return nil
+	}
+	for _, f := range []struct {
+		name string
+		v    float64
+	}{{"drop", p.Drop}, {"dup", p.Duplicate}, {"delay", p.Delay}} {
+		if f.v < 0 || f.v > 1 || math.IsNaN(f.v) {
+			return fmt.Errorf("congest: fault plan: %s=%g outside [0,1]", f.name, f.v)
+		}
+	}
+	if s := p.Drop + p.Duplicate + p.Delay; s > 1 {
+		return fmt.Errorf("congest: fault plan: drop+dup+delay=%g exceeds 1", s)
+	}
+	if p.MaxDelay < 0 {
+		return fmt.Errorf("congest: fault plan: maxdelay=%d negative", p.MaxDelay)
+	}
+	seen := make(map[graph.Vertex]bool, len(p.Crashes))
+	for _, c := range p.Crashes {
+		if c.Vertex < 0 || (n > 0 && int(c.Vertex) >= n) {
+			return fmt.Errorf("congest: fault plan: crash vertex %d out of range", c.Vertex)
+		}
+		if c.Round < 0 {
+			return fmt.Errorf("congest: fault plan: crash round %d negative", c.Round)
+		}
+		if c.Restart != 0 && c.Restart <= c.Round {
+			return fmt.Errorf("congest: fault plan: crash %d@%d restarts at %d (must be after the crash)",
+				c.Vertex, c.Round, c.Restart)
+		}
+		if c.Round == 0 && c.Restart != 0 {
+			return fmt.Errorf("congest: fault plan: crash %d@0 cannot restart (vertex never ran Init)", c.Vertex)
+		}
+		if seen[c.Vertex] {
+			return fmt.Errorf("congest: fault plan: vertex %d has multiple crash entries", c.Vertex)
+		}
+		seen[c.Vertex] = true
+	}
+	for _, pt := range p.Partitions {
+		if pt.Frac < 0 || pt.Frac > 1 || math.IsNaN(pt.Frac) {
+			return fmt.Errorf("congest: fault plan: partition frac=%g outside [0,1]", pt.Frac)
+		}
+		if pt.From < 0 || pt.Until <= pt.From {
+			return fmt.Errorf("congest: fault plan: partition window [%d,%d) empty or negative", pt.From, pt.Until)
+		}
+	}
+	return nil
+}
+
+// Clone returns a deep copy of the plan (nil stays nil).
+func (p *FaultPlan) Clone() *FaultPlan {
+	if p == nil {
+		return nil
+	}
+	q := *p
+	q.Crashes = append([]Crash(nil), p.Crashes...)
+	q.Partitions = append([]Partition(nil), p.Partitions...)
+	return &q
+}
+
+// CrashStopped returns the per-vertex mask of permanently removed
+// vertices (crash entries with Restart == 0), or nil if there are none.
+func (p *FaultPlan) CrashStopped(n int) []bool {
+	if p == nil {
+		return nil
+	}
+	var dead []bool
+	for _, c := range p.Crashes {
+		if c.Restart == 0 && int(c.Vertex) < n {
+			if dead == nil {
+				dead = make([]bool, n)
+			}
+			dead[c.Vertex] = true
+		}
+	}
+	return dead
+}
+
+// WithDeadFromStart returns a copy of the plan where every vertex
+// marked in dead is crash-stopped from round 0 (replacing any existing
+// crash entry for it). Builders use this to turn "unrecoverable crash"
+// into "excluded from the start" when degrading to the surviving
+// component.
+func (p *FaultPlan) WithDeadFromStart(dead []bool) *FaultPlan {
+	q := p.Clone()
+	if q == nil {
+		q = &FaultPlan{}
+	}
+	kept := q.Crashes[:0]
+	for _, c := range q.Crashes {
+		if int(c.Vertex) >= len(dead) || !dead[c.Vertex] {
+			kept = append(kept, c)
+		}
+	}
+	q.Crashes = kept
+	for v, d := range dead {
+		if d {
+			q.Crashes = append(q.Crashes, Crash{Vertex: graph.Vertex(v)})
+		}
+	}
+	sort.Slice(q.Crashes, func(i, j int) bool { return q.Crashes[i].Vertex < q.Crashes[j].Vertex })
+	return q
+}
+
+// String renders the plan in the spec syntax accepted by
+// ParseFaultSpec; ParseFaultSpec(p.String()) reproduces p exactly. The
+// zero plan renders as "".
+func (p *FaultPlan) String() string {
+	if p == nil {
+		return ""
+	}
+	var parts []string
+	add := func(k string, v float64) {
+		if v != 0 {
+			parts = append(parts, k+"="+strconv.FormatFloat(v, 'g', -1, 64))
+		}
+	}
+	add("drop", p.Drop)
+	add("dup", p.Duplicate)
+	add("delay", p.Delay)
+	if p.MaxDelay != 0 {
+		parts = append(parts, "maxdelay="+strconv.Itoa(p.MaxDelay))
+	}
+	if p.Seed != 0 {
+		parts = append(parts, "seed="+strconv.FormatInt(p.Seed, 10))
+	}
+	for _, c := range p.Crashes {
+		s := fmt.Sprintf("crash=%d@%d", c.Vertex, c.Round)
+		if c.Restart != 0 {
+			s += "-" + strconv.Itoa(c.Restart)
+		}
+		parts = append(parts, s)
+	}
+	for _, pt := range p.Partitions {
+		parts = append(parts, fmt.Sprintf("part=%s@%d-%d",
+			strconv.FormatFloat(pt.Frac, 'g', -1, 64), pt.From, pt.Until))
+	}
+	return strings.Join(parts, ",")
+}
+
+// ParseFaultSpec parses the compact fault-spec syntax used by the CLI:
+//
+//	drop=0.05,dup=0.01,delay=0.1,maxdelay=3,seed=7,crash=5@10,crash=9@20-80,part=0.5@30-80
+//
+// crash=V@R is a crash-stop at round R; crash=V@R-S restarts the vertex
+// at round S. part=F@A-B partitions the vertices (side-B probability F)
+// for rounds [A,B). The empty string parses to the zero plan.
+func ParseFaultSpec(spec string) (*FaultPlan, error) {
+	p := &FaultPlan{}
+	if strings.TrimSpace(spec) == "" {
+		return p, nil
+	}
+	seenScalar := make(map[string]bool)
+	for _, tok := range strings.Split(spec, ",") {
+		tok = strings.TrimSpace(tok)
+		k, v, ok := strings.Cut(tok, "=")
+		if !ok || k == "" || v == "" {
+			return nil, fmt.Errorf("congest: fault spec: malformed entry %q", tok)
+		}
+		switch k {
+		case "drop", "dup", "delay":
+			if seenScalar[k] {
+				return nil, fmt.Errorf("congest: fault spec: duplicate key %q", k)
+			}
+			seenScalar[k] = true
+			f, err := strconv.ParseFloat(v, 64)
+			if err != nil {
+				return nil, fmt.Errorf("congest: fault spec: %s: %w", k, err)
+			}
+			switch k {
+			case "drop":
+				p.Drop = f
+			case "dup":
+				p.Duplicate = f
+			case "delay":
+				p.Delay = f
+			}
+		case "maxdelay", "seed":
+			if seenScalar[k] {
+				return nil, fmt.Errorf("congest: fault spec: duplicate key %q", k)
+			}
+			seenScalar[k] = true
+			i, err := strconv.ParseInt(v, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("congest: fault spec: %s: %w", k, err)
+			}
+			if k == "maxdelay" {
+				p.MaxDelay = int(i)
+			} else {
+				p.Seed = i
+			}
+		case "crash":
+			vert, rest, ok := strings.Cut(v, "@")
+			if !ok {
+				return nil, fmt.Errorf("congest: fault spec: crash %q wants V@R or V@R-S", v)
+			}
+			vi, err := strconv.ParseInt(vert, 10, 32)
+			if err != nil {
+				return nil, fmt.Errorf("congest: fault spec: crash vertex: %w", err)
+			}
+			var c Crash
+			c.Vertex = graph.Vertex(vi)
+			rStr, sStr, hasRestart := strings.Cut(rest, "-")
+			if c.Round, err = strconv.Atoi(rStr); err != nil {
+				return nil, fmt.Errorf("congest: fault spec: crash round: %w", err)
+			}
+			if hasRestart {
+				if c.Restart, err = strconv.Atoi(sStr); err != nil {
+					return nil, fmt.Errorf("congest: fault spec: crash restart: %w", err)
+				}
+			}
+			p.Crashes = append(p.Crashes, c)
+		case "part":
+			frac, win, ok := strings.Cut(v, "@")
+			if !ok {
+				return nil, fmt.Errorf("congest: fault spec: part %q wants F@A-B", v)
+			}
+			var pt Partition
+			var err error
+			if pt.Frac, err = strconv.ParseFloat(frac, 64); err != nil {
+				return nil, fmt.Errorf("congest: fault spec: part frac: %w", err)
+			}
+			aStr, bStr, ok := strings.Cut(win, "-")
+			if !ok {
+				return nil, fmt.Errorf("congest: fault spec: part window %q wants A-B", win)
+			}
+			if pt.From, err = strconv.Atoi(aStr); err != nil {
+				return nil, fmt.Errorf("congest: fault spec: part from: %w", err)
+			}
+			if pt.Until, err = strconv.Atoi(bStr); err != nil {
+				return nil, fmt.Errorf("congest: fault spec: part until: %w", err)
+			}
+			p.Partitions = append(p.Partitions, pt)
+		default:
+			return nil, fmt.Errorf("congest: fault spec: unknown key %q", k)
+		}
+	}
+	if err := p.Validate(0); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// Salts separate the independent hash streams drawn per (round, slot).
+const (
+	saltClassify = 0x1
+	saltDelay    = 0x2
+	saltSide     = 0x3
+)
+
+// faultHash is the pure fault source: a splitmix64-style finalizer over
+// (seed, round, key, salt). Like the sampling helpers it is locally
+// evaluable with no shared state, so fault streams are independent of
+// worker scheduling.
+func faultHash(seed int64, round int, key int64, salt uint64) uint64 {
+	z := uint64(seed) ^ (salt+1)*0x9e3779b97f4a7c15
+	z += (uint64(round) + 1) * 0xbf58476d1ce4e5b9
+	z += (uint64(key) + 1) * 0x94d049bb133111eb
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// probThreshold maps a probability to the uint64 acceptance threshold
+// for a raw hash draw.
+func probThreshold(p float64) uint64 {
+	if p <= 0 {
+		return 0
+	}
+	if p >= 1 {
+		return math.MaxUint64
+	}
+	return uint64(p * float64(1<<63) * 2)
+}
+
+func saturatingAdd(a, b uint64) uint64 {
+	if s := a + b; s >= a {
+		return s
+	}
+	return math.MaxUint64
+}
+
+// delayedMsg is an in-flight delayed message. Words are owned by the
+// injector (copied at classification time — sender arenas are valid for
+// one round only).
+type delayedMsg struct {
+	due   int
+	to    graph.Vertex
+	from  graph.Vertex
+	via   graph.EdgeID
+	words []int64
+}
+
+type restartEvent struct {
+	round int
+	v     graph.Vertex
+}
+
+// faultKind is the classification of one delivered message.
+type faultKind int
+
+const (
+	faultNone faultKind = iota
+	faultDrop
+	faultDup
+	faultDelay
+)
+
+// faultInjector is the compiled form of a FaultPlan attached to one
+// engine. All of its state is engine-owned and mutated only inside the
+// (single-goroutine) delivery loop.
+type faultInjector struct {
+	seed     int64
+	dropT    uint64 // classify < dropT             → drop
+	dupT     uint64 // classify in [dropT, dupT)    → duplicate
+	delayT   uint64 // classify in [dupT, delayT)   → delay
+	maxDelay uint64
+
+	// downFrom[v]/upAt[v] compile the crash schedule: v is down for
+	// rounds r with downFrom[v] <= r < upAt[v]; -1 means never / forever.
+	downFrom []int32
+	upAt     []int32
+
+	parts []Partition
+	sides [][]bool // sides[i][v]: vertex side under partition i
+
+	delayed     []delayedMsg
+	restarts    []restartEvent // sorted by round; consumed via nextRestart
+	nextRestart int
+
+	stats FaultStats
+}
+
+func newFaultInjector(p *FaultPlan, fallbackSeed int64, n int) *faultInjector {
+	seed := p.Seed
+	if seed == 0 {
+		seed = fallbackSeed
+	}
+	maxDelay := p.MaxDelay
+	if maxDelay <= 0 {
+		maxDelay = 4
+	}
+	fi := &faultInjector{
+		seed:     seed,
+		dropT:    probThreshold(p.Drop),
+		maxDelay: uint64(maxDelay),
+		downFrom: make([]int32, n),
+		upAt:     make([]int32, n),
+		parts:    append([]Partition(nil), p.Partitions...),
+	}
+	fi.dupT = saturatingAdd(fi.dropT, probThreshold(p.Duplicate))
+	fi.delayT = saturatingAdd(fi.dupT, probThreshold(p.Delay))
+	for v := range fi.downFrom {
+		fi.downFrom[v] = -1
+		fi.upAt[v] = -1
+	}
+	for _, c := range p.Crashes {
+		fi.downFrom[c.Vertex] = int32(c.Round)
+		if c.Restart != 0 {
+			fi.upAt[c.Vertex] = int32(c.Restart)
+			fi.restarts = append(fi.restarts, restartEvent{round: c.Restart, v: c.Vertex})
+		}
+	}
+	sort.Slice(fi.restarts, func(i, j int) bool {
+		if fi.restarts[i].round != fi.restarts[j].round {
+			return fi.restarts[i].round < fi.restarts[j].round
+		}
+		return fi.restarts[i].v < fi.restarts[j].v
+	})
+	fi.sides = make([][]bool, len(fi.parts))
+	for i, pt := range fi.parts {
+		side := make([]bool, n)
+		t := probThreshold(pt.Frac)
+		for v := range side {
+			side[v] = faultHash(seed, 0, int64(v), saltSide+uint64(i)) < t
+		}
+		fi.sides[i] = side
+	}
+	return fi
+}
+
+// down reports whether v is crashed at round r.
+func (fi *faultInjector) down(v graph.Vertex, r int) bool {
+	d := fi.downFrom[v]
+	if d < 0 || r < int(d) {
+		return false
+	}
+	u := fi.upAt[v]
+	return u < 0 || r < int(u)
+}
+
+// cut reports whether a message from→to is severed by an active
+// partition at round r.
+func (fi *faultInjector) cut(from, to graph.Vertex, r int) bool {
+	for i := range fi.parts {
+		p := &fi.parts[i]
+		if r >= p.From && r < p.Until && fi.sides[i][from] != fi.sides[i][to] {
+			return true
+		}
+	}
+	return false
+}
+
+// classify draws the fault decision for the message on the directed
+// edge slot delivered at round r; extra is the delay in rounds when the
+// kind is faultDelay.
+func (fi *faultInjector) classify(r int, slot int64) (kind faultKind, extra int) {
+	h := faultHash(fi.seed, r, slot, saltClassify)
+	switch {
+	case h < fi.dropT:
+		return faultDrop, 0
+	case h < fi.dupT:
+		return faultDup, 0
+	case h < fi.delayT:
+		return faultDelay, 1 + int(faultHash(fi.seed, r, slot, saltDelay)%fi.maxDelay)
+	}
+	return faultNone, 0
+}

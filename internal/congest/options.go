@@ -72,6 +72,13 @@ type Options struct {
 	PhaseSyncCost int
 	// Trace, when non-nil, collects per-round activity.
 	Trace *Trace
+	// Faults, when non-nil and active, injects deterministic message and
+	// vertex faults into the round loop (see FaultPlan). The fault
+	// stream is a pure hash of (plan seed, round, edge slot), so faulted
+	// runs stay bit-identical at every worker count. A nil or zero plan
+	// leaves the engine byte-for-byte on its fault-free path, including
+	// the zero-allocation steady state.
+	Faults *FaultPlan
 	// Workers is the number of goroutines executing each round's
 	// handlers. 0 (the default) means runtime.GOMAXPROCS(0); 1 runs the
 	// handlers sequentially, exactly as the original single-threaded

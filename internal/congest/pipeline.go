@@ -36,15 +36,19 @@ import (
 // program run (bit-identical results, Stats and RNG streams for every
 // worker count) holds for a pipeline as a whole.
 type Pipeline struct {
-	eng    *Engine
-	stages []StageStats
-	err    error // first stage failure; poisons subsequent stages
+	eng     *Engine
+	stages  []StageStats
+	retries int   // extra stage attempts across the pipeline
+	err     error // first stage failure; poisons subsequent stages
 }
 
-// StageStats is the measured cost of one pipeline stage.
+// StageStats is the measured cost of one pipeline stage. Stats
+// accumulates across every attempt of the stage; Attempts is 1 for a
+// stage that passed first time.
 type StageStats struct {
-	Name  string
-	Stats Stats
+	Name     string
+	Stats    Stats
+	Attempts int
 }
 
 // NewPipeline builds a pipeline over g. The graph is frozen to its CSR
@@ -62,6 +66,9 @@ func (p *Pipeline) Graph() *graph.Graph { return p.eng.g }
 type stageConfig struct {
 	restrict  []bool
 	maxRounds int
+	validate  func() error
+	reset     func()
+	retries   int
 }
 
 // StageOption configures one pipeline stage.
@@ -79,6 +86,34 @@ func Restrict(edges []bool) StageOption {
 // Options.MaxRounds, counted per stage, not cumulatively).
 func StageMaxRounds(r int) StageOption {
 	return func(c *stageConfig) { c.maxRounds = r }
+}
+
+// Validate installs a post-stage invariant check: after the stage
+// quiesces, fn inspects the caller-owned result state and returns a
+// non-nil error if the stage's contract is violated (a vertex that
+// never heard its parent, inconsistent fragment labels, …). A failing
+// validator triggers the stage's retry policy exactly like an engine
+// error.
+func Validate(fn func() error) StageOption {
+	return func(c *stageConfig) { c.validate = fn }
+}
+
+// Retries allows the stage to be re-run up to n extra times when it
+// fails (engine error or validator rejection). Each attempt doubles the
+// round budget (budget, 2·budget, 4·budget, …) and starts from a clean
+// transient engine state; attempt i runs at later absolute rounds than
+// attempt i−1, so under a FaultPlan it sees fresh fault draws — that is
+// what lets bounded retry converge through message faults. Default 0.
+func Retries(n int) StageOption {
+	return func(c *stageConfig) { c.retries = n }
+}
+
+// Reset installs a hook run before every retry attempt (not before the
+// first). It must restore the caller-owned state the stage writes into
+// (shared result slices) to its pre-stage value; per-program state is
+// rebuilt anyway, because every attempt re-invokes the factory.
+func Reset(fn func()) StageOption {
+	return func(c *stageConfig) { c.reset = fn }
 }
 
 // RunStage installs one Program per vertex via factory and drives it
@@ -103,13 +138,41 @@ func (p *Pipeline) RunStage(name string, factory func(v graph.Vertex) Program, s
 	if budget <= 0 {
 		budget = e.opts.MaxRounds
 	}
-	e.roundLimit = e.stats.Rounds + budget
 	e.stats.MaxWords = 0 // track the stage's own peak message size
-	for v := range e.ctxs {
-		e.ctxs[v].awake = true
-		e.progs[v] = factory(graph.Vertex(v))
+	var err error
+	attempts := 0
+	for try := 0; try <= cfg.retries; try++ {
+		attempts++
+		if try > 0 {
+			// Clean the engine's transient execution state and let the
+			// caller restore its shared result slices; the factory below
+			// rebuilds per-vertex program state.
+			e.resetTransient()
+			if cfg.reset != nil {
+				cfg.reset()
+			}
+		}
+		// Exponential round budgets: attempt i may run up to 2^i times
+		// the base budget, counted from the rounds already spent. The
+		// exponent is capped so large retry counts cannot overflow the
+		// shift — a 1024× budget is ample for any recoverable stage.
+		shift := try
+		if shift > 10 {
+			shift = 10
+		}
+		e.roundLimit = e.stats.Rounds + budget<<shift
+		for v := range e.ctxs {
+			e.ctxs[v].awake = true
+			e.progs[v] = factory(graph.Vertex(v))
+		}
+		err = e.runProgram()
+		if err == nil && cfg.validate != nil {
+			err = cfg.validate()
+		}
+		if err == nil {
+			break
+		}
 	}
-	err := e.runProgram()
 	e.restrict = nil
 	st := Stats{
 		Rounds:    e.stats.Rounds - before.Rounds,
@@ -122,10 +185,17 @@ func (p *Pipeline) RunStage(name string, factory func(v graph.Vertex) Program, s
 	if before.MaxWords > e.stats.MaxWords {
 		e.stats.MaxWords = before.MaxWords // restore the cumulative peak
 	}
-	p.stages = append(p.stages, StageStats{Name: name, Stats: st})
+	p.stages = append(p.stages, StageStats{Name: name, Stats: st, Attempts: attempts})
+	p.retries += attempts - 1
 	if err != nil {
 		p.err = err
-		return st, fmt.Errorf("congest: stage %q: %w", name, err)
+		lastShift := attempts - 1
+		if lastShift > 10 {
+			lastShift = 10
+		}
+		return st, fmt.Errorf(
+			"congest: stage %q failed after %d attempt(s) (rounds=%d messages=%d budget=%d..%d): %w",
+			name, attempts, st.Rounds, st.Messages, budget, budget<<lastShift, err)
 	}
 	return st, nil
 }
@@ -136,3 +206,11 @@ func (p *Pipeline) Stages() []StageStats { return p.stages }
 
 // Total returns the cumulative statistics across all stages run so far.
 func (p *Pipeline) Total() Stats { return p.eng.stats }
+
+// Retries returns the number of extra stage attempts run so far (0 on a
+// fault-free pipeline).
+func (p *Pipeline) Retries() int { return p.retries }
+
+// FaultStats returns the faults the engine injected so far (zero when
+// Options.Faults is nil or inactive).
+func (p *Pipeline) FaultStats() FaultStats { return p.eng.FaultStats() }

@@ -27,10 +27,20 @@
 // grid.go defines the JSON experiment-grid format — a base seed,
 // repeats, size and workload sweeps, and per-construction knobs — and
 // RunGrid executes every cell into a run folder: grid.json (resolved,
-// for provenance), csv/ with one CSV per experiment, and logs/run.log.
+// for provenance), csv/ with one CSV per experiment, logs/run.log, and
+// manifest.txt, the per-cell checkpoint log. Each finished cell is
+// flushed to its CSV before its manifest line is appended, so a killed
+// run leaves at most one orphan CSV row; RunGridResume (`lightnet
+// bench -resume`) prunes orphans, skips manifest-recorded cells, and
+// refuses a folder whose grid.json differs from the requested grid.
+// Measured specs may carry a "faults" block plus "stage_retries"
+// (congest.FaultPlan — seeded message faults, crash schedules,
+// partitions); their rows populate the dropped/duplicated/delayed/
+// retries/survivors columns deterministically.
 // Re-running the same grid reproduces identical CSV bytes except the
 // trailing wall-time column; CI enforces this for the scenario smoke
-// grid (examples/grids/scenarios.json).
+// grid (examples/grids/scenarios.json) and the fault-injection grid
+// (examples/grids/chaos.json).
 //
 // # Paper tables
 //

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"bytes"
+	"encoding/csv"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -89,6 +91,16 @@ type Spec struct {
 	// QualityPairs caps the deterministic pair sample behind
 	// stretch_p99 (0 = default 2000; small graphs use exact all-pairs).
 	QualityPairs int `json:"quality_pairs"`
+	// Faults injects a deterministic fault plan into every cell of a
+	// measured slt/spanner spec (see congest.FaultPlan): the engine
+	// drops/duplicates/delays messages and crashes vertices per the
+	// plan, the pipeline validates and retries each stage, and the
+	// fault columns of the CSV are filled. Measured mode only — the
+	// accounted path exchanges no messages.
+	Faults *congest.FaultPlan `json:"faults,omitempty"`
+	// StageRetries bounds the per-stage validator retries when Faults
+	// is set (0: the builders' default of 3; negative: no retries).
+	StageRetries int `json:"stage_retries,omitempty"`
 }
 
 // LoadGrid reads and validates a JSON grid file.
@@ -200,6 +212,20 @@ func (g *Grid) Validate() error {
 		if s.QualityPairs == 0 {
 			s.QualityPairs = 2000
 		}
+		if s.Faults != nil {
+			if s.Mode != "measured" {
+				return fmt.Errorf("experiment %d: faults require mode \"measured\" (the accounted path exchanges no messages)", i)
+			}
+			if s.Quality {
+				return fmt.Errorf("experiment %d: quality oracle columns are not supported on faulted specs", i)
+			}
+			if err := s.Faults.Validate(0); err != nil {
+				return fmt.Errorf("experiment %d: %w", i, err)
+			}
+		}
+		if s.StageRetries != 0 && s.Faults == nil {
+			return fmt.Errorf("experiment %d: stage_retries applies only with a faults block", i)
+		}
 	}
 	return nil
 }
@@ -253,6 +279,18 @@ type Row struct {
 	GreedyStretch   float64
 	RatioVsGreedy   float64
 	StretchP99      float64
+	// Fault columns (cells run under an active Spec.Faults plan;
+	// rendered empty when Faulted is false): injected message faults,
+	// extra stage attempts the validators forced, and the size of the
+	// root's surviving component under crash-stop faults (= n when
+	// nobody is permanently down). All deterministic — the fault stream
+	// is a pure hash of the plan, so faulted CSVs reproduce too.
+	Dropped    int64
+	Duplicated int64
+	Delayed    int64
+	Retries    int
+	Survivors  int
+	Faulted    bool
 	// Stages is the per-stage round breakdown ("stage:rounds;..."):
 	// pipeline order for measured runs, sorted ledger labels for
 	// accounted ones. Deterministic, so CSVs reproduce byte-for-byte.
@@ -260,11 +298,15 @@ type Row struct {
 	WallMS float64
 }
 
-// csvHeader matches Row.Record.
+// csvHeader matches Row.Record. The fault columns sit between the
+// quality-oracle block and the stage breakdown so the identity and
+// quality prefixes (fields 1–17) keep their positions — the CI column
+// cuts rely on that.
 var csvHeader = []string{
 	"construction", "workload", "n", "m", "seed", "repeat", "params", "mode",
 	"rounds", "messages", "size", "lightness", "stretch",
 	"greedy_lightness", "greedy_stretch", "ratio_vs_greedy", "stretch_p99",
+	"dropped", "duplicated", "delayed", "retries", "survivors",
 	"stages", "wall_ms",
 }
 
@@ -277,6 +319,12 @@ func (r Row) Record() []string {
 		}
 		return strconv.FormatFloat(x, 'f', 4, 64)
 	}
+	fi := func(x int64) string {
+		if !r.Faulted {
+			return ""
+		}
+		return strconv.FormatInt(x, 10)
+	}
 	return []string{
 		r.Construction, r.Workload,
 		strconv.Itoa(r.N), strconv.Itoa(r.M),
@@ -284,6 +332,8 @@ func (r Row) Record() []string {
 		strconv.FormatInt(r.Rounds, 10), strconv.FormatInt(r.Messages, 10),
 		strconv.Itoa(r.Size), f(r.Lightness), f(r.Stretch),
 		f(r.GreedyLightness), f(r.GreedyStretch), f(r.RatioVsGreedy), f(r.StretchP99),
+		fi(r.Dropped), fi(r.Duplicated), fi(r.Delayed),
+		fi(int64(r.Retries)), fi(int64(r.Survivors)),
 		r.Stages,
 		strconv.FormatFloat(r.WallMS, 'f', 3, 64),
 	}
@@ -362,6 +412,8 @@ func runCell(spec Spec, g *graph.Graph, seed int64, workers int) (Row, error) {
 			row.Mode = "measured"
 			sopts.Mode = spanner.Measured
 			sopts.Workers = workers
+			sopts.Faults = spec.Faults.Clone()
+			sopts.StageRetries = spec.StageRetries
 		}
 		res, err := spanner.BuildLight(g, spec.K, spec.Eps, sopts)
 		if err != nil {
@@ -371,8 +423,20 @@ func runCell(spec Spec, g *graph.Graph, seed int64, workers int) (Row, error) {
 		if res.Stages != nil {
 			row.Stages = stageBreakdown(res.Stages) // pipeline order
 		}
+		if spec.Faults.Active() {
+			row.Faulted = true
+			row.Dropped, row.Duplicated, row.Delayed =
+				res.Faults.Dropped, res.Faults.Duplicated, res.Faults.Delayed
+			row.Retries, row.Survivors = res.PipelineRetries, res.Survivors
+		}
 		if spec.Verify {
-			maxS, _, err := metrics.EdgeStretch(g, g.Subgraph(res.Edges))
+			// Under crash-stop degradation the spanner covers the root's
+			// surviving component only; certify it on that subgraph.
+			target := g
+			if res.Alive != nil {
+				target = g.Subgraph(aliveEdgeIDs(g, res.Alive))
+			}
+			maxS, _, err := metrics.EdgeStretch(target, g.Subgraph(res.Edges))
 			if err != nil {
 				return row, err
 			}
@@ -390,6 +454,8 @@ func runCell(spec Spec, g *graph.Graph, seed int64, workers int) (Row, error) {
 			row.Mode = "measured"
 			sopts.Mode = slt.Measured
 			sopts.Workers = workers
+			sopts.Faults = spec.Faults.Clone()
+			sopts.StageRetries = spec.StageRetries
 		}
 		res, err := slt.Build(g, 0, spec.Eps, sopts)
 		if err != nil {
@@ -399,12 +465,29 @@ func runCell(spec Spec, g *graph.Graph, seed int64, workers int) (Row, error) {
 		if res.Stages != nil {
 			row.Stages = stageBreakdown(res.Stages) // pipeline order
 		}
+		if spec.Faults.Active() {
+			row.Faulted = true
+			row.Dropped, row.Duplicated, row.Delayed =
+				res.Faults.Dropped, res.Faults.Duplicated, res.Faults.Delayed
+			row.Retries, row.Survivors = res.PipelineRetries, res.Survivors
+		}
 		if spec.Verify {
-			light, stretch, err := slt.Verify(g, res)
-			if err != nil {
-				return row, err
+			if res.Alive != nil {
+				// Degraded run: the tree spans the root's surviving
+				// component only; certify root stretch on that subgraph
+				// (lightness already comes vs the component's MST).
+				stretch, err := degradedSLTStretch(g, res)
+				if err != nil {
+					return row, err
+				}
+				row.Stretch = stretch
+			} else {
+				light, stretch, err := slt.Verify(g, res)
+				if err != nil {
+					return row, err
+				}
+				row.Lightness, row.Stretch = light, stretch
 			}
-			row.Lightness, row.Stretch = light, stretch
 		}
 	case "sltinv":
 		row.Params = fmt.Sprintf("gamma=%g", spec.Gamma)
@@ -503,6 +586,40 @@ func fillQuality(row *Row, g *graph.Graph, res *spanner.Result, spec Spec, seed 
 	return nil
 }
 
+// aliveEdgeIDs lists the edges with both endpoints in the surviving
+// component — the subgraph a degraded construction is certified on.
+func aliveEdgeIDs(g *graph.Graph, alive []bool) []graph.EdgeID {
+	var ids []graph.EdgeID
+	for id, e := range g.Edges() {
+		if alive[e.U] && alive[e.V] {
+			ids = append(ids, graph.EdgeID(id))
+		}
+	}
+	return ids
+}
+
+// degradedSLTStretch certifies a crash-degraded SLT: every survivor must
+// be reachable in the tree, and the maximum root stretch is measured
+// against exact shortest paths of the surviving subgraph.
+func degradedSLTStretch(g *graph.Graph, res *slt.Result) (float64, error) {
+	exact := g.Subgraph(aliveEdgeIDs(g, res.Alive)).Dijkstra(res.Source).Dist
+	maxS := 1.0
+	for v := 0; v < g.N(); v++ {
+		if !res.Alive[v] || graph.Vertex(v) == res.Source {
+			continue
+		}
+		if math.IsInf(res.Dist[v], 1) {
+			return 0, fmt.Errorf("degraded slt: survivor %d unreachable in the tree", v)
+		}
+		if exact[v] > 0 {
+			if s := res.Dist[v] / exact[v]; s > maxS {
+				maxS = s
+			}
+		}
+	}
+	return maxS, nil
+}
+
 // runEngineCell runs one genuine message-passing program on the worker
 // pool and returns its stats and output size.
 func runEngineCell(program string, g *graph.Graph, seed int64, workers int) (congest.Stats, int, error) {
@@ -536,10 +653,56 @@ func runEngineCell(program string, g *graph.Graph, seed int64, workers int) (con
 
 // RunGrid executes every cell of the grid and writes a run folder:
 // dir/grid.json (the resolved grid, for provenance), dir/csv/ with one
-// CSV per experiment, and dir/logs/run.log mirroring the progress lines
-// written to logw. Identical grids and seeds reproduce identical CSV
-// bytes except the trailing wall_ms column.
+// CSV per experiment, dir/manifest.txt recording completed cells, and
+// dir/logs/run.log mirroring the progress lines written to logw.
+// Identical grids and seeds reproduce identical CSV bytes except the
+// trailing wall_ms column.
 func RunGrid(g *Grid, dir string, logw io.Writer) error {
+	return RunGridResume(g, dir, logw, false)
+}
+
+// cellKey identifies one grid cell in the completion manifest.
+func cellKey(name, workload string, n, repeat int) string {
+	return fmt.Sprintf("%s|%s|%d|%d", name, workload, n, repeat)
+}
+
+// readManifest loads the completed-cell set of a prior run (absent file:
+// empty set).
+func readManifest(path string) (map[string]bool, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return map[string]bool{}, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	done := map[string]bool{}
+	for _, line := range strings.Split(string(data), "\n") {
+		if line = strings.TrimSpace(line); line != "" {
+			done[line] = true
+		}
+	}
+	return done, nil
+}
+
+// openAppend opens a run-folder file for appending (resume) or afresh.
+func openAppend(path string, resume bool) (*os.File, error) {
+	if resume {
+		return os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	}
+	return os.Create(path)
+}
+
+// RunGridResume is RunGrid with checkpoint/resume: every completed cell
+// is appended to dir/manifest.txt with its CSV row already flushed, so a
+// killed run loses at most the in-flight cell. With resume true the run
+// picks up a partial folder — done cells are skipped (their rows kept),
+// orphan CSV rows without a manifest entry are pruned, and the remaining
+// cells run in the canonical order, so a resumed run's CSVs equal a
+// fresh run's modulo wall_ms. The folder must hold the same grid:
+// dir/grid.json is compared against the resolved grid and a mismatch is
+// an error (an absent grid.json simply starts fresh).
+func RunGridResume(g *Grid, dir string, logw io.Writer, resume bool) error {
 	if err := g.Validate(); err != nil {
 		return err
 	}
@@ -552,10 +715,34 @@ func RunGrid(g *Grid, dir string, logw io.Writer) error {
 	if err != nil {
 		return err
 	}
-	if err := os.WriteFile(filepath.Join(dir, "grid.json"), append(resolved, '\n'), 0o644); err != nil {
+	resolved = append(resolved, '\n')
+	gridPath := filepath.Join(dir, "grid.json")
+	if resume {
+		prev, err := os.ReadFile(gridPath)
+		switch {
+		case os.IsNotExist(err):
+			resume = false // nothing to resume; run fresh
+		case err != nil:
+			return err
+		case !bytes.Equal(prev, resolved):
+			return fmt.Errorf("experiments: %s holds a different grid; -resume needs the folder the run was started in", gridPath)
+		}
+	}
+	if err := os.WriteFile(gridPath, resolved, 0o644); err != nil {
 		return err
 	}
-	logFile, err := os.Create(filepath.Join(dir, "logs", "run.log"))
+	done := map[string]bool{}
+	if resume {
+		if done, err = readManifest(filepath.Join(dir, "manifest.txt")); err != nil {
+			return err
+		}
+	}
+	manifest, err := openAppend(filepath.Join(dir, "manifest.txt"), resume)
+	if err != nil {
+		return err
+	}
+	defer manifest.Close()
+	logFile, err := openAppend(filepath.Join(dir, "logs", "run.log"), resume)
 	if err != nil {
 		return err
 	}
@@ -567,6 +754,9 @@ func RunGrid(g *Grid, dir string, logw io.Writer) error {
 
 	fmt.Fprintf(log, "grid %s: %d experiments × %d workloads × %d sizes × %d repeats\n",
 		g.Name, len(g.Experiments), len(g.Workloads), len(g.Sizes), g.Repeats)
+	if resume && len(done) > 0 {
+		fmt.Fprintf(log, "resuming: %d cells already done\n", len(done))
+	}
 	graphs := make(map[graphKey]*graph.Graph)
 	for i, spec := range g.Experiments {
 		name := fmt.Sprintf("%02d-%s", i+1, spec.Construction)
@@ -576,7 +766,7 @@ func RunGrid(g *Grid, dir string, logw io.Writer) error {
 		if spec.Mode == "measured" {
 			name += "-measured"
 		}
-		if err := runSpec(g, spec, name, dir, graphs, log); err != nil {
+		if err := runSpec(g, spec, name, dir, graphs, log, done, manifest); err != nil {
 			return fmt.Errorf("experiment %s: %w", name, err)
 		}
 	}
@@ -592,20 +782,75 @@ type graphKey struct {
 	seed int64
 }
 
-// runSpec sweeps one spec over the grid and writes its CSV.
-func runSpec(g *Grid, spec Spec, name, dir string, graphs map[graphKey]*graph.Graph, log io.Writer) error {
-	f, err := os.Create(filepath.Join(dir, "csv", name+".csv"))
+// resumeCSV prepares one experiment's CSV for a (possibly resumed) run:
+// rows of cells the manifest marks done are kept, orphan rows a killed
+// run flushed without reaching the manifest are pruned, and the file is
+// returned open for appending with the header already written.
+func resumeCSV(path, name string, done map[string]bool) (*os.File, error) {
+	var kept [][]string
+	if len(done) > 0 {
+		if data, err := os.ReadFile(path); err == nil {
+			records, err := csv.NewReader(bytes.NewReader(data)).ReadAll()
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", path, err)
+			}
+			if len(records) > 0 && strings.Join(records[0], ",") != strings.Join(csvHeader, ",") {
+				return nil, fmt.Errorf("%s: header does not match the current schema; resume needs a folder written by the same version", path)
+			}
+			for _, rec := range records[1:] {
+				// construction,workload,n,m,seed,repeat,... — the cell key
+				// uses the spec name plus workload, n and repeat.
+				nv, _ := strconv.Atoi(rec[2])
+				rv, _ := strconv.Atoi(rec[5])
+				if done[cellKey(name, rec[1], nv, rv)] {
+					kept = append(kept, rec)
+				}
+			}
+		} else if !os.IsNotExist(err) {
+			return nil, err
+		}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	w := newCSVWriter(f)
+	if err := w.Write(csvHeader); err != nil {
+		f.Close()
+		return nil, err
+	}
+	for _, rec := range kept {
+		if err := w.Write(rec); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	w.Flush()
+	if err := w.Error(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return f, nil
+}
+
+// runSpec sweeps one spec over the grid and writes its CSV, flushing
+// each row and checkpointing the cell in the manifest before moving on;
+// cells already in done are skipped.
+func runSpec(g *Grid, spec Spec, name, dir string, graphs map[graphKey]*graph.Graph, log io.Writer, done map[string]bool, manifest *os.File) error {
+	f, err := resumeCSV(filepath.Join(dir, "csv", name+".csv"), name, done)
 	if err != nil {
 		return err
 	}
 	defer f.Close()
 	w := newCSVWriter(f)
-	if err := w.Write(csvHeader); err != nil {
-		return err
-	}
 	for _, kind := range g.Workloads {
 		for _, n := range g.Sizes {
 			for rep := 0; rep < g.Repeats; rep++ {
+				cell := cellKey(name, kind, n, rep)
+				if done[cell] {
+					fmt.Fprintf(log, "%s %s n=%d repeat=%d: done (resumed)\n", name, kind, n, rep)
+					continue
+				}
 				seed := g.Seed + int64(rep)
 				key := graphKey{kind, n, seed}
 				gr, ok := graphs[key]
@@ -629,14 +874,20 @@ func runSpec(g *Grid, spec Spec, name, dir string, graphs map[graphKey]*graph.Gr
 				if err := w.Write(row.Record()); err != nil {
 					return err
 				}
+				// Checkpoint: flush the row, then record the cell. A kill
+				// between the two leaves an orphan row that the next resume
+				// prunes; a manifest entry therefore implies a durable row.
+				w.Flush()
+				if err := w.Error(); err != nil {
+					return err
+				}
+				if _, err := fmt.Fprintln(manifest, cell); err != nil {
+					return err
+				}
 				fmt.Fprintf(log, "%s %s n=%d repeat=%d: rounds=%d messages=%d size=%d (%.1fms)\n",
 					name, kind, n, rep, row.Rounds, row.Messages, row.Size, row.WallMS)
 			}
 		}
-	}
-	w.Flush()
-	if err := w.Error(); err != nil {
-		return err
 	}
 	return f.Close()
 }

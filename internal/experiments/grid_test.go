@@ -6,6 +6,8 @@ import (
 	"strconv"
 	"strings"
 	"testing"
+
+	"lightnet/internal/congest"
 )
 
 func TestLoadGridDefaults(t *testing.T) {
@@ -43,6 +45,14 @@ func TestGridValidateRejects(t *testing.T) {
 		{Sizes: []int{64}, Experiments: []Spec{{Construction: "spanner", Mode: "measured", Cluster: "en17"}}},
 		{Sizes: []int{64}, Experiments: []Spec{{Construction: "slt", Quality: true}}},
 		{Sizes: []int{64}, Experiments: []Spec{{Construction: "spanner", Quality: true, QualityPairs: -1}}},
+		{Sizes: []int{64}, Experiments: []Spec{{Construction: "slt",
+			Faults: &congest.FaultPlan{Drop: 0.1}}}}, // faults need measured mode
+		{Sizes: []int{64}, Experiments: []Spec{{Construction: "slt", Mode: "measured",
+			Faults: &congest.FaultPlan{Drop: 2}}}}, // malformed plan
+		{Sizes: []int{64}, Experiments: []Spec{{Construction: "spanner", Mode: "measured", Quality: true,
+			Faults: &congest.FaultPlan{Drop: 0.1}}}}, // quality oracle on a faulted spec
+		{Sizes: []int{64}, Experiments: []Spec{{Construction: "slt", Mode: "measured",
+			StageRetries: 5}}}, // stage_retries without faults
 	}
 	for i := range bad {
 		if err := bad[i].Validate(); err == nil {
@@ -322,5 +332,194 @@ func TestGridQualityColumns(t *testing.T) {
 				t.Fatalf("quality-less row %d has oracle column value %q", i, f[c])
 			}
 		}
+	}
+}
+
+// TestGridFaultColumns: a faulted measured spec fills the five fault
+// columns (deterministically — the whole faulted grid reproduces modulo
+// wall_ms), a crash spec reports a degraded survivor count, and
+// fault-free rows leave the columns empty.
+func TestGridFaultColumns(t *testing.T) {
+	grid := &Grid{
+		Seed: 3, Sizes: []int{40}, Workloads: []string{"er"},
+		Experiments: []Spec{
+			{Construction: "slt", Eps: 0.5, Verify: true, Mode: "measured",
+				Faults:       &congest.FaultPlan{Seed: 9, Drop: 0.002, Duplicate: 0.002, Delay: 0.01, MaxDelay: 2},
+				StageRetries: 25},
+			{Construction: "spanner", K: 2, Eps: 0.25, Verify: true, Mode: "measured",
+				Faults: &congest.FaultPlan{Crashes: []congest.Crash{{Vertex: 7}}}},
+			{Construction: "slt", Eps: 0.5},
+		},
+	}
+	dirs := []string{t.TempDir(), t.TempDir()}
+	for _, dir := range dirs {
+		if err := RunGrid(grid, dir, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	read := func(dir, name string) [][]string {
+		data, err := os.ReadFile(filepath.Join(dir, "csv", name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var rows [][]string
+		for _, line := range strings.Split(strings.TrimSpace(string(data)), "\n") {
+			rows = append(rows, strings.Split(line, ","))
+		}
+		return rows
+	}
+	faulted := read(dirs[0], "01-slt-measured.csv")
+	if got, want := strings.Join(faulted[0], ","), strings.Join(csvHeader, ","); got != want {
+		t.Fatalf("header mismatch:\ngot  %s\nwant %s", got, want)
+	}
+	col := func(name string) int {
+		for i, h := range faulted[0] {
+			if h == name {
+				return i
+			}
+		}
+		t.Fatalf("missing column %q", name)
+		return -1
+	}
+	drC, duC, deC := col("dropped"), col("duplicated"), col("delayed")
+	reC, suC := col("retries"), col("survivors")
+	parse := func(rows [][]string, r, c int) int64 {
+		v, err := strconv.ParseInt(rows[r][c], 10, 64)
+		if err != nil {
+			t.Fatalf("row %d col %d: %q not an integer: %v", r, c, rows[r][c], err)
+		}
+		return v
+	}
+	for r := 1; r < len(faulted); r++ {
+		if parse(faulted, r, drC)+parse(faulted, r, duC)+parse(faulted, r, deC) == 0 {
+			t.Fatalf("faulted row %d records no injected faults", r)
+		}
+		if parse(faulted, r, suC) != 40 {
+			t.Fatalf("faulted row %d survivors %q, want 40 (no crashes)", r, faulted[r][suC])
+		}
+		if parse(faulted, r, reC) < 0 {
+			t.Fatalf("faulted row %d negative retries", r)
+		}
+	}
+	crashed := read(dirs[0], "02-spanner-measured.csv")
+	for r := 1; r < len(crashed); r++ {
+		if s := parse(crashed, r, suC); s >= 40 || s < 2 {
+			t.Fatalf("crash row %d survivors %d, want a degraded count in [2,40)", r, s)
+		}
+	}
+	clean := read(dirs[0], "03-slt.csv")
+	for r := 1; r < len(clean); r++ {
+		for _, c := range []int{drC, duC, deC, reC, suC} {
+			if clean[r][c] != "" {
+				t.Fatalf("fault-free row %d has fault column value %q", r, clean[r][c])
+			}
+		}
+	}
+	// The faulted grid reproduces byte-for-byte modulo wall_ms.
+	for _, name := range []string{"01-slt-measured.csv", "02-spanner-measured.csv"} {
+		a, err := os.ReadFile(filepath.Join(dirs[0], "csv", name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := os.ReadFile(filepath.Join(dirs[1], "csv", name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stripWallTime(t, string(a)) != stripWallTime(t, string(b)) {
+			t.Fatalf("%s not reproducible under faults", name)
+		}
+	}
+}
+
+// TestRunGridResume: kill-and-resume durability — a partial run (its
+// manifest missing the cells a kill would lose, one orphan CSV row
+// flushed but unrecorded) completes under resume without recomputing
+// finished cells, and the resumed CSVs equal a fresh run's modulo
+// wall_ms.
+func TestRunGridResume(t *testing.T) {
+	grid := &Grid{
+		Seed: 3, Sizes: []int{32, 48}, Workloads: []string{"er"},
+		Experiments: []Spec{
+			{Construction: "slt", Eps: 0.5},
+			{Construction: "spanner", K: 2, Eps: 0.25},
+		},
+	}
+	ref, dir := t.TempDir(), t.TempDir()
+	if err := RunGrid(grid, ref, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := RunGrid(grid, dir, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate the kill: drop the last manifest entry (its CSV row stays
+	// behind as an orphan) and delete the second spec's CSV entirely (as
+	// if the run never got there).
+	manifest := filepath.Join(dir, "manifest.txt")
+	data, err := os.ReadFile(manifest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	wantCells := len(lines)
+	firstSpec := lines[:len(lines)/2]
+	if err := os.WriteFile(manifest, []byte(strings.Join(firstSpec[:len(firstSpec)-1], "\n")+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(filepath.Join(dir, "csv", "02-spanner.csv")); err != nil {
+		t.Fatal(err)
+	}
+	// Record the surviving rows: resume must keep them byte-identical
+	// (wall_ms included — kept cells are not recomputed).
+	before, err := os.ReadFile(filepath.Join(dir, "csv", "01-slt.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	keptRows := strings.Split(strings.TrimSpace(string(before)), "\n")[:len(firstSpec)] // header + all but the orphan
+	var log strings.Builder
+	if err := RunGridResume(grid, dir, &log, true); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(log.String(), "done (resumed)") {
+		t.Fatal("resume log records no skipped cells")
+	}
+	after, err := os.ReadFile(filepath.Join(dir, "csv", "01-slt.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := strings.Split(strings.TrimSpace(string(after)), "\n")
+	for i, want := range keptRows {
+		if got[i] != want {
+			t.Fatalf("kept row %d was recomputed:\ngot  %s\nwant %s", i, got[i], want)
+		}
+	}
+	for _, name := range []string{"01-slt.csv", "02-spanner.csv"} {
+		a, err := os.ReadFile(filepath.Join(ref, "csv", name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := os.ReadFile(filepath.Join(dir, "csv", name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stripWallTime(t, string(a)) != stripWallTime(t, string(b)) {
+			t.Fatalf("%s: resumed run differs from a fresh one", name)
+		}
+	}
+	data, err = os.ReadFile(manifest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(strings.Split(strings.TrimSpace(string(data)), "\n")); n != wantCells {
+		t.Fatalf("manifest has %d cells after resume, want %d", n, wantCells)
+	}
+	// A different grid must not resume into the same folder.
+	other := *grid
+	other.Seed = 4
+	if err := RunGridResume(&other, dir, nil, true); err == nil {
+		t.Fatal("resume accepted a mismatched grid")
+	}
+	// Resume into an empty folder simply runs fresh.
+	if err := RunGridResume(grid, t.TempDir(), nil, true); err != nil {
+		t.Fatalf("resume into an empty folder: %v", err)
 	}
 }

@@ -447,6 +447,53 @@ func (g *Graph) BFSHops(src Vertex) []int32 {
 	return dist
 }
 
+// BFSHopsMasked is BFSHops restricted to the allowed edges (indexed by
+// edge id; nil allows all). Unreachable vertices get -1.
+func (g *Graph) BFSHopsMasked(src Vertex, allowed []bool) []int32 {
+	if allowed == nil {
+		return g.BFSHops(src)
+	}
+	dist := make([]int32, g.n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	queue := make([]Vertex, 0, g.n)
+	queue = append(queue, src)
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, h := range g.Neighbors(v) {
+			if allowed[h.ID] && dist[h.To] < 0 {
+				dist[h.To] = dist[v] + 1
+				queue = append(queue, h.To)
+			}
+		}
+	}
+	return dist
+}
+
+// ComponentMask returns the mask of vertices reachable from src without
+// entering a blocked vertex (blocked may be nil). src itself is always
+// in the mask, even if blocked.
+func (g *Graph) ComponentMask(src Vertex, blocked []bool) []bool {
+	mask := make([]bool, g.n)
+	mask[src] = true
+	queue := make([]Vertex, 0, g.n)
+	queue = append(queue, src)
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, h := range g.Neighbors(v) {
+			if !mask[h.To] && (blocked == nil || !blocked[h.To]) {
+				mask[h.To] = true
+				queue = append(queue, h.To)
+			}
+		}
+	}
+	return mask
+}
+
 // BFSTree returns a BFS tree from src: per-vertex parent edge id (NoEdge
 // for src and unreachable vertices) and hop distances.
 func (g *Graph) BFSTree(src Vertex) (parent []EdgeID, hops []int32) {

@@ -104,6 +104,39 @@ func Kruskal(g *graph.Graph) ([]graph.EdgeID, float64, error) {
 	return out, total, nil
 }
 
+// KruskalSubset computes the minimum spanning forest of the subgraph of
+// g induced by the allowed edges (indexed by edge id; nil allows all),
+// with the same (weight, id) total order as Kruskal. It returns the
+// forest edges in the order adopted and the number of trees it spans
+// (connected components of the allowed subgraph, counting isolated
+// vertices). It is the sequential oracle faulted pipeline stages
+// validate their distributed MST against.
+func KruskalSubset(g *graph.Graph, allowed []bool) ([]graph.EdgeID, int) {
+	ids := make([]graph.EdgeID, 0, g.M())
+	for i := 0; i < g.M(); i++ {
+		if allowed == nil || allowed[i] {
+			ids = append(ids, graph.EdgeID(i))
+		}
+	}
+	edges := g.Edges()
+	sort.Slice(ids, func(a, b int) bool {
+		ea, eb := edges[ids[a]], edges[ids[b]]
+		if ea.W != eb.W {
+			return ea.W < eb.W
+		}
+		return ids[a] < ids[b]
+	})
+	uf := NewUnionFind(g.N())
+	var out []graph.EdgeID
+	for _, id := range ids {
+		e := edges[id]
+		if uf.Union(int32(e.U), int32(e.V)) {
+			out = append(out, id)
+		}
+	}
+	return out, uf.Sets()
+}
+
 // Distributed computes the MST with the genuine CONGEST Borůvka program
 // and returns the edges plus the measured engine statistics. The
 // phaseSyncCost (typically the hop-diameter) is charged per global phase

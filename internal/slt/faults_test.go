@@ -1,0 +1,142 @@
+package slt
+
+import (
+	"math"
+	"testing"
+
+	"lightnet/internal/congest"
+	"lightnet/internal/graph"
+)
+
+// TestSLTFaultedConvergesBitIdentical: under a seeded message-fault plan
+// the per-stage oracle validators force the 13-stage pipeline to
+// converge to the fault-free outputs, so the faulted measured SLT equals
+// the clean one bit-for-bit — at every worker count — and the fault
+// diagnostics agree across worker counts too.
+func TestSLTFaultedConvergesBitIdentical(t *testing.T) {
+	g := graph.Grid(7, 7, 10, 5)
+	eps := 0.5
+	clean, err := Build(g, 0, eps, Options{Seed: 4, Mode: Measured})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rates are chosen so loss-sensitive stages (the upcasts lose a tuple
+	// per dropped message) get a clean attempt within the retry budget:
+	// the stream is seeded, so the whole suite is deterministic at every
+	// worker count.
+	plan := &congest.FaultPlan{Seed: 9, Drop: 0.002, Duplicate: 0.002, Delay: 0.01, MaxDelay: 2}
+	var base *Result
+	for _, w := range []int{1, 2, 3, 7, 8, 16} {
+		res, err := Build(g, 0, eps, Options{
+			Seed: 4, Mode: Measured, Workers: w, Faults: plan.Clone(), StageRetries: 25,
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		requireSameResult(t, clean, res)
+		if res.Survivors != g.N() || res.Alive != nil {
+			t.Fatalf("workers=%d: no crashes, but survivors=%d alive=%v", w, res.Survivors, res.Alive)
+		}
+		if res.Faults == (congest.FaultStats{}) {
+			t.Fatalf("workers=%d: fault plan active but no faults recorded", w)
+		}
+		if base == nil {
+			base = res
+			continue
+		}
+		if res.PipelineRetries != base.PipelineRetries || res.Faults != base.Faults {
+			t.Fatalf("workers=%d: fault diagnostics differ: (%d,%+v) vs (%d,%+v)",
+				w, res.PipelineRetries, res.Faults, base.PipelineRetries, base.Faults)
+		}
+	}
+}
+
+// TestSLTEmptyFaultPlanIsNoop: a zero-valued plan is inactive — the
+// result is the plain measured result, fault fields unset.
+func TestSLTEmptyFaultPlanIsNoop(t *testing.T) {
+	g := graph.ErdosRenyi(56, 0.12, 8, 3)
+	clean, err := Build(g, 0, 0.5, Options{Seed: 2, Mode: Measured})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Build(g, 0, 0.5, Options{Seed: 2, Mode: Measured, Faults: &congest.FaultPlan{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameResult(t, clean, res)
+	if res.Survivors != 0 || res.PipelineRetries != 0 || res.Faults != (congest.FaultStats{}) {
+		t.Fatalf("empty plan set fault diagnostics: %+v", res)
+	}
+}
+
+// TestSLTDegradesToSurvivingComponent: crash-stop faults restrict the
+// pipeline to the root's surviving component; the degraded tree spans
+// exactly the survivors and still meets the SLT stretch bound on the
+// surviving subgraph.
+func TestSLTDegradesToSurvivingComponent(t *testing.T) {
+	g := graph.RandomGeometric(80, 2, 9)
+	eps := 0.5
+	plan := &congest.FaultPlan{Crashes: []congest.Crash{{Vertex: 17}, {Vertex: 40}, {Vertex: 63}}}
+	res, err := Build(g, 0, eps, Options{Seed: 6, Mode: Measured, Faults: plan})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dead := plan.CrashStopped(g.N())
+	alive := g.ComponentMask(0, dead)
+	want := 0
+	for _, a := range alive {
+		if a {
+			want++
+		}
+	}
+	if want == g.N() {
+		t.Fatal("test graph not degraded: crashes disconnect nothing")
+	}
+	if res.Survivors != want {
+		t.Fatalf("survivors %d, want %d", res.Survivors, want)
+	}
+	if len(res.TreeEdges) != want-1 {
+		t.Fatalf("degraded tree has %d edges, want %d", len(res.TreeEdges), want-1)
+	}
+	var aliveIDs []graph.EdgeID
+	for id, e := range g.Edges() {
+		if alive[e.U] && alive[e.V] {
+			aliveIDs = append(aliveIDs, graph.EdgeID(id))
+		}
+	}
+	// Certify on the surviving subgraph: same checks as Verify, masked.
+	exact := g.Subgraph(aliveIDs).Dijkstra(0).Dist
+	for v := 0; v < g.N(); v++ {
+		if !alive[v] {
+			if res.Parent[v] != graph.NoEdge {
+				t.Fatalf("dead vertex %d has a parent edge", v)
+			}
+			continue
+		}
+		if v == 0 {
+			continue
+		}
+		if math.IsInf(res.Dist[v], 1) {
+			t.Fatalf("survivor %d unreachable in degraded tree", v)
+		}
+		if res.Dist[v] < exact[v]-1e-9 {
+			t.Fatalf("survivor %d tree distance below true distance", v)
+		}
+		if s := res.Dist[v] / exact[v]; exact[v] > 0 && s > 1+60*eps {
+			t.Fatalf("survivor %d stretch %v beyond the SLT bound", v, s)
+		}
+	}
+}
+
+// TestSLTRootCrashRejected: a plan that crash-stops the root cannot
+// degrade, and accounted mode rejects fault plans outright.
+func TestSLTRootCrashRejected(t *testing.T) {
+	g := graph.Cycle(8, 1)
+	plan := &congest.FaultPlan{Crashes: []congest.Crash{{Vertex: 0}}}
+	if _, err := Build(g, 0, 0.5, Options{Mode: Measured, Faults: plan}); err == nil {
+		t.Fatal("root crash-stop accepted")
+	}
+	if _, err := Build(g, 0, 0.5, Options{Faults: &congest.FaultPlan{Drop: 0.1}}); err == nil {
+		t.Fatal("fault plan accepted in accounted mode")
+	}
+}

@@ -48,6 +48,51 @@ func buildMeasured(g *graph.Graph, rt graph.Vertex, eps float64, opts Options) (
 		return nil, fmt.Errorf("slt: measured mode runs the two-phase break-point rule; SequentialBP is a sequential baseline")
 	}
 	n, m := g.N(), g.M()
+
+	// Fault tolerance (see congest.FaultPlan): per-stage oracle
+	// validators plus bounded retry under an active plan; crash-stop
+	// faults degrade the construction to the root's surviving component.
+	faults := opts.Faults
+	faulty := faults.Active()
+	retries := 0
+	if faulty {
+		if err := faults.Validate(n); err != nil {
+			return nil, fmt.Errorf("slt: %w", err)
+		}
+		retries = opts.StageRetries
+		if retries == 0 {
+			retries = 3
+		} else if retries < 0 {
+			retries = 0
+		}
+	}
+	var alive []bool      // nil: every vertex survives
+	var aliveEdges []bool // nil: every edge usable
+	compN := n
+	if dead := faults.CrashStopped(n); dead != nil {
+		if dead[rt] {
+			return nil, fmt.Errorf("slt: root %d is crash-stopped by the fault plan", rt)
+		}
+		alive = g.ComponentMask(rt, dead)
+		compN = 0
+		for _, a := range alive {
+			if a {
+				compN++
+			}
+		}
+		// Vertices cut off from the root can never coordinate with it:
+		// treat them as dead from round 0 so no stage waits on them.
+		deadAll := make([]bool, n)
+		for v := range deadAll {
+			deadAll[v] = !alive[v]
+		}
+		faults = faults.WithDeadFromStart(deadAll)
+		aliveEdges = make([]bool, m)
+		for id, e := range g.Edges() {
+			aliveEdges[graph.EdgeID(id)] = alive[e.U] && alive[e.V]
+		}
+	}
+
 	st := &mstate{
 		g:           g,
 		rt:          rt,
@@ -68,17 +113,80 @@ func buildMeasured(g *graph.Graph, rt graph.Vertex, eps float64, opts Options) (
 		finalParent: make([]graph.EdgeID, n),
 		finalDist:   makeInf(n, rt),
 	}
+	if alive != nil {
+		// Dead vertices never run a program: pre-set their parent slots
+		// to NoEdge so the assembly and the downcast oracles skip them.
+		for v := 0; v < n; v++ {
+			if !alive[v] {
+				st.treeParent[v] = graph.NoEdge
+				st.sptParent[v] = graph.NoEdge
+				st.bfsParent[v] = graph.NoEdge
+				st.finalParent[v] = graph.NoEdge
+			}
+		}
+	}
 	pipe := congest.NewPipeline(g, congest.Options{
 		Seed:      opts.Seed,
 		Workers:   opts.Workers,
 		MaxRounds: 16*n + 1024, // Borůvka's budget; ample for every stage
+		Faults:    faults,
 	})
 	run := func(name string, factory func(graph.Vertex) congest.Program, so ...congest.StageOption) error {
 		_, err := pipe.RunStage(name, factory, so...)
 		return err
 	}
+	// stage assembles one stage's option list: the edge restriction
+	// (degradation intersects unrestricted stages with the surviving
+	// subgraph), plus validator/retry/reset wiring under faults.
+	stage := func(restrict []bool, validate func() error, reset func()) []congest.StageOption {
+		if restrict == nil {
+			restrict = aliveEdges
+		}
+		var so []congest.StageOption
+		if restrict != nil {
+			so = append(so, congest.Restrict(restrict))
+		}
+		if faulty {
+			so = append(so, congest.Retries(retries))
+			if validate != nil {
+				so = append(so, congest.Validate(validate))
+			}
+			if reset != nil {
+				so = append(so, congest.Reset(reset))
+			}
+		}
+		return so
+	}
 
-	if err := run("mst", congest.BoruvkaFactory(st.inTree)); err != nil {
+	var mstValidate func() error
+	if faulty {
+		// Oracle: the spanning forest of the usable subgraph is unique
+		// under the total (w, id) edge order.
+		wantTree, _ := mst.KruskalSubset(g, aliveEdges)
+		mstValidate = func() error {
+			count := 0
+			for _, in := range st.inTree {
+				if in {
+					count++
+				}
+			}
+			if count != len(wantTree) {
+				return fmt.Errorf("mst has %d edges, oracle has %d", count, len(wantTree))
+			}
+			for _, id := range wantTree {
+				if !st.inTree[id] {
+					return fmt.Errorf("mst is missing oracle edge %d", id)
+				}
+			}
+			return nil
+		}
+	}
+	mstReset := func() {
+		for i := range st.inTree {
+			st.inTree[i] = false
+		}
+	}
+	if err := run("mst", congest.BoruvkaFactory(st.inTree), stage(nil, mstValidate, mstReset)...); err != nil {
 		return nil, fmt.Errorf("slt: %w", err)
 	}
 	treeEdges := 0
@@ -87,73 +195,142 @@ func buildMeasured(g *graph.Graph, rt graph.Vertex, eps float64, opts Options) (
 			treeEdges++
 		}
 	}
-	if treeEdges != n-1 {
+	if treeEdges != compN-1 {
 		return nil, fmt.Errorf("slt: %w", mst.ErrDisconnected)
 	}
+	var treeValidate func() error
+	if faulty {
+		wantHops := g.BFSHopsMasked(rt, st.inTree)
+		treeValidate = func() error {
+			return congest.CheckBFS(g, rt, alive, st.treeParent, st.treeDepth, wantHops)
+		}
+	}
 	if err := run("tree", congest.BFSFactory(rt, st.treeParent, st.treeDepth),
-		congest.Restrict(st.inTree)); err != nil {
+		stage(st.inTree, treeValidate, nil)...); err != nil {
 		return nil, fmt.Errorf("slt: %w", err)
+	}
+	var sptValidate func() error
+	if faulty {
+		sptValidate = func() error {
+			return congest.CheckSPT(g, rt, alive, st.sptParent, st.pw1, aliveEdges)
+		}
 	}
 	if err := run("spt", func(graph.Vertex) congest.Program {
 		return &sptProg{src: rt, pw: st.pw1, parent: st.sptParent}
-	}); err != nil {
+	}, stage(nil, sptValidate, nil)...); err != nil {
 		return nil, fmt.Errorf("slt: %w", err)
 	}
+	var sptDistValidate func() error
+	if faulty {
+		sptDistValidate = func() error {
+			return congest.CheckDistDown(g, rt, alive, st.sptParent, st.rootDist)
+		}
+	}
+	sptDistReset := func() { refillInf(st.rootDist, rt) }
 	if err := run("spt-dist", func(graph.Vertex) congest.Program {
 		return &distDownProg{root: rt, parent: st.sptParent, dist: st.rootDist}
-	}); err != nil {
+	}, stage(nil, sptDistValidate, sptDistReset)...); err != nil {
 		return nil, fmt.Errorf("slt: %w", err)
+	}
+	// The tour oracle replays euler-up AND euler-down; it is built once,
+	// lazily, from the already-validated tree stages.
+	var tour *tourOracle
+	oracle := func() *tourOracle {
+		if tour == nil {
+			tour = newTourOracle(st, alive)
+		}
+		return tour
+	}
+	var eulerUpValidate, eulerDownValidate func() error
+	if faulty {
+		eulerUpValidate = func() error { return oracle().checkUp(st, alive) }
+		eulerDownValidate = func() error { return oracle().checkDown(st, alive) }
 	}
 	if err := run("euler-up", func(graph.Vertex) congest.Program {
 		return &eulerUpProg{st: st}
-	}, congest.Restrict(st.inTree)); err != nil {
+	}, stage(st.inTree, eulerUpValidate, nil)...); err != nil {
 		return nil, fmt.Errorf("slt: %w", err)
 	}
 	if err := run("euler-down", func(graph.Vertex) congest.Program {
 		return &eulerDownProg{st: st}
-	}, congest.Restrict(st.inTree)); err != nil {
+	}, stage(st.inTree, eulerDownValidate, nil)...); err != nil {
 		return nil, fmt.Errorf("slt: %w", err)
 	}
-	if err := run("bfs", congest.BFSFactory(rt, st.bfsParent, st.bfsDepth)); err != nil {
+	var bfsValidate func() error
+	if faulty {
+		wantHops := g.BFSHopsMasked(rt, aliveEdges)
+		bfsValidate = func() error {
+			return congest.CheckBFS(g, rt, alive, st.bfsParent, st.bfsDepth, wantHops)
+		}
+	}
+	if err := run("bfs", congest.BFSFactory(rt, st.bfsParent, st.bfsDepth),
+		stage(nil, bfsValidate, nil)...); err != nil {
 		return nil, fmt.Errorf("slt: %w", err)
+	}
+	var walkValidate, headsValidate, selectValidate, hMarkValidate func() error
+	if faulty {
+		walkValidate = func() error { return checkWalk(st, alive) }
+		headsValidate = func() error { return checkHeads(st, alive) }
+		selectValidate = func() error { return checkSelect(st, alive) }
+		hMarkValidate = func() error { return checkHMark(st, alive) }
 	}
 	if err := run("bp-walk", func(graph.Vertex) congest.Program {
 		return &bpWalkProg{st: st}
-	}, congest.Restrict(st.inTree)); err != nil {
+	}, stage(st.inTree, walkValidate, nil)...); err != nil {
 		return nil, fmt.Errorf("slt: %w", err)
 	}
+	headsReset := func() { st.rootTuples = st.rootTuples[:0] }
 	if err := run("bp-heads", func(graph.Vertex) congest.Program {
 		return &bpHeadsProg{st: st}
-	}); err != nil {
+	}, stage(nil, headsValidate, headsReset)...); err != nil {
 		return nil, fmt.Errorf("slt: %w", err)
 	}
 	if err := run("bp-select", func(graph.Vertex) congest.Program {
 		return &bpSelectProg{st: st}
-	}); err != nil {
+	}, stage(nil, selectValidate, nil)...); err != nil {
 		return nil, fmt.Errorf("slt: %w", err)
 	}
 	if err := run("h-mark", func(graph.Vertex) congest.Program {
 		return &hMarkProg{st: st}
-	}); err != nil {
+	}, stage(nil, hMarkValidate, nil)...); err != nil {
 		return nil, fmt.Errorf("slt: %w", err)
 	}
 	inHAll := make([]bool, m)
 	for id := 0; id < m; id++ {
 		inHAll[id] = st.inTree[id] || st.inH[id]
 	}
+	var finalSptValidate func() error
+	if faulty {
+		finalSptValidate = func() error {
+			return congest.CheckSPT(g, rt, alive, st.finalParent, st.pw2, inHAll)
+		}
+	}
 	if err := run("final-spt", func(graph.Vertex) congest.Program {
 		return &sptProg{src: rt, pw: st.pw2, parent: st.finalParent}
-	}, congest.Restrict(inHAll)); err != nil {
+	}, stage(inHAll, finalSptValidate, nil)...); err != nil {
 		return nil, fmt.Errorf("slt: %w", err)
 	}
+	var finalDistValidate func() error
+	if faulty {
+		finalDistValidate = func() error {
+			return congest.CheckDistDown(g, rt, alive, st.finalParent, st.finalDist)
+		}
+	}
+	finalDistReset := func() { refillInf(st.finalDist, rt) }
 	if err := run("final-dist", func(graph.Vertex) congest.Program {
 		return &distDownProg{root: rt, parent: st.finalParent, dist: st.finalDist}
-	}, congest.Restrict(inHAll)); err != nil {
+	}, stage(inHAll, finalDistValidate, finalDistReset)...); err != nil {
 		return nil, fmt.Errorf("slt: %w", err)
 	}
 
 	res := assembleMeasured(g, st)
 	res.Stages = pipe.Stages()
+	if faulty {
+		res.Survivors = compN
+		res.Alive = alive
+		res.PipelineRetries = pipe.Retries()
+		res.Faults = pipe.FaultStats()
+	}
 	if opts.Ledger != nil {
 		// No formula charges on this path: the ledger records the
 		// measured per-stage engine stats, label-comparable with the
@@ -226,9 +403,15 @@ func assembleMeasured(g *graph.Graph, st *mstate) *Result {
 // makeInf returns an all-+Inf distance slice with 0 at the root.
 func makeInf(n int, rt graph.Vertex) []float64 {
 	d := make([]float64, n)
+	refillInf(d, rt)
+	return d
+}
+
+// refillInf resets a distance slice to the makeInf state — the Reset
+// closure of the downcast stages' retry path.
+func refillInf(d []float64, rt graph.Vertex) {
 	for i := range d {
 		d[i] = math.Inf(1)
 	}
 	d[rt] = 0
-	return d
 }

@@ -49,6 +49,17 @@ type Result struct {
 	// Stages is the per-stage measured engine cost, in pipeline order
 	// (Measured mode only; nil for Accounted).
 	Stages []congest.StageStats
+	// Measured-mode fault diagnostics (set only when Options.Faults is
+	// active): Survivors counts the vertices of the root's surviving
+	// component, Alive is the component mask (nil when every vertex
+	// survives), PipelineRetries totals the extra stage attempts the
+	// validators forced, and Faults aggregates the injector's counters.
+	// Under crash-stop degradation the result is an SLT of the surviving
+	// component only.
+	Survivors       int
+	Alive           []bool
+	PipelineRetries int
+	Faults          congest.FaultStats
 }
 
 // Options configure Build.
@@ -67,6 +78,15 @@ type Options struct {
 	// Workers sizes the engine worker pool in Measured mode
 	// (0 = GOMAXPROCS); results are identical for every worker count.
 	Workers int
+	// Faults injects a deterministic fault plan into the Measured
+	// pipeline (nil: fault-free). Every stage is then checked against a
+	// sequential oracle and retried under an exponential round budget;
+	// crash-stop faults degrade the construction to the root's surviving
+	// component.
+	Faults *congest.FaultPlan
+	// StageRetries bounds the per-stage validator retries when Faults is
+	// active (0: default 3; negative: no retries).
+	StageRetries int
 }
 
 // Build constructs a (1+O(ε), 1+O(1/ε))-SLT rooted at rt.
@@ -84,6 +104,9 @@ func Build(g *graph.Graph, rt graph.Vertex, eps float64, opts Options) (*Result,
 	}
 	if opts.Mode == Measured {
 		return buildMeasured(g, rt, eps, opts)
+	}
+	if opts.Faults.Active() {
+		return nil, fmt.Errorf("slt: fault injection requires Measured mode (the Accounted path exchanges no messages)")
 	}
 	// Step 1: MST, fragments, Euler tour (§3).
 	mstEdges, mstWeight, err := mst.Kruskal(g)

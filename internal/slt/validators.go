@@ -1,0 +1,331 @@
+package slt
+
+// Fault-mode stage validators for the measured pipeline (see
+// congest.FaultPlan): after each stage, a sequential oracle replays the
+// stage's arithmetic centrally — identical operations in identical
+// order, per the bit-identity discipline of programs.go — and the
+// distributed outputs are compared by exact equality. A mismatch aborts
+// the attempt and the pipeline retries the stage under a larger round
+// budget; a validated stage is therefore bit-identical to a fault-free
+// execution, which is what keeps faulted runs deterministic across
+// worker counts. Tree-shaped stages (mst, tree, bfs, spt, dist
+// downcasts) validate against the oracles in congest and mst; this file
+// holds the Euler-tour and break-point replays, which need the slt
+// package's shared mstate.
+
+import (
+	"fmt"
+	"sort"
+
+	"lightnet/internal/graph"
+)
+
+// tourOracle is the central replay of the euler-up/euler-down programs
+// on the rooted tree: children in ascending id order, subtree tour
+// lengths folded bottom-up, interval starts and appearance positions
+// assigned top-down with the same recurrences.
+type tourOracle struct {
+	children  [][]child
+	gSub      []float64
+	gUnit     []int64
+	start     []float64
+	startUnit []int64
+	pos       [][]int64
+	r         [][]float64
+}
+
+// newTourOracle replays the tour arithmetic for the surviving component
+// (alive nil: every vertex). It reads only stage outputs validated
+// earlier: inTree, treeParent, treeDepth.
+func newTourOracle(st *mstate, alive []bool) *tourOracle {
+	g := st.g
+	n := g.N()
+	o := &tourOracle{
+		children:  make([][]child, n),
+		gSub:      make([]float64, n),
+		gUnit:     make([]int64, n),
+		start:     make([]float64, n),
+		startUnit: make([]int64, n),
+		pos:       make([][]int64, n),
+		r:         make([][]float64, n),
+	}
+	live := func(v graph.Vertex) bool { return alive == nil || alive[v] }
+	order := make([]graph.Vertex, 0, n)
+	for v := 0; v < n; v++ {
+		if !live(graph.Vertex(v)) {
+			continue
+		}
+		order = append(order, graph.Vertex(v))
+		for _, h := range g.Neighbors(graph.Vertex(v)) {
+			if !st.inTree[h.ID] || h.ID == st.treeParent[v] {
+				continue
+			}
+			o.children[v] = append(o.children[v], child{v: h.To, edge: h.ID, w: h.W})
+		}
+		sort.Slice(o.children[v], func(a, b int) bool { return o.children[v][a].v < o.children[v][b].v })
+	}
+	// Bottom-up (euler-up): fold the children's lengths in child-id
+	// order, g(v) = Σ (g(z) + 2w(v,z)).
+	sort.SliceStable(order, func(a, b int) bool { return st.treeDepth[order[a]] > st.treeDepth[order[b]] })
+	for _, v := range order {
+		for i := range o.children[v] {
+			c := &o.children[v][i]
+			c.gSub = o.gSub[c.v]
+			c.gUnit = o.gUnit[c.v]
+			o.gSub[v] += c.gSub + 2*c.w
+			o.gUnit[v] += c.gUnit + 2
+		}
+	}
+	// Top-down (euler-down): interval starts and own appearances.
+	for i, j := 0, len(order)-1; i < j; i, j = i+1, j-1 {
+		order[i], order[j] = order[j], order[i]
+	}
+	for _, v := range order {
+		off, offU := o.start[v], o.startUnit[v]
+		o.pos[v] = append(o.pos[v], o.startUnit[v])
+		o.r[v] = append(o.r[v], o.start[v])
+		for i := range o.children[v] {
+			c := &o.children[v][i]
+			c.start = off + c.w
+			c.startUnit = offU + 1
+			o.start[c.v] = c.start
+			o.startUnit[c.v] = c.startUnit
+			off += c.gSub + 2*c.w
+			offU += c.gUnit + 2
+			o.pos[v] = append(o.pos[v], c.startUnit+c.gUnit+1)
+			o.r[v] = append(o.r[v], c.start+c.gSub+c.w)
+		}
+	}
+	return o
+}
+
+// checkUp validates the euler-up outputs: every survivor's subtree tour
+// lengths, and the per-child report slots the next stage reads.
+func (o *tourOracle) checkUp(st *mstate, alive []bool) error {
+	for v := 0; v < st.g.N(); v++ {
+		if alive != nil && !alive[v] {
+			continue
+		}
+		t := &st.vs[v]
+		if t.gSub != o.gSub[v] || t.gUnit != o.gUnit[v] {
+			return fmt.Errorf("vertex %d tour length (%v,%d), oracle says (%v,%d)", v, t.gSub, t.gUnit, o.gSub[v], o.gUnit[v])
+		}
+		if len(t.children) != len(o.children[v]) {
+			return fmt.Errorf("vertex %d derived %d tree children, oracle says %d", v, len(t.children), len(o.children[v]))
+		}
+		for i := range t.children {
+			got, want := &t.children[i], &o.children[v][i]
+			if got.v != want.v || got.edge != want.edge {
+				return fmt.Errorf("vertex %d child %d mismatch", v, i)
+			}
+			if got.gSub != want.gSub || got.gUnit != want.gUnit {
+				return fmt.Errorf("vertex %d child %d subtree length not reported", v, i)
+			}
+		}
+	}
+	return nil
+}
+
+// checkDown validates the euler-down outputs: interval starts and the
+// full per-vertex appearance position/time arrays.
+func (o *tourOracle) checkDown(st *mstate, alive []bool) error {
+	for v := 0; v < st.g.N(); v++ {
+		if alive != nil && !alive[v] {
+			continue
+		}
+		t := &st.vs[v]
+		if t.start != o.start[v] || t.startUnit != o.startUnit[v] {
+			return fmt.Errorf("vertex %d interval start (%v,%d), oracle says (%v,%d)", v, t.start, t.startUnit, o.start[v], o.startUnit[v])
+		}
+		if len(t.pos) != len(o.pos[v]) || len(t.bp) != len(o.pos[v]) {
+			return fmt.Errorf("vertex %d has %d appearances, oracle says %d", v, len(t.pos), len(o.pos[v]))
+		}
+		for k := range t.pos {
+			if t.pos[k] != o.pos[v][k] || t.r[k] != o.r[v][k] {
+				return fmt.Errorf("vertex %d appearance %d at (%d,%v), oracle says (%d,%v)", v, k, t.pos[k], t.r[k], o.pos[v][k], o.r[v][k])
+			}
+		}
+	}
+	return nil
+}
+
+// tourIndex maps every tour position of the surviving component to its
+// hosting (vertex, appearance) pair, using the validated vs arrays.
+func tourIndex(st *mstate, alive []bool) map[int64][2]int {
+	at := make(map[int64][2]int)
+	for v := 0; v < st.g.N(); v++ {
+		if alive != nil && !alive[v] {
+			continue
+		}
+		for k, pos := range st.vs[v].pos {
+			at[pos] = [2]int{v, k}
+		}
+	}
+	return at
+}
+
+// checkWalk validates the bp-walk marks: a central replay of every
+// interval walker — the same rule on the same operands (t.r and
+// rootDist) — must agree with the distributed marks at every appearance
+// of every survivor.
+func checkWalk(st *mstate, alive []bool) error {
+	at := tourIndex(st, alive)
+	want := make(map[int64]bool, len(at))
+	alpha := int64(st.alpha)
+	for head := int64(0); ; head += alpha {
+		hk, ok := at[head]
+		if !ok {
+			break // past the (possibly degraded) tour's end
+		}
+		anchor := st.vs[hk[0]].r[hk[1]]
+		end := head + alpha
+		if end > int64(st.m) {
+			end = int64(st.m)
+		}
+		for x := head + 1; x < end; x++ {
+			xk, ok := at[x]
+			if !ok {
+				break
+			}
+			t := &st.vs[xk[0]]
+			if t.r[xk[1]]-anchor > st.eps*st.rootDist[xk[0]] {
+				want[x] = true
+				anchor = t.r[xk[1]]
+			}
+		}
+	}
+	for v := 0; v < st.g.N(); v++ {
+		if alive != nil && !alive[v] {
+			continue
+		}
+		t := &st.vs[v]
+		for k, pos := range t.pos {
+			if t.bp[k] != want[pos] {
+				return fmt.Errorf("position %d break-point mark %v, oracle says %v", pos, t.bp[k], want[pos])
+			}
+		}
+	}
+	return nil
+}
+
+// checkHeads validates the bp-heads gather: the multiset collected at
+// the root must be exactly one (position, R, dist) tuple per interval
+// head of the surviving tour — no drops, no duplicates.
+func checkHeads(st *mstate, alive []bool) error {
+	var want []headTuple
+	for v := 0; v < st.g.N(); v++ {
+		if alive != nil && !alive[v] {
+			continue
+		}
+		t := &st.vs[v]
+		for k, pos := range t.pos {
+			if pos%int64(st.alpha) != 0 {
+				continue
+			}
+			want = append(want, headTuple{pos: pos, r: t.r[k], dist: st.rootDist[v]})
+		}
+	}
+	sort.Slice(want, func(a, b int) bool { return want[a].pos < want[b].pos })
+	got := append([]headTuple(nil), st.rootTuples...)
+	sort.Slice(got, func(a, b int) bool { return got[a].pos < got[b].pos })
+	if len(got) != len(want) {
+		return fmt.Errorf("root gathered %d head tuples, oracle says %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			return fmt.Errorf("head tuple %d mismatch: got %+v, oracle says %+v", i, got[i], want[i])
+		}
+	}
+	return nil
+}
+
+// selectedHeads replays the root's phase-2 filter on the validated head
+// tuples, returning the selected positions (including position 0).
+func selectedHeads(st *mstate) map[int64]bool {
+	tups := append([]headTuple(nil), st.rootTuples...)
+	sort.Slice(tups, func(a, b int) bool { return tups[a].pos < tups[b].pos })
+	sel := map[int64]bool{0: true}
+	yR := st.vs[st.rt].r[0]
+	for _, tup := range tups {
+		if tup.pos == 0 {
+			continue
+		}
+		if tup.r-yR > st.eps*tup.dist {
+			yR = tup.r
+			sel[tup.pos] = true
+		}
+	}
+	return sel
+}
+
+// checkSelect validates the bp-select downcast: every interval head's
+// mark equals the replayed phase-2 selection (non-head marks belong to
+// bp-walk and are not touched by this stage).
+func checkSelect(st *mstate, alive []bool) error {
+	sel := selectedHeads(st)
+	for v := 0; v < st.g.N(); v++ {
+		if alive != nil && !alive[v] {
+			continue
+		}
+		t := &st.vs[v]
+		for k, pos := range t.pos {
+			if pos%int64(st.alpha) != 0 {
+				continue
+			}
+			if t.bp[k] != sel[pos] {
+				return fmt.Errorf("head position %d selection mark %v, oracle says %v", pos, t.bp[k], sel[pos])
+			}
+		}
+	}
+	return nil
+}
+
+// checkHMark validates the h-mark stage against the sequential buildH
+// walk-up: starting from every break-point host, walk the SPT parent
+// chain to the first marked vertex; the distributed marks and the H
+// edge set must match exactly.
+func checkHMark(st *mstate, alive []bool) error {
+	g := st.g
+	n := g.N()
+	marked := make([]bool, n)
+	marked[st.rt] = true
+	expInH := make([]bool, g.M())
+	for v := 0; v < n; v++ {
+		if alive != nil && !alive[v] {
+			continue
+		}
+		host := false
+		for _, b := range st.vs[v].bp {
+			if b {
+				host = true
+				break
+			}
+		}
+		if !host {
+			continue
+		}
+		for u := graph.Vertex(v); !marked[u]; {
+			marked[u] = true
+			id := st.sptParent[u]
+			if id == graph.NoEdge {
+				break
+			}
+			expInH[id] = true
+			u = g.Edge(id).Other(u)
+		}
+	}
+	for v := 0; v < n; v++ {
+		if alive != nil && !alive[v] {
+			continue
+		}
+		if st.vs[v].marked != marked[v] {
+			return fmt.Errorf("vertex %d mark %v, oracle says %v", v, st.vs[v].marked, marked[v])
+		}
+	}
+	for id := range expInH {
+		if st.inH[id] != expInH[id] {
+			return fmt.Errorf("edge %d H membership %v, oracle says %v", id, st.inH[id], expInH[id])
+		}
+	}
+	return nil
+}

@@ -46,6 +46,16 @@ type Result struct {
 	// Stages is the per-stage measured engine cost, in pipeline order
 	// (Measured mode only; nil for Accounted).
 	Stages []congest.StageStats
+	// Fault-tolerance diagnostics, populated in Measured mode when
+	// Options.Faults is active. Survivors is the size of the root's
+	// surviving component under crash-stop faults (n when nobody is
+	// permanently down) and Alive its vertex mask (nil when every vertex
+	// survived — the spanner then covers all of g). PipelineRetries
+	// counts extra stage attempts; Faults the injected faults.
+	Survivors       int
+	Alive           []bool
+	PipelineRetries int
+	Faults          congest.FaultStats
 }
 
 // BucketInfo describes one weight scale E_i.
@@ -96,6 +106,15 @@ type Options struct {
 	// Workers sizes the engine worker pool in Measured mode
 	// (0 = GOMAXPROCS); results are identical for every worker count.
 	Workers int
+	// Faults, in Measured mode, injects the deterministic fault plan
+	// into the engine and arms per-stage oracle validators with bounded
+	// retry; crash-stop faults degrade the build to the root's surviving
+	// component (see Result.Alive). nil or an inactive plan leaves the
+	// pipeline on its fault-free path, bit-identical to today's.
+	Faults *congest.FaultPlan
+	// StageRetries bounds the extra per-stage attempts under Faults
+	// (default 3; negative disables retry).
+	StageRetries int
 }
 
 // BuildLight is Theorem 2: a (2k−1)(1+ε)-spanner with O(k·n^{1+1/k})
@@ -118,6 +137,9 @@ func BuildLight(g *graph.Graph, k int, eps float64, opts Options) (*Result, erro
 	}
 	if opts.Mode == Measured {
 		return buildMeasured(g, k, eps, opts)
+	}
+	if opts.Faults.Active() {
+		return nil, fmt.Errorf("spanner: fault injection requires Measured mode (the Accounted path exchanges no messages)")
 	}
 	maxRetries := opts.MaxRetries
 	if maxRetries == 0 {

@@ -50,18 +50,114 @@ func buildMeasured(g *graph.Graph, k int, eps float64, opts Options) (*Result, e
 	if int(rt) < 0 || int(rt) >= n {
 		return nil, fmt.Errorf("spanner: root %d out of range", rt)
 	}
+
+	// Fault tolerance (see congest.FaultPlan). Under an active plan each
+	// stage gets an oracle validator and a bounded-retry policy; under
+	// crash-stop faults the whole pipeline degrades gracefully: it is
+	// restricted to the root's surviving component, and the result is a
+	// certified spanner of that subgraph.
+	faults := opts.Faults
+	faulty := faults.Active()
+	retries := 0
+	if faulty {
+		if err := faults.Validate(n); err != nil {
+			return nil, fmt.Errorf("spanner: %w", err)
+		}
+		retries = opts.StageRetries
+		if retries == 0 {
+			retries = 3
+		} else if retries < 0 {
+			retries = 0
+		}
+	}
+	var alive []bool      // nil: every vertex survives
+	var aliveEdges []bool // nil: every edge usable
+	compN := n
+	if dead := faults.CrashStopped(n); dead != nil {
+		if dead[rt] {
+			return nil, fmt.Errorf("spanner: root %d is crash-stopped by the fault plan", rt)
+		}
+		alive = g.ComponentMask(rt, dead)
+		compN = 0
+		for _, a := range alive {
+			if a {
+				compN++
+			}
+		}
+		// Vertices cut off from the root can never coordinate with it:
+		// treat them as dead from round 0 so no stage waits on them.
+		deadAll := make([]bool, n)
+		for v := range deadAll {
+			deadAll[v] = !alive[v]
+		}
+		faults = faults.WithDeadFromStart(deadAll)
+		aliveEdges = make([]bool, m)
+		for id, e := range g.Edges() {
+			aliveEdges[graph.EdgeID(id)] = alive[e.U] && alive[e.V]
+		}
+	}
+
 	pipe := congest.NewPipeline(g, congest.Options{
 		Seed:      opts.Seed,
 		Workers:   opts.Workers,
 		MaxRounds: 16*n + 1024, // Borůvka's budget; ample for every stage
+		Faults:    faults,
 	})
 	run := func(name string, factory func(graph.Vertex) congest.Program, so ...congest.StageOption) error {
 		_, err := pipe.RunStage(name, factory, so...)
 		return err
 	}
+	// stage assembles the option list for one stage: the edge
+	// restriction (degradation intersects every stage with the surviving
+	// subgraph), plus validator/retry/reset wiring under faults.
+	stage := func(restrict []bool, validate func() error, reset func()) []congest.StageOption {
+		var so []congest.StageOption
+		if restrict != nil {
+			so = append(so, congest.Restrict(restrict))
+		}
+		if faulty {
+			so = append(so, congest.Retries(retries))
+			if validate != nil {
+				so = append(so, congest.Validate(validate))
+			}
+			if reset != nil {
+				so = append(so, congest.Reset(reset))
+			}
+		}
+		return so
+	}
 
 	inTree := make([]bool, m)
-	if err := run("mst", congest.BoruvkaFactory(inTree)); err != nil {
+	var mstValidate func() error
+	if faulty {
+		// Oracle: the spanning forest of the usable subgraph is unique
+		// under the total (w, id) edge order — distributed Borůvka must
+		// reproduce it exactly.
+		wantTree, _ := mst.KruskalSubset(g, aliveEdges)
+		mstValidate = func() error {
+			count := 0
+			for _, in := range inTree {
+				if in {
+					count++
+				}
+			}
+			if count != len(wantTree) {
+				return fmt.Errorf("mst has %d edges, oracle has %d", count, len(wantTree))
+			}
+			for _, id := range wantTree {
+				if !inTree[id] {
+					return fmt.Errorf("mst is missing oracle edge %d", id)
+				}
+			}
+			return nil
+		}
+	}
+	mstReset := func() {
+		for i := range inTree {
+			inTree[i] = false
+		}
+	}
+	if err := run("mst", congest.BoruvkaFactory(inTree), stage(aliveEdges, mstValidate, mstReset)...); err != nil {
 		return nil, fmt.Errorf("spanner: %w", err)
 	}
 	treeEdges := 0
@@ -70,12 +166,19 @@ func buildMeasured(g *graph.Graph, k int, eps float64, opts Options) (*Result, e
 			treeEdges++
 		}
 	}
-	if treeEdges != n-1 {
+	if treeEdges != compN-1 {
 		return nil, fmt.Errorf("spanner: %w", mst.ErrDisconnected)
 	}
 	bfsParent := make([]graph.EdgeID, n)
 	bfsDepth := make([]int32, n)
-	if err := run("bfs", congest.BFSFactory(rt, bfsParent, bfsDepth)); err != nil {
+	var bfsValidate func() error
+	if faulty {
+		wantDepth := g.BFSHopsMasked(rt, aliveEdges)
+		bfsValidate = func() error {
+			return congest.CheckBFS(g, rt, alive, bfsParent, bfsDepth, wantDepth)
+		}
+	}
+	if err := run("bfs", congest.BFSFactory(rt, bfsParent, bfsDepth), stage(aliveEdges, bfsValidate, nil)...); err != nil {
 		return nil, fmt.Errorf("spanner: %w", err)
 	}
 
@@ -95,11 +198,32 @@ func buildMeasured(g *graph.Graph, k int, eps float64, opts Options) (*Result, e
 		queues[owner] = append(queues[owner], int64(math.Float64bits(e.W)), int64(id))
 	}
 	var gathered []int64
-	if err := run("mst-weight-up", congest.FunnelFactory(rt, bfsParent, 2, queues, &gathered)); err != nil {
+	var funnelValidate func() error
+	if faulty {
+		// Oracle: the multiset funneled to the root must be exactly the
+		// tree edges' (w, id) tuples. inTree is final by now, so the
+		// expectation can be fixed before the stage runs.
+		want := sortedTreeTuples(g, inTree)
+		funnelValidate = func() error {
+			if len(gathered) != len(want) {
+				return fmt.Errorf("weight funnel delivered %d words, oracle has %d", len(gathered), len(want))
+			}
+			got := sortTuplePairs(gathered)
+			for i := range want {
+				if got[i] != want[i] {
+					return fmt.Errorf("weight funnel multiset mismatch at word %d", i)
+				}
+			}
+			return nil
+		}
+	}
+	funnelReset := func() { gathered = gathered[:0] }
+	if err := run("mst-weight-up", congest.FunnelFactory(rt, bfsParent, 2, queues, &gathered),
+		stage(aliveEdges, funnelValidate, funnelReset)...); err != nil {
 		return nil, fmt.Errorf("spanner: %w", err)
 	}
-	if len(gathered) != 2*(n-1) {
-		return nil, fmt.Errorf("spanner: weight funnel delivered %d tuples, want %d", len(gathered)/2, n-1)
+	if len(gathered) != 2*(compN-1) {
+		return nil, fmt.Errorf("spanner: weight funnel delivered %d tuples, want %d", len(gathered)/2, compN-1)
 	}
 	// Root-local: sum the tree weights in the total (w, id) edge order —
 	// the exact accumulation order of Kruskal, so the resulting L matches
@@ -108,7 +232,7 @@ func buildMeasured(g *graph.Graph, k int, eps float64, opts Options) (*Result, e
 		w  float64
 		id int64
 	}
-	tups := make([]tup, n-1)
+	tups := make([]tup, compN-1)
 	for i := range tups {
 		tups[i] = tup{w: math.Float64frombits(uint64(gathered[2*i])), id: gathered[2*i+1]}
 	}
@@ -124,13 +248,48 @@ func buildMeasured(g *graph.Graph, k int, eps float64, opts Options) (*Result, e
 	}
 	bigL := 2 * mstWeight
 	lword := make([]int64, n)
-	if err := run("mst-weight-down", congest.FloodWordFactory(rt, int64(math.Float64bits(bigL)), lword)); err != nil {
+	lbits := int64(math.Float64bits(bigL))
+	var floodValidate func() error
+	if faulty {
+		floodValidate = func() error {
+			for v := 0; v < n; v++ {
+				if alive != nil && !alive[v] {
+					continue
+				}
+				if lword[v] != lbits {
+					return fmt.Errorf("vertex %d did not learn L", v)
+				}
+			}
+			return nil
+		}
+	}
+	floodReset := func() {
+		for i := range lword {
+			lword[i] = 0
+		}
+	}
+	if err := run("mst-weight-down", congest.FloodWordFactory(rt, lbits, lword),
+		stage(aliveEdges, floodValidate, floodReset)...); err != nil {
 		return nil, fmt.Errorf("spanner: %w", err)
 	}
 
 	// Every vertex now knows L; bucket membership of each incident edge
 	// is local arithmetic (the shared partitionEdges).
 	lowIDs, buckets := partitionEdges(g, inTree, bigL, eps)
+	if aliveEdges != nil {
+		// Degradation: the bucket stages run on the surviving subgraph
+		// only. Edges with a crashed endpoint cannot be clustered (and
+		// cannot be needed: their endpoints are outside the certified
+		// component).
+		lowIDs = filterEdgeIDs(lowIDs, aliveEdges)
+		for i, ei := range buckets {
+			if kept := filterEdgeIDs(ei, aliveEdges); len(kept) > 0 {
+				buckets[i] = kept
+			} else {
+				delete(buckets, i)
+			}
+		}
+	}
 
 	res := &Result{MSTWeight: mstWeight, LowBucketEdges: len(lowIDs)}
 	inSpanner := make([]bool, m)
@@ -150,18 +309,9 @@ func buildMeasured(g *graph.Graph, k int, eps float64, opts Options) (*Result, e
 	chosen := make([][]graph.EdgeID, n)
 	keptMask := make([]bool, m)   // scratch for merging per-vertex choices
 	bucketMask := make([]bool, m) // reused across stages: set/cleared per bucket
-	runBucket := func(name string, seed int64, ids []graph.EdgeID) ([]graph.EdgeID, error) {
-		for _, id := range ids {
-			bucketMask[id] = true
-		}
-		defer func() {
-			for _, id := range ids {
-				bucketMask[id] = false
-			}
-		}()
-		if err := run(name, bsFactory(g, k, seed, bucketMask, cluster, chosen), congest.Restrict(bucketMask)); err != nil {
-			return nil, fmt.Errorf("spanner: %w", err)
-		}
+	// mergeChosen folds the per-vertex kept edges into one deduplicated,
+	// sorted id list (keptMask is scratch, left clear).
+	mergeChosen := func() []graph.EdgeID {
 		var kept []graph.EdgeID
 		for v := range chosen {
 			for _, id := range chosen[v] {
@@ -175,7 +325,52 @@ func buildMeasured(g *graph.Graph, k int, eps float64, opts Options) (*Result, e
 			keptMask[id] = false
 		}
 		sort.Slice(kept, func(a, b int) bool { return kept[a] < kept[b] })
-		return kept, nil
+		return kept
+	}
+	runBucket := func(name string, seed int64, ids []graph.EdgeID) ([]graph.EdgeID, error) {
+		for _, id := range ids {
+			bucketMask[id] = true
+		}
+		defer func() {
+			for _, id := range ids {
+				bucketMask[id] = false
+			}
+		}()
+		var validate func() error
+		if faulty {
+			// Oracle: the sequential Baswana-Sen core on the same mask and
+			// seed — the distributed run reproduces its kept set and final
+			// clustering exactly (the bit-identity discipline of
+			// programs.go). Computed eagerly while the mask is set.
+			wantKept, wantCluster := baswanaCore(g, bucketMask, k, seed)
+			validate = func() error {
+				got := mergeChosen()
+				if len(got) != len(wantKept) {
+					return fmt.Errorf("%s kept %d edges, oracle keeps %d", name, len(got), len(wantKept))
+				}
+				for i := range got {
+					if got[i] != wantKept[i] {
+						return fmt.Errorf("%s kept set diverges from oracle at edge %d", name, got[i])
+					}
+				}
+				for v := 0; v < n; v++ {
+					if alive != nil && !alive[v] {
+						continue
+					}
+					if cluster[v] != wantCluster[v] {
+						return fmt.Errorf("%s clustering diverges from oracle at vertex %d", name, v)
+					}
+				}
+				return nil
+			}
+		}
+		// No Reset needed: every live vertex's bsProgram truncates its own
+		// chosen slot and rewrites its cluster label in Init.
+		if err := run(name, bsFactory(g, k, seed, bucketMask, cluster, chosen),
+			stage(bucketMask, validate, nil)...); err != nil {
+			return nil, fmt.Errorf("spanner: %w", err)
+		}
+		return mergeChosen(), nil
 	}
 
 	if len(lowIDs) > 0 {
@@ -219,6 +414,12 @@ func buildMeasured(g *graph.Graph, k int, eps float64, opts Options) (*Result, e
 		res.Lightness = 1
 	}
 	res.Stages = pipe.Stages()
+	if faulty {
+		res.Survivors = compN
+		res.Alive = alive
+		res.PipelineRetries = pipe.Retries()
+		res.Faults = pipe.FaultStats()
+	}
 	if opts.Ledger != nil {
 		// No formula charges on this path: the ledger records the
 		// measured per-stage engine stats, label-comparable with the
@@ -228,4 +429,52 @@ func buildMeasured(g *graph.Graph, k int, eps float64, opts Options) (*Result, e
 		}
 	}
 	return res, nil
+}
+
+// sortedTreeTuples flattens the (Float64bits(w), id) tuples of the tree
+// edges in the total (w, id) order — the funnel validator's oracle.
+func sortedTreeTuples(g *graph.Graph, inTree []bool) []int64 {
+	var out []int64
+	for id, in := range inTree {
+		if !in {
+			continue
+		}
+		e := g.Edge(graph.EdgeID(id))
+		out = append(out, int64(math.Float64bits(e.W)), int64(id))
+	}
+	return sortTuplePairs(out)
+}
+
+// sortTuplePairs returns a copy of a flattened (Float64bits(w), id)
+// tuple slice with the tuples sorted by (w, id); flat is not mutated.
+func sortTuplePairs(flat []int64) []int64 {
+	np := len(flat) / 2
+	idx := make([]int, np)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		wa := math.Float64frombits(uint64(flat[2*idx[a]]))
+		wb := math.Float64frombits(uint64(flat[2*idx[b]]))
+		if wa != wb {
+			return wa < wb
+		}
+		return flat[2*idx[a]+1] < flat[2*idx[b]+1]
+	})
+	out := make([]int64, 0, len(flat))
+	for _, i := range idx {
+		out = append(out, flat[2*i], flat[2*i+1])
+	}
+	return out
+}
+
+// filterEdgeIDs returns the ids whose mask entry is set.
+func filterEdgeIDs(ids []graph.EdgeID, mask []bool) []graph.EdgeID {
+	out := ids[:0]
+	for _, id := range ids {
+		if mask[id] {
+			out = append(out, id)
+		}
+	}
+	return out
 }

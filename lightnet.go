@@ -96,12 +96,14 @@ func stageCosts(stages []congest.StageStats) []StageCost {
 
 // options is the shared option state.
 type options struct {
-	seed     int64
-	hopDiam  int
-	sptMode  sssp.Mode
-	measured bool
-	workers  int
-	buckets  BucketAlgo
+	seed      int64
+	hopDiam   int
+	sptMode   sssp.Mode
+	measured  bool
+	workers   int
+	buckets   BucketAlgo
+	faultSpec string
+	retries   int
 }
 
 // Option configures a builder.
@@ -130,6 +132,54 @@ func WithMeasured() Option { return func(o *options) { o.measured = true } }
 // WithWorkers sizes the engine worker pool for measured-mode runs
 // (0 = GOMAXPROCS). Results are identical for every worker count.
 func WithWorkers(n int) Option { return func(o *options) { o.workers = n } }
+
+// WithFaultSpec injects a deterministic fault plan into a WithMeasured
+// run, given in the compact spec syntax, e.g.
+//
+//	drop=0.01,dup=0.005,delay=0.02,maxdelay=3,seed=7,crash=5@10,part=0.5@30-80
+//
+// The engine then drops/duplicates/delays messages and crashes vertices
+// per the plan (fault streams are a pure hash of the plan — identical
+// at every worker count), every pipeline stage is validated against a
+// sequential oracle and retried under exponential round budgets, and
+// crash-stop faults degrade the construction to the root's surviving
+// component. The result carries a FaultReport. Requires WithMeasured;
+// currently supported by BuildSLT and BuildLightSpanner.
+func WithFaultSpec(spec string) Option { return func(o *options) { o.faultSpec = spec } }
+
+// WithStageRetries raises the per-stage validator retry budget of a
+// WithFaultSpec run (each retry re-runs the stage under an
+// exponentially larger round budget and fresh fault draws). The
+// default budget copes with light fault rates; raise it when the
+// rate × message volume makes fault-free attempts rare. Requires
+// WithFaultSpec.
+func WithStageRetries(n int) Option { return func(o *options) { o.retries = n } }
+
+// FaultReport summarizes a faulted measured run: the injected message
+// faults, the extra stage attempts the validators forced, and the size
+// of the root's surviving component under crash-stop faults (= the
+// vertex count when nobody is permanently down).
+type FaultReport struct {
+	Dropped    int64
+	Duplicated int64
+	Delayed    int64
+	Retries    int
+	Survivors  int
+}
+
+// faultPlan resolves the option's fault spec (nil when unset).
+func (o *options) faultPlan() (*congest.FaultPlan, error) {
+	if o.faultSpec == "" {
+		if o.retries != 0 {
+			return nil, fmt.Errorf("lightnet: WithStageRetries requires WithFaultSpec (fault-free stages do not retry)")
+		}
+		return nil, nil
+	}
+	if !o.measured {
+		return nil, fmt.Errorf("lightnet: WithFaultSpec requires WithMeasured (the accounted path exchanges no messages)")
+	}
+	return congest.ParseFaultSpec(o.faultSpec)
+}
 
 // BucketAlgo selects BuildLightSpanner's per-bucket cluster-spanner
 // algorithm.
@@ -175,7 +225,11 @@ type SpannerResult struct {
 	Weight    float64
 	MSTWeight float64
 	Lightness float64
-	Cost      Cost
+	// Faults reports a faulted measured run's diagnostics (nil when no
+	// fault plan was active; see WithFaultSpec). When Survivors is below
+	// the vertex count the spanner covers the surviving component only.
+	Faults *FaultReport
+	Cost   Cost
 }
 
 // BuildLightSpanner builds the §5 spanner: stretch (2k−1)(1+ε),
@@ -199,6 +253,12 @@ func BuildLightSpanner(g *Graph, k int, eps float64, opts ...Option) (*SpannerRe
 		sopts.Mode = spanner.Measured
 		sopts.Workers = o.workers
 	}
+	plan, err := o.faultPlan()
+	if err != nil {
+		return nil, err
+	}
+	sopts.Faults = plan
+	sopts.StageRetries = o.retries
 	res, err := spanner.BuildLight(g, k, eps, sopts)
 	if err != nil {
 		return nil, fmt.Errorf("lightnet: %w", err)
@@ -206,13 +266,21 @@ func BuildLightSpanner(g *Graph, k int, eps float64, opts ...Option) (*SpannerRe
 	cost := costOf(ledger)
 	cost.Stages = stageCosts(res.Stages)
 	cost.Measured = res.Stages != nil
-	return &SpannerResult{
+	out := &SpannerResult{
 		Edges:     res.Edges,
 		Weight:    res.Weight,
 		MSTWeight: res.MSTWeight,
 		Lightness: res.Lightness,
 		Cost:      cost,
-	}, nil
+	}
+	if res.Survivors > 0 { // set only when a fault plan was active
+		out.Faults = &FaultReport{
+			Dropped: res.Faults.Dropped, Duplicated: res.Faults.Duplicated,
+			Delayed: res.Faults.Delayed, Retries: res.PipelineRetries,
+			Survivors: res.Survivors,
+		}
+	}
+	return out, nil
 }
 
 // VerifySpanner measures the exact maximum and mean stretch of a
@@ -232,7 +300,11 @@ type SLTResult struct {
 	// Lightness = tree weight / MST weight.
 	Lightness float64
 	MSTWeight float64
-	Cost      Cost
+	// Faults reports a faulted measured run's diagnostics (nil when no
+	// fault plan was active; see WithFaultSpec). When Survivors is below
+	// the vertex count the tree spans the surviving component only.
+	Faults *FaultReport
+	Cost   Cost
 }
 
 // BuildSLT builds the §4 SLT: root stretch 1+O(ε), lightness 1+O(1/ε),
@@ -246,9 +318,13 @@ func BuildSLT(g *Graph, root Vertex, eps float64, opts ...Option) (*SLTResult, e
 	if o.measured {
 		mode = slt.Measured
 	}
+	plan, err := o.faultPlan()
+	if err != nil {
+		return nil, err
+	}
 	res, err := slt.Build(g, root, eps, slt.Options{
 		Seed: o.seed, Ledger: ledger, HopDiam: o.hopDiam, SPTMode: o.sptMode,
-		Mode: mode, Workers: o.workers,
+		Mode: mode, Workers: o.workers, Faults: plan, StageRetries: o.retries,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("lightnet: %w", err)
@@ -274,7 +350,7 @@ func sltResult(root Vertex, res *slt.Result, ledger *congest.Ledger) *SLTResult 
 	cost := costOf(ledger)
 	cost.Stages = stageCosts(res.Stages)
 	cost.Measured = res.Stages != nil
-	return &SLTResult{
+	out := &SLTResult{
 		Root:      root,
 		TreeEdges: res.TreeEdges,
 		Parent:    res.Parent,
@@ -283,6 +359,14 @@ func sltResult(root Vertex, res *slt.Result, ledger *congest.Ledger) *SLTResult 
 		MSTWeight: res.MSTWeight,
 		Cost:      cost,
 	}
+	if res.Survivors > 0 { // set only when a fault plan was active
+		out.Faults = &FaultReport{
+			Dropped: res.Faults.Dropped, Duplicated: res.Faults.Duplicated,
+			Delayed: res.Faults.Delayed, Retries: res.PipelineRetries,
+			Survivors: res.Survivors,
+		}
+	}
+	return out
 }
 
 // VerifySLT certifies an SLT: returns the exact lightness and maximum
