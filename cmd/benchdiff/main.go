@@ -11,6 +11,10 @@
 //	go run ./cmd/benchquality -out /tmp/quality.json
 //	go run ./cmd/benchdiff -kind quality -baseline BENCH_quality.json -current /tmp/quality.json
 //
+//	lightnet serve -addr 127.0.0.1:0 -addrfile /tmp/addr &
+//	lightnet loadgen -addr "http://$(cat /tmp/addr)" -out /tmp/serve.json
+//	go run ./cmd/benchdiff -kind serve -baseline BENCH_serve.json -current /tmp/serve.json
+//
 // What is gated, per measurement present in both reports:
 //
 //   - deterministic fields (rounds/op, messages, edge counts) must match
@@ -60,7 +64,7 @@ import (
 )
 
 func main() {
-	kind := flag.String("kind", "engine", "report schema: engine | generators | quality")
+	kind := flag.String("kind", "engine", "report schema: engine | generators | quality | serve")
 	basePath := flag.String("baseline", "", "committed baseline JSON (e.g. BENCH_engine.json)")
 	curPath := flag.String("current", "", "freshly generated JSON to gate")
 	maxNs := flag.Float64("max-ns-regress", 0.25, "tolerated fractional ns/round (or speedup) regression")
@@ -120,8 +124,18 @@ func diff(kind, basePath, curPath string, maxNs, maxAlloc, maxRatio float64) ([]
 			return nil, err
 		}
 		return diffQuality(base, cur, maxRatio), nil
+	case "serve":
+		base, err := benchfmt.LoadServe(basePath)
+		if err != nil {
+			return nil, err
+		}
+		cur, err := benchfmt.LoadServe(curPath)
+		if err != nil {
+			return nil, err
+		}
+		return diffServe(base, cur, maxNs), nil
 	default:
-		return nil, fmt.Errorf("unknown -kind %q (engine|generators|quality)", kind)
+		return nil, fmt.Errorf("unknown -kind %q (engine|generators|quality|serve)", kind)
 	}
 }
 
@@ -201,6 +215,55 @@ func diffGenerators(base, cur *benchfmt.GeneratorsReport, maxRegress float64) []
 		cur.MillionPoint.Edges != base.MillionPoint.Edges {
 		out = append(out, fmt.Sprintf("million_point: edges changed %d -> %d (deterministic build; generator drift)",
 			base.MillionPoint.Edges, cur.MillionPoint.Edges))
+	}
+	return out
+}
+
+// diffServe gates the query-service report. Like the quality gate it
+// leads with an absolute check the baseline cannot mask: the fresh run
+// must have zero error responses. Deterministic fields — the served
+// graph and object (n, m, edges, network digest) and the ordered
+// response digest of the seeded query stream — must match the baseline
+// exactly: the stream is a counter hash and responses carry no
+// timestamps, so any drift means the served answers changed. Throughput
+// and tail latency are wall-clock and gated only within maxNs: QPS may
+// not fall below base/(1+maxNs), p99 may not exceed base·(1+maxNs).
+func diffServe(base, cur *benchfmt.ServeReport, maxNs float64) []string {
+	var out []string
+	if cur.Errors != 0 {
+		out = append(out, fmt.Sprintf("serve: %d error response(s) in the fresh run (must be 0; service broken)", cur.Errors))
+	}
+	if base.Workload != cur.Workload || base.Object != cur.Object ||
+		base.N != cur.N || base.K != cur.K || base.Eps != cur.Eps ||
+		base.Seed != cur.Seed || base.Clients != cur.Clients || base.Queries != cur.Queries {
+		out = append(out, fmt.Sprintf("workload mismatch: baseline %s/%s n=%d k=%d eps=%g seed=%d clients=%d queries=%d vs fresh %s/%s n=%d k=%d eps=%g seed=%d clients=%d queries=%d (run serve+loadgen with the baseline's parameters)",
+			base.Workload, base.Object, base.N, base.K, base.Eps, base.Seed, base.Clients, base.Queries,
+			cur.Workload, cur.Object, cur.N, cur.K, cur.Eps, cur.Seed, cur.Clients, cur.Queries))
+		return out
+	}
+	if cur.M != base.M {
+		out = append(out, fmt.Sprintf("serve: base graph edges changed %d -> %d (deterministic build; scenario drift)",
+			base.M, cur.M))
+	}
+	if cur.Edges != base.Edges {
+		out = append(out, fmt.Sprintf("serve: served object edges changed %d -> %d (deterministic build; algorithm drift)",
+			base.Edges, cur.Edges))
+	}
+	if cur.Digest != base.Digest {
+		out = append(out, fmt.Sprintf("serve: network digest changed %s -> %s (served object drift)",
+			base.Digest, cur.Digest))
+	}
+	if cur.ResponseDigest != base.ResponseDigest {
+		out = append(out, fmt.Sprintf("serve: response digest changed %s -> %s (served answers drifted — the service no longer reproduces the library computation)",
+			base.ResponseDigest, cur.ResponseDigest))
+	}
+	if floor := base.QPS / (1 + maxNs); cur.QPS < floor {
+		out = append(out, fmt.Sprintf("serve: qps %.0f -> %.0f below -%.0f%% tolerance",
+			base.QPS, cur.QPS, maxNs*100))
+	}
+	if limit := base.P99Micros * (1 + maxNs); cur.P99Micros > limit {
+		out = append(out, fmt.Sprintf("serve: p99 %.0fµs -> %.0fµs exceeds +%.0f%% tolerance",
+			base.P99Micros, cur.P99Micros, maxNs*100))
 	}
 	return out
 }

@@ -244,6 +244,7 @@ func TestCommittedBaselinesSelfConsistent(t *testing.T) {
 		{"engine", "BENCH_engine.json"},
 		{"generators", "BENCH_generators.json"},
 		{"quality", "BENCH_quality.json"},
+		{"serve", "BENCH_serve.json"},
 	} {
 		path := filepath.Join(root, tc.file)
 		v, err := diff(tc.kind, path, path, 0.25, 0.01, 0.05)
@@ -253,5 +254,81 @@ func TestCommittedBaselinesSelfConsistent(t *testing.T) {
 		if len(v) != 0 {
 			t.Fatalf("%s not self-consistent: %v", tc.file, v)
 		}
+	}
+}
+
+func serveReport() *benchfmt.ServeReport {
+	return &benchfmt.ServeReport{
+		Workload: "er n=512 p=0.0078 maxw=10", Object: "spanner",
+		N: 512, M: 1024, K: 2, Eps: 0.25, Seed: 1,
+		Edges: 900, Digest: "00000000deadbeef",
+		Clients: 8, Queries: 5000, Errors: 0,
+		ResponseDigest: "cafe0123cafe0123",
+		QPS:            3000, P50Micros: 400, P99Micros: 2000,
+	}
+}
+
+func TestServeIdenticalPasses(t *testing.T) {
+	if v := diffServe(serveReport(), serveReport(), 0.25); len(v) != 0 {
+		t.Fatalf("identical reports flagged: %v", v)
+	}
+	// Improvements pass too.
+	better := serveReport()
+	better.QPS = 9000
+	better.P99Micros = 500
+	if v := diffServe(serveReport(), better, 0.25); len(v) != 0 {
+		t.Fatalf("improvement flagged: %v", v)
+	}
+}
+
+func TestServeSyntheticRegressionFails(t *testing.T) {
+	cases := []struct {
+		name, want string
+		mutate     func(*benchfmt.ServeReport)
+	}{
+		{"digest drift", "network digest changed", func(r *benchfmt.ServeReport) { r.Digest = "ffff" }},
+		{"response drift", "response digest changed", func(r *benchfmt.ServeReport) { r.ResponseDigest = "ffff" }},
+		{"edges drift", "served object edges changed", func(r *benchfmt.ServeReport) { r.Edges++ }},
+		{"base edges drift", "base graph edges changed", func(r *benchfmt.ServeReport) { r.M++ }},
+		{"qps collapse", "below", func(r *benchfmt.ServeReport) { r.QPS = 100 }},
+		{"p99 blowup", "exceeds", func(r *benchfmt.ServeReport) { r.P99Micros = 99999 }},
+		{"errors", "must be 0", func(r *benchfmt.ServeReport) { r.Errors = 3 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cur := serveReport()
+			tc.mutate(cur)
+			v := diffServe(serveReport(), cur, 0.25)
+			if len(v) == 0 {
+				t.Fatal("regression not flagged")
+			}
+			if !strings.Contains(strings.Join(v, "\n"), tc.want) {
+				t.Fatalf("violations %v do not mention %q", v, tc.want)
+			}
+		})
+	}
+}
+
+// TestServeErrorCheckIgnoresBaseline: a fresh run with errors fails even
+// when the committed baseline itself carries errors — a bad baseline
+// cannot mask a broken service.
+func TestServeErrorCheckIgnoresBaseline(t *testing.T) {
+	bad := serveReport()
+	bad.Errors = 5
+	v := diffServe(bad, bad, 0.25)
+	if len(v) == 0 {
+		t.Fatal("error responses masked by a matching baseline")
+	}
+	if !strings.Contains(strings.Join(v, "\n"), "must be 0") {
+		t.Fatalf("violations %v do not mention the zero-error requirement", v)
+	}
+}
+
+func TestServeWorkloadMismatch(t *testing.T) {
+	cur := serveReport()
+	cur.Clients = 16
+	v := diffServe(serveReport(), cur, 0.25)
+	if len(v) != 1 || !strings.Contains(v[0], "workload mismatch") {
+		t.Fatalf("want a single workload-mismatch violation, got %v", v)
 	}
 }

@@ -52,27 +52,58 @@
 //	lightnet bench -grid grid.json -out results/nightly
 //	lightnet bench -grid grid.json -out results/nightly -resume
 //	lightnet bench                      (built-in headline grid)
+//
+// The serve subcommand is the build-once, query-many service: it builds
+// the spanner (or SLT) once at startup and answers /distance, /path and
+// /stretch queries over HTTP, with request batching and an LRU response
+// cache on the hot path; loadgen replays a seeded deterministic query
+// stream against it and reports QPS, p50/p99 latency and the ordered
+// response digest (written as BENCH_serve.json with -out, gated in CI by
+// cmd/benchdiff -kind serve):
+//
+//	lightnet serve -graph er -n 512 -k 2 -eps 0.25 -addr 127.0.0.1:8080
+//	lightnet loadgen -addr http://127.0.0.1:8080 -clients 8 -queries 5000 -out BENCH_serve.json
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"math"
+	"net"
 	"os"
+	"os/signal"
 	"sort"
 	"strings"
+	"syscall"
 	"time"
 
 	"lightnet"
+	"lightnet/internal/benchfmt"
 	"lightnet/internal/congest"
 	"lightnet/internal/experiments"
+	"lightnet/internal/serve"
 )
 
 func main() {
 	if len(os.Args) > 1 && os.Args[1] == "bench" {
 		if err := runBench(os.Args[2:]); err != nil {
 			fmt.Fprintln(os.Stderr, "lightnet bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "serve" {
+		if err := runServe(os.Args[2:]); err != nil {
+			fmt.Fprintln(os.Stderr, "lightnet serve:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "loadgen" {
+		if err := runLoadgen(os.Args[2:]); err != nil {
+			fmt.Fprintln(os.Stderr, "lightnet loadgen:", err)
 			os.Exit(1)
 		}
 		return
@@ -117,6 +148,157 @@ func runBench(args []string) error {
 		return err
 	}
 	fmt.Printf("run folder: %s (csv/ per experiment, logs/run.log, grid.json)\n", dir)
+	return nil
+}
+
+// runServe is the build-once, query-many service: it builds (or loads)
+// a graph, builds the spanner or SLT once, and serves distance/path/
+// stretch queries over HTTP until SIGINT/SIGTERM, then drains in-flight
+// batches and exits.
+func runServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
+	var (
+		addr     = fs.String("addr", "127.0.0.1:8080", "listen address (use :0 for an ephemeral port)")
+		addrFile = fs.String("addrfile", "", "write the bound address to this file once listening (for scripts using -addr :0)")
+		obj      = fs.String("obj", "spanner", "served object: spanner | slt")
+		kind     = fs.String("graph", "er", "scenario spec (see `lightnet scenarios`)")
+		n        = fs.Int("n", 512, "number of vertices")
+		k        = fs.Int("k", 2, "spanner stretch parameter")
+		eps      = fs.Float64("eps", 0.25, "ε")
+		root     = fs.Int("root", 0, "SLT root")
+		seed     = fs.Int64("seed", 1, "build seed")
+		load     = fs.String("load", "", "load the graph from this file instead of generating")
+		cacheSz  = fs.Int("cache", 0, "LRU response-cache capacity (0 = default 65536, negative = disabled)")
+		window   = fs.Duration("batch-window", 0, "batcher coalescing window (0 = default 200µs)")
+		maxBatch = fs.Int("batch-max", 0, "flush a batch at this many pending queries (0 = default 256)")
+	)
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
+		return err
+	}
+
+	var g *lightnet.Graph
+	var err error
+	workload := *kind
+	if *load != "" {
+		f, ferr := os.Open(*load)
+		if ferr != nil {
+			return ferr
+		}
+		g, err = lightnet.ReadGraph(f)
+		f.Close()
+		workload = "load:" + *load
+	} else {
+		g, err = makeGraph(*kind, *n, *seed)
+	}
+	if err != nil {
+		return err
+	}
+
+	var nw *serve.Network
+	switch *obj {
+	case "spanner":
+		nw, err = serve.BuildSpannerNetwork(g, workload, *k, *eps, *seed)
+	case "slt":
+		nw, err = serve.BuildSLTNetwork(g, workload, lightnet.Vertex(*root), *eps, *seed)
+	default:
+		return fmt.Errorf("unknown -obj %q (spanner|slt)", *obj)
+	}
+	if err != nil {
+		return err
+	}
+
+	srv := serve.NewServer(nw, serve.Options{
+		CacheSize: *cacheSz,
+		Batch:     serve.BatcherOptions{Window: *window, MaxBatch: *maxBatch},
+	})
+	l, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(l.Addr().String()), 0o644); err != nil {
+			l.Close()
+			return err
+		}
+	}
+	fmt.Printf("serving %s on %s: n=%d m=%d edges=%d lightness=%.2f digest=%s\n",
+		nw.Object, l.Addr(), g.N(), g.M(), nw.Edges, nw.Lightness, nw.Digest)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	done := make(chan error, 1)
+	go func() {
+		<-ctx.Done()
+		shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		done <- srv.Shutdown(shutCtx)
+	}()
+	if err := srv.Serve(l); err != nil {
+		return err
+	}
+	if err := <-done; err != nil {
+		return err
+	}
+	st := srv.Stats()
+	fmt.Printf("drained: queries=%d cache hit/miss=%d/%d batches=%d sweeps=%d\n",
+		st.Queries, st.CacheHits, st.CacheMisses, st.Batches, st.Sweeps)
+	return nil
+}
+
+// runLoadgen replays the seeded deterministic query stream against a
+// running lightnet serve instance and reports throughput, latency
+// percentiles and the ordered response digest; -out writes the
+// BENCH_serve.json report the CI gate compares.
+func runLoadgen(args []string) error {
+	fs := flag.NewFlagSet("loadgen", flag.ContinueOnError)
+	var (
+		addr    = fs.String("addr", "http://127.0.0.1:8080", "base URL of the server")
+		clients = fs.Int("clients", 8, "concurrent closed-loop workers")
+		queries = fs.Int("queries", 5000, "total queries to issue")
+		seed    = fs.Int64("seed", 1, "query-stream seed")
+		out     = fs.String("out", "", "write a BENCH_serve.json report here")
+	)
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
+		return err
+	}
+	res, err := serve.RunLoadgen(serve.LoadgenOptions{
+		BaseURL: *addr, Clients: *clients, Queries: *queries, Seed: *seed,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("loadgen: %s %s n=%d edges=%d\n",
+		res.Info.Object, res.Info.Workload, res.Info.N, res.Info.Edges)
+	fmt.Printf("queries=%d errors=%d clients=%d elapsed=%s\n",
+		res.Queries, res.Errors, *clients, res.Elapsed.Round(time.Millisecond))
+	fmt.Printf("qps=%.0f p50=%s p99=%s digest=%s\n",
+		res.QPS, res.P50, res.P99, res.ResponseDigest)
+	if res.Errors > 0 {
+		return fmt.Errorf("%d queries failed", res.Errors)
+	}
+	if *out != "" {
+		rep := benchfmt.ServeReport{
+			Workload: res.Info.Workload, Object: res.Info.Object,
+			N: res.Info.N, M: res.Info.M, K: res.Info.K,
+			Eps: res.Info.Eps, Seed: res.Info.Seed,
+			Edges: res.Info.Edges, Digest: res.Info.Digest,
+			Clients: *clients, Queries: res.Queries, Errors: res.Errors,
+			ResponseDigest: res.ResponseDigest,
+			QPS:            res.QPS,
+			P50Micros:      float64(res.P50.Nanoseconds()) / 1e3,
+			P99Micros:      float64(res.P99.Nanoseconds()) / 1e3,
+		}
+		if err := benchfmt.WriteFile(*out, rep); err != nil {
+			return err
+		}
+		fmt.Printf("report: %s\n", *out)
+	}
 	return nil
 }
 

@@ -109,6 +109,40 @@ type QualityReport struct {
 	Rows  []QualityRow `json:"rows"`
 }
 
+// ServeReport is the schema of BENCH_serve.json (lightnet loadgen): one
+// loadgen run against a lightnet serve instance. The identity fields and
+// the response digest are deterministic — the query stream is a seeded
+// counter hash and responses carry no timestamps — so the gate
+// (cmd/benchdiff -kind serve) compares them exactly; QPS and the latency
+// percentiles are wall-clock and gated only within a coarse tolerance.
+type ServeReport struct {
+	// Workload is the scenario spec the served graph was built from;
+	// Object is spanner | slt.
+	Workload string  `json:"workload"`
+	Object   string  `json:"object"`
+	N        int     `json:"n"`
+	M        int     `json:"m"`
+	K        int     `json:"k"`
+	Eps      float64 `json:"eps"`
+	Seed     int64   `json:"seed"`
+	// Edges is the served object's edge count and Digest the network's
+	// content digest — both pure functions of the build.
+	Edges  int    `json:"edges"`
+	Digest string `json:"digest"`
+	// Clients/Queries shape the loadgen run; Errors must be zero (the
+	// gate enforces this on the fresh report unconditionally).
+	Clients int `json:"clients"`
+	Queries int `json:"queries"`
+	Errors  int `json:"errors"`
+	// ResponseDigest folds every response body in query order — the
+	// service-layer determinism contract in one value.
+	ResponseDigest string `json:"response_digest"`
+	// Wall-clock: achieved throughput and nearest-rank percentiles.
+	QPS       float64 `json:"qps"`
+	P50Micros float64 `json:"p50_us"`
+	P99Micros float64 `json:"p99_us"`
+}
+
 // WriteFile marshals the report (any of the schemas above) as indented
 // JSON with a trailing newline — the exact format of the committed
 // baselines, so regeneration produces minimal diffs.
@@ -133,6 +167,15 @@ func LoadEngine(path string) (*EngineReport, error) {
 // LoadQuality reads and parses a quality report.
 func LoadQuality(path string) (*QualityReport, error) {
 	var rep QualityReport
+	if err := load(path, &rep); err != nil {
+		return nil, err
+	}
+	return &rep, nil
+}
+
+// LoadServe reads and parses a serve report.
+func LoadServe(path string) (*ServeReport, error) {
+	var rep ServeReport
 	if err := load(path, &rep); err != nil {
 		return nil, err
 	}

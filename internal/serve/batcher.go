@@ -1,0 +1,175 @@
+package serve
+
+import (
+	"errors"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"lightnet/internal/graph"
+)
+
+// ErrClosed is returned by Batcher.Do after Close: the service is
+// shutting down and accepts no new queries.
+var ErrClosed = errors.New("serve: batcher closed")
+
+// BatcherOptions tunes the coalescing window.
+type BatcherOptions struct {
+	// Window is how long the first query of a batch waits for
+	// co-travellers before the batch flushes (default 200µs). Larger
+	// windows coalesce more under load at the cost of idle latency.
+	Window time.Duration
+	// MaxBatch flushes a batch immediately once this many queries are
+	// pending, bounding worst-case latency under overload (default 256).
+	MaxBatch int
+}
+
+func (o BatcherOptions) withDefaults() BatcherOptions {
+	if o.Window <= 0 {
+		o.Window = 200 * time.Microsecond
+	}
+	if o.MaxBatch <= 0 {
+		o.MaxBatch = 256
+	}
+	return o
+}
+
+// BatcherStats counts the coalescing the batcher achieved. Monotonic;
+// read with Batcher.Stats.
+type BatcherStats struct {
+	// Queries answered, Batches flushed, and Sweeps run. Queries −
+	// Sweeps is the number of Dijkstra runs the coalescing saved.
+	Queries, Batches, Sweeps int64
+	// MaxBatch is the largest single flush observed.
+	MaxBatch int64
+}
+
+// Batcher coalesces concurrent queries into per-source sweeps: queries
+// arriving within one window (or filling a batch) are grouped by source
+// vertex and each distinct source costs exactly one sweep. Answers are
+// unchanged — the sweep function is the same one a sequential caller
+// would use — so batching is invisible except in throughput.
+type Batcher struct {
+	sweep    func(src graph.Vertex, qs []Query) []Answer
+	window   time.Duration
+	maxBatch int
+
+	mu      sync.Mutex
+	pending []*batchCall
+	closed  bool
+
+	queries, batches, sweeps, maxSeen atomic.Int64
+}
+
+// batchCall is one in-flight query: done closes once ans is set.
+type batchCall struct {
+	q    Query
+	ans  Answer
+	done chan struct{}
+}
+
+// NewBatcher builds a batcher over a sweep function (normally
+// Network.Sweep, split out so tests can count and instrument sweeps).
+func NewBatcher(sweep func(src graph.Vertex, qs []Query) []Answer, opts BatcherOptions) *Batcher {
+	opts = opts.withDefaults()
+	return &Batcher{sweep: sweep, window: opts.Window, maxBatch: opts.MaxBatch}
+}
+
+// Do answers one query, blocking until the batch it joined flushes. Safe
+// for any number of concurrent callers.
+func (b *Batcher) Do(q Query) (Answer, error) {
+	c := &batchCall{q: q, done: make(chan struct{})}
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return Answer{}, ErrClosed
+	}
+	b.pending = append(b.pending, c)
+	if len(b.pending) >= b.maxBatch {
+		batch := b.take()
+		b.mu.Unlock()
+		b.run(batch)
+	} else {
+		if len(b.pending) == 1 {
+			time.AfterFunc(b.window, b.flush)
+		}
+		b.mu.Unlock()
+	}
+	<-c.done
+	return c.ans, nil
+}
+
+// take detaches the pending batch; callers hold b.mu.
+func (b *Batcher) take() []*batchCall {
+	batch := b.pending
+	b.pending = nil
+	return batch
+}
+
+// flush is the window-timer callback: it runs whatever is pending (the
+// batch may already be empty if MaxBatch flushed it first).
+func (b *Batcher) flush() {
+	b.mu.Lock()
+	batch := b.take()
+	b.mu.Unlock()
+	b.run(batch)
+}
+
+// run groups a batch by source and answers each group with one sweep.
+// The batch is sorted by (source, arrival) — stable, so per-source query
+// order is deterministic — and every call's done channel closes exactly
+// once.
+func (b *Batcher) run(batch []*batchCall) {
+	if len(batch) == 0 {
+		return
+	}
+	sort.SliceStable(batch, func(i, j int) bool { return batch[i].q.U < batch[j].q.U })
+	sweeps := int64(0)
+	for start := 0; start < len(batch); {
+		end := start + 1
+		for end < len(batch) && batch[end].q.U == batch[start].q.U {
+			end++
+		}
+		group := batch[start:end]
+		qs := make([]Query, len(group))
+		for i, c := range group {
+			qs[i] = c.q
+		}
+		answers := b.sweep(group[0].q.U, qs)
+		for i, c := range group {
+			c.ans = answers[i]
+			close(c.done)
+		}
+		sweeps++
+		start = end
+	}
+	b.queries.Add(int64(len(batch)))
+	b.batches.Add(1)
+	b.sweeps.Add(sweeps)
+	for {
+		cur := b.maxSeen.Load()
+		if int64(len(batch)) <= cur || b.maxSeen.CompareAndSwap(cur, int64(len(batch))) {
+			break
+		}
+	}
+}
+
+// Close drains the pending batch and rejects all future queries. Safe to
+// call more than once. Callers that must not drop queries (the server's
+// Shutdown) wait for their in-flight Do calls before closing.
+func (b *Batcher) Close() {
+	b.mu.Lock()
+	b.closed = true
+	batch := b.take()
+	b.mu.Unlock()
+	b.run(batch)
+}
+
+// Stats returns the monotonic coalescing counters.
+func (b *Batcher) Stats() BatcherStats {
+	return BatcherStats{
+		Queries: b.queries.Load(), Batches: b.batches.Load(),
+		Sweeps: b.sweeps.Load(), MaxBatch: b.maxSeen.Load(),
+	}
+}

@@ -1,0 +1,132 @@
+package serve
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"lightnet/internal/graph"
+)
+
+// echoSweep answers each query with Dist = 1000·src + V and counts
+// sweeps, so tests can verify both positional correctness and
+// coalescing.
+func echoSweep(calls *atomic.Int64) func(graph.Vertex, []Query) []Answer {
+	return func(src graph.Vertex, qs []Query) []Answer {
+		calls.Add(1)
+		out := make([]Answer, len(qs))
+		for i, q := range qs {
+			if q.U != src {
+				panic("batcher grouped a query under the wrong source")
+			}
+			out[i] = Answer{Reachable: true, Dist: float64(1000*int(src) + int(q.V))}
+		}
+		return out
+	}
+}
+
+func TestBatcherCoalescesSharedSources(t *testing.T) {
+	var sweeps atomic.Int64
+	// Window effectively infinite: only MaxBatch flushes.
+	b := NewBatcher(echoSweep(&sweeps), BatcherOptions{Window: time.Hour, MaxBatch: 8})
+	defer b.Close()
+
+	// 8 concurrent queries from 2 distinct sources fill exactly one
+	// batch: the flush must run exactly 2 sweeps and answer each query
+	// positionally.
+	var wg sync.WaitGroup
+	errs := make(chan string, 8)
+	for i := 0; i < 8; i++ {
+		q := Query{Kind: KindDistance, U: graph.Vertex(i % 2), V: graph.Vertex(10 + i)}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			a, err := b.Do(q)
+			if err != nil {
+				errs <- err.Error()
+				return
+			}
+			if want := float64(1000*int(q.U) + int(q.V)); a.Dist != want {
+				errs <- "wrong answer"
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
+	}
+	if got := sweeps.Load(); got != 2 {
+		t.Fatalf("sweeps = %d, want 2 (one per distinct source)", got)
+	}
+	st := b.Stats()
+	if st.Queries != 8 || st.Batches != 1 || st.Sweeps != 2 || st.MaxBatch != 8 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestBatcherWindowFlushes(t *testing.T) {
+	var sweeps atomic.Int64
+	b := NewBatcher(echoSweep(&sweeps), BatcherOptions{Window: 2 * time.Millisecond, MaxBatch: 1 << 20})
+	defer b.Close()
+	start := time.Now()
+	a, err := b.Do(Query{Kind: KindDistance, U: 3, V: 4})
+	if err != nil || a.Dist != 3004 {
+		t.Fatalf("Do = %+v, %v", a, err)
+	}
+	if waited := time.Since(start); waited > time.Second {
+		t.Fatalf("window flush took %v", waited)
+	}
+	if sweeps.Load() != 1 {
+		t.Fatalf("sweeps = %d", sweeps.Load())
+	}
+}
+
+func TestBatcherCloseDrainsAndRejects(t *testing.T) {
+	var sweeps atomic.Int64
+	b := NewBatcher(echoSweep(&sweeps), BatcherOptions{Window: time.Hour, MaxBatch: 1 << 20})
+
+	// A query parked waiting for the (never-firing) window...
+	got := make(chan Answer, 1)
+	go func() {
+		a, err := b.Do(Query{Kind: KindDistance, U: 1, V: 2})
+		if err != nil {
+			t.Error(err)
+		}
+		got <- a
+	}()
+	// ...must be answered, not dropped, by Close.
+	for b.Stats().Queries == 0 {
+		b.mu.Lock()
+		n := len(b.pending)
+		b.mu.Unlock()
+		if n == 1 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	b.Close()
+	select {
+	case a := <-got:
+		if a.Dist != 1002 {
+			t.Fatalf("drained answer = %+v", a)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close dropped a pending query")
+	}
+
+	// After Close every Do is rejected.
+	if _, err := b.Do(Query{Kind: KindDistance, U: 0, V: 0}); err != ErrClosed {
+		t.Fatalf("Do after Close = %v, want ErrClosed", err)
+	}
+	// Close is idempotent.
+	b.Close()
+}
+
+func TestBatcherDefaults(t *testing.T) {
+	o := BatcherOptions{}.withDefaults()
+	if o.Window != 200*time.Microsecond || o.MaxBatch != 256 {
+		t.Fatalf("defaults = %+v", o)
+	}
+}

@@ -1,0 +1,92 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+)
+
+// Cache is a mutex-guarded LRU of final answers. Keys are produced by
+// Query.Key and always embed the network digest, so one cache can be
+// shared by several networks without ever serving a cross-build answer:
+// a different build has a different digest and therefore a disjoint key
+// space. Answers are immutable once stored (Path slices are never
+// mutated by the server), so values are shared, not copied.
+type Cache struct {
+	mu       sync.Mutex
+	capacity int
+	ll       *list.List // front = most recently used
+	items    map[string]*list.Element
+
+	hits, misses atomic.Int64
+}
+
+type cacheEntry struct {
+	key string
+	ans Answer
+}
+
+// NewCache builds an LRU holding at most capacity answers. A
+// non-positive capacity disables caching: Get always misses and Put is a
+// no-op, so callers need no special case.
+func NewCache(capacity int) *Cache {
+	c := &Cache{capacity: capacity}
+	if capacity > 0 {
+		c.ll = list.New()
+		c.items = make(map[string]*list.Element, capacity)
+	}
+	return c
+}
+
+// Get returns the cached answer for key, marking it most recently used.
+func (c *Cache) Get(key string) (Answer, bool) {
+	if c.capacity <= 0 {
+		c.misses.Add(1)
+		return Answer{}, false
+	}
+	c.mu.Lock()
+	el, ok := c.items[key]
+	if !ok {
+		c.mu.Unlock()
+		c.misses.Add(1)
+		return Answer{}, false
+	}
+	c.ll.MoveToFront(el)
+	ans := el.Value.(*cacheEntry).ans
+	c.mu.Unlock()
+	c.hits.Add(1)
+	return ans, true
+}
+
+// Put stores an answer, evicting the least recently used entry when
+// full. Re-putting an existing key refreshes its recency and value.
+func (c *Cache) Put(key string, ans Answer) {
+	if c.capacity <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*cacheEntry).ans = ans
+		return
+	}
+	if c.ll.Len() >= c.capacity {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*cacheEntry).key)
+	}
+	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, ans: ans})
+}
+
+// Stats returns cumulative hits and misses and the current entry count.
+func (c *Cache) Stats() (hits, misses int64, size int) {
+	h, m := c.hits.Load(), c.misses.Load()
+	if c.capacity <= 0 {
+		return h, m, 0
+	}
+	c.mu.Lock()
+	size = c.ll.Len()
+	c.mu.Unlock()
+	return h, m, size
+}

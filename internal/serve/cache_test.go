@@ -1,0 +1,70 @@
+package serve
+
+import "testing"
+
+func TestCacheLRU(t *testing.T) {
+	c := NewCache(2)
+	c.Put("a", Answer{Dist: 1})
+	c.Put("b", Answer{Dist: 2})
+	if a, ok := c.Get("a"); !ok || a.Dist != 1 { // a becomes MRU
+		t.Fatalf("get a = %+v, %v", a, ok)
+	}
+	c.Put("c", Answer{Dist: 3}) // evicts b, the LRU
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b should have been evicted")
+	}
+	if a, ok := c.Get("a"); !ok || a.Dist != 1 {
+		t.Fatalf("a lost: %+v, %v", a, ok)
+	}
+	if a, ok := c.Get("c"); !ok || a.Dist != 3 {
+		t.Fatalf("c lost: %+v, %v", a, ok)
+	}
+	hits, misses, size := c.Stats()
+	if hits != 3 || misses != 1 || size != 2 {
+		t.Fatalf("stats = %d/%d/%d, want 3/1/2", hits, misses, size)
+	}
+}
+
+func TestCacheReplace(t *testing.T) {
+	c := NewCache(2)
+	c.Put("a", Answer{Dist: 1})
+	c.Put("a", Answer{Dist: 9}) // refresh, not a second entry
+	if a, ok := c.Get("a"); !ok || a.Dist != 9 {
+		t.Fatalf("get a = %+v, %v", a, ok)
+	}
+	if _, _, size := c.Stats(); size != 1 {
+		t.Fatalf("size = %d, want 1", size)
+	}
+}
+
+func TestCacheDisabled(t *testing.T) {
+	c := NewCache(-1)
+	c.Put("a", Answer{Dist: 1})
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("disabled cache served an answer")
+	}
+	hits, misses, size := c.Stats()
+	if hits != 0 || misses != 1 || size != 0 {
+		t.Fatalf("stats = %d/%d/%d", hits, misses, size)
+	}
+}
+
+// TestCacheKeysAreDigestBound pins the cross-build isolation property at
+// the key level: the same query under two digests yields two distinct
+// keys, so a shared cache cannot mix builds.
+func TestCacheKeysAreDigestBound(t *testing.T) {
+	q := Query{Kind: KindDistance, U: 1, V: 2}
+	k1, k2 := q.Key("aaaa"), q.Key("bbbb")
+	if k1 == k2 {
+		t.Fatalf("keys collide across digests: %q", k1)
+	}
+	c := NewCache(16)
+	c.Put(k1, Answer{Dist: 1})
+	c.Put(k2, Answer{Dist: 2})
+	if a, _ := c.Get(k1); a.Dist != 1 {
+		t.Fatalf("digest-a answer = %+v", a)
+	}
+	if a, _ := c.Get(k2); a.Dist != 2 {
+		t.Fatalf("digest-b answer = %+v", a)
+	}
+}

@@ -1,0 +1,186 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"lightnet/internal/graph"
+)
+
+// oracleTrees precomputes one sequential Dijkstra tree per source on the
+// served subgraph — the reference every concurrent response is held to.
+func oracleTrees(nw *Network) []*graph.SPTree {
+	trees := make([]*graph.SPTree, nw.Sub.N())
+	for v := range trees {
+		trees[v] = nw.Sub.Dijkstra(graph.Vertex(v))
+	}
+	return trees
+}
+
+// TestConcurrentClientsMatchSequentialOracle hammers one server with
+// many parallel clients (run under -race in CI) and asserts every single
+// response is bit-identical to the sequential oracle answer: the batcher
+// may change which sweep computes an answer and the cache may replay
+// one, but neither may ever change it.
+func TestConcurrentClientsMatchSequentialOracle(t *testing.T) {
+	const (
+		n       = 64
+		clients = 16
+		perEach = 150
+	)
+	nw := spannerNetwork(t, n, 3)
+	// Tiny cache forces constant eviction churn alongside hits; small
+	// MaxBatch forces frequent flush-by-size alongside window flushes.
+	srv := NewServer(nw, Options{CacheSize: 32, Batch: BatcherOptions{MaxBatch: 8}})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	trees := oracleTrees(nw)
+	exact := make([]*graph.SPTree, nw.Base.N())
+	var exactOnce sync.Mutex
+	exactTree := func(u graph.Vertex) *graph.SPTree {
+		exactOnce.Lock()
+		defer exactOnce.Unlock()
+		if exact[u] == nil {
+			exact[u] = nw.Base.Dijkstra(u)
+		}
+		return exact[u]
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < perEach; i++ {
+				q := QueryAt(int64(c)<<20|7, i, n)
+				body, err := get(http.DefaultClient, ts.URL+q.Path())
+				if err != nil {
+					errs <- err
+					return
+				}
+				var w struct {
+					Reachable      bool
+					Dist           *float64
+					Path           []int
+					Exact, Stretch *float64
+				}
+				if err := json.Unmarshal(body, &w); err != nil {
+					errs <- err
+					return
+				}
+				want := trees[q.U].Dist[q.V]
+				if !w.Reachable {
+					if !math.IsInf(want, 1) {
+						errs <- fmt.Errorf("client %d query %d: unreachable, oracle %v", c, i, want)
+						return
+					}
+					continue
+				}
+				if math.Float64bits(*w.Dist) != math.Float64bits(want) {
+					errs <- fmt.Errorf("client %d query %d (%s): dist %v, oracle %v", c, i, q.Path(), *w.Dist, want)
+					return
+				}
+				if q.Kind == KindStretch {
+					wantExact := exactTree(q.U).Dist[q.V]
+					if math.Float64bits(*w.Exact) != math.Float64bits(wantExact) {
+						errs <- fmt.Errorf("client %d query %d: exact %v, oracle %v", c, i, *w.Exact, wantExact)
+						return
+					}
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	st := srv.Stats()
+	if st.Queries == 0 || st.Sweeps == 0 {
+		t.Fatalf("no traffic recorded: %+v", st)
+	}
+	if st.BatchedQueries < st.Sweeps {
+		t.Fatalf("more sweeps than batched queries: %+v", st)
+	}
+}
+
+// TestSharedCacheNeverCrossesGraphs serves two different builds through
+// one shared cache and hammers both concurrently with the same vertex
+// ids: every answer must match its own network's oracle — a hit
+// populated by the other build would be a cross-graph cache leak.
+func TestSharedCacheNeverCrossesGraphs(t *testing.T) {
+	const n, clients, perEach = 48, 8, 120
+	nwA := spannerNetwork(t, n, 1)
+	nwB := spannerNetwork(t, n, 2)
+	if nwA.Digest == nwB.Digest {
+		t.Fatal("test needs two distinct builds")
+	}
+	shared := NewCache(64) // small: constant churn from both networks
+	tsA := httptest.NewServer(NewServer(nwA, Options{Cache: shared}).Handler())
+	defer tsA.Close()
+	tsB := httptest.NewServer(NewServer(nwB, Options{Cache: shared}).Handler())
+	defer tsB.Close()
+
+	treesA, treesB := oracleTrees(nwA), oracleTrees(nwB)
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 2*clients)
+	hammer := func(url string, trees []*graph.SPTree, label string) {
+		for c := 0; c < clients; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				for i := 0; i < perEach; i++ {
+					// Both sides replay the SAME stream: identical (u,v)
+					// pairs hit the shared cache from both networks.
+					q := QueryAt(99, i, n)
+					q.Kind = KindDistance
+					body, err := get(http.DefaultClient, url+q.Path())
+					if err != nil {
+						errs <- err
+						return
+					}
+					var w struct {
+						Reachable bool
+						Dist      *float64
+					}
+					if err := json.Unmarshal(body, &w); err != nil {
+						errs <- err
+						return
+					}
+					want := trees[q.U].Dist[q.V]
+					if !w.Reachable {
+						if !math.IsInf(want, 1) {
+							errs <- fmt.Errorf("%s: unreachable, oracle %v", label, want)
+							return
+						}
+						continue
+					}
+					if math.Float64bits(*w.Dist) != math.Float64bits(want) {
+						errs <- fmt.Errorf("%s query %s: dist %v, own oracle %v (cross-graph cache leak?)",
+							label, q.Path(), *w.Dist, want)
+						return
+					}
+				}
+			}(c)
+		}
+	}
+	hammer(tsA.URL, treesA, "graph-a")
+	hammer(tsB.URL, treesB, "graph-b")
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if hits, _, _ := shared.Stats(); hits == 0 {
+		t.Fatal("shared cache saw no hits — the test exercised nothing")
+	}
+}

@@ -1,0 +1,100 @@
+package serve
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"testing"
+)
+
+// runKeeping runs a seeded loadgen against url, keeping response bodies
+// for byte-wise comparison.
+func runKeeping(t *testing.T, url string, clients, queries int, seed int64) *Result {
+	t.Helper()
+	res, err := RunLoadgen(LoadgenOptions{
+		BaseURL: url, Clients: clients, Queries: queries, Seed: seed,
+		KeepBodies: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors != 0 {
+		t.Fatalf("loadgen saw %d errors", res.Errors)
+	}
+	return res
+}
+
+// compareRuns asserts two loadgen runs produced byte-identical response
+// streams (and therefore equal digests).
+func compareRuns(t *testing.T, a, b *Result, label string) {
+	t.Helper()
+	if a.ResponseDigest != b.ResponseDigest {
+		t.Fatalf("%s: digest %s != %s", label, a.ResponseDigest, b.ResponseDigest)
+	}
+	if len(a.Bodies) != len(b.Bodies) {
+		t.Fatalf("%s: %d vs %d bodies", label, len(a.Bodies), len(b.Bodies))
+	}
+	for i := range a.Bodies {
+		if !bytes.Equal(a.Bodies[i], b.Bodies[i]) {
+			t.Fatalf("%s: body %d differs:\n  %s\n  %s", label, i, a.Bodies[i], b.Bodies[i])
+		}
+	}
+}
+
+// TestLoadgenDeterministicAcrossWorkerCounts runs the identical seeded
+// query stream with 1, 2, and 8 clients against one server: the
+// response stream must be byte-identical regardless of scheduling —
+// query i's body depends only on (network, QueryAt(seed, i)).
+func TestLoadgenDeterministicAcrossWorkerCounts(t *testing.T) {
+	nw := spannerNetwork(t, 80, 5)
+	srv := NewServer(nw, Options{Batch: BatcherOptions{MaxBatch: 16}})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	const queries = 600
+	ref := runKeeping(t, ts.URL, 1, queries, 42)
+	for _, clients := range []int{2, 8} {
+		got := runKeeping(t, ts.URL, clients, queries, 42)
+		compareRuns(t, ref, got, "clients=1 vs clients=8")
+		if got.Info.Digest != ref.Info.Digest {
+			t.Fatalf("info digest drifted: %s vs %s", got.Info.Digest, ref.Info.Digest)
+		}
+	}
+}
+
+// TestLoadgenDeterministicWarmCache reruns the stream against the same
+// server: the second pass is served mostly from cache and must still be
+// byte-identical to the cold pass.
+func TestLoadgenDeterministicWarmCache(t *testing.T) {
+	nw := spannerNetwork(t, 80, 6)
+	srv := NewServer(nw, Options{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	cold := runKeeping(t, ts.URL, 4, 500, 9)
+	hitsBefore, _, _ := srv.cache.Stats()
+	warm := runKeeping(t, ts.URL, 4, 500, 9)
+	compareRuns(t, cold, warm, "cold vs warm")
+	if hitsAfter, _, _ := srv.cache.Stats(); hitsAfter <= hitsBefore {
+		t.Fatal("warm run produced no cache hits — nothing was warmed")
+	}
+}
+
+// TestLoadgenDeterministicAcrossRestarts rebuilds the network and server
+// from scratch (a cold restart) and replays the stream: same build
+// inputs must reproduce the same digest and the same bytes.
+func TestLoadgenDeterministicAcrossRestarts(t *testing.T) {
+	const n, seed = 80, 7
+	run := func() *Result {
+		nw := spannerNetwork(t, n, seed)
+		srv := NewServer(nw, Options{})
+		ts := httptest.NewServer(srv.Handler())
+		defer ts.Close()
+		return runKeeping(t, ts.URL, 4, 500, 11)
+	}
+	first, second := run(), run()
+	if first.Info.Digest != second.Info.Digest {
+		t.Fatalf("rebuild changed the network digest: %s vs %s",
+			first.Info.Digest, second.Info.Digest)
+	}
+	compareRuns(t, first, second, "restart")
+}

@@ -1,0 +1,148 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestEndToEndLoadgen is the full integration loop on a real socket:
+// listen on an ephemeral port, serve, run the loadgen, assert non-zero
+// throughput with zero errors, then shut down gracefully.
+func TestEndToEndLoadgen(t *testing.T) {
+	nw := spannerNetwork(t, 96, 12)
+	srv := NewServer(nw, Options{})
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(l) }()
+
+	res, err := RunLoadgen(LoadgenOptions{
+		BaseURL: "http://" + l.Addr().String(),
+		Clients: 8, Queries: 2000, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors != 0 {
+		t.Fatalf("loadgen errors = %d", res.Errors)
+	}
+	if res.Queries != 2000 {
+		t.Fatalf("queries = %d, want 2000", res.Queries)
+	}
+	if res.QPS <= 0 {
+		t.Fatalf("qps = %v", res.QPS)
+	}
+	if res.P50 <= 0 || res.P99 < res.P50 {
+		t.Fatalf("latency percentiles inconsistent: p50=%v p99=%v", res.P50, res.P99)
+	}
+	if res.Info.Digest != nw.Digest {
+		t.Fatalf("served digest %s != built digest %s", res.Info.Digest, nw.Digest)
+	}
+	if res.ResponseDigest == "" {
+		t.Fatal("empty response digest")
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if err := <-serveErr; err != nil {
+		t.Fatalf("serve returned %v after graceful shutdown", err)
+	}
+}
+
+// TestShutdownDrainsInFlightBatches parks queries inside a long batch
+// window, shuts the server down mid-flight, and requires every accepted
+// request to complete with a correct answer — Shutdown must wait for
+// the batcher, not abandon it.
+func TestShutdownDrainsInFlightBatches(t *testing.T) {
+	const n, inflight = 64, 30
+	nw := spannerNetwork(t, n, 13)
+	// A long window guarantees the requests are still parked in the
+	// batcher when Shutdown lands.
+	srv := NewServer(nw, Options{Batch: BatcherOptions{Window: 50 * time.Millisecond, MaxBatch: 1 << 20}})
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(l) }()
+	base := "http://" + l.Addr().String()
+
+	trees := oracleTrees(nw)
+	var wg sync.WaitGroup
+	errs := make(chan error, inflight)
+	for i := 0; i < inflight; i++ {
+		q := QueryAt(31, i, n)
+		q.Kind = KindDistance
+		wg.Add(1)
+		go func(q Query) {
+			defer wg.Done()
+			body, err := get(http.DefaultClient, base+q.Path())
+			if err != nil {
+				errs <- fmt.Errorf("in-flight query %s failed: %v", q.Path(), err)
+				return
+			}
+			var w struct {
+				Reachable bool
+				Dist      *float64
+			}
+			if err := json.Unmarshal(body, &w); err != nil {
+				errs <- err
+				return
+			}
+			want := trees[q.U].Dist[q.V]
+			if w.Reachable != !math.IsInf(want, 1) {
+				errs <- fmt.Errorf("query %s: reachable=%v, oracle %v", q.Path(), w.Reachable, want)
+				return
+			}
+			if w.Reachable && math.Float64bits(*w.Dist) != math.Float64bits(want) {
+				errs <- fmt.Errorf("query %s: drained dist %v, oracle %v", q.Path(), *w.Dist, want)
+			}
+		}(q)
+	}
+
+	// Let the requests reach the batcher, then shut down while the 50ms
+	// window is still open.
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.batcher.Stats().Queries == 0 {
+		srv.batcher.mu.Lock()
+		pending := len(srv.batcher.pending)
+		srv.batcher.mu.Unlock()
+		if pending > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("requests never reached the batcher")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if err := <-serveErr; err != nil {
+		t.Fatalf("serve returned %v", err)
+	}
+	// Everything accepted was answered.
+	if got := srv.Stats().Queries; got != inflight {
+		t.Fatalf("answered %d of %d in-flight queries", got, inflight)
+	}
+}

@@ -1,0 +1,86 @@
+package serve
+
+import (
+	"net/url"
+	"strings"
+	"testing"
+
+	"lightnet/internal/graph"
+)
+
+// FuzzQueryRequest fuzzes the request parser with arbitrary query
+// strings. Properties checked on every input:
+//
+//   - ParseQuery never panics (the fuzzer would catch it);
+//   - accepted queries are in range and carry the requested kind;
+//   - accepted queries round-trip through Query.Path() → url.ParseQuery
+//     → ParseQuery unchanged (the loadgen depends on this).
+func FuzzQueryRequest(f *testing.F) {
+	f.Add(uint8(0), "u=1&v=2", 16)
+	f.Add(uint8(1), "u=0&v=0", 1)
+	f.Add(uint8(2), "u=15&v=3", 16)
+	f.Add(uint8(0), "u=-1&v=2", 16)
+	f.Add(uint8(1), "u=1&v=999999", 16)
+	f.Add(uint8(2), "u=1&u=2&v=3", 16)
+	f.Add(uint8(0), "v=2", 16)
+	f.Add(uint8(0), "u=0x10&v=2;w=%zz", 16)
+	f.Fuzz(func(t *testing.T, kindByte uint8, rawQuery string, n int) {
+		kind := Kind(kindByte % numKinds)
+		n = int(uint32(n)%(1<<20)) + 1 // any positive vertex count
+		vals, err := url.ParseQuery(rawQuery)
+		if err != nil {
+			return // not a well-formed query string; nothing to check
+		}
+		q, err := ParseQuery(kind, vals, n)
+		if err != nil {
+			if !strings.HasPrefix(err.Error(), "serve:") {
+				t.Fatalf("unwrapped parse error: %v", err)
+			}
+			return
+		}
+		if q.Kind != kind {
+			t.Fatalf("kind mangled: got %v, want %v", q.Kind, kind)
+		}
+		if q.U < 0 || int(q.U) >= n || q.V < 0 || int(q.V) >= n {
+			t.Fatalf("accepted out-of-range query %+v for n=%d", q, n)
+		}
+		// Round-trip: the path the loadgen would request re-parses to the
+		// same query.
+		u, err := url.Parse(q.Path())
+		if err != nil {
+			t.Fatalf("Path() unparsable: %v", err)
+		}
+		q2, err := ParseQuery(kind, u.Query(), n)
+		if err != nil {
+			t.Fatalf("Path() re-parse rejected: %v", err)
+		}
+		if q2 != q {
+			t.Fatalf("round-trip changed query: %+v -> %+v", q, q2)
+		}
+	})
+}
+
+// FuzzQueryAt checks the deterministic stream generator stays in range
+// for arbitrary seeds and indices.
+func FuzzQueryAt(f *testing.F) {
+	f.Add(int64(1), 0, 16)
+	f.Add(int64(-7), 5000, 3)
+	f.Add(int64(1<<62), 1, 1)
+	f.Fuzz(func(t *testing.T, seed int64, i int, n int) {
+		if i < 0 {
+			i = -i
+		}
+		n = int(uint32(n)%4096) + 1
+		q := QueryAt(seed, i, n)
+		if q.Kind >= numKinds {
+			t.Fatalf("kind out of range: %v", q.Kind)
+		}
+		if q.U < 0 || int(q.U) >= n || q.V < 0 || int(q.V) >= n {
+			t.Fatalf("query out of range: %+v for n=%d", q, n)
+		}
+		if q != QueryAt(seed, i, n) {
+			t.Fatal("QueryAt not deterministic")
+		}
+		var _ graph.Vertex = q.U
+	})
+}

@@ -1,0 +1,195 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"math/bits"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// LoadgenOptions configures a closed-loop load-generation run.
+type LoadgenOptions struct {
+	// BaseURL of the server, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// Clients is the number of concurrent closed-loop workers (default
+	// 1); Queries the total query count (default 1000).
+	Clients int
+	Queries int
+	// Seed drives the deterministic query stream (QueryAt).
+	Seed int64
+	// KeepBodies retains every response body in Result.Bodies (query
+	// order) for byte-level determinism assertions.
+	KeepBodies bool
+	// Client overrides the HTTP client (default: http.DefaultClient).
+	Client *http.Client
+}
+
+// Histogram is a log₂-bucketed latency histogram: bucket i counts
+// latencies in [2^i, 2^{i+1}) microseconds (bucket 0 includes <1µs).
+type Histogram struct {
+	Buckets [32]int64
+}
+
+// Add records one latency.
+func (h *Histogram) Add(d time.Duration) {
+	us := d.Microseconds()
+	if us < 1 {
+		us = 1
+	}
+	b := bits.Len64(uint64(us)) - 1
+	if b >= len(h.Buckets) {
+		b = len(h.Buckets) - 1
+	}
+	h.Buckets[b]++
+}
+
+// Result is one load-generation run. Everything except the latency and
+// throughput fields is deterministic given (network, seed, queries).
+type Result struct {
+	// Info is the served network's metadata, fetched from /info.
+	Info Info
+	// Queries issued, and Errors among them (transport failures or
+	// non-200 responses). A healthy run has zero errors.
+	Queries int
+	Errors  int
+	// ResponseDigest is an FNV-1a fold over the response bodies in query
+	// order — independent of client count and scheduling, so two runs
+	// against equivalent servers match exactly.
+	ResponseDigest string
+	// Bodies holds the raw response bodies in query order (only with
+	// LoadgenOptions.KeepBodies).
+	Bodies [][]byte
+	// Throughput and latency: wall-clock duration of the run, achieved
+	// queries per second, nearest-rank percentiles, full histogram.
+	Elapsed  time.Duration
+	QPS      float64
+	P50, P99 time.Duration
+	Hist     Histogram
+}
+
+// RunLoadgen replays the seeded deterministic query stream against a
+// running server from Clients closed-loop workers, collecting latency
+// and the ordered response digest. Workers pull query indices from a
+// shared counter, so scheduling never changes which queries are sent —
+// only who sends them.
+func RunLoadgen(opts LoadgenOptions) (*Result, error) {
+	if opts.Clients <= 0 {
+		opts.Clients = 1
+	}
+	if opts.Queries <= 0 {
+		opts.Queries = 1000
+	}
+	client := opts.Client
+	if client == nil {
+		client = http.DefaultClient
+	}
+	info, err := fetchInfo(client, opts.BaseURL)
+	if err != nil {
+		return nil, err
+	}
+	if info.N <= 0 {
+		return nil, fmt.Errorf("serve: loadgen: server reports an empty graph")
+	}
+
+	bodies := make([][]byte, opts.Queries)
+	lats := make([]time.Duration, opts.Queries)
+	var next, errs atomic.Int64
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < opts.Clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= opts.Queries {
+					return
+				}
+				q := QueryAt(opts.Seed, i, info.N)
+				t0 := time.Now()
+				body, err := get(client, opts.BaseURL+q.Path())
+				lats[i] = time.Since(t0)
+				if err != nil {
+					errs.Add(1)
+					continue
+				}
+				bodies[i] = body
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	res := &Result{
+		Info:    info,
+		Queries: opts.Queries,
+		Errors:  int(errs.Load()),
+		Elapsed: elapsed,
+		QPS:     float64(opts.Queries) / elapsed.Seconds(),
+	}
+	h := fnv.New64a()
+	for i, b := range bodies {
+		fmt.Fprintf(h, "%d:", i)
+		h.Write(b)
+	}
+	res.ResponseDigest = fmt.Sprintf("%016x", h.Sum64())
+	if opts.KeepBodies {
+		res.Bodies = bodies
+	}
+	sorted := append([]time.Duration(nil), lats...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	res.P50 = percentile(sorted, 50)
+	res.P99 = percentile(sorted, 99)
+	for _, l := range lats {
+		res.Hist.Add(l)
+	}
+	return res, nil
+}
+
+// percentile is the nearest-rank percentile of a sorted sample.
+func percentile(sorted []time.Duration, p int) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := (p*len(sorted) + 99) / 100 // ceil(p/100 · n)
+	if rank < 1 {
+		rank = 1
+	}
+	return sorted[rank-1]
+}
+
+// fetchInfo loads the server's /info metadata.
+func fetchInfo(client *http.Client, baseURL string) (Info, error) {
+	body, err := get(client, baseURL+"/info")
+	if err != nil {
+		return Info{}, fmt.Errorf("serve: loadgen: fetch /info: %w", err)
+	}
+	var info Info
+	if err := json.Unmarshal(body, &info); err != nil {
+		return Info{}, fmt.Errorf("serve: loadgen: parse /info: %w", err)
+	}
+	return info, nil
+}
+
+// get fetches one URL, treating any non-200 status as an error.
+func get(client *http.Client, url string) ([]byte, error) {
+	resp, err := client.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("serve: %s: status %d: %s", url, resp.StatusCode, body)
+	}
+	return body, nil
+}

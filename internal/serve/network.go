@@ -1,0 +1,200 @@
+package serve
+
+import (
+	"fmt"
+	"math"
+
+	"lightnet"
+	"lightnet/internal/graph"
+)
+
+// splitmix64 is the splitmix64 finalizer — the same mixing function the
+// engine's RNG and fault plans use, so digests are stable, seedable and
+// platform-independent without any dependency on hash seeds.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// fold mixes x into a running digest.
+func fold(h, x uint64) uint64 { return splitmix64(h ^ x) }
+
+// Network is an immutable built query target: the base graph, the served
+// subgraph (the spanner or SLT edges on the same vertex ids), and the
+// build metadata. All methods are safe for concurrent use — both graphs
+// are frozen at construction and never mutated again.
+type Network struct {
+	// Base is the input graph (exact distances, stretch denominators).
+	Base *graph.Graph
+	// Sub is the served light subgraph. Vertex ids equal Base's.
+	Sub *graph.Graph
+	// Object is "spanner" or "slt"; Workload the scenario spec the base
+	// graph came from (informational, echoed by /info).
+	Object   string
+	Workload string
+	// K, Eps, Seed are the build parameters (K is 0 for an SLT).
+	K    int
+	Eps  float64
+	Seed int64
+	// Bound is the object's pairwise stretch guarantee ((2k−1)(1+ε) for
+	// the spanner; 0 for an SLT, whose guarantee is root stretch only).
+	Bound float64
+	// Edges is the served edge count; Weight/Lightness certify it.
+	Edges     int
+	Lightness float64
+	// Digest binds cached answers to exactly this build: a splitmix64
+	// fold over the base edges, the served edges and the build
+	// parameters. Two networks share a digest only if they serve
+	// identical answers.
+	Digest string
+}
+
+// BuildSpannerNetwork builds the §5 light spanner once via the public
+// library entry point and wraps it for serving. Every answer the service
+// produces is computable as g.Subgraph(res.Edges).Dijkstra — the direct
+// library call — and the tests hold it to that, bit for bit.
+func BuildSpannerNetwork(g *graph.Graph, workload string, k int, eps float64, seed int64) (*Network, error) {
+	res, err := lightnet.BuildLightSpanner(g, k, eps, lightnet.WithSeed(seed))
+	if err != nil {
+		return nil, fmt.Errorf("serve: build spanner: %w", err)
+	}
+	nw := &Network{
+		Base: g, Sub: g.Subgraph(res.Edges),
+		Object: "spanner", Workload: workload,
+		K: k, Eps: eps, Seed: seed,
+		Bound:     float64(2*k-1) * (1 + eps),
+		Edges:     len(res.Edges),
+		Lightness: res.Lightness,
+	}
+	nw.seal()
+	return nw, nil
+}
+
+// BuildSLTNetwork builds the §4 shallow-light tree once and wraps it for
+// serving. Tree paths have no pairwise stretch guarantee (Bound is 0);
+// the SLT contract is root stretch 1+O(ε).
+func BuildSLTNetwork(g *graph.Graph, workload string, root graph.Vertex, eps float64, seed int64) (*Network, error) {
+	res, err := lightnet.BuildSLT(g, root, eps, lightnet.WithSeed(seed))
+	if err != nil {
+		return nil, fmt.Errorf("serve: build slt: %w", err)
+	}
+	nw := &Network{
+		Base: g, Sub: g.Subgraph(res.TreeEdges),
+		Object: "slt", Workload: workload,
+		Eps: eps, Seed: seed,
+		Edges:     len(res.TreeEdges),
+		Lightness: res.Lightness,
+	}
+	nw.seal()
+	return nw, nil
+}
+
+// seal freezes both graphs (read-only CSR from here on) and computes the
+// digest.
+func (nw *Network) seal() {
+	nw.Base.Freeze()
+	nw.Sub.Freeze()
+	h := fold(0x6c696768746e6574, uint64(nw.Base.N())) // "lightnet"
+	for _, g := range []*graph.Graph{nw.Base, nw.Sub} {
+		h = fold(h, uint64(g.M()))
+		for _, e := range g.Edges() {
+			h = fold(h, uint64(e.U))
+			h = fold(h, uint64(e.V))
+			h = fold(h, math.Float64bits(e.W))
+		}
+	}
+	for _, b := range []byte(nw.Object) {
+		h = fold(h, uint64(b))
+	}
+	h = fold(h, uint64(nw.K))
+	h = fold(h, math.Float64bits(nw.Eps))
+	h = fold(h, uint64(nw.Seed))
+	nw.Digest = fmt.Sprintf("%016x", h)
+}
+
+// Info is the /info wire schema: everything a client (the load
+// generator) needs to form valid queries and to label a report.
+type Info struct {
+	Object    string  `json:"object"`
+	Workload  string  `json:"workload"`
+	N         int     `json:"n"`
+	M         int     `json:"m"`
+	K         int     `json:"k"`
+	Eps       float64 `json:"eps"`
+	Seed      int64   `json:"seed"`
+	Edges     int     `json:"edges"`
+	Lightness float64 `json:"lightness"`
+	Bound     float64 `json:"bound"`
+	Digest    string  `json:"digest"`
+}
+
+// Info returns the network's wire metadata.
+func (nw *Network) Info() Info {
+	return Info{
+		Object: nw.Object, Workload: nw.Workload,
+		N: nw.Base.N(), M: nw.Base.M(),
+		K: nw.K, Eps: nw.Eps, Seed: nw.Seed,
+		Edges: nw.Edges, Lightness: nw.Lightness,
+		Bound: nw.Bound, Digest: nw.Digest,
+	}
+}
+
+// Answer is the deterministic result of one query. Which fields are
+// meaningful depends on the query kind; every populated field is a pure
+// function of (network, query).
+type Answer struct {
+	// Reachable reports whether V is reachable from U in the served
+	// subgraph. When false the remaining fields are zero.
+	Reachable bool
+	// Dist is the distance in the served subgraph (all kinds).
+	Dist float64
+	// Path is the vertex path U..V in the served subgraph (KindPath).
+	Path []graph.Vertex
+	// Exact is the exact base-graph distance and Stretch = Dist/Exact
+	// (KindStretch; Stretch is 1 when U == V).
+	Exact   float64
+	Stretch float64
+}
+
+// Sweep answers a batch of queries that all share source src with one
+// exact Dijkstra sweep on the served subgraph (plus one on the base
+// graph when a stretch query is present). Answers are positionally
+// aligned with qs. Every answer is bit-identical to Answer(q): the sweep
+// is the same g.Subgraph(edges).Dijkstra(src) call a direct library user
+// would make, shared across the batch instead of repeated per query.
+func (nw *Network) Sweep(src graph.Vertex, qs []Query) []Answer {
+	sub := nw.Sub.Dijkstra(src)
+	var base *graph.SPTree
+	out := make([]Answer, len(qs))
+	for i, q := range qs {
+		d := sub.Dist[q.V]
+		if math.IsInf(d, 1) {
+			continue // Reachable stays false
+		}
+		a := Answer{Reachable: true, Dist: d}
+		switch q.Kind {
+		case KindPath:
+			a.Path = sub.PathTo(nw.Sub, q.V)
+		case KindStretch:
+			if base == nil {
+				base = nw.Base.Dijkstra(src)
+			}
+			a.Exact = base.Dist[q.V]
+			if a.Exact == 0 {
+				a.Stretch = 1
+			} else {
+				a.Stretch = a.Dist / a.Exact
+			}
+		}
+		out[i] = a
+	}
+	return out
+}
+
+// Answer is the sequential oracle: one query, one sweep. The batcher and
+// cache must never change what this returns.
+func (nw *Network) Answer(q Query) Answer {
+	return nw.Sweep(q.U, []Query{q})[0]
+}

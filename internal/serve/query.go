@@ -1,0 +1,125 @@
+package serve
+
+import (
+	"fmt"
+	"net/url"
+	"strconv"
+
+	"lightnet/internal/graph"
+)
+
+// Kind is a query type, one per HTTP endpoint.
+type Kind uint8
+
+// The three query kinds.
+const (
+	// KindDistance asks for the served-subgraph distance U→V.
+	KindDistance Kind = iota
+	// KindPath additionally reports the vertex path in the subgraph.
+	KindPath
+	// KindStretch additionally reports the exact base-graph distance and
+	// the realised stretch Dist/Exact.
+	KindStretch
+
+	numKinds = 3
+)
+
+// String returns the kind's endpoint name.
+func (k Kind) String() string {
+	switch k {
+	case KindDistance:
+		return "distance"
+	case KindPath:
+		return "path"
+	case KindStretch:
+		return "stretch"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Query is one parsed, validated request: both endpoints are in-range
+// vertices of the served network.
+type Query struct {
+	Kind Kind
+	U, V graph.Vertex
+}
+
+// Key is the cache key of the query under a network digest. Including
+// the digest makes cross-network reuse of a shared cache safe: two
+// different builds can never collide on a key.
+func (q Query) Key(digest string) string {
+	return digest + "/" + q.Kind.String() + "/" +
+		strconv.Itoa(int(q.U)) + "/" + strconv.Itoa(int(q.V))
+}
+
+// Path is the request path+query a client sends for q.
+func (q Query) Path() string {
+	return "/" + q.Kind.String() + "?u=" + strconv.Itoa(int(q.U)) +
+		"&v=" + strconv.Itoa(int(q.V))
+}
+
+// ParseQuery validates the HTTP query parameters of a kind endpoint
+// against a network of n vertices. It accepts exactly two integer
+// parameters u and v in [0, n); everything else — missing or repeated
+// parameters, non-integer or overflowing ids, out-of-range vertices —
+// is a client error.
+func ParseQuery(kind Kind, vals url.Values, n int) (Query, error) {
+	if kind >= numKinds {
+		return Query{}, fmt.Errorf("serve: unknown query kind %d", uint8(kind))
+	}
+	u, err := parseVertex(vals, "u", n)
+	if err != nil {
+		return Query{}, err
+	}
+	v, err := parseVertex(vals, "v", n)
+	if err != nil {
+		return Query{}, err
+	}
+	return Query{Kind: kind, U: u, V: v}, nil
+}
+
+func parseVertex(vals url.Values, name string, n int) (graph.Vertex, error) {
+	raw, ok := vals[name]
+	if !ok || len(raw) == 0 {
+		return 0, fmt.Errorf("serve: missing parameter %q", name)
+	}
+	if len(raw) > 1 {
+		return 0, fmt.Errorf("serve: parameter %q repeated %d times", name, len(raw))
+	}
+	id, err := strconv.Atoi(raw[0])
+	if err != nil {
+		return 0, fmt.Errorf("serve: parameter %q=%q is not a vertex id: %v", name, raw[0], err)
+	}
+	if id < 0 || id >= n {
+		return 0, fmt.Errorf("serve: vertex %s=%d out of range [0,%d)", name, id, n)
+	}
+	return graph.Vertex(id), nil
+}
+
+// QueryAt returns query i of the seeded deterministic stream the load
+// generator replays: a pure splitmix64 hash of (seed, i), so the stream
+// is identical for every client count and across runs. Half the stream
+// is drawn from a small hot set of sources and targets — realistic skew
+// that exercises both the batcher (shared-source sweeps) and the cache
+// (repeated full queries); the other half sweeps the whole id space.
+func QueryAt(seed int64, i int, n int) Query {
+	if n <= 0 {
+		panic("serve: QueryAt needs a positive vertex count")
+	}
+	h := splitmix64(uint64(seed) ^ splitmix64(uint64(i)+0x51f7ce7a3))
+	kind := Kind(h % numKinds)
+	hotU, hotV := n, n
+	if (h>>2)&1 == 0 { // hot half of the stream
+		if hotU > 16 {
+			hotU = 16
+		}
+		if hotV > 64 {
+			hotV = 64
+		}
+	}
+	h = splitmix64(h)
+	u := graph.Vertex(h % uint64(hotU))
+	h = splitmix64(h)
+	v := graph.Vertex(h % uint64(hotV))
+	return Query{Kind: kind, U: u, V: v}
+}
