@@ -70,12 +70,14 @@ func main() {
 	maxNs := flag.Float64("max-ns-regress", 0.25, "tolerated fractional ns/round (or speedup) regression")
 	maxAlloc := flag.Float64("max-alloc-increase", 0.01, "tolerated fractional allocs/op increase")
 	maxRatio := flag.Float64("max-ratio-increase", 0.05, "tolerated fractional lightness (and ratio-vs-greedy) increase for -kind quality")
+	maxNs1m := flag.Float64("max-ns-regress-1m", 1.0, "tolerated fractional ns/round regression for the single-run n=10^6 pipeline entries (-kind engine)")
+	require1m := flag.Bool("require-1m", false, "fail when the fresh engine report lacks the n=10^6 pipeline entries the baseline carries (nightly; PR CI skips them)")
 	flag.Parse()
 	if *basePath == "" || *curPath == "" {
 		fmt.Fprintln(os.Stderr, "benchdiff: -baseline and -current are required")
 		os.Exit(2)
 	}
-	violations, err := diff(*kind, *basePath, *curPath, *maxNs, *maxAlloc, *maxRatio)
+	violations, err := diff(*kind, *basePath, *curPath, *maxNs, *maxAlloc, *maxRatio, *maxNs1m, *require1m)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchdiff:", err)
 		os.Exit(2)
@@ -92,7 +94,7 @@ func main() {
 		*curPath, *basePath, *maxNs*100, *maxAlloc*100)
 }
 
-func diff(kind, basePath, curPath string, maxNs, maxAlloc, maxRatio float64) ([]string, error) {
+func diff(kind, basePath, curPath string, maxNs, maxAlloc, maxRatio, maxNs1m float64, require1m bool) ([]string, error) {
 	switch kind {
 	case "engine":
 		base, err := benchfmt.LoadEngine(basePath)
@@ -103,7 +105,7 @@ func diff(kind, basePath, curPath string, maxNs, maxAlloc, maxRatio float64) ([]
 		if err != nil {
 			return nil, err
 		}
-		return diffEngine(base, cur, maxNs, maxAlloc), nil
+		return diffEngine(base, cur, maxNs, maxAlloc, maxNs1m, require1m), nil
 	case "generators":
 		base, err := benchfmt.LoadGenerators(basePath)
 		if err != nil {
@@ -140,44 +142,76 @@ func diff(kind, basePath, curPath string, maxNs, maxAlloc, maxRatio float64) ([]
 }
 
 // diffEngine gates every measurement present in the baseline: the
-// canonical after numbers plus the measured-mode pipelines.
-func diffEngine(base, cur *benchfmt.EngineReport, maxNs, maxAlloc float64) []string {
+// canonical after numbers plus the measured-mode pipelines. The n=10⁶
+// single-run entries (slt_pipeline_1m / spanner_pipeline_1m) are gated
+// with their own coarse ns tolerance, and — because PR CI cannot afford
+// the runs — their absence from the fresh report is an error only under
+// -require-1m (the nightly mode).
+func diffEngine(base, cur *benchfmt.EngineReport, maxNs, maxAlloc, maxNs1m float64, require1m bool) []string {
 	if cur.Workload != base.Workload {
 		return []string{fmt.Sprintf("workload mismatch: baseline %q vs fresh %q (run benchengine in the baseline's mode)",
 			base.Workload, cur.Workload)}
 	}
 	var out []string
-	out = append(out, diffMeasurement("after", &base.After, &cur.After, maxNs, maxAlloc)...)
-	out = append(out, diffMeasurement("slt_pipeline", base.SLTPipeline, cur.SLTPipeline, maxNs, maxAlloc)...)
-	out = append(out, diffMeasurement("spanner_pipeline", base.SpannerPipeline, cur.SpannerPipeline, maxNs, maxAlloc)...)
+	out = append(out, diffMeasurement("after", &base.After, &cur.After, maxNs, maxAlloc, false)...)
+	out = append(out, diffMeasurement("slt_pipeline", base.SLTPipeline, cur.SLTPipeline, maxNs, maxAlloc, false)...)
+	out = append(out, diffMeasurement("spanner_pipeline", base.SpannerPipeline, cur.SpannerPipeline, maxNs, maxAlloc, false)...)
+	out = append(out, diffMeasurement("slt_pipeline_1m", base.SLTPipeline1M, cur.SLTPipeline1M, maxNs1m, maxAlloc, !require1m)...)
+	out = append(out, diffMeasurement("spanner_pipeline_1m", base.SpannerPipeline1M, cur.SpannerPipeline1M, maxNs1m, maxAlloc, !require1m)...)
 	return out
 }
 
-func diffMeasurement(name string, base, cur *benchfmt.Measurement, maxNs, maxAlloc float64) []string {
+// diffMeasurement gates one engine measurement. optional marks entries
+// a fresh report may legitimately omit (the n=10⁶ runs on PR CI).
+// Violations lead with the entry name and its recorded workload, so a
+// failing gate identifies exactly which pipeline input regressed.
+func diffMeasurement(name string, base, cur *benchfmt.Measurement, maxNs, maxAlloc float64, optional bool) []string {
 	if base == nil {
 		return nil // not gated yet: commit a regenerated baseline to start
 	}
 	if cur == nil {
-		return []string{fmt.Sprintf("%s: measurement missing from the fresh report", name)}
+		if optional {
+			return nil
+		}
+		return []string{fmt.Sprintf("%s%s: measurement missing from the fresh report", name, workloadTag(base))}
+	}
+	if base.Workload != "" && cur.Workload != "" && base.Workload != cur.Workload {
+		if optional {
+			// A shrunken CI smoke (e.g. -pipeline1m-n 100000) measures a
+			// different input; skip rather than compare apples to oranges.
+			// The nightly run passes -require-1m and still gets the error.
+			return nil
+		}
+		return []string{fmt.Sprintf("%s: workload mismatch: baseline %q vs fresh %q (not comparable; rerun benchengine with the baseline's parameters)",
+			name, base.Workload, cur.Workload)}
 	}
 	var out []string
 	if cur.RoundsPerOp != base.RoundsPerOp {
-		out = append(out, fmt.Sprintf("%s: rounds/op changed %d -> %d (deterministic workload; algorithm drift)",
-			name, base.RoundsPerOp, cur.RoundsPerOp))
+		out = append(out, fmt.Sprintf("%s%s: rounds/op changed %d -> %d (deterministic workload; algorithm drift)",
+			name, workloadTag(base), base.RoundsPerOp, cur.RoundsPerOp))
 	}
 	if cur.Messages != base.Messages {
-		out = append(out, fmt.Sprintf("%s: messages changed %d -> %d (deterministic workload; algorithm drift)",
-			name, base.Messages, cur.Messages))
+		out = append(out, fmt.Sprintf("%s%s: messages changed %d -> %d (deterministic workload; algorithm drift)",
+			name, workloadTag(base), base.Messages, cur.Messages))
 	}
 	if limit := float64(base.AllocsPerOp) * (1 + maxAlloc); float64(cur.AllocsPerOp) > limit {
-		out = append(out, fmt.Sprintf("%s: allocs/op %d -> %d exceeds +%.0f%% tolerance",
-			name, base.AllocsPerOp, cur.AllocsPerOp, maxAlloc*100))
+		out = append(out, fmt.Sprintf("%s%s: allocs/op %d -> %d exceeds +%.0f%% tolerance",
+			name, workloadTag(base), base.AllocsPerOp, cur.AllocsPerOp, maxAlloc*100))
 	}
 	if limit := base.NsPerRound * (1 + maxNs); cur.NsPerRound > limit {
-		out = append(out, fmt.Sprintf("%s: ns/round %.0f -> %.0f exceeds +%.0f%% tolerance",
-			name, base.NsPerRound, cur.NsPerRound, maxNs*100))
+		out = append(out, fmt.Sprintf("%s%s: ns/round %.0f -> %.0f exceeds +%.0f%% tolerance",
+			name, workloadTag(base), base.NsPerRound, cur.NsPerRound, maxNs*100))
 	}
 	return out
+}
+
+// workloadTag renders the per-measurement workload for violation
+// messages (empty for pre-metadata baselines).
+func workloadTag(m *benchfmt.Measurement) string {
+	if m.Workload == "" {
+		return ""
+	}
+	return fmt.Sprintf(" [%s]", m.Workload)
 }
 
 // diffGenerators gates the brute-vs-grid comparisons: edge counts are

@@ -14,20 +14,26 @@ func engineReport(nsPerRound float64, allocs, messages int64, rounds int) *bench
 		NsPerRound: nsPerRound, AllocsPerOp: allocs, BytesPerOp: 1 << 20, Messages: messages,
 	}
 	p := m
-	return &benchfmt.EngineReport{Workload: "w", After: m, SLTPipeline: &p, SpannerPipeline: &p}
+	slt1m, sp1m := m, m
+	slt1m.Workload = "slt-measured knn n=1000000 seed=1 workers=1 (single run)"
+	sp1m.Workload = "spanner-measured knn n=1000000 seed=1 workers=1 (single run)"
+	return &benchfmt.EngineReport{
+		Workload: "w", After: m, SLTPipeline: &p, SpannerPipeline: &p,
+		SLTPipeline1M: &slt1m, SpannerPipeline1M: &sp1m,
+	}
 }
 
 func TestEngineIdenticalPasses(t *testing.T) {
 	base := engineReport(1000, 500, 12345, 15)
-	if v := diffEngine(base, engineReport(1000, 500, 12345, 15), 0.25, 0.01); len(v) != 0 {
+	if v := diffEngine(base, engineReport(1000, 500, 12345, 15), 0.25, 0.01, 1.0, true); len(v) != 0 {
 		t.Fatalf("identical reports flagged: %v", v)
 	}
 	// Improvements pass too.
-	if v := diffEngine(base, engineReport(700, 400, 12345, 15), 0.25, 0.01); len(v) != 0 {
+	if v := diffEngine(base, engineReport(700, 400, 12345, 15), 0.25, 0.01, 1.0, true); len(v) != 0 {
 		t.Fatalf("improvement flagged: %v", v)
 	}
 	// Within-tolerance noise passes.
-	if v := diffEngine(base, engineReport(1200, 500, 12345, 15), 0.25, 0.01); len(v) != 0 {
+	if v := diffEngine(base, engineReport(1200, 500, 12345, 15), 0.25, 0.01, 1.0, true); len(v) != 0 {
 		t.Fatalf("within-tolerance noise flagged: %v", v)
 	}
 }
@@ -45,7 +51,7 @@ func TestEngineSyntheticRegressionFails(t *testing.T) {
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			if v := diffEngine(base, tc.cur, 0.25, 0.01); len(v) == 0 {
+			if v := diffEngine(base, tc.cur, 0.25, 0.01, 1.0, true); len(v) == 0 {
 				t.Fatal("regression not flagged")
 			}
 		})
@@ -54,12 +60,12 @@ func TestEngineSyntheticRegressionFails(t *testing.T) {
 	// loss and must fail.
 	cur := engineReport(1000, 500, 12345, 15)
 	cur.SpannerPipeline = nil
-	if v := diffEngine(base, cur, 0.25, 0.01); len(v) == 0 {
+	if v := diffEngine(base, cur, 0.25, 0.01, 1.0, true); len(v) == 0 {
 		t.Fatal("missing pipeline measurement not flagged")
 	}
 	// The converse — baseline without the entry — is not gated yet.
 	base.SpannerPipeline = nil
-	if v := diffEngine(base, engineReport(1000, 500, 12345, 15), 0.25, 0.01); len(v) != 0 {
+	if v := diffEngine(base, engineReport(1000, 500, 12345, 15), 0.25, 0.01, 1.0, true); len(v) != 0 {
 		t.Fatalf("ungated new measurement flagged: %v", v)
 	}
 }
@@ -71,9 +77,57 @@ func TestEngineWorkloadMismatch(t *testing.T) {
 	base := engineReport(1000, 500, 12345, 15)
 	cur := engineReport(1000, 500, 99999, 20)
 	cur.Workload = "Luby MIS on scenario \"ba:m=4\""
-	v := diffEngine(base, cur, 0.25, 0.01)
+	v := diffEngine(base, cur, 0.25, 0.01, 1.0, true)
 	if len(v) != 1 || !strings.Contains(v[0], "workload mismatch") {
 		t.Fatalf("want a single workload-mismatch violation, got %v", v)
+	}
+}
+
+// TestEngine1MGating: the n=10⁶ single-run entries are gated with their
+// own coarse ns tolerance; their absence from the fresh report fails
+// only under -require-1m (PR CI skips the runs, nightly demands them).
+func TestEngine1MGating(t *testing.T) {
+	base := engineReport(1000, 500, 12345, 15)
+	missing := engineReport(1000, 500, 12345, 15)
+	missing.SLTPipeline1M, missing.SpannerPipeline1M = nil, nil
+	if v := diffEngine(base, missing, 0.25, 0.01, 1.0, false); len(v) != 0 {
+		t.Fatalf("optional absent 1m entries flagged without -require-1m: %v", v)
+	}
+	v := diffEngine(base, missing, 0.25, 0.01, 1.0, true)
+	if len(v) != 2 || !strings.Contains(v[0], "slt_pipeline_1m") {
+		t.Fatalf("want 2 missing-1m violations under -require-1m, got %v", v)
+	}
+	// Deterministic columns of a present 1m entry are exact.
+	drift := engineReport(1000, 500, 12345, 15)
+	drift.SLTPipeline1M.Messages++
+	v = diffEngine(base, drift, 0.25, 0.01, 1.0, false)
+	if len(v) != 1 || !strings.Contains(v[0], "slt_pipeline_1m") || !strings.Contains(v[0], "knn n=1000000") {
+		t.Fatalf("1m message drift not flagged with its workload, got %v", v)
+	}
+	// The 1m ns tolerance is independent of (and coarser than) the
+	// n=2048 tolerance: +80%% passes at maxNs1m=1.0 while the same drift
+	// on the 2048 entries would fail at 25%%.
+	slow := engineReport(1000, 500, 12345, 15)
+	slow.SLTPipeline1M.NsPerRound *= 1.8
+	if v := diffEngine(base, slow, 0.25, 0.01, 1.0, false); len(v) != 0 {
+		t.Fatalf("within-coarse-tolerance 1m ns flagged: %v", v)
+	}
+	slow.SLTPipeline1M.NsPerRound = base.SLTPipeline1M.NsPerRound * 2.5
+	if v := diffEngine(base, slow, 0.25, 0.01, 1.0, false); len(v) == 0 {
+		t.Fatal("1m ns blowup beyond coarse tolerance not flagged")
+	}
+	// A 1m entry measured on a different input (a shrunken CI smoke) is
+	// never silently compared: without -require-1m it is skipped (even
+	// with drifted numbers), under -require-1m it is a mismatch error.
+	wrongN := engineReport(1000, 500, 12345, 15)
+	wrongN.SLTPipeline1M.Workload = "slt-measured knn n=100000 seed=1 workers=1 (single run)"
+	wrongN.SLTPipeline1M.Messages *= 3
+	if v := diffEngine(base, wrongN, 0.25, 0.01, 1.0, false); len(v) != 0 {
+		t.Fatalf("smoke-scale 1m entry compared against the 10^6 baseline: %v", v)
+	}
+	v = diffEngine(base, wrongN, 0.25, 0.01, 1.0, true)
+	if len(v) != 1 || !strings.Contains(v[0], "workload mismatch") {
+		t.Fatalf("want per-measurement workload mismatch under -require-1m, got %v", v)
 	}
 }
 
@@ -247,7 +301,7 @@ func TestCommittedBaselinesSelfConsistent(t *testing.T) {
 		{"serve", "BENCH_serve.json"},
 	} {
 		path := filepath.Join(root, tc.file)
-		v, err := diff(tc.kind, path, path, 0.25, 0.01, 0.05)
+		v, err := diff(tc.kind, path, path, 0.25, 0.01, 0.05, 1.0, true)
 		if err != nil {
 			t.Fatalf("%s: %v", tc.file, err)
 		}

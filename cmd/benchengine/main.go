@@ -9,6 +9,18 @@
 //
 //	go run ./cmd/benchengine -out BENCH_engine.json
 //
+// With -pipeline1m the canonical run additionally measures the full
+// measured-mode SLT and spanner pipelines at n=10⁶ (knn scenario,
+// seed 1, workers=1). One op takes minutes, so these are single-run
+// datapoints: wall clock plus runtime.ReadMemStats deltas instead of
+// testing.Benchmark. The deterministic columns (rounds, messages) are
+// exact; ns is gated only within a coarse tolerance. -pipeline1m-n
+// shrinks the size for CI smokes (the workload string records the
+// actual n, and cmd/benchdiff refuses to compare mismatched workloads):
+//
+//	go run ./cmd/benchengine -pipeline1m -out BENCH_engine.json
+//	go run ./cmd/benchengine -pipeline1m -pipeline1m-n 100000 -out /tmp/smoke.json
+//
 // With -scenario the same measurement runs on any registered scenario
 // spec instead of the canonical workload — useful for profiling the
 // engine on other topology families. Scenario runs are not comparable
@@ -25,6 +37,13 @@
 //
 //	go run ./cmd/benchengine -program slt-measured -scenario er -n 1024 -out /tmp/slt.json
 //
+// Profiling hooks (-cpuprofile, -memprofile, -trace) wrap the
+// measurement work, so a single invocation yields both the report and
+// the profile of exactly the measured path:
+//
+//	go run ./cmd/benchengine -pipeline1m -cpuprofile /tmp/engine.pprof -out /tmp/e.json
+//	go tool pprof -top /tmp/engine.pprof
+//
 // For per-round micro-costs (dense vs sparse traffic) see
 // BenchmarkSteadyStateRound in internal/congest; for the multi-core
 // profile run BenchmarkEngineWorkers with -benchmem.
@@ -34,13 +53,16 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"testing"
+	"time"
 
 	"lightnet"
 	"lightnet/internal/benchfmt"
 	"lightnet/internal/congest"
 	"lightnet/internal/experiments"
 	"lightnet/internal/graph"
+	"lightnet/internal/profiling"
 )
 
 // baseline is the pre-refactor engine (commit 986341d: per-message heap
@@ -67,14 +89,28 @@ func main() {
 	program := flag.String("program", "mis", "workload program: mis (canonical) | slt-measured | spanner-measured (full measured-mode engine pipelines; not baseline-comparable)")
 	n := flag.Int("n", 2048, "graph size for -scenario runs")
 	seed := flag.Int64("seed", 1, "graph seed for -scenario runs")
+	pipeline1m := flag.Bool("pipeline1m", false, "also measure the n=10^6 measured pipelines (single-run; canonical workload only)")
+	pipeline1mN := flag.Int("pipeline1m-n", 1_000_000, "graph size for the -pipeline1m datapoints (shrink for CI smokes)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the measurement to this path")
+	memprofile := flag.String("memprofile", "", "write an allocation profile (after the measurement) to this path")
+	tracePath := flag.String("trace", "", "write a runtime execution trace of the measurement to this path")
 	flag.Parse()
-	if err := run(*out, *scenario, *program, *n, *seed); err != nil {
+	stop, err := profiling.Start(*cpuprofile, *memprofile, *tracePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchengine:", err)
+		os.Exit(1)
+	}
+	err = run(*out, *scenario, *program, *n, *seed, *pipeline1m, *pipeline1mN)
+	if perr := stop(); err == nil {
+		err = perr
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchengine:", err)
 		os.Exit(1)
 	}
 }
 
-func run(out, scenario, program string, n int, seed int64) error {
+func run(out, scenario, program string, n int, seed int64, pipeline1m bool, pipeline1mN int) error {
 	g := workloadGraph()
 	workload := "Luby MIS on ErdosRenyi(n=2048, p=24/n, maxW=9, seed=1), " +
 		"engine seed 3, workers=1 (the BenchmarkEngineWorkers workload)"
@@ -110,6 +146,7 @@ func run(out, scenario, program string, n int, seed int64) error {
 	})
 	after := benchfmt.Measurement{
 		Commit:      "HEAD",
+		Workload:    workload,
 		NsPerOp:     res.NsPerOp(),
 		RoundsPerOp: stats.Rounds,
 		NsPerRound:  float64(res.NsPerOp()) / float64(stats.Rounds),
@@ -127,14 +164,33 @@ func run(out, scenario, program string, n int, seed int64) error {
 		if rep.SpannerPipeline, err = measurePipeline("spanner-measured", g); err != nil {
 			return err
 		}
+		if pipeline1m {
+			big, err := experiments.BuildWorkload("knn", pipeline1mN, 1)
+			if err != nil {
+				return err
+			}
+			if rep.SLTPipeline1M, err = measurePipelineOnce("slt-measured", big, pipeline1mN); err != nil {
+				return err
+			}
+			if rep.SpannerPipeline1M, err = measurePipelineOnce("spanner-measured", big, pipeline1mN); err != nil {
+				return err
+			}
+		}
 	}
 	if err := benchfmt.WriteFile(out, rep); err != nil {
 		return err
 	}
 	if comparable {
-		fmt.Printf("workload: %s\nns/round: %.0f -> %.0f (%.2fx)\nallocs/op: %d -> %d\nwrote %s\n",
+		fmt.Printf("workload: %s\nns/round: %.0f -> %.0f (%.2fx)\nallocs/op: %d -> %d\n",
 			rep.Workload, baseline.NsPerRound, after.NsPerRound, rep.SpeedupNsPerRound,
-			baseline.AllocsPerOp, after.AllocsPerOp, out)
+			baseline.AllocsPerOp, after.AllocsPerOp)
+		for _, p := range []*benchfmt.Measurement{rep.SLTPipeline1M, rep.SpannerPipeline1M} {
+			if p != nil {
+				fmt.Printf("%s: %.1fs rounds=%d messages=%d allocs=%d\n",
+					p.Workload, float64(p.NsPerOp)/1e9, p.RoundsPerOp, p.Messages, p.AllocsPerOp)
+			}
+		}
+		fmt.Printf("wrote %s\n", out)
 	} else {
 		fmt.Printf("workload: %s\nns/round: %.0f allocs/op: %d messages: %d\nwrote %s\n",
 			rep.Workload, after.NsPerRound, after.AllocsPerOp, after.Messages, out)
@@ -142,35 +198,39 @@ func run(out, scenario, program string, n int, seed int64) error {
 	return nil
 }
 
+// buildPipeline runs one full measured-mode pipeline build on g at the
+// headline grid parameters (SLT: eps=0.5; spanner: k=2, eps=0.25) and
+// returns its measured cost.
+func buildPipeline(program string, g *graph.Graph) (lightnet.Cost, error) {
+	switch program {
+	case "spanner-measured":
+		res, err := lightnet.BuildLightSpanner(g, 2, 0.25, lightnet.WithSeed(1), lightnet.WithMeasured(), lightnet.WithWorkers(1))
+		if err != nil {
+			return lightnet.Cost{}, err
+		}
+		return res.Cost, nil
+	default:
+		res, err := lightnet.BuildSLT(g, 0, 0.5, lightnet.WithSeed(1), lightnet.WithMeasured(), lightnet.WithWorkers(1))
+		if err != nil {
+			return lightnet.Cost{}, err
+		}
+		return res.Cost, nil
+	}
+}
+
 // measurePipeline benchmarks one full measured-mode pipeline (all
 // engine stages on one pipeline instance, workers=1) on g: per-op wall
 // time, allocations and measured round/message totals. The SLT runs at
 // eps=0.5, the spanner at k=2, eps=0.25 — the headline grid parameters.
 func measurePipeline(program string, g *graph.Graph) (*benchfmt.Measurement, error) {
-	build := func() (lightnet.Cost, error) {
-		switch program {
-		case "spanner-measured":
-			res, err := lightnet.BuildLightSpanner(g, 2, 0.25, lightnet.WithSeed(1), lightnet.WithMeasured(), lightnet.WithWorkers(1))
-			if err != nil {
-				return lightnet.Cost{}, err
-			}
-			return res.Cost, nil
-		default:
-			res, err := lightnet.BuildSLT(g, 0, 0.5, lightnet.WithSeed(1), lightnet.WithMeasured(), lightnet.WithWorkers(1))
-			if err != nil {
-				return lightnet.Cost{}, err
-			}
-			return res.Cost, nil
-		}
-	}
-	ref, err := build()
+	ref, err := buildPipeline(program, g)
 	if err != nil {
 		return nil, err
 	}
 	res := testing.Benchmark(func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			if _, err := build(); err != nil {
+			if _, err := buildPipeline(program, g); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -178,12 +238,42 @@ func measurePipeline(program string, g *graph.Graph) (*benchfmt.Measurement, err
 	rounds := int(ref.Rounds)
 	return &benchfmt.Measurement{
 		Commit:      "HEAD",
+		Workload:    fmt.Sprintf("%s canonical-er n=%d seed=1 workers=1", program, g.N()),
 		NsPerOp:     res.NsPerOp(),
 		RoundsPerOp: rounds,
 		NsPerRound:  float64(res.NsPerOp()) / float64(rounds),
 		AllocsPerOp: res.AllocsPerOp(),
 		BytesPerOp:  res.AllocedBytesPerOp(),
 		Messages:    ref.Messages,
+	}, nil
+}
+
+// measurePipelineOnce is the single-run variant for graphs where one op
+// takes minutes: wall clock for ns, runtime.ReadMemStats deltas for the
+// allocation columns. The deterministic columns (rounds, messages) are
+// exact regardless; ns and bytes carry single-run noise, which is why
+// the benchdiff gate holds 1m entries only to a coarse ns tolerance.
+func measurePipelineOnce(program string, g *graph.Graph, n int) (*benchfmt.Measurement, error) {
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	start := time.Now()
+	cost, err := buildPipeline(program, g)
+	wall := time.Since(start)
+	runtime.ReadMemStats(&m1)
+	if err != nil {
+		return nil, err
+	}
+	rounds := int(cost.Rounds)
+	return &benchfmt.Measurement{
+		Commit:      "HEAD",
+		Workload:    fmt.Sprintf("%s knn n=%d seed=1 workers=1 (single run)", program, n),
+		NsPerOp:     wall.Nanoseconds(),
+		RoundsPerOp: rounds,
+		NsPerRound:  float64(wall.Nanoseconds()) / float64(rounds),
+		AllocsPerOp: int64(m1.Mallocs - m0.Mallocs),
+		BytesPerOp:  int64(m1.TotalAlloc - m0.TotalAlloc),
+		Messages:    cost.Messages,
 	}, nil
 }
 

@@ -74,6 +74,7 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"sort"
 	"strings"
 	"syscall"
@@ -83,6 +84,7 @@ import (
 	"lightnet/internal/benchfmt"
 	"lightnet/internal/congest"
 	"lightnet/internal/experiments"
+	"lightnet/internal/profiling"
 	"lightnet/internal/serve"
 )
 
@@ -124,6 +126,9 @@ func runBench(args []string) error {
 	gridPath := fs.String("grid", "", "JSON experiment-grid file (default: built-in headline grid)")
 	out := fs.String("out", "", "output folder (default: bench-<timestamp>)")
 	resume := fs.Bool("resume", false, "resume a killed run: skip the cells -out's manifest marks done")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the sweep; relative paths land in the run folder")
+	memprofile := fs.String("memprofile", "", "write an allocation profile of the sweep; relative paths land in the run folder")
+	tracePath := fs.String("trace", "", "write a runtime execution trace of the sweep; relative paths land in the run folder")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return nil
@@ -144,7 +149,27 @@ func runBench(args []string) error {
 	if dir == "" {
 		dir = "bench-" + time.Now().Format("20060102-150405")
 	}
-	if err := experiments.RunGridResume(grid, dir, os.Stdout, *resume); err != nil {
+	// Profiles live next to the CSVs they explain: a relative profile
+	// path is resolved inside the run folder, so the sweep's artifacts
+	// travel as one directory.
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	inRun := func(p string) string {
+		if p == "" || filepath.IsAbs(p) {
+			return p
+		}
+		return filepath.Join(dir, p)
+	}
+	stopProf, err := profiling.Start(inRun(*cpuprofile), inRun(*memprofile), inRun(*tracePath))
+	if err != nil {
+		return err
+	}
+	err = experiments.RunGridResume(grid, dir, os.Stdout, *resume)
+	if perr := stopProf(); err == nil {
+		err = perr
+	}
+	if err != nil {
 		return err
 	}
 	fmt.Printf("run folder: %s (csv/ per experiment, logs/run.log, grid.json)\n", dir)

@@ -16,7 +16,13 @@ import (
 type Measurement struct {
 	// Commit identifies the engine version ("baseline" numbers are
 	// frozen from the pre-refactor engine).
-	Commit      string  `json:"commit"`
+	Commit string `json:"commit"`
+	// Workload names the exact input the datapoint was measured on
+	// (e.g. "knn n=1000000 seed=1 k=6 eps=0.5 workers=1") so gate
+	// failures identify which pipeline entry regressed. Older baselines
+	// omit it; the gate treats an empty value as "unspecified" and does
+	// not compare it.
+	Workload    string  `json:"workload,omitempty"`
 	NsPerOp     int64   `json:"ns_per_op"`
 	RoundsPerOp int     `json:"rounds_per_op"`
 	NsPerRound  float64 `json:"ns_per_round"`
@@ -30,7 +36,10 @@ type Measurement struct {
 // are not comparable to the frozen baseline and carry just the After
 // numbers. Canonical runs additionally record the measured-mode SLT and
 // spanner pipelines so their round cost and allocation profile are
-// tracked alongside the elementary hot path.
+// tracked alongside the elementary hot path, and — when benchengine is
+// invoked with -pipeline1m — the n=10⁶ single-run pipeline datapoints
+// (measured by wall clock + runtime.ReadMemStats rather than
+// testing.Benchmark, because one op takes minutes).
 type EngineReport struct {
 	Workload          string       `json:"workload"`
 	Before            *Measurement `json:"before,omitempty"`
@@ -38,6 +47,8 @@ type EngineReport struct {
 	SpeedupNsPerRound float64      `json:"speedup_ns_per_round,omitempty"`
 	SLTPipeline       *Measurement `json:"slt_pipeline,omitempty"`
 	SpannerPipeline   *Measurement `json:"spanner_pipeline,omitempty"`
+	SLTPipeline1M     *Measurement `json:"slt_pipeline_1m,omitempty"`
+	SpannerPipeline1M *Measurement `json:"spanner_pipeline_1m,omitempty"`
 }
 
 // GeneratorComparison is one brute-vs-grid measurement of the same

@@ -1,6 +1,7 @@
 package congest
 
 import (
+	"fmt"
 	"math"
 	"testing"
 
@@ -34,10 +35,20 @@ func (p *sparseEchoProgram) Handle(ctx *Ctx, inbox []Message) {
 }
 
 // steadyEngine builds an engine, runs Init and enough warm-up rounds
-// for every reusable buffer (arenas, inboxes, worklists, dirty list) to
-// reach steady-state capacity, and returns it ready for stepRound.
+// for every reusable buffer (arenas, inboxes, worklists, dirty list,
+// stripes) to reach steady-state capacity, and returns it ready for
+// stepRound.
 func steadyEngine(t testing.TB, g *graph.Graph, factory func(graph.Vertex) Program) *Engine {
-	eng := NewEngine(g, factory, Options{Workers: 1, MaxRounds: math.MaxInt / 2})
+	return steadyEngineWorkers(t, g, factory, 1)
+}
+
+// steadyEngineWorkers is steadyEngine with an explicit worker count:
+// with workers > 1 the warm-up also starts the round worker pool and
+// fills the per-chunk stripes, so the measured rounds exercise the
+// striped parallel path. The pool is stopped at test cleanup.
+func steadyEngineWorkers(t testing.TB, g *graph.Graph, factory func(graph.Vertex) Program, workers int) *Engine {
+	eng := NewEngine(g, factory, Options{Workers: workers, MaxRounds: math.MaxInt / 2})
+	t.Cleanup(eng.stopPool)
 	for v := range eng.progs {
 		eng.progs[v].Init(&eng.ctxs[v])
 	}
@@ -74,6 +85,45 @@ func TestSteadyStateAllocs(t *testing.T) {
 		})
 		assertZeroAllocRounds(t, eng)
 	})
+	// The striped parallel path must hold the same bar: once the worker
+	// pool is running and the per-chunk stripes have reached capacity, a
+	// round performs zero heap allocations at any worker count.
+	for _, workers := range []int{2, 8} {
+		t.Run(fmt.Sprintf("dense-ping-pong-workers-%d", workers), func(t *testing.T) {
+			eng := steadyEngineWorkers(t, graph.Cycle(512, 1), func(graph.Vertex) Program {
+				return &pingPongProgram{}
+			}, workers)
+			assertZeroAllocRounds(t, eng)
+		})
+	}
+}
+
+// TestStageTransitionAllocs: switching a pipeline from one stage to the
+// next must not cost O(n) allocations. With StagePools-backed factories
+// the installation sweep resets pooled program slots in place, so a
+// stage transition after the first costs only the factory closure and
+// the per-stage stats record — a small constant, independent of n.
+func TestStageTransitionAllocs(t *testing.T) {
+	g := graph.Cycle(256, 1)
+	n := g.N()
+	pipe := NewPipeline(g, Options{Workers: 1, MaxRounds: 4 * n})
+	pools := &StagePools{}
+	out := make([]int64, n)
+	runStage := func() {
+		if _, err := pipe.RunStage("flood", pools.FloodWord(n, 0, 42, out)); err != nil {
+			t.Fatalf("stage: %v", err)
+		}
+	}
+	// Warm the pools, arenas and worklists with a few full stages.
+	for i := 0; i < 4; i++ {
+		runStage()
+	}
+	avg := testing.AllocsPerRun(32, runStage)
+	// The budget is a small constant (factory closure, stage-stats
+	// append amortization) — the point is that it is not O(n)=256.
+	if avg > 8 {
+		t.Fatalf("stage transition allocates %v allocs/stage, want <= 8 (n=%d)", avg, n)
+	}
 }
 
 func assertZeroAllocRounds(t *testing.T, eng *Engine) {

@@ -55,7 +55,14 @@ const bvNoEdge = int64(math.MaxInt64)
 
 func (p *boruvkaProgram) Init(ctx *Ctx) {
 	p.frag = int64(ctx.V())
-	p.nbrFrag = make([]int64, ctx.Degree())
+	deg := ctx.Degree()
+	// A pooled program (see StagePools.Boruvka) arrives with capacity
+	// from an earlier run; reuse it instead of reallocating.
+	if cap(p.nbrFrag) < deg {
+		p.nbrFrag = make([]int64, deg)
+	} else {
+		p.nbrFrag = p.nbrFrag[:deg]
+	}
 	// -1 marks "never heard": a slot whose announce did not arrive —
 	// restricted edge, crashed or partitioned neighbor — is excluded
 	// from MOE candidates, so the program works on the reachable
@@ -63,7 +70,15 @@ func (p *boruvkaProgram) Init(ctx *Ctx) {
 	for i := range p.nbrFrag {
 		p.nbrFrag[i] = -1
 	}
-	p.treeAdj = make([]bool, ctx.Degree())
+	if cap(p.treeAdj) < deg {
+		p.treeAdj = make([]bool, deg)
+	} else {
+		p.treeAdj = p.treeAdj[:deg]
+		for i := range p.treeAdj {
+			p.treeAdj[i] = false
+		}
+	}
+	p.treeEdges = p.treeEdges[:0]
 	p.active = true
 	p.stage = bvStageAnnounce
 	p.sendAnnounce(ctx)

@@ -117,7 +117,10 @@ func (c *Ctx) Send(via graph.EdgeID, words ...int64) error {
 	// the batch stamp makes the check O(1) without clearing state.
 	slot := int32(via)<<1 | int32(dir)
 	if e.used[slot] == e.batch {
-		return fmt.Errorf("%w: edge %d from %d", ErrEdgeBusy, via, c.v)
+		// Bare sentinel, no wrapping: a busy edge is expected control
+		// flow (Broadcast skips it, Borůvka's relabel tolerates it), and
+		// wrapping would allocate on every such send in the hot loop.
+		return ErrEdgeBusy
 	}
 	e.used[slot] = e.batch
 	par := e.batch & 1

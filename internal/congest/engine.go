@@ -53,8 +53,33 @@ type Engine struct {
 	// a vertex both awake and receiving runs exactly once.
 	work, next []int32
 	queued     []bool
-	batch      uint64 // current handler batch (Init, each round, each PhaseDone)
-	stats      Stats
+	// stripes are the per-chunk buffers of the fused parallel round path
+	// (see runRound): the worker processing worklist chunk i appends its
+	// dirty slots, next-round vertices and send counters to stripes[i],
+	// and the round driver concatenates the stripes in chunk order.
+	// Chunks are contiguous slices of the canonical worklist, so the
+	// concatenation reproduces the sequential collect order exactly —
+	// bit-identity at every worker count — while the flush itself is
+	// sharded across workers. Stripes are reused round over round: the
+	// steady state allocates nothing at any worker count.
+	stripes []stripe
+	// poolCh feeds chunk indices to the round worker pool. The pool is
+	// started lazily at the first parallel round of a program and
+	// stopped when the program quiesces, so an idle engine owns no
+	// goroutines; within a program the same goroutines serve every
+	// round (no per-round spawns, no per-round allocation).
+	poolCh    chan int
+	poolWg    sync.WaitGroup
+	poolRound int // round number read by the pool workers
+	chunkSize int // worklist chunk length of the current round
+	// verts, when non-nil, limits the current program (pipeline stage)
+	// to the listed vertices: program installation, the Init and
+	// PhaseDone sweeps, and their collects iterate only this list, so a
+	// stage costs O(|verts| + traffic) instead of O(n). Stage-scoped;
+	// see the Verts stage option.
+	verts []int32
+	batch uint64 // current handler batch (Init, each round, each PhaseDone)
+	stats Stats
 	// restrict, when non-nil, limits the current program (pipeline stage)
 	// to the marked edge subset: Ctx.Send on an unmarked edge fails and
 	// Ctx.Broadcast skips unmarked edges. Stage-scoped; see Pipeline.
@@ -70,6 +95,18 @@ type Engine struct {
 	faultErr error // invalid Options.Faults; surfaced by runProgram
 	mu       sync.Mutex // guards failed under parallel execution
 	failed   error
+}
+
+// stripe is one worker chunk's collect buffer (see Engine.stripes).
+// The padding spaces consecutive stripes onto distinct cache lines so
+// parallel appends do not false-share.
+type stripe struct {
+	dirty    []int32
+	next     []int32
+	msgs     int64
+	words    int64
+	maxWords int
+	_        [56]byte
 }
 
 func (e *Engine) fail(err error) {
@@ -162,6 +199,7 @@ func newEngine(g *graph.Graph, opts Options) *Engine {
 		work:       make([]int32, 0, g.N()),
 		next:       make([]int32, 0, g.N()),
 		queued:     make([]bool, g.N()),
+		stripes:    make([]stripe, opts.Workers),
 		batch:      1, // 0 is the "never sent" stamp in used
 		roundLimit: opts.MaxRounds,
 	}
@@ -211,52 +249,92 @@ func (e *Engine) Run() (Stats, error) {
 
 // runProgram drives the currently installed programs from Init to
 // quiescence across all phases, accumulating into e.stats. It is the
-// shared body of Run and of every Pipeline stage.
+// shared body of Run and of every Pipeline stage. When e.verts is set
+// (the Verts stage option), the Init and PhaseDone sweeps — and their
+// collects — touch only the listed vertices.
 func (e *Engine) runProgram() error {
 	if e.faultErr != nil {
 		return e.faultErr
 	}
-	for v := range e.progs {
-		if e.fi != nil && e.fi.down(graph.Vertex(v), e.stats.Rounds) {
-			// A vertex crashed before this program started never runs
-			// Init; dispatch and PhaseDone skip it too, so the program
-			// simply does not exist at that vertex.
-			e.ctxs[v].awake = false
-			continue
+	defer e.stopPool()
+	if e.verts == nil {
+		for v := range e.progs {
+			if err := e.initVertex(int32(v)); err != nil {
+				return err
+			}
 		}
-		e.progs[v].Init(&e.ctxs[v])
-		if err := e.failure(); err != nil {
-			e.collect(nil)
-			return err
+	} else {
+		for _, v := range e.verts {
+			if err := e.initVertex(v); err != nil {
+				return err
+			}
 		}
 	}
-	e.collect(nil)
+	e.collect(e.verts)
 	for {
 		if err := e.runPhase(); err != nil {
 			return err
 		}
 		e.stats.Phases++
 		more := false
-		for v := range e.progs {
-			if e.fi != nil && e.fi.down(graph.Vertex(v), e.stats.Rounds) {
-				continue
+		if e.verts == nil {
+			for v := range e.progs {
+				ok, err := e.phaseDoneVertex(int32(v))
+				if err != nil {
+					return err
+				}
+				more = more || ok
 			}
-			if e.progs[v].PhaseDone(&e.ctxs[v]) {
-				e.ctxs[v].awake = true
-				more = true
-			}
-			if err := e.failure(); err != nil {
-				e.collect(nil)
-				return err
+		} else {
+			for _, v := range e.verts {
+				ok, err := e.phaseDoneVertex(v)
+				if err != nil {
+					return err
+				}
+				more = more || ok
 			}
 		}
-		e.collect(nil)
+		e.collect(e.verts)
 		if !more {
 			return nil
 		}
 		e.stats.Rounds += e.opts.PhaseSyncCost
 		e.stats.SyncCosts += e.opts.PhaseSyncCost
 	}
+}
+
+// initVertex runs one vertex's Init (skipping crashed vertices: the
+// program simply does not exist there — dispatch and PhaseDone skip
+// them too) and surfaces a reported failure.
+func (e *Engine) initVertex(v int32) error {
+	if e.fi != nil && e.fi.down(graph.Vertex(v), e.stats.Rounds) {
+		e.ctxs[v].awake = false
+		return nil
+	}
+	e.progs[v].Init(&e.ctxs[v])
+	if err := e.failure(); err != nil {
+		e.collect(e.verts)
+		return err
+	}
+	return nil
+}
+
+// phaseDoneVertex runs one vertex's PhaseDone barrier callback and
+// reports whether it re-armed the vertex for another phase.
+func (e *Engine) phaseDoneVertex(v int32) (bool, error) {
+	if e.fi != nil && e.fi.down(graph.Vertex(v), e.stats.Rounds) {
+		return false, nil
+	}
+	more := false
+	if e.progs[v].PhaseDone(&e.ctxs[v]) {
+		e.ctxs[v].awake = true
+		more = true
+	}
+	if err := e.failure(); err != nil {
+		e.collect(e.verts)
+		return false, err
+	}
+	return more, nil
 }
 
 // runPhase executes rounds until no vertex is awake and no message is in
@@ -338,8 +416,7 @@ func (e *Engine) stepRound() (bool, error) {
 		rec.Activated = len(e.work)
 	}
 	sentBefore := e.stats.Messages
-	e.runHandlers()
-	e.collect(e.work)
+	e.runRound()
 	if err := e.failure(); err != nil {
 		return false, err
 	}
@@ -519,10 +596,18 @@ func (e *Engine) resetTransient() {
 	}
 }
 
-// runHandlers dispatches one round's handlers for the worklist vertices,
-// sharding them across the worker pool. Determinism follows from the
-// canonical merge in collect.
-func (e *Engine) runHandlers() {
+// runRound executes one round's handler batch over the worklist and
+// closes it: dispatch and collect are fused per vertex, so the flush
+// cost is sharded across the same workers that ran the handlers. The
+// sequential path appends straight to the engine's dirty/next lists;
+// the parallel path shards the worklist into contiguous chunks, each
+// worker collecting into its own stripe, and then concatenates the
+// stripes in chunk order — which reproduces the sequential order
+// exactly, because the chunks partition the worklist in order. Stats
+// sums are order-independent; the dirty list is sorted before delivery
+// anyway; the next-round worklist comes out in canonical worklist
+// order. Hence bit-identical results at every worker count.
+func (e *Engine) runRound() {
 	round := e.stats.Rounds
 	workers := e.opts.Workers
 	if workers > len(e.work) {
@@ -531,23 +616,97 @@ func (e *Engine) runHandlers() {
 	if workers <= 1 {
 		for _, v := range e.work {
 			e.dispatch(v, round)
+			e.collectVertex(v)
 		}
+		e.batch++
 		return
 	}
-	var wg sync.WaitGroup
-	chunk := (len(e.work) + workers - 1) / workers
-	for start := 0; start < len(e.work); start += chunk {
-		end := start + chunk
-		if end > len(e.work) {
-			end = len(e.work)
-		}
-		wg.Add(1)
-		go func(part []int32) {
-			defer wg.Done()
-			for _, v := range part {
-				e.dispatch(v, round)
-			}
-		}(e.work[start:end])
+	if e.poolCh == nil {
+		e.startPool()
 	}
-	wg.Wait()
+	e.chunkSize = (len(e.work) + workers - 1) / workers
+	nchunks := (len(e.work) + e.chunkSize - 1) / e.chunkSize
+	e.poolRound = round
+	e.poolWg.Add(nchunks)
+	for ci := 0; ci < nchunks; ci++ {
+		e.poolCh <- ci
+	}
+	e.poolWg.Wait()
+	for ci := 0; ci < nchunks; ci++ {
+		s := &e.stripes[ci]
+		e.dirty = append(e.dirty, s.dirty...)
+		e.next = append(e.next, s.next...)
+		e.stats.Messages += s.msgs
+		e.stats.Words += s.words
+		if s.maxWords > e.stats.MaxWords {
+			e.stats.MaxWords = s.maxWords
+		}
+		s.dirty = s.dirty[:0]
+		s.next = s.next[:0]
+		s.msgs, s.words, s.maxWords = 0, 0, 0
+	}
+	e.batch++
+}
+
+// runChunk processes one contiguous worklist chunk on a pool worker:
+// dispatch each vertex's handler and collect its sends and wake-up into
+// the chunk's own stripe. Race-freedom: outbox and used slots are owned
+// by the sending vertex, queued[v] and ctxs[v] are touched only by the
+// worker owning v's chunk, and the stripe belongs to this chunk alone.
+func (e *Engine) runChunk(ci int) {
+	start := ci * e.chunkSize
+	end := start + e.chunkSize
+	if end > len(e.work) {
+		end = len(e.work)
+	}
+	s := &e.stripes[ci]
+	round := e.poolRound
+	for _, v := range e.work[start:end] {
+		e.dispatch(v, round)
+		c := &e.ctxs[v]
+		if c.sentMsgs > 0 {
+			for _, pm := range c.pending {
+				slot := int32(pm.via)<<1 | int32(pm.dir)
+				e.outbox[slot] = outMsg{from: c.v, off: pm.off, n: pm.n}
+				s.dirty = append(s.dirty, slot)
+			}
+			c.pending = c.pending[:0]
+			s.msgs += c.sentMsgs
+			s.words += c.sentWords
+			if c.maxWords > s.maxWords {
+				s.maxWords = c.maxWords
+			}
+			c.sentMsgs, c.sentWords, c.maxWords = 0, 0, 0
+		}
+		if c.awake && !e.queued[v] {
+			e.queued[v] = true
+			s.next = append(s.next, v)
+		}
+	}
+}
+
+// startPool spawns the round worker pool: Options.Workers goroutines
+// fed chunk indices over poolCh. The synchronization is alloc-free, so
+// parallel steady-state rounds allocate exactly as little as sequential
+// ones: nothing.
+func (e *Engine) startPool() {
+	ch := make(chan int)
+	e.poolCh = ch
+	for i := 0; i < e.opts.Workers; i++ {
+		go func() {
+			for ci := range ch {
+				e.runChunk(ci)
+				e.poolWg.Done()
+			}
+		}()
+	}
+}
+
+// stopPool terminates the round worker pool (if running) so a quiescent
+// engine owns no goroutines; the next parallel round restarts it.
+func (e *Engine) stopPool() {
+	if e.poolCh != nil {
+		close(e.poolCh)
+		e.poolCh = nil
+	}
 }

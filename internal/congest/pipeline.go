@@ -65,6 +65,7 @@ func (p *Pipeline) Graph() *graph.Graph { return p.eng.g }
 // stageConfig collects per-stage options.
 type stageConfig struct {
 	restrict  []bool
+	verts     []int32
 	maxRounds int
 	validate  func() error
 	reset     func()
@@ -80,6 +81,19 @@ type StageOption func(*stageConfig)
 // only; callers may reuse it afterwards.
 func Restrict(edges []bool) StageOption {
 	return func(c *stageConfig) { c.restrict = edges }
+}
+
+// Verts limits the stage to the listed vertices (each in [0, N), no
+// duplicates): programs are installed, initialized, phase-polled and
+// collected only at these vertices, so the stage's fixed overhead is
+// O(|verts|) instead of O(n) — the difference between a per-bucket
+// Baswana-Sen stage costing O(bucket) and costing O(graph). Verts must
+// be combined with Restrict, and every endpoint of every restricted
+// edge must be listed: a message reaching an unlisted vertex would
+// dispatch whatever program a previous stage left there. The slice is
+// read during the stage only; callers may reuse it afterwards.
+func Verts(vs []int32) StageOption {
+	return func(c *stageConfig) { c.verts = vs }
 }
 
 // StageMaxRounds overrides the stage's round budget (default:
@@ -132,8 +146,13 @@ func (p *Pipeline) RunStage(name string, factory func(v graph.Vertex) Program, s
 	if p.err != nil {
 		return Stats{}, fmt.Errorf("congest: stage %q after failed stage: %w", name, p.err)
 	}
+	if cfg.verts != nil && cfg.restrict == nil {
+		p.err = fmt.Errorf("congest: stage %q: Verts requires Restrict (unrestricted traffic could reach unlisted vertices)", name)
+		return Stats{}, p.err
+	}
 	before := e.stats
 	e.restrict = cfg.restrict
+	e.verts = cfg.verts
 	budget := cfg.maxRounds
 	if budget <= 0 {
 		budget = e.opts.MaxRounds
@@ -161,9 +180,16 @@ func (p *Pipeline) RunStage(name string, factory func(v graph.Vertex) Program, s
 			shift = 10
 		}
 		e.roundLimit = e.stats.Rounds + budget<<shift
-		for v := range e.ctxs {
-			e.ctxs[v].awake = true
-			e.progs[v] = factory(graph.Vertex(v))
+		if cfg.verts != nil {
+			for _, v := range cfg.verts {
+				e.ctxs[v].awake = true
+				e.progs[v] = factory(graph.Vertex(v))
+			}
+		} else {
+			for v := range e.ctxs {
+				e.ctxs[v].awake = true
+				e.progs[v] = factory(graph.Vertex(v))
+			}
 		}
 		err = e.runProgram()
 		if err == nil && cfg.validate != nil {
@@ -174,6 +200,7 @@ func (p *Pipeline) RunStage(name string, factory func(v graph.Vertex) Program, s
 		}
 	}
 	e.restrict = nil
+	e.verts = nil
 	st := Stats{
 		Rounds:    e.stats.Rounds - before.Rounds,
 		Messages:  e.stats.Messages - before.Messages,

@@ -1,0 +1,112 @@
+package congest
+
+import (
+	"lightnet/internal/graph"
+)
+
+// Stage-state pooling: a pipeline stage installs one Program per
+// participating vertex, and a naive factory allocates each of them —
+// 10⁶ small objects per stage, times thirteen stages for the measured
+// SLT, times one stage per weight bucket for the measured spanner. A
+// StagePool instead owns a single dense slice of program values,
+// indexed by vertex and reused across stages: a stage's factory resets
+// the vertex's slot in place and returns its address, so program
+// installation costs zero allocations after the first stage (and one
+// slice allocation ever). Per-vertex scratch slices kept inside pooled
+// program values retain their capacity across stages — the message and
+// neighbor arenas of one stage are the arenas of the next.
+//
+// Reset contract: because slots carry whatever the previous stage left
+// behind, a pooling factory must overwrite every field of the slot —
+// the idiom is a whole-struct assignment that threads the reusable
+// buffers through, e.g.
+//
+//	p := &slots[v]
+//	*p = myProg{shared: out, scratch: p.scratch[:0]}
+//	return p
+//
+// StagePool is not safe for concurrent use; factories run on the
+// sequential installation sweep, which is exactly where it is used.
+type StagePool[P any] struct {
+	slots []P
+}
+
+// Slots returns a dense slice of n per-vertex values, reusing the
+// previous backing array when it is large enough. Values are zeroed on
+// the first call only; afterwards they carry the previous stage's
+// contents (see the reset contract above).
+func (sp *StagePool[P]) Slots(n int) []P {
+	if cap(sp.slots) >= n {
+		return sp.slots[:n]
+	}
+	sp.slots = make([]P, n)
+	return sp.slots
+}
+
+// StagePools bundles pooled per-vertex state for the engine-owned stage
+// programs (Borůvka MST, BFS tree, tuple funnel, word flood). A
+// measured pipeline allocates one StagePools next to its
+// congest.Pipeline and builds stage factories from its methods instead
+// of the package-level *Factory functions: same programs, same
+// bit-identical outputs, but each stage reuses the previous stage's
+// program slice and per-vertex scratch instead of allocating n fresh
+// objects.
+type StagePools struct {
+	boruvka StagePool[boruvkaProgram]
+	bfs     StagePool[bfsProgram]
+	funnel  StagePool[funnelProgram]
+	flood   StagePool[floodWordProgram]
+}
+
+// Boruvka is the pooled counterpart of BoruvkaFactory for a graph of n
+// vertices.
+func (sp *StagePools) Boruvka(n int, inTree []bool) func(graph.Vertex) Program {
+	slots := sp.boruvka.Slots(n)
+	return func(v graph.Vertex) Program {
+		p := &slots[v]
+		*p = boruvkaProgram{
+			inTree:    inTree,
+			nbrFrag:   p.nbrFrag[:0],
+			treeAdj:   p.treeAdj[:0],
+			treeEdges: p.treeEdges[:0],
+		}
+		return p
+	}
+}
+
+// BFS is the pooled counterpart of BFSFactory for a graph of n
+// vertices.
+func (sp *StagePools) BFS(n int, root graph.Vertex, parent []graph.EdgeID, depth []int32) func(graph.Vertex) Program {
+	slots := sp.bfs.Slots(n)
+	return func(v graph.Vertex) Program {
+		p := &slots[v]
+		*p = bfsProgram{root: root, depth: depth, parent: parent}
+		return p
+	}
+}
+
+// Funnel is the pooled counterpart of FunnelFactory for a graph of n
+// vertices.
+func (sp *StagePools) Funnel(n int, root graph.Vertex, parent []graph.EdgeID, width int, initial [][]int64, sink *[]int64) func(graph.Vertex) Program {
+	slots := sp.funnel.Slots(n)
+	return func(v graph.Vertex) Program {
+		p := &slots[v]
+		*p = funnelProgram{
+			root: root, parent: parent, width: width,
+			initial: initial, sink: sink,
+			queue: p.queue[:0],
+		}
+		return p
+	}
+}
+
+// FloodWord is the pooled counterpart of FloodWordFactory for a graph
+// of n vertices.
+func (sp *StagePools) FloodWord(n int, src graph.Vertex, word int64, out []int64) func(graph.Vertex) Program {
+	slots := sp.flood.Slots(n)
+	return func(v graph.Vertex) Program {
+		p := &slots[v]
+		*p = floodWordProgram{src: src, word: word, out: out}
+		return p
+	}
+}

@@ -329,7 +329,13 @@ type funnelProgram struct {
 	// width); sink collects everything at the root (root-only write).
 	initial [][]int64
 	sink    *[]int64
-	queue   []int64
+	// queue[head:] is the backlog of buffered tuple words. Consuming via
+	// a head index (instead of re-slicing queue forward) keeps the
+	// backing array reusable: re-slicing would pin the consumed prefix
+	// while forcing every append to grow a fresh tail — the dominant
+	// allocation of the measured spanner pipeline before the fix.
+	queue []int64
+	head  int
 }
 
 func (p *funnelProgram) Init(ctx *Ctx) {
@@ -358,7 +364,7 @@ func (p *funnelProgram) Handle(ctx *Ctx, inbox []Message) {
 
 func (p *funnelProgram) pump(ctx *Ctx) {
 	v := ctx.V()
-	if v == p.root || len(p.queue) == 0 {
+	if v == p.root || p.head == len(p.queue) {
 		return
 	}
 	e := p.parent[v]
@@ -366,12 +372,20 @@ func (p *funnelProgram) pump(ctx *Ctx) {
 		ctx.Fail(errors.New("congest: funnel vertex with tuples but no parent"))
 		return
 	}
-	if err := ctx.Send(e, p.queue[:p.width]...); err != nil {
+	if err := ctx.Send(e, p.queue[p.head:p.head+p.width]...); err != nil {
 		ctx.Fail(err)
 		return
 	}
-	p.queue = p.queue[p.width:]
-	if len(p.queue) > 0 {
+	p.head += p.width
+	if p.head == len(p.queue) {
+		p.queue, p.head = p.queue[:0], 0
+	} else if p.head >= 64 && p.head*2 >= len(p.queue) {
+		// Amortized compaction: once the consumed prefix dominates,
+		// shift the backlog down so appends reuse the array.
+		n := copy(p.queue, p.queue[p.head:])
+		p.queue, p.head = p.queue[:n], 0
+	}
+	if p.head < len(p.queue) {
 		ctx.Stay()
 	}
 }

@@ -131,6 +131,10 @@ func buildMeasured(g *graph.Graph, rt graph.Vertex, eps float64, opts Options) (
 		MaxRounds: 16*n + 1024, // Borůvka's budget; ample for every stage
 		Faults:    faults,
 	})
+	// Stage-state pools: every stage resets per-vertex program slots in
+	// place instead of allocating n fresh objects (see congest.StagePool).
+	pools := &congest.StagePools{}
+	sp := &sltPools{}
 	run := func(name string, factory func(graph.Vertex) congest.Program, so ...congest.StageOption) error {
 		_, err := pipe.RunStage(name, factory, so...)
 		return err
@@ -186,7 +190,7 @@ func buildMeasured(g *graph.Graph, rt graph.Vertex, eps float64, opts Options) (
 			st.inTree[i] = false
 		}
 	}
-	if err := run("mst", congest.BoruvkaFactory(st.inTree), stage(nil, mstValidate, mstReset)...); err != nil {
+	if err := run("mst", pools.Boruvka(n, st.inTree), stage(nil, mstValidate, mstReset)...); err != nil {
 		return nil, fmt.Errorf("slt: %w", err)
 	}
 	treeEdges := 0
@@ -205,7 +209,7 @@ func buildMeasured(g *graph.Graph, rt graph.Vertex, eps float64, opts Options) (
 			return congest.CheckBFS(g, rt, alive, st.treeParent, st.treeDepth, wantHops)
 		}
 	}
-	if err := run("tree", congest.BFSFactory(rt, st.treeParent, st.treeDepth),
+	if err := run("tree", pools.BFS(n, rt, st.treeParent, st.treeDepth),
 		stage(st.inTree, treeValidate, nil)...); err != nil {
 		return nil, fmt.Errorf("slt: %w", err)
 	}
@@ -215,9 +219,7 @@ func buildMeasured(g *graph.Graph, rt graph.Vertex, eps float64, opts Options) (
 			return congest.CheckSPT(g, rt, alive, st.sptParent, st.pw1, aliveEdges)
 		}
 	}
-	if err := run("spt", func(graph.Vertex) congest.Program {
-		return &sptProg{src: rt, pw: st.pw1, parent: st.sptParent}
-	}, stage(nil, sptValidate, nil)...); err != nil {
+	if err := run("spt", sp.sptFactory(n, rt, st.pw1, st.sptParent), stage(nil, sptValidate, nil)...); err != nil {
 		return nil, fmt.Errorf("slt: %w", err)
 	}
 	var sptDistValidate func() error
@@ -227,9 +229,7 @@ func buildMeasured(g *graph.Graph, rt graph.Vertex, eps float64, opts Options) (
 		}
 	}
 	sptDistReset := func() { refillInf(st.rootDist, rt) }
-	if err := run("spt-dist", func(graph.Vertex) congest.Program {
-		return &distDownProg{root: rt, parent: st.sptParent, dist: st.rootDist}
-	}, stage(nil, sptDistValidate, sptDistReset)...); err != nil {
+	if err := run("spt-dist", sp.distDownFactory(n, rt, st.sptParent, st.rootDist), stage(nil, sptDistValidate, sptDistReset)...); err != nil {
 		return nil, fmt.Errorf("slt: %w", err)
 	}
 	// The tour oracle replays euler-up AND euler-down; it is built once,
@@ -246,14 +246,10 @@ func buildMeasured(g *graph.Graph, rt graph.Vertex, eps float64, opts Options) (
 		eulerUpValidate = func() error { return oracle().checkUp(st, alive) }
 		eulerDownValidate = func() error { return oracle().checkDown(st, alive) }
 	}
-	if err := run("euler-up", func(graph.Vertex) congest.Program {
-		return &eulerUpProg{st: st}
-	}, stage(st.inTree, eulerUpValidate, nil)...); err != nil {
+	if err := run("euler-up", sp.eulerUpFactory(n, st), stage(st.inTree, eulerUpValidate, nil)...); err != nil {
 		return nil, fmt.Errorf("slt: %w", err)
 	}
-	if err := run("euler-down", func(graph.Vertex) congest.Program {
-		return &eulerDownProg{st: st}
-	}, stage(st.inTree, eulerDownValidate, nil)...); err != nil {
+	if err := run("euler-down", sp.eulerDownFactory(n, st), stage(st.inTree, eulerDownValidate, nil)...); err != nil {
 		return nil, fmt.Errorf("slt: %w", err)
 	}
 	var bfsValidate func() error
@@ -263,7 +259,7 @@ func buildMeasured(g *graph.Graph, rt graph.Vertex, eps float64, opts Options) (
 			return congest.CheckBFS(g, rt, alive, st.bfsParent, st.bfsDepth, wantHops)
 		}
 	}
-	if err := run("bfs", congest.BFSFactory(rt, st.bfsParent, st.bfsDepth),
+	if err := run("bfs", pools.BFS(n, rt, st.bfsParent, st.bfsDepth),
 		stage(nil, bfsValidate, nil)...); err != nil {
 		return nil, fmt.Errorf("slt: %w", err)
 	}
@@ -274,25 +270,17 @@ func buildMeasured(g *graph.Graph, rt graph.Vertex, eps float64, opts Options) (
 		selectValidate = func() error { return checkSelect(st, alive) }
 		hMarkValidate = func() error { return checkHMark(st, alive) }
 	}
-	if err := run("bp-walk", func(graph.Vertex) congest.Program {
-		return &bpWalkProg{st: st}
-	}, stage(st.inTree, walkValidate, nil)...); err != nil {
+	if err := run("bp-walk", sp.bpWalkFactory(n, st), stage(st.inTree, walkValidate, nil)...); err != nil {
 		return nil, fmt.Errorf("slt: %w", err)
 	}
 	headsReset := func() { st.rootTuples = st.rootTuples[:0] }
-	if err := run("bp-heads", func(graph.Vertex) congest.Program {
-		return &bpHeadsProg{st: st}
-	}, stage(nil, headsValidate, headsReset)...); err != nil {
+	if err := run("bp-heads", sp.bpHeadsFactory(n, st), stage(nil, headsValidate, headsReset)...); err != nil {
 		return nil, fmt.Errorf("slt: %w", err)
 	}
-	if err := run("bp-select", func(graph.Vertex) congest.Program {
-		return &bpSelectProg{st: st}
-	}, stage(nil, selectValidate, nil)...); err != nil {
+	if err := run("bp-select", sp.bpSelectFactory(n, st), stage(nil, selectValidate, nil)...); err != nil {
 		return nil, fmt.Errorf("slt: %w", err)
 	}
-	if err := run("h-mark", func(graph.Vertex) congest.Program {
-		return &hMarkProg{st: st}
-	}, stage(nil, hMarkValidate, nil)...); err != nil {
+	if err := run("h-mark", sp.hMarkFactory(n, st), stage(nil, hMarkValidate, nil)...); err != nil {
 		return nil, fmt.Errorf("slt: %w", err)
 	}
 	inHAll := make([]bool, m)
@@ -305,9 +293,7 @@ func buildMeasured(g *graph.Graph, rt graph.Vertex, eps float64, opts Options) (
 			return congest.CheckSPT(g, rt, alive, st.finalParent, st.pw2, inHAll)
 		}
 	}
-	if err := run("final-spt", func(graph.Vertex) congest.Program {
-		return &sptProg{src: rt, pw: st.pw2, parent: st.finalParent}
-	}, stage(inHAll, finalSptValidate, nil)...); err != nil {
+	if err := run("final-spt", sp.sptFactory(n, rt, st.pw2, st.finalParent), stage(inHAll, finalSptValidate, nil)...); err != nil {
 		return nil, fmt.Errorf("slt: %w", err)
 	}
 	var finalDistValidate func() error
@@ -317,9 +303,7 @@ func buildMeasured(g *graph.Graph, rt graph.Vertex, eps float64, opts Options) (
 		}
 	}
 	finalDistReset := func() { refillInf(st.finalDist, rt) }
-	if err := run("final-dist", func(graph.Vertex) congest.Program {
-		return &distDownProg{root: rt, parent: st.finalParent, dist: st.finalDist}
-	}, stage(inHAll, finalDistValidate, finalDistReset)...); err != nil {
+	if err := run("final-dist", sp.distDownFactory(n, rt, st.finalParent, st.finalDist), stage(inHAll, finalDistValidate, finalDistReset)...); err != nil {
 		return nil, fmt.Errorf("slt: %w", err)
 	}
 

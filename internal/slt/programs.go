@@ -443,15 +443,22 @@ func (p *bpWalkProg) forward(ctx *congest.Ctx, t *vtour, k int, anchor float64, 
 // recorded paths.
 type bpHeadsProg struct {
 	congest.NoPhases
-	st    *mstate
+	st *mstate
+	// queue[head:] is the token backlog; the head index (not forward
+	// re-slicing) keeps the backing array reusable across appends — see
+	// funnelProgram in internal/congest for the allocation rationale.
 	queue []headTuple
+	head  int
 }
 
 func (p *bpHeadsProg) Init(ctx *congest.Ctx) {
 	st := p.st
 	v := ctx.V()
 	t := &st.vs[v]
-	t.route = make(map[int64]graph.EdgeID)
+	// Reset only; the map is built lazily in Handle. Almost every vertex
+	// relays no head token (there are ~2√n heads against n vertices), so
+	// allocating n maps up front would dominate the stage's allocations.
+	t.route = nil
 	for k, pos := range t.pos {
 		if pos%int64(st.alpha) != 0 {
 			continue
@@ -476,6 +483,9 @@ func (p *bpHeadsProg) Handle(ctx *congest.Ctx, inbox []congest.Message) {
 			r:    math.Float64frombits(uint64(m.Words[1])),
 			dist: math.Float64frombits(uint64(m.Words[2])),
 		}
+		if t.route == nil {
+			t.route = make(map[int64]graph.EdgeID)
+		}
 		t.route[tup.pos] = m.Via
 		if v == st.rt {
 			st.rootTuples = append(st.rootTuples, tup)
@@ -488,17 +498,23 @@ func (p *bpHeadsProg) Handle(ctx *congest.Ctx, inbox []congest.Message) {
 
 func (p *bpHeadsProg) pump(ctx *congest.Ctx) {
 	v := ctx.V()
-	if v == p.st.rt || len(p.queue) == 0 {
+	if v == p.st.rt || p.head == len(p.queue) {
 		return
 	}
-	tup := p.queue[0]
-	p.queue = p.queue[1:]
+	tup := p.queue[p.head]
+	p.head++
+	if p.head == len(p.queue) {
+		p.queue, p.head = p.queue[:0], 0
+	} else if p.head >= 64 && p.head*2 >= len(p.queue) {
+		n := copy(p.queue, p.queue[p.head:])
+		p.queue, p.head = p.queue[:n], 0
+	}
 	err := ctx.Send(p.st.bfsParent[v], tup.pos, int64(math.Float64bits(tup.r)), int64(math.Float64bits(tup.dist)))
 	if err != nil {
 		ctx.Fail(err)
 		return
 	}
-	if len(p.queue) > 0 {
+	if p.head < len(p.queue) {
 		ctx.Stay()
 	}
 }
@@ -628,5 +644,97 @@ func (p *hMarkProg) mark(ctx *congest.Ctx, t *vtour) {
 	st.inH[e] = true // e is owned by v (v's parent edge): unique writer
 	if err := ctx.Send(e, 0); err != nil {
 		ctx.Fail(err)
+	}
+}
+
+// ---------------------------------------------------------------------
+// Pooled stage factories. The measured pipeline installs one program
+// per vertex per stage; at n = 10⁶ and thirteen stages a fresh
+// allocation per program is 13M objects of GC pressure for state that
+// is dead the moment the next stage starts. sltPools owns one dense
+// slot slice per program type (congest.StagePool) and the factories
+// reset slots in place — per-vertex scratch (a downcast's waiting list,
+// a funnel's queue) keeps its capacity from stage to stage. The two
+// Bellman-Ford passes and the two downcasts share their pools.
+type sltPools struct {
+	spt   congest.StagePool[sptProg]
+	dist  congest.StagePool[distDownProg]
+	eup   congest.StagePool[eulerUpProg]
+	edn   congest.StagePool[eulerDownProg]
+	walk  congest.StagePool[bpWalkProg]
+	heads congest.StagePool[bpHeadsProg]
+	sel   congest.StagePool[bpSelectProg]
+	hmark congest.StagePool[hMarkProg]
+}
+
+func (pl *sltPools) sptFactory(n int, src graph.Vertex, pw []float64, parent []graph.EdgeID) func(graph.Vertex) congest.Program {
+	slots := pl.spt.Slots(n)
+	return func(v graph.Vertex) congest.Program {
+		p := &slots[v]
+		*p = sptProg{src: src, pw: pw, parent: parent}
+		return p
+	}
+}
+
+func (pl *sltPools) distDownFactory(n int, root graph.Vertex, parent []graph.EdgeID, dist []float64) func(graph.Vertex) congest.Program {
+	slots := pl.dist.Slots(n)
+	return func(v graph.Vertex) congest.Program {
+		p := &slots[v]
+		*p = distDownProg{root: root, parent: parent, dist: dist, waiting: p.waiting[:0]}
+		return p
+	}
+}
+
+func (pl *sltPools) eulerUpFactory(n int, st *mstate) func(graph.Vertex) congest.Program {
+	slots := pl.eup.Slots(n)
+	return func(v graph.Vertex) congest.Program {
+		p := &slots[v]
+		*p = eulerUpProg{st: st}
+		return p
+	}
+}
+
+func (pl *sltPools) eulerDownFactory(n int, st *mstate) func(graph.Vertex) congest.Program {
+	slots := pl.edn.Slots(n)
+	return func(v graph.Vertex) congest.Program {
+		p := &slots[v]
+		*p = eulerDownProg{st: st}
+		return p
+	}
+}
+
+func (pl *sltPools) bpWalkFactory(n int, st *mstate) func(graph.Vertex) congest.Program {
+	slots := pl.walk.Slots(n)
+	return func(v graph.Vertex) congest.Program {
+		p := &slots[v]
+		*p = bpWalkProg{st: st}
+		return p
+	}
+}
+
+func (pl *sltPools) bpHeadsFactory(n int, st *mstate) func(graph.Vertex) congest.Program {
+	slots := pl.heads.Slots(n)
+	return func(v graph.Vertex) congest.Program {
+		p := &slots[v]
+		*p = bpHeadsProg{st: st, queue: p.queue[:0]}
+		return p
+	}
+}
+
+func (pl *sltPools) bpSelectFactory(n int, st *mstate) func(graph.Vertex) congest.Program {
+	slots := pl.sel.Slots(n)
+	return func(v graph.Vertex) congest.Program {
+		p := &slots[v]
+		*p = bpSelectProg{st: st, pending: p.pending[:0]}
+		return p
+	}
+}
+
+func (pl *sltPools) hMarkFactory(n int, st *mstate) func(graph.Vertex) congest.Program {
+	slots := pl.hmark.Slots(n)
+	return func(v graph.Vertex) congest.Program {
+		p := &slots[v]
+		*p = hMarkProg{st: st}
+		return p
 	}
 }

@@ -103,6 +103,9 @@ func buildMeasured(g *graph.Graph, k int, eps float64, opts Options) (*Result, e
 		MaxRounds: 16*n + 1024, // Borůvka's budget; ample for every stage
 		Faults:    faults,
 	})
+	// Stage-state pools: every stage resets per-vertex program slots in
+	// place instead of allocating n fresh objects (see congest.StagePool).
+	pools := &congest.StagePools{}
 	run := func(name string, factory func(graph.Vertex) congest.Program, so ...congest.StageOption) error {
 		_, err := pipe.RunStage(name, factory, so...)
 		return err
@@ -157,7 +160,7 @@ func buildMeasured(g *graph.Graph, k int, eps float64, opts Options) (*Result, e
 			inTree[i] = false
 		}
 	}
-	if err := run("mst", congest.BoruvkaFactory(inTree), stage(aliveEdges, mstValidate, mstReset)...); err != nil {
+	if err := run("mst", pools.Boruvka(n, inTree), stage(aliveEdges, mstValidate, mstReset)...); err != nil {
 		return nil, fmt.Errorf("spanner: %w", err)
 	}
 	treeEdges := 0
@@ -178,7 +181,7 @@ func buildMeasured(g *graph.Graph, k int, eps float64, opts Options) (*Result, e
 			return congest.CheckBFS(g, rt, alive, bfsParent, bfsDepth, wantDepth)
 		}
 	}
-	if err := run("bfs", congest.BFSFactory(rt, bfsParent, bfsDepth), stage(aliveEdges, bfsValidate, nil)...); err != nil {
+	if err := run("bfs", pools.BFS(n, rt, bfsParent, bfsDepth), stage(aliveEdges, bfsValidate, nil)...); err != nil {
 		return nil, fmt.Errorf("spanner: %w", err)
 	}
 
@@ -218,7 +221,7 @@ func buildMeasured(g *graph.Graph, k int, eps float64, opts Options) (*Result, e
 		}
 	}
 	funnelReset := func() { gathered = gathered[:0] }
-	if err := run("mst-weight-up", congest.FunnelFactory(rt, bfsParent, 2, queues, &gathered),
+	if err := run("mst-weight-up", pools.Funnel(n, rt, bfsParent, 2, queues, &gathered),
 		stage(aliveEdges, funnelValidate, funnelReset)...); err != nil {
 		return nil, fmt.Errorf("spanner: %w", err)
 	}
@@ -268,7 +271,7 @@ func buildMeasured(g *graph.Graph, k int, eps float64, opts Options) (*Result, e
 			lword[i] = 0
 		}
 	}
-	if err := run("mst-weight-down", congest.FloodWordFactory(rt, lbits, lword),
+	if err := run("mst-weight-down", pools.FloodWord(n, rt, lbits, lword),
 		stage(aliveEdges, floodValidate, floodReset)...); err != nil {
 		return nil, fmt.Errorf("spanner: %w", err)
 	}
@@ -309,16 +312,42 @@ func buildMeasured(g *graph.Graph, k int, eps float64, opts Options) (*Result, e
 	chosen := make([][]graph.EdgeID, n)
 	keptMask := make([]bool, m)   // scratch for merging per-vertex choices
 	bucketMask := make([]bool, m) // reused across stages: set/cleared per bucket
+	// Cross-bucket program pool: every bucket stage resets the same dense
+	// program slice in place (see bsFactory).
+	var bsPool congest.StagePool[bsProgram]
+	bsSlots := bsPool.Slots(n)
+	// Participant tracking: fault-free bucket stages run only at the
+	// bucket's edge endpoints (congest.Verts), so each bucket costs
+	// O(bucket edges), not O(n). Non-participants have no incident bucket
+	// edge — their local evolution writes only their own cluster slot,
+	// which nothing downstream reads — so skipping them leaves the output
+	// and the Stats bit-identical. Under faults every vertex still
+	// participates: the oracle validator compares the full cluster array,
+	// which needs those local evolutions to have run.
+	var participants []int32
+	partStamp := make([]int32, n)
+	stamp := int32(0)
 	// mergeChosen folds the per-vertex kept edges into one deduplicated,
-	// sorted id list (keptMask is scratch, left clear).
-	mergeChosen := func() []graph.EdgeID {
+	// sorted id list (keptMask is scratch, left clear). verts limits the
+	// sweep to the current bucket's participants; nil means all vertices
+	// (the fault path, where chosen slots are truncated at every vertex).
+	mergeChosen := func(verts []int32) []graph.EdgeID {
 		var kept []graph.EdgeID
-		for v := range chosen {
+		merge := func(v int32) {
 			for _, id := range chosen[v] {
 				if !keptMask[id] {
 					keptMask[id] = true
 					kept = append(kept, id)
 				}
+			}
+		}
+		if verts == nil {
+			for v := range chosen {
+				merge(int32(v))
+			}
+		} else {
+			for _, v := range verts {
+				merge(v)
 			}
 		}
 		for _, id := range kept {
@@ -336,6 +365,24 @@ func buildMeasured(g *graph.Graph, k int, eps float64, opts Options) (*Result, e
 				bucketMask[id] = false
 			}
 		}()
+		var verts []int32
+		if !faulty {
+			stamp++
+			participants = participants[:0]
+			for _, id := range ids {
+				e := g.Edge(id)
+				if partStamp[e.U] != stamp {
+					partStamp[e.U] = stamp
+					participants = append(participants, int32(e.U))
+				}
+				if partStamp[e.V] != stamp {
+					partStamp[e.V] = stamp
+					participants = append(participants, int32(e.V))
+				}
+			}
+			sort.Slice(participants, func(a, b int) bool { return participants[a] < participants[b] })
+			verts = participants
+		}
 		var validate func() error
 		if faulty {
 			// Oracle: the sequential Baswana-Sen core on the same mask and
@@ -344,7 +391,7 @@ func buildMeasured(g *graph.Graph, k int, eps float64, opts Options) (*Result, e
 			// programs.go). Computed eagerly while the mask is set.
 			wantKept, wantCluster := baswanaCore(g, bucketMask, k, seed)
 			validate = func() error {
-				got := mergeChosen()
+				got := mergeChosen(nil)
 				if len(got) != len(wantKept) {
 					return fmt.Errorf("%s kept %d edges, oracle keeps %d", name, len(got), len(wantKept))
 				}
@@ -366,11 +413,14 @@ func buildMeasured(g *graph.Graph, k int, eps float64, opts Options) (*Result, e
 		}
 		// No Reset needed: every live vertex's bsProgram truncates its own
 		// chosen slot and rewrites its cluster label in Init.
-		if err := run(name, bsFactory(g, k, seed, bucketMask, cluster, chosen),
-			stage(bucketMask, validate, nil)...); err != nil {
+		so := stage(bucketMask, validate, nil)
+		if verts != nil {
+			so = append(so, congest.Verts(verts))
+		}
+		if err := run(name, bsFactory(g, k, seed, bucketMask, cluster, chosen, bsSlots), so...); err != nil {
 			return nil, fmt.Errorf("spanner: %w", err)
 		}
-		return mergeChosen(), nil
+		return mergeChosen(verts), nil
 	}
 
 	if len(lowIDs) > 0 {

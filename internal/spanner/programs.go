@@ -68,7 +68,13 @@ func (p *bsProgram) Init(ctx *congest.Ctx) {
 		p.done = true
 		return
 	}
-	p.nbrCluster = make([]graph.Vertex, ctx.Degree())
+	// Pooled across buckets (see bsFactory): reuse the previous
+	// bucket's capacity instead of reallocating per bucket.
+	if cap(p.nbrCluster) < ctx.Degree() {
+		p.nbrCluster = make([]graph.Vertex, ctx.Degree())
+	} else {
+		p.nbrCluster = p.nbrCluster[:ctx.Degree()]
+	}
 	for i := range p.nbrCluster {
 		p.nbrCluster[i] = graph.NoVertex
 	}
@@ -124,11 +130,22 @@ func (p *bsProgram) view(ctx *congest.Ctx) []bsNeighbor {
 // bsFactory returns the per-vertex Baswana-Sen stage factory for one
 // bucket: sub is the bucket's edge mask (pass the same slice to
 // congest.Restrict), cluster and chosen the shared output slices
-// (length N; chosen slices are reset per stage by each owner).
+// (length N; chosen slices are reset per stage by each owner). slots is
+// the cross-bucket program pool (length N): each bucket resets a
+// vertex's slot in place, so B bucket stages cost one slice allocation
+// total instead of B·n program allocations — and the per-vertex
+// nbrCluster/nbrs scratch keeps its capacity from bucket to bucket.
 func bsFactory(g *graph.Graph, k int, seed int64, sub []bool,
-	cluster []graph.Vertex, chosen [][]graph.EdgeID) func(graph.Vertex) congest.Program {
+	cluster []graph.Vertex, chosen [][]graph.EdgeID, slots []bsProgram) func(graph.Vertex) congest.Program {
 	prob := bsProb(g, k)
-	return func(graph.Vertex) congest.Program {
-		return &bsProgram{k: k, seed: seed, prob: prob, sub: sub, cluster: cluster, chosen: chosen}
+	return func(v graph.Vertex) congest.Program {
+		p := &slots[v]
+		*p = bsProgram{
+			k: k, seed: seed, prob: prob, sub: sub,
+			cluster: cluster, chosen: chosen,
+			nbrCluster: p.nbrCluster[:0],
+			nbrs:       p.nbrs[:0],
+		}
+		return p
 	}
 }

@@ -9,10 +9,14 @@ package lightnet
 import (
 	"fmt"
 	"math"
+	"reflect"
+	"runtime"
+	"slices"
 	"testing"
 
 	"lightnet/internal/congest"
 	"lightnet/internal/euler"
+	"lightnet/internal/experiments"
 	"lightnet/internal/mst"
 )
 
@@ -101,6 +105,93 @@ func TestScalingEulerRounds(t *testing.T) {
 		return led.Rounds()
 	}
 	assertSublinearGrowth(t, "euler-tour", measure(256), measure(1024))
+}
+
+// TestSoakMeasuredScale100k runs the full measured-mode pipelines at
+// n=10⁵ on the same knn workload family as the committed n=10⁶
+// baselines (skipped under -short; nightly CI runs it). Two guarantees
+// at scale:
+//
+//   - allocation is bounded per edge: one measured build may not
+//     allocate more than a fixed number of bytes per graph edge — the
+//     regression tripwire for any per-stage state that starts scaling
+//     with rounds or buckets instead of with the graph;
+//   - bit-identity across worker counts survives scale: workers=8 (the
+//     striped worklist path, chunk merges every round) must reproduce
+//     the workers=1 result and Stats exactly.
+func TestSoakMeasuredScale100k(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak")
+	}
+	const n = 100_000
+	g, err := experiments.BuildWorkload("knn", n, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := float64(g.M())
+	// Empirical (go1.24, workers=1): SLT ≈ 970 bytes/edge, spanner ≈
+	// 1060 bytes/edge — the outbox/arena floor is ~64·m bytes alone.
+	// The 2048 ceiling sits at ~2× headroom.
+	t.Run("slt", func(t *testing.T) {
+		runtime.GC()
+		var ms0, ms1 runtime.MemStats
+		runtime.ReadMemStats(&ms0)
+		r1, err := BuildSLT(g, 0, 0.5, WithSeed(1), WithMeasured(), WithWorkers(1))
+		runtime.ReadMemStats(&ms1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bytesPerEdge := float64(ms1.TotalAlloc-ms0.TotalAlloc) / m
+		t.Logf("slt: %.0f bytes/edge, rounds=%d messages=%d", bytesPerEdge, r1.Cost.Rounds, r1.Cost.Messages)
+		if bytesPerEdge > 2048 {
+			t.Errorf("slt measured build allocated %.0f bytes/edge, ceiling 2048", bytesPerEdge)
+		}
+		r8, err := BuildSLT(g, 0, 0.5, WithSeed(1), WithMeasured(), WithWorkers(8))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !slices.Equal(r1.TreeEdges, r8.TreeEdges) || !slices.Equal(r1.Parent, r8.Parent) ||
+			!slices.Equal(r1.Dist, r8.Dist) || r1.Lightness != r8.Lightness {
+			t.Fatal("slt result differs between workers=1 and workers=8")
+		}
+		assertSameCost(t, "slt", r1.Cost, r8.Cost)
+	})
+	t.Run("spanner", func(t *testing.T) {
+		runtime.GC()
+		var ms0, ms1 runtime.MemStats
+		runtime.ReadMemStats(&ms0)
+		r1, err := BuildLightSpanner(g, 2, 0.25, WithSeed(1), WithMeasured(), WithWorkers(1))
+		runtime.ReadMemStats(&ms1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bytesPerEdge := float64(ms1.TotalAlloc-ms0.TotalAlloc) / m
+		t.Logf("spanner: %.0f bytes/edge, rounds=%d messages=%d", bytesPerEdge, r1.Cost.Rounds, r1.Cost.Messages)
+		if bytesPerEdge > 2048 {
+			t.Errorf("spanner measured build allocated %.0f bytes/edge, ceiling 2048", bytesPerEdge)
+		}
+		r8, err := BuildLightSpanner(g, 2, 0.25, WithSeed(1), WithMeasured(), WithWorkers(8))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !slices.Equal(r1.Edges, r8.Edges) || r1.Weight != r8.Weight || r1.Lightness != r8.Lightness {
+			t.Fatal("spanner result differs between workers=1 and workers=8")
+		}
+		assertSameCost(t, "spanner", r1.Cost, r8.Cost)
+	})
+}
+
+// assertSameCost compares two measured Cost records field by field —
+// the bit-identity contract for Stats across worker counts.
+func assertSameCost(t *testing.T, name string, a, b Cost) {
+	t.Helper()
+	if a.Rounds != b.Rounds || a.Messages != b.Messages {
+		t.Fatalf("%s: cost differs across workers: rounds %d vs %d, messages %d vs %d",
+			name, a.Rounds, b.Rounds, a.Messages, b.Messages)
+	}
+	if !reflect.DeepEqual(a.Stages, b.Stages) {
+		t.Fatalf("%s: per-stage breakdown differs across workers", name)
+	}
 }
 
 // The engine programs' measured rounds follow their theoretical shapes
