@@ -291,6 +291,17 @@ func diffServe(base, cur *benchfmt.ServeReport, maxNs float64) []string {
 		out = append(out, fmt.Sprintf("serve: response digest changed %s -> %s (served answers drifted — the service no longer reproduces the library computation)",
 			base.ResponseDigest, cur.ResponseDigest))
 	}
+	// Store digests are exact but optional: in-memory runs leave them
+	// empty, and an empty side (either one) skips the comparison so
+	// snapshot-booted and in-memory runs stay mutually gateable.
+	if base.SnapshotDigest != "" && cur.SnapshotDigest != "" && cur.SnapshotDigest != base.SnapshotDigest {
+		out = append(out, fmt.Sprintf("serve: snapshot digest changed %s -> %s (the *.csrz bytes drifted — store format or generator change)",
+			base.SnapshotDigest, cur.SnapshotDigest))
+	}
+	if base.ArtifactDigest != "" && cur.ArtifactDigest != "" && cur.ArtifactDigest != base.ArtifactDigest {
+		out = append(out, fmt.Sprintf("serve: artifact digest changed %s -> %s (the *.art bytes drifted — store format or build change)",
+			base.ArtifactDigest, cur.ArtifactDigest))
+	}
 	if floor := base.QPS / (1 + maxNs); cur.QPS < floor {
 		out = append(out, fmt.Sprintf("serve: qps %.0f -> %.0f below -%.0f%% tolerance",
 			base.QPS, cur.QPS, maxNs*100))

@@ -86,12 +86,20 @@ import (
 	"lightnet/internal/experiments"
 	"lightnet/internal/profiling"
 	"lightnet/internal/serve"
+	"lightnet/internal/store"
 )
 
 func main() {
 	if len(os.Args) > 1 && os.Args[1] == "bench" {
 		if err := runBench(os.Args[2:]); err != nil {
 			fmt.Fprintln(os.Stderr, "lightnet bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "build" {
+		if err := runBuild(os.Args[2:]); err != nil {
+			fmt.Fprintln(os.Stderr, "lightnet build:", err)
 			os.Exit(1)
 		}
 		return
@@ -193,6 +201,8 @@ func runServe(args []string) error {
 		root     = fs.Int("root", 0, "SLT root")
 		seed     = fs.Int64("seed", 1, "build seed")
 		load     = fs.String("load", "", "load the graph from this file instead of generating")
+		snapPath = fs.String("snapshot", "", "cold-start: load the base graph from this *.csrz snapshot (see `lightnet build`)")
+		artPath  = fs.String("artifact", "", "cold-start: load the served object from this *.art artifact (requires -snapshot)")
 		cacheSz  = fs.Int("cache", 0, "LRU response-cache capacity (0 = default 65536, negative = disabled)")
 		window   = fs.Duration("batch-window", 0, "batcher coalescing window (0 = default 200µs)")
 		maxBatch = fs.Int("batch-max", 0, "flush a batch at this many pending queries (0 = default 256)")
@@ -204,10 +214,27 @@ func runServe(args []string) error {
 		return err
 	}
 
+	if *artPath != "" && *snapPath == "" {
+		return errors.New("-artifact requires -snapshot: an artifact only makes sense against its parent snapshot")
+	}
+	if *snapPath != "" && *load != "" {
+		return errors.New("-snapshot and -load are mutually exclusive")
+	}
+
 	var g *lightnet.Graph
 	var err error
+	var snap *store.Snapshot
 	workload := *kind
-	if *load != "" {
+	switch {
+	case *snapPath != "":
+		// Cold start: the graph comes from a store snapshot, not a
+		// generator — millisecond boot instead of regeneration.
+		if snap, err = store.OpenGraph(*snapPath); err != nil {
+			return err
+		}
+		g = snap.Graph
+		workload = snap.Meta.Workload
+	case *load != "":
 		f, ferr := os.Open(*load)
 		if ferr != nil {
 			return ferr
@@ -215,7 +242,7 @@ func runServe(args []string) error {
 		g, err = lightnet.ReadGraph(f)
 		f.Close()
 		workload = "load:" + *load
-	} else {
+	default:
 		g, err = makeGraph(*kind, *n, *seed)
 	}
 	if err != nil {
@@ -223,13 +250,27 @@ func runServe(args []string) error {
 	}
 
 	var nw *serve.Network
-	switch *obj {
-	case "spanner":
-		nw, err = serve.BuildSpannerNetwork(g, workload, *k, *eps, *seed)
-	case "slt":
-		nw, err = serve.BuildSLTNetwork(g, workload, lightnet.Vertex(*root), *eps, *seed)
-	default:
-		return fmt.Errorf("unknown -obj %q (spanner|slt)", *obj)
+	if *artPath != "" {
+		// Full cold start: served object from the artifact too — no
+		// spanner/SLT rebuild. The artifact's GraphDigest must pin
+		// exactly this snapshot.
+		art, aerr := store.OpenArtifact(*artPath)
+		if aerr != nil {
+			return aerr
+		}
+		nw, err = serve.NetworkFromArtifact(snap, art)
+	} else {
+		switch *obj {
+		case "spanner":
+			nw, err = serve.BuildSpannerNetwork(g, workload, *k, *eps, *seed)
+		case "slt":
+			nw, err = serve.BuildSLTNetwork(g, workload, lightnet.Vertex(*root), *eps, *seed)
+		default:
+			return fmt.Errorf("unknown -obj %q (spanner|slt)", *obj)
+		}
+		if err == nil && snap != nil {
+			nw.SnapshotDigest = snap.Digest
+		}
 	}
 	if err != nil {
 		return err
@@ -313,7 +354,9 @@ func runLoadgen(args []string) error {
 			N: res.Info.N, M: res.Info.M, K: res.Info.K,
 			Eps: res.Info.Eps, Seed: res.Info.Seed,
 			Edges: res.Info.Edges, Digest: res.Info.Digest,
-			Clients: *clients, Queries: res.Queries, Errors: res.Errors,
+			SnapshotDigest: res.Info.SnapshotDigest,
+			ArtifactDigest: res.Info.ArtifactDigest,
+			Clients:        *clients, Queries: res.Queries, Errors: res.Errors,
 			ResponseDigest: res.ResponseDigest,
 			QPS:            res.QPS,
 			P50Micros:      float64(res.P50.Nanoseconds()) / 1e3,

@@ -140,6 +140,12 @@ type ServeReport struct {
 	// content digest — both pure functions of the build.
 	Edges  int    `json:"edges"`
 	Digest string `json:"digest"`
+	// SnapshotDigest/ArtifactDigest name the store files the server
+	// booted from (internal/store content digests); empty for
+	// in-memory builds. When both the baseline and the fresh report
+	// carry one, the gate compares it exactly.
+	SnapshotDigest string `json:"snapshot_digest,omitempty"`
+	ArtifactDigest string `json:"artifact_digest,omitempty"`
 	// Clients/Queries shape the loadgen run; Errors must be zero (the
 	// gate enforces this on the fresh report unconditionally).
 	Clients int `json:"clients"`

@@ -20,6 +20,7 @@ import (
 	"lightnet/internal/nets"
 	"lightnet/internal/slt"
 	"lightnet/internal/spanner"
+	"lightnet/internal/store"
 )
 
 // Grid is the JSON experiment-grid format consumed by `lightnet bench`:
@@ -44,6 +45,14 @@ type Grid struct {
 	// Workers configures the CONGEST engine pool for engine specs
 	// (0 = GOMAXPROCS). Ledger-accounted constructions ignore it.
 	Workers int `json:"workers"`
+	// Store persists the run's inputs and outputs under dir/store/:
+	// every generated workload graph as a *.csrz snapshot (reused by
+	// later cells and resumed runs instead of regenerating) and every
+	// spanner/slt/sltinv cell's result as a *.art artifact pinned to
+	// its graph's digest, recorded in the manifest so -resume skips
+	// re-serializing cells whose artifacts already exist. Faulted
+	// cells produce no artifacts (their output is diagnostic).
+	Store bool `json:"store,omitempty"`
 	// Experiments are the specs to run.
 	Experiments []Spec `json:"experiments"`
 }
@@ -363,8 +372,11 @@ func ledgerBreakdown(l *congest.Ledger) string {
 }
 
 // runCell executes one grid cell and fills every Row column except the
-// identity ones the caller owns.
-func runCell(spec Spec, g *graph.Graph, seed int64, workers int) (Row, error) {
+// identity ones the caller owns. With wantArt (store-enabled runs,
+// spanner/slt/sltinv only) it additionally packages the result as a
+// store artifact — built from the same in-memory result, so emission
+// costs no rebuild; the caller fills GraphDigest/N/M and serializes.
+func runCell(spec Spec, g *graph.Graph, seed int64, workers int, wantArt bool) (Row, *store.Artifact, error) {
 	row := Row{
 		Lightness: math.NaN(), Stretch: math.NaN(), Mode: "accounted",
 		GreedyLightness: math.NaN(), GreedyStretch: math.NaN(),
@@ -379,13 +391,14 @@ func runCell(spec Spec, g *graph.Graph, seed int64, workers int) (Row, error) {
 		start := time.Now()
 		stats, size, err := runEngineCell(spec.Program, g, seed, workers)
 		if err != nil {
-			return row, err
+			return row, nil, err
 		}
 		row.WallMS = float64(time.Since(start).Microseconds()) / 1000
 		row.Rounds, row.Messages, row.Size = int64(stats.Rounds), stats.Messages, size
 		row.Stages = fmt.Sprintf("%s:%d", spec.Program, stats.Rounds) // one-stage run
-		return row, nil
+		return row, nil, nil
 	}
+	var art *store.Artifact
 	// Only the ledger-accounted constructions need the hop-diameter
 	// (two BFS traversals) and a ledger.
 	d := g.HopDiameterApprox()
@@ -417,7 +430,7 @@ func runCell(spec Spec, g *graph.Graph, seed int64, workers int) (Row, error) {
 		}
 		res, err := spanner.BuildLight(g, spec.K, spec.Eps, sopts)
 		if err != nil {
-			return row, err
+			return row, nil, err
 		}
 		row.Size, row.Lightness = len(res.Edges), res.Lightness
 		if res.Stages != nil {
@@ -438,13 +451,21 @@ func runCell(spec Spec, g *graph.Graph, seed int64, workers int) (Row, error) {
 			}
 			maxS, _, err := metrics.EdgeStretch(target, g.Subgraph(res.Edges))
 			if err != nil {
-				return row, err
+				return row, nil, err
 			}
 			row.Stretch = maxS
 		}
 		if spec.Quality {
 			quality = func() error {
 				return fillQuality(&row, g, res, spec, seed)
+			}
+		}
+		if wantArt {
+			art = &store.Artifact{
+				Kind: "spanner", K: spec.K, Eps: spec.Eps, Root: graph.NoVertex, Seed: seed,
+				Edges:  res.Edges,
+				Weight: res.Weight, MSTWeight: res.MSTWeight, Lightness: res.Lightness,
+				Stages: storeStages(res.Stages),
 			}
 		}
 	case "slt":
@@ -459,7 +480,7 @@ func runCell(spec Spec, g *graph.Graph, seed int64, workers int) (Row, error) {
 		}
 		res, err := slt.Build(g, 0, spec.Eps, sopts)
 		if err != nil {
-			return row, err
+			return row, nil, err
 		}
 		row.Size, row.Lightness = len(res.TreeEdges), res.Lightness
 		if res.Stages != nil {
@@ -478,30 +499,36 @@ func runCell(spec Spec, g *graph.Graph, seed int64, workers int) (Row, error) {
 				// (lightness already comes vs the component's MST).
 				stretch, err := degradedSLTStretch(g, res)
 				if err != nil {
-					return row, err
+					return row, nil, err
 				}
 				row.Stretch = stretch
 			} else {
 				light, stretch, err := slt.Verify(g, res)
 				if err != nil {
-					return row, err
+					return row, nil, err
 				}
 				row.Lightness, row.Stretch = light, stretch
 			}
+		}
+		if wantArt {
+			art = sltArtifact("slt", res, spec.Eps, seed)
 		}
 	case "sltinv":
 		row.Params = fmt.Sprintf("gamma=%g", spec.Gamma)
 		res, err := slt.BuildInverse(g, 0, spec.Gamma, slt.Options{Seed: seed, Ledger: led, HopDiam: d})
 		if err != nil {
-			return row, err
+			return row, nil, err
 		}
 		row.Size, row.Lightness = len(res.TreeEdges), res.Lightness
 		if spec.Verify {
 			light, stretch, err := slt.Verify(g, res)
 			if err != nil {
-				return row, err
+				return row, nil, err
 			}
 			row.Lightness, row.Stretch = light, stretch
+		}
+		if wantArt {
+			art = sltArtifact("sltinv", res, spec.Gamma, seed)
 		}
 	case "net":
 		scale := spec.Scale
@@ -511,42 +538,70 @@ func runCell(spec Spec, g *graph.Graph, seed int64, workers int) (Row, error) {
 		row.Params = fmt.Sprintf("scale=%.4g delta=%g", scale, spec.Delta)
 		res, err := nets.Build(g, scale, spec.Delta, nets.Options{Seed: seed, Ledger: led, HopDiam: d})
 		if err != nil {
-			return row, err
+			return row, nil, err
 		}
 		row.Size = len(res.Points)
 		if spec.Verify {
 			if err := nets.Verify(g, res.Points, res.Alpha, res.Beta); err != nil {
-				return row, err
+				return row, nil, err
 			}
 		}
 	case "doubling":
 		row.Params = fmt.Sprintf("eps=%g", spec.Eps)
 		res, err := doubling.Build(g, spec.Eps, doubling.Options{Seed: seed, Ledger: led, HopDiam: d})
 		if err != nil {
-			return row, err
+			return row, nil, err
 		}
 		row.Size, row.Lightness = len(res.Edges), res.Lightness
 		if spec.Verify {
 			maxS, _, err := metrics.EdgeStretch(g, g.Subgraph(res.Edges))
 			if err != nil {
-				return row, err
+				return row, nil, err
 			}
 			row.Stretch = maxS
 		}
 	default:
-		return row, fmt.Errorf("unknown construction %q", spec.Construction)
+		return row, nil, fmt.Errorf("unknown construction %q", spec.Construction)
 	}
 	row.WallMS = float64(time.Since(start).Microseconds()) / 1000
 	row.Rounds, row.Messages = led.Rounds(), led.Messages()
 	if row.Stages == "" {
 		row.Stages = ledgerBreakdown(led) // sorted-label dump
 	}
+	if art != nil {
+		art.Rounds, art.Messages = row.Rounds, row.Messages
+		art.Measured = row.Mode == "measured"
+	}
 	if quality != nil {
 		if err := quality(); err != nil {
-			return row, err
+			return row, nil, err
 		}
 	}
-	return row, nil
+	return row, art, nil
+}
+
+// sltArtifact packages an SLT (or inverse-SLT) result for the store.
+func sltArtifact(kind string, res *slt.Result, eps float64, seed int64) *store.Artifact {
+	return &store.Artifact{
+		Kind: kind, Eps: eps, Root: res.Source, Seed: seed,
+		Edges:  res.TreeEdges,
+		Parent: res.Parent, Dist: res.Dist,
+		Weight: res.Weight, MSTWeight: res.MSTWeight, Lightness: res.Lightness,
+		Stages: storeStages(res.Stages),
+	}
+}
+
+// storeStages converts a measured pipeline's stage stats to the store's
+// stage schema (nil for accounted runs).
+func storeStages(stages []congest.StageStats) []store.Stage {
+	if len(stages) == 0 {
+		return nil
+	}
+	out := make([]store.Stage, len(stages))
+	for i, s := range stages {
+		out[i] = store.Stage{Name: s.Name, Rounds: int64(s.Stats.Rounds), Messages: s.Stats.Messages}
+	}
+	return out
 }
 
 // fillQuality computes the quality-oracle columns of a spanner row: the
@@ -666,20 +721,23 @@ func cellKey(name, workload string, n, repeat int) string {
 	return fmt.Sprintf("%s|%s|%d|%d", name, workload, n, repeat)
 }
 
-// readManifest loads the completed-cell set of a prior run (absent file:
-// empty set).
-func readManifest(path string) (map[string]bool, error) {
+// readManifest loads the completed-cell map of a prior run (absent
+// file: empty map). Each line is a cell key, optionally followed by a
+// tab and the run-relative path of the cell's artifact (store-enabled
+// runs); bare lines from pre-store manifests parse as artifact-less.
+func readManifest(path string) (map[string]string, error) {
 	data, err := os.ReadFile(path)
 	if os.IsNotExist(err) {
-		return map[string]bool{}, nil
+		return map[string]string{}, nil
 	}
 	if err != nil {
 		return nil, err
 	}
-	done := map[string]bool{}
+	done := map[string]string{}
 	for _, line := range strings.Split(string(data), "\n") {
 		if line = strings.TrimSpace(line); line != "" {
-			done[line] = true
+			cell, artifact, _ := strings.Cut(line, "\t")
+			done[cell] = artifact
 		}
 	}
 	return done, nil
@@ -731,9 +789,21 @@ func RunGridResume(g *Grid, dir string, logw io.Writer, resume bool) error {
 	if err := os.WriteFile(gridPath, resolved, 0o644); err != nil {
 		return err
 	}
-	done := map[string]bool{}
+	done := map[string]string{}
 	if resume {
 		if done, err = readManifest(filepath.Join(dir, "manifest.txt")); err != nil {
+			return err
+		}
+	}
+	if g.Store {
+		if err := os.MkdirAll(filepath.Join(dir, storeDirName), 0o755); err != nil {
+			return err
+		}
+		// A done cell whose artifact vanished must rerun (and re-emit);
+		// an artifact without a manifest line is the kill-window orphan
+		// and is pruned, mirroring the CSVs' ≤1-orphan-row rule.
+		dropCellsMissingArtifacts(dir, done)
+		if err := pruneArtifacts(dir, done); err != nil {
 			return err
 		}
 	}
@@ -757,7 +827,7 @@ func RunGridResume(g *Grid, dir string, logw io.Writer, resume bool) error {
 	if resume && len(done) > 0 {
 		fmt.Fprintf(log, "resuming: %d cells already done\n", len(done))
 	}
-	graphs := make(map[graphKey]*graph.Graph)
+	graphs := make(map[graphKey]cachedGraph)
 	for i, spec := range g.Experiments {
 		name := fmt.Sprintf("%02d-%s", i+1, spec.Construction)
 		if spec.Construction == "engine" {
@@ -782,11 +852,18 @@ type graphKey struct {
 	seed int64
 }
 
+// cachedGraph is one workload graph held for reuse across cells; digest
+// is its snapshot's content digest (empty when Grid.Store is off).
+type cachedGraph struct {
+	g      *graph.Graph
+	digest string
+}
+
 // resumeCSV prepares one experiment's CSV for a (possibly resumed) run:
 // rows of cells the manifest marks done are kept, orphan rows a killed
 // run flushed without reaching the manifest are pruned, and the file is
 // returned open for appending with the header already written.
-func resumeCSV(path, name string, done map[string]bool) (*os.File, error) {
+func resumeCSV(path, name string, done map[string]string) (*os.File, error) {
 	var kept [][]string
 	if len(done) > 0 {
 		if data, err := os.ReadFile(path); err == nil {
@@ -802,7 +879,7 @@ func resumeCSV(path, name string, done map[string]bool) (*os.File, error) {
 				// uses the spec name plus workload, n and repeat.
 				nv, _ := strconv.Atoi(rec[2])
 				rv, _ := strconv.Atoi(rec[5])
-				if done[cellKey(name, rec[1], nv, rv)] {
+				if _, ok := done[cellKey(name, rec[1], nv, rv)]; ok {
 					kept = append(kept, rec)
 				}
 			}
@@ -836,32 +913,46 @@ func resumeCSV(path, name string, done map[string]bool) (*os.File, error) {
 // runSpec sweeps one spec over the grid and writes its CSV, flushing
 // each row and checkpointing the cell in the manifest before moving on;
 // cells already in done are skipped.
-func runSpec(g *Grid, spec Spec, name, dir string, graphs map[graphKey]*graph.Graph, log io.Writer, done map[string]bool, manifest *os.File) error {
+func runSpec(g *Grid, spec Spec, name, dir string, graphs map[graphKey]cachedGraph, log io.Writer, done map[string]string, manifest *os.File) error {
 	f, err := resumeCSV(filepath.Join(dir, "csv", name+".csv"), name, done)
 	if err != nil {
 		return err
 	}
 	defer f.Close()
 	w := newCSVWriter(f)
+	// Artifacts exist for the paper's persistent objects only, and a
+	// faulted cell's output is diagnostic, not servable.
+	wantArt := g.Store && spec.Faults == nil &&
+		(spec.Construction == "spanner" || spec.Construction == "slt" || spec.Construction == "sltinv")
 	for _, kind := range g.Workloads {
 		for _, n := range g.Sizes {
 			for rep := 0; rep < g.Repeats; rep++ {
 				cell := cellKey(name, kind, n, rep)
-				if done[cell] {
+				if _, ok := done[cell]; ok {
 					fmt.Fprintf(log, "%s %s n=%d repeat=%d: done (resumed)\n", name, kind, n, rep)
 					continue
 				}
 				seed := g.Seed + int64(rep)
 				key := graphKey{kind, n, seed}
-				gr, ok := graphs[key]
+				cached, ok := graphs[key]
 				if !ok {
-					var err error
-					if gr, err = BuildWorkload(kind, n, seed); err != nil {
-						return fmt.Errorf("%s n=%d seed=%d: %w", kind, n, seed, err)
+					if g.Store {
+						gr, digest, err := loadOrBuildSnapshot(dir, key, log)
+						if err != nil {
+							return err
+						}
+						cached = cachedGraph{g: gr, digest: digest}
+					} else {
+						gr, err := BuildWorkload(kind, n, seed)
+						if err != nil {
+							return fmt.Errorf("%s n=%d seed=%d: %w", kind, n, seed, err)
+						}
+						cached = cachedGraph{g: gr}
 					}
-					graphs[key] = gr
+					graphs[key] = cached
 				}
-				row, err := runCell(spec, gr, seed, g.Workers)
+				gr := cached.g
+				row, art, err := runCell(spec, gr, seed, g.Workers, wantArt)
 				if err != nil {
 					return fmt.Errorf("%s n=%d seed=%d: %w", kind, n, seed, err)
 				}
@@ -871,17 +962,32 @@ func runSpec(g *Grid, spec Spec, name, dir string, graphs map[graphKey]*graph.Gr
 				}
 				row.Workload, row.N, row.M = kind, gr.N(), gr.M()
 				row.Seed, row.Repeat = seed, rep
+				// Serialize the artifact before the row it certifies: a
+				// manifest entry then implies both a durable row and a
+				// durable artifact file (emission is outside the cell's
+				// wall_ms, which runCell already captured).
+				artLine := ""
+				if art != nil {
+					rel := artifactRel(name, kind, n, rep)
+					art.GraphDigest = cached.digest
+					art.N, art.M = gr.N(), gr.M()
+					if _, err := store.WriteArtifact(filepath.Join(dir, rel), art); err != nil {
+						return err
+					}
+					artLine = "\t" + rel
+				}
 				if err := w.Write(row.Record()); err != nil {
 					return err
 				}
 				// Checkpoint: flush the row, then record the cell. A kill
-				// between the two leaves an orphan row that the next resume
-				// prunes; a manifest entry therefore implies a durable row.
+				// between the two leaves an orphan row (and artifact) that
+				// the next resume prunes; a manifest entry therefore
+				// implies durable output.
 				w.Flush()
 				if err := w.Error(); err != nil {
 					return err
 				}
-				if _, err := fmt.Fprintln(manifest, cell); err != nil {
+				if _, err := fmt.Fprintf(manifest, "%s%s\n", cell, artLine); err != nil {
 					return err
 				}
 				fmt.Fprintf(log, "%s %s n=%d repeat=%d: rounds=%d messages=%d size=%d (%.1fms)\n",

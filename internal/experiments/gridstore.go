@@ -1,0 +1,137 @@
+package experiments
+
+import (
+	"fmt"
+	"hash/fnv"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"lightnet/internal/graph"
+	"lightnet/internal/store"
+)
+
+// Grid store layer (Grid.Store): a store-enabled run keeps a dir/store/
+// folder next to the CSVs with
+//
+//   - graph-*.csrz — one snapshot per generated workload graph, written
+//     on first use and reloaded (never regenerated) by later cells and
+//     by resumed runs that sweep the same (workload, n, seed);
+//   - <cell>.art — one artifact per spanner/slt/sltinv cell, recorded
+//     in manifest.txt next to the cell key so -resume can skip
+//     re-serializing cells whose artifacts already exist.
+//
+// Artifacts whose manifest line never landed (a kill between the file
+// write and the checkpoint) are pruned on resume, mirroring the
+// ≤1-orphan-row rule of the CSVs; snapshots carry their own checksums
+// and are verified, not pruned.
+
+// storeDirName is the run-folder subdirectory of persisted files.
+const storeDirName = "store"
+
+// sanitize maps a scenario spec to a filename-safe token: parameters
+// like "ba:m=4,maxw=10" contain ':' '=' ','. An fnv-32 suffix keeps
+// distinct specs that sanitize identically from colliding.
+func sanitize(spec string) string {
+	var b strings.Builder
+	for _, r := range spec {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '.':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	h := fnv.New32a()
+	io.WriteString(h, spec)
+	return fmt.Sprintf("%s-%08x", b.String(), h.Sum32())
+}
+
+// snapshotRel is the run-folder-relative path of one workload graph's
+// snapshot.
+func snapshotRel(key graphKey) string {
+	return filepath.Join(storeDirName, fmt.Sprintf("graph-%s-n%d-s%d.csrz", sanitize(key.kind), key.n, key.seed))
+}
+
+// artifactRel is the run-folder-relative path of one cell's artifact.
+func artifactRel(name, kind string, n, rep int) string {
+	return filepath.Join(storeDirName, fmt.Sprintf("%s-%s-n%d-r%d.art", name, sanitize(kind), n, rep))
+}
+
+// loadOrBuildSnapshot returns the workload graph for key, preferring
+// the run folder's snapshot: a valid snapshot whose metadata matches is
+// loaded (milliseconds) instead of regenerated; anything else — absent,
+// corrupt, or from a different scenario — is rebuilt and rewritten.
+// The returned digest pins the snapshot the cell artifacts chain to.
+func loadOrBuildSnapshot(dir string, key graphKey, log io.Writer) (*graph.Graph, string, error) {
+	path := filepath.Join(dir, snapshotRel(key))
+	if snap, err := store.OpenGraph(path); err == nil {
+		if snap.Meta.Workload == key.kind && snap.Meta.Seed == key.seed && snap.Graph.N() == key.n {
+			fmt.Fprintf(log, "store: reusing snapshot %s (digest %s)\n", snapshotRel(key), snap.Digest)
+			return snap.Graph, snap.Digest, nil
+		}
+		fmt.Fprintf(log, "store: snapshot %s is from a different scenario; rebuilding\n", snapshotRel(key))
+	}
+	gr, err := BuildWorkload(key.kind, key.n, key.seed)
+	if err != nil {
+		return nil, "", fmt.Errorf("%s n=%d seed=%d: %w", key.kind, key.n, key.seed, err)
+	}
+	gr.Freeze()
+	digest, err := store.WriteGraph(path, gr, store.GraphMeta{Workload: key.kind, Seed: key.seed})
+	if err != nil {
+		return nil, "", err
+	}
+	fmt.Fprintf(log, "store: wrote snapshot %s (digest %s)\n", snapshotRel(key), digest)
+	return gr, digest, nil
+}
+
+// pruneArtifacts removes every *.art (and stray *.tmp) under dir/store/
+// that no manifest entry references: on a fresh run that is all of them
+// (stale files from an earlier grid must not masquerade as this run's
+// output), on a resume just the partial trailing artifact a killed run
+// left without its checkpoint line.
+func pruneArtifacts(dir string, done map[string]string) error {
+	sdir := filepath.Join(dir, storeDirName)
+	entries, err := os.ReadDir(sdir)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	referenced := make(map[string]bool, len(done))
+	for _, rel := range done {
+		if rel != "" {
+			referenced[filepath.Base(rel)] = true
+		}
+	}
+	for _, e := range entries {
+		name := e.Name()
+		stale := strings.HasSuffix(name, ".tmp") ||
+			(strings.HasSuffix(name, ".art") && !referenced[name])
+		if stale {
+			if err := os.Remove(filepath.Join(sdir, name)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// dropCellsMissingArtifacts un-marks done cells whose recorded artifact
+// no longer exists, so the resumed run re-executes them and re-emits
+// the file (their stale CSV rows are pruned by resumeCSV alongside).
+// Kills never produce this state — the artifact lands before the
+// manifest line — so it only follows a manual deletion; the re-run row
+// is then appended after the kept rows (same content, later position).
+func dropCellsMissingArtifacts(dir string, done map[string]string) {
+	for cell, rel := range done {
+		if rel == "" {
+			continue
+		}
+		if _, err := os.Stat(filepath.Join(dir, rel)); err != nil {
+			delete(done, cell)
+		}
+	}
+}

@@ -1,0 +1,163 @@
+package experiments
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"lightnet/internal/store"
+)
+
+// storeGrid is the small store-enabled grid the persistence tests run:
+// two sizes and two constructions, so the run folder ends with two
+// snapshots and four artifacts.
+func storeGrid() *Grid {
+	return &Grid{
+		Seed: 5, Sizes: []int{32, 48}, Workloads: []string{"er"}, Store: true,
+		Experiments: []Spec{
+			{Construction: "spanner", K: 2, Eps: 0.25},
+			{Construction: "slt", Eps: 0.5},
+		},
+	}
+}
+
+// readManifestLines returns the non-empty lines of dir/manifest.txt.
+func readManifestLines(t *testing.T, dir string) []string {
+	t.Helper()
+	data, err := os.ReadFile(filepath.Join(dir, "manifest.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return strings.Split(strings.TrimSpace(string(data)), "\n")
+}
+
+// TestRunGridStoreArtifacts: a store-enabled run records one artifact
+// path per cell in the manifest, every artifact opens cleanly and
+// chains to a snapshot actually present in the run folder, and the
+// whole store/ tree is deterministic (two runs of the same grid write
+// byte-identical files).
+func TestRunGridStoreArtifacts(t *testing.T) {
+	grid := storeGrid()
+	ref, dir := t.TempDir(), t.TempDir()
+	if err := RunGrid(grid, ref, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := RunGrid(grid, dir, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Snapshot digests present in the folder, keyed for the chain check.
+	snapDigests := make(map[string]bool)
+	sdir := filepath.Join(dir, storeDirName)
+	entries, err := os.ReadDir(sdir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var arts, snaps int
+	for _, e := range entries {
+		switch {
+		case strings.HasSuffix(e.Name(), ".csrz"):
+			snaps++
+			snap, err := store.OpenGraph(filepath.Join(sdir, e.Name()))
+			if err != nil {
+				t.Fatalf("snapshot %s: %v", e.Name(), err)
+			}
+			snapDigests[snap.Digest] = true
+		case strings.HasSuffix(e.Name(), ".art"):
+			arts++
+		}
+	}
+	if snaps != 2 || arts != 4 {
+		t.Fatalf("store folder has %d snapshots and %d artifacts, want 2 and 4", snaps, arts)
+	}
+	lines := readManifestLines(t, dir)
+	if len(lines) != 4 {
+		t.Fatalf("manifest has %d cells, want 4", len(lines))
+	}
+	for _, line := range lines {
+		fields := strings.Split(line, "\t")
+		if len(fields) != 2 {
+			t.Fatalf("manifest line %q lacks an artifact path", line)
+		}
+		art, err := store.OpenArtifact(filepath.Join(dir, fields[1]))
+		if err != nil {
+			t.Fatalf("artifact %s: %v", fields[1], err)
+		}
+		if !snapDigests[art.GraphDigest] {
+			t.Fatalf("artifact %s chains to digest %s, not a snapshot in this folder", fields[1], art.GraphDigest)
+		}
+	}
+	// Determinism: the ref run's store tree is byte-identical.
+	for _, e := range entries {
+		a, err := os.ReadFile(filepath.Join(sdir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := os.ReadFile(filepath.Join(ref, storeDirName, e.Name()))
+		if err != nil {
+			t.Fatalf("ref run lacks %s: %v", e.Name(), err)
+		}
+		if !bytes.Equal(a, b) {
+			t.Fatalf("store file %s differs between identical runs", e.Name())
+		}
+	}
+}
+
+// TestRunGridStoreResume: the store survives kill-and-resume. A
+// truncated manifest leaves a trailing artifact without its checkpoint
+// line — resume prunes it (≤1-orphan rule), re-runs only that cell,
+// reuses the snapshots instead of regenerating, and rewrites the
+// artifact; deleting a recorded artifact forces just its cell to
+// re-run.
+func TestRunGridStoreResume(t *testing.T) {
+	grid := storeGrid()
+	dir := t.TempDir()
+	if err := RunGrid(grid, dir, nil); err != nil {
+		t.Fatal(err)
+	}
+	lines := readManifestLines(t, dir)
+	wantCells := len(lines)
+	// Simulate the kill window: the last cell's artifact and CSV row
+	// landed but its manifest line did not.
+	lastRel := strings.Split(lines[len(lines)-1], "\t")[1]
+	orphan := filepath.Join(dir, lastRel)
+	if _, err := os.Stat(orphan); err != nil {
+		t.Fatal(err)
+	}
+	manifest := filepath.Join(dir, "manifest.txt")
+	if err := os.WriteFile(manifest, []byte(strings.Join(lines[:len(lines)-1], "\n")+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var log strings.Builder
+	if err := RunGridResume(grid, dir, &log, true); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(log.String(), "done (resumed)"); got != wantCells-1 {
+		t.Fatalf("resume skipped %d cells, want %d", got, wantCells-1)
+	}
+	if !strings.Contains(log.String(), "store: reusing snapshot") {
+		t.Fatal("resume regenerated workload graphs instead of reloading snapshots")
+	}
+	if _, err := store.OpenArtifact(orphan); err != nil {
+		t.Fatalf("re-run cell did not rewrite its artifact: %v", err)
+	}
+	if got := readManifestLines(t, dir); len(got) != wantCells {
+		t.Fatalf("manifest has %d cells after resume, want %d", len(got), wantCells)
+	}
+	// Deleting a recorded artifact un-marks exactly its cell.
+	victim := strings.Split(readManifestLines(t, dir)[0], "\t")[1]
+	if err := os.Remove(filepath.Join(dir, victim)); err != nil {
+		t.Fatal(err)
+	}
+	log.Reset()
+	if err := RunGridResume(grid, dir, &log, true); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(log.String(), "done (resumed)"); got != wantCells-1 {
+		t.Fatalf("after artifact deletion resume skipped %d cells, want %d", got, wantCells-1)
+	}
+	if _, err := store.OpenArtifact(filepath.Join(dir, victim)); err != nil {
+		t.Fatalf("deleted artifact was not re-emitted: %v", err)
+	}
+}

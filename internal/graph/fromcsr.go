@@ -1,0 +1,81 @@
+package graph
+
+import (
+	"fmt"
+	"math"
+)
+
+// FromFrozenParts reconstructs a frozen graph directly from its CSR
+// parts — the edge list, the per-vertex offsets and the flat half-edge
+// array that Freeze would compute — skipping the build representation
+// entirely. It is the load path of the persistent store
+// (internal/store): a snapshot carries exactly these arrays, and a
+// graph rebuilt through here is bit-identical to the one Freeze froze,
+// including adjacency order (the slot and first-edge-between indexes
+// are rebuilt lazily on first use).
+//
+// The inputs are untrusted (they come from disk), so everything a
+// traversal dereferences or adds is checked here: offsets must be a
+// monotone [0, 2m] ramp, half-edge neighbors and edge ids must be in
+// range, and every weight (both arrays) must be positive and finite. A
+// violation returns a descriptive error, never a panic. O(n+m), pure
+// sequential array scans — this function is most of snapshot cold
+// start, which is why it stops at safety: the deeper Freeze-shape
+// invariants (each edge listed exactly once per endpoint, half weights
+// mirroring their edge) are the writer's contract, enforced end to end
+// by the store's checksums and checkable on demand via Validate.
+//
+// Ownership of all three slices transfers to the graph; callers must
+// not retain or mutate them.
+func FromFrozenParts(n int, edges []Edge, offsets []int32, halves []Half) (*Graph, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("graph: negative vertex count %d", n)
+	}
+	m := len(edges)
+	if len(offsets) != n+1 {
+		return nil, fmt.Errorf("graph: offsets length %d != n+1 = %d", len(offsets), n+1)
+	}
+	if offsets[0] != 0 {
+		return nil, fmt.Errorf("graph: offsets must start at 0, got %d", offsets[0])
+	}
+	if len(halves) != 2*m {
+		return nil, fmt.Errorf("graph: halves length %d != 2m = %d", len(halves), 2*m)
+	}
+	if int(offsets[n]) != len(halves) {
+		return nil, fmt.Errorf("graph: offsets end %d != halves length %d", offsets[n], len(halves))
+	}
+	for v := 0; v < n; v++ {
+		if offsets[v+1] < offsets[v] {
+			return nil, fmt.Errorf("graph: offsets decrease at vertex %d (%d -> %d)", v, offsets[v], offsets[v+1])
+		}
+	}
+	for id, e := range edges {
+		if int(e.U) < 0 || int(e.U) >= n || int(e.V) < 0 || int(e.V) >= n {
+			return nil, fmt.Errorf("graph: edge %d endpoints {%d,%d} out of range with n=%d", id, e.U, e.V, n)
+		}
+		if e.U == e.V {
+			return nil, fmt.Errorf("graph: edge %d is a self loop", id)
+		}
+		if !(e.W > 0) || math.IsInf(e.W, 0) {
+			return nil, fmt.Errorf("graph: edge %d has invalid weight %v", id, e.W)
+		}
+	}
+	for i, h := range halves {
+		if int(h.To) < 0 || int(h.To) >= n {
+			return nil, fmt.Errorf("graph: half %d points at vertex %d out of range with n=%d", i, h.To, n)
+		}
+		if int(h.ID) < 0 || int(h.ID) >= m {
+			return nil, fmt.Errorf("graph: half %d references edge %d out of range with m=%d", i, h.ID, m)
+		}
+		if !(h.W > 0) || math.IsInf(h.W, 0) {
+			return nil, fmt.Errorf("graph: half %d has invalid weight %v", i, h.W)
+		}
+	}
+	return &Graph{
+		n:       n,
+		edges:   edges,
+		frozen:  true,
+		offsets: offsets,
+		halves:  halves,
+	}, nil
+}

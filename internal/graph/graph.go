@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 )
 
 // Vertex identifies a vertex of a Graph. Vertices are dense in [0, N).
@@ -33,11 +34,14 @@ func (e Edge) Other(x Vertex) Vertex {
 }
 
 // Half is one directed half of an undirected edge, stored in adjacency
-// lists: the far endpoint, the weight, and the undirected edge id.
+// lists: the far endpoint, the undirected edge id, and the weight. The
+// field order packs it into 16 bytes and matches the on-disk HALF
+// record of snapshot files (docs/STORE.md), so snapshot loading can
+// copy adjacency arrays wholesale on little-endian hosts.
 type Half struct {
 	To Vertex
-	W  float64
 	ID EdgeID
+	W  float64
 }
 
 // Graph is an undirected weighted graph. The zero value is unusable; use
@@ -67,10 +71,20 @@ type Graph struct {
 	// slotU[id]/slotV[id] is the index of edge id within the adjacency
 	// list of its U/V endpoint — the O(1) "adjacency slot" used by the
 	// CONGEST engine to give programs dense per-neighbor state.
+	// Freeze fills them eagerly; the snapshot/subgraph load paths
+	// (FromFrozenParts, FrozenSubgraph) leave them nil and slotIndexes
+	// builds them on first Slot call — the serve query path never
+	// needs slots, so cold starts skip the work entirely.
 	slotU, slotV []int32
+	slotOnce     sync.Once
 	// nbr maps an ordered endpoint pair to the first edge between them
 	// (in the source's adjacency order), making EdgeBetween O(1).
-	nbr map[int64]EdgeID
+	// Freeze builds it eagerly; FromFrozenParts and FrozenSubgraph
+	// leave it nil and nbrIndex builds it on first EdgeBetween —
+	// the map is by far the most expensive part of freezing, and the
+	// snapshot cold-start path usually never needs it.
+	nbr     map[int64]EdgeID
+	nbrOnce sync.Once
 }
 
 // Errors returned by Graph mutation methods.
@@ -197,13 +211,41 @@ func (g *Graph) Slot(v Vertex, id EdgeID) int {
 		return -1
 	}
 	e := g.edges[id]
+	slotU, slotV := g.slotIndexes()
 	switch v {
 	case e.U:
-		return int(g.slotU[id])
+		return int(slotU[id])
 	case e.V:
-		return int(g.slotV[id])
+		return int(slotV[id])
 	}
 	return -1
+}
+
+// slotIndexes returns the adjacency-slot arrays of a frozen graph,
+// building them on first use when the graph was assembled without them
+// (FromFrozenParts, FrozenSubgraph). Safe for concurrent readers; the
+// construction is the same loop Freeze runs, so the values are
+// identical either way.
+func (g *Graph) slotIndexes() ([]int32, []int32) {
+	g.slotOnce.Do(func() {
+		if g.slotU != nil {
+			return
+		}
+		m := len(g.edges)
+		slotU := make([]int32, m)
+		slotV := make([]int32, m)
+		for v := 0; v < g.n; v++ {
+			for i, h := range g.halves[g.offsets[v]:g.offsets[v+1]] {
+				if g.edges[h.ID].U == Vertex(v) {
+					slotU[h.ID] = int32(i)
+				} else {
+					slotV[h.ID] = int32(i)
+				}
+			}
+		}
+		g.slotU, g.slotV = slotU, slotV
+	})
+	return g.slotU, g.slotV
 }
 
 // EdgeBetween returns the first edge between u and v (in u's adjacency
@@ -213,7 +255,7 @@ func (g *Graph) EdgeBetween(u, v Vertex) (EdgeID, bool) {
 		return NoEdge, false
 	}
 	if g.frozen {
-		id, ok := g.nbr[nbrKey(u, v)]
+		id, ok := g.nbrIndex()[nbrKey(u, v)]
 		if !ok {
 			return NoEdge, false
 		}
@@ -340,6 +382,131 @@ func (g *Graph) Subgraph(ids []EdgeID) *Graph {
 		s.MustAddEdge(e.U, e.V, e.W)
 	}
 	return s
+}
+
+// FrozenSubgraph is Subgraph for frozen graphs, assembling the result
+// directly in CSR form. It is bit-identical to g.Subgraph(ids) followed
+// by Freeze — same edge renumbering (position in ids), same per-vertex
+// adjacency order — but does no per-edge map or append work, which is
+// what keeps snapshot cold-starts in the milliseconds. Dense sorted
+// subsets (a light spanner keeps most of the graph) take a sequential
+// filter over g's own halves; the general case counts degrees,
+// prefix-sums the offsets and scatters. Like MustAddEdge, it panics on
+// out-of-range ids (callers on the disk-loading path validate ids
+// first); duplicates are the caller's responsibility, exactly as with
+// Subgraph. The slot and endpoint-pair indexes are built lazily on
+// first use.
+func (g *Graph) FrozenSubgraph(ids []EdgeID) *Graph {
+	if !g.frozen {
+		panic("graph: FrozenSubgraph on an unfrozen graph")
+	}
+	m := len(ids)
+	s := &Graph{
+		n:       g.n,
+		frozen:  true,
+		edges:   make([]Edge, m),
+		offsets: make([]int32, g.n+1),
+		halves:  make([]Half, 2*m),
+	}
+	for i, id := range ids {
+		s.edges[i] = g.edges[id]
+	}
+	if sortedDense(ids, len(g.edges)) && g.filterScan(ids, s) {
+		return s
+	}
+	for i := range s.offsets {
+		s.offsets[i] = 0
+	}
+	for _, e := range s.edges {
+		s.offsets[e.U+1]++
+		s.offsets[e.V+1]++
+	}
+	for v := 0; v < g.n; v++ {
+		s.offsets[v+1] += s.offsets[v]
+	}
+	cursor := make([]int32, g.n)
+	for i, e := range s.edges {
+		s.halves[s.offsets[e.U]+cursor[e.U]] = Half{To: e.V, ID: EdgeID(i), W: e.W}
+		cursor[e.U]++
+		s.halves[s.offsets[e.V]+cursor[e.V]] = Half{To: e.U, ID: EdgeID(i), W: e.W}
+		cursor[e.V]++
+	}
+	return s
+}
+
+// sortedDense reports whether ids is strictly increasing and covers at
+// least a quarter of the base edge set — the regime where filterScan's
+// sequential pass beats the cache-missing scatter.
+func sortedDense(ids []EdgeID, baseM int) bool {
+	if 4*len(ids) < baseM {
+		return false
+	}
+	for i := 1; i < len(ids); i++ {
+		if ids[i] <= ids[i-1] {
+			return false
+		}
+	}
+	return true
+}
+
+// filterScan assembles s's CSR arrays with one sequential pass over g's
+// halves, keeping those whose edge id is in ids (remapped to the id's
+// position). The kept halves land in scatter order exactly when each of
+// g's adjacency lists visits the kept edges in increasing base id —
+// true for every graph built through AddEdge and preserved by Freeze,
+// FrozenSubgraph and the snapshot round trip. That precondition is
+// checked inline; on a violation filterScan reports false with
+// s.offsets partially written, and the caller falls back to the
+// scatter.
+func (g *Graph) filterScan(ids []EdgeID, s *Graph) bool {
+	newID := make([]int32, len(g.edges))
+	for i := range newID {
+		newID[i] = -1
+	}
+	for i, id := range ids {
+		newID[id] = int32(i)
+	}
+	cursor := int32(0)
+	for v := 0; v < g.n; v++ {
+		s.offsets[v] = cursor
+		last := int32(-1)
+		for _, h := range g.halves[g.offsets[v]:g.offsets[v+1]] {
+			ni := newID[h.ID]
+			if ni < 0 {
+				continue
+			}
+			if ni <= last {
+				return false
+			}
+			last = ni
+			s.halves[cursor] = Half{To: h.To, ID: EdgeID(ni), W: h.W}
+			cursor++
+		}
+	}
+	s.offsets[g.n] = cursor
+	return true
+}
+
+// nbrIndex returns the endpoint-pair index of a frozen graph, building
+// it on first use when the graph was assembled without one
+// (FromFrozenParts, FrozenSubgraph). Safe for concurrent readers.
+func (g *Graph) nbrIndex() map[int64]EdgeID {
+	g.nbrOnce.Do(func() {
+		if g.nbr != nil {
+			return
+		}
+		nbr := make(map[int64]EdgeID, 2*len(g.edges))
+		for v := 0; v < g.n; v++ {
+			for _, h := range g.halves[g.offsets[v]:g.offsets[v+1]] {
+				key := nbrKey(Vertex(v), h.To)
+				if _, ok := nbr[key]; !ok {
+					nbr[key] = h.ID
+				}
+			}
+		}
+		g.nbr = nbr
+	})
+	return g.nbr
 }
 
 // Reweighted returns a copy of g with every edge weight mapped through f.

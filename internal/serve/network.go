@@ -49,6 +49,13 @@ type Network struct {
 	// parameters. Two networks share a digest only if they serve
 	// identical answers.
 	Digest string
+	// SnapshotDigest and ArtifactDigest trace the network back to the
+	// exact store bytes it booted from (empty when built in memory).
+	// A network loaded from a snapshot has the same Digest as one
+	// built in memory from the same inputs; these extend the chain
+	// one level down, from answers to files.
+	SnapshotDigest string
+	ArtifactDigest string
 }
 
 // BuildSpannerNetwork builds the §5 light spanner once via the public
@@ -128,6 +135,11 @@ type Info struct {
 	Lightness float64 `json:"lightness"`
 	Bound     float64 `json:"bound"`
 	Digest    string  `json:"digest"`
+	// SnapshotDigest and ArtifactDigest are present only when the
+	// network was loaded from the persistent store (lightnet serve
+	// -snapshot/-artifact); they name the exact file bytes served.
+	SnapshotDigest string `json:"snapshot_digest,omitempty"`
+	ArtifactDigest string `json:"artifact_digest,omitempty"`
 }
 
 // Info returns the network's wire metadata.
@@ -138,6 +150,8 @@ func (nw *Network) Info() Info {
 		K: nw.K, Eps: nw.Eps, Seed: nw.Seed,
 		Edges: nw.Edges, Lightness: nw.Lightness,
 		Bound: nw.Bound, Digest: nw.Digest,
+		SnapshotDigest: nw.SnapshotDigest,
+		ArtifactDigest: nw.ArtifactDigest,
 	}
 }
 

@@ -1,0 +1,59 @@
+package serve
+
+import (
+	"fmt"
+
+	"lightnet/internal/store"
+)
+
+// NetworkFromArtifact reassembles a query network from a graph snapshot
+// and a build artifact without rebuilding anything: the base graph
+// comes from the snapshot, the served subgraph from the artifact's edge
+// set. The artifact must have been built from exactly this snapshot —
+// its GraphDigest pins the snapshot's content digest, and mismatches
+// are refused rather than served.
+//
+// The resulting network is indistinguishable from an in-memory build
+// with the same inputs: seal() folds the same base edges, served edges
+// and parameters, so Digest matches bit for bit and cached answers
+// transfer. SnapshotDigest/ArtifactDigest additionally record the file
+// bytes the network booted from.
+func NetworkFromArtifact(snap *store.Snapshot, art *store.Artifact) (*Network, error) {
+	if art.GraphDigest != snap.Digest {
+		return nil, fmt.Errorf("serve: artifact was built from snapshot %s, not %s", art.GraphDigest, snap.Digest)
+	}
+	base := snap.Graph
+	if art.N != base.N() || art.M != base.M() {
+		return nil, fmt.Errorf("serve: artifact sizes n=%d m=%d do not match snapshot n=%d m=%d", art.N, art.M, base.N(), base.M())
+	}
+	seen := make([]bool, base.M())
+	for _, id := range art.Edges {
+		// Store validation bounds ids to [0, M); duplicates would
+		// silently become parallel edges in Subgraph.
+		if seen[id] {
+			return nil, fmt.Errorf("serve: artifact lists edge %d twice", id)
+		}
+		seen[id] = true
+	}
+	object := art.Kind
+	if object == "sltinv" {
+		object = "slt"
+	}
+	// FrozenSubgraph assembles the served CSR directly (bit-identical
+	// to Subgraph+Freeze, without per-edge work) — with the ids
+	// validated above, this is the step that keeps cold-start flat.
+	nw := &Network{
+		Base: base, Sub: base.FrozenSubgraph(art.Edges),
+		Object: object, Workload: snap.Meta.Workload,
+		K: art.K, Eps: art.Eps, Seed: art.Seed,
+		Edges:     len(art.Edges),
+		Lightness: art.Lightness,
+	}
+	if object == "spanner" {
+		nw.Bound = float64(2*art.K-1) * (1 + art.Eps)
+	}
+	nw.seal()
+	nw.SnapshotDigest = snap.Digest
+	nw.ArtifactDigest = art.Digest
+	return nw, nil
+}

@@ -1,0 +1,98 @@
+package store
+
+import (
+	"encoding/binary"
+	"math"
+	"unsafe"
+
+	"lightnet/internal/graph"
+)
+
+// The snapshot reader's fast path copies whole sections into typed
+// slices with one memmove instead of decoding element by element. That
+// is only valid because the in-memory element types are laid out
+// exactly like their on-disk records (docs/STORE.md): 16-byte
+// {to u32, id u32, wbits u64} halves and {u u32, v u32, wbits u64}
+// edges, little-endian. The static asserts below break the build if
+// either struct drifts; hostLittleEndian gates the copy at runtime so
+// big-endian hosts fall back to the portable per-element decoders.
+
+var (
+	_ = [1]struct{}{}[unsafe.Sizeof(graph.Half{})-16]
+	_ = [1]struct{}{}[unsafe.Offsetof(graph.Half{}.To)-0]
+	_ = [1]struct{}{}[unsafe.Offsetof(graph.Half{}.ID)-4]
+	_ = [1]struct{}{}[unsafe.Offsetof(graph.Half{}.W)-8]
+	_ = [1]struct{}{}[unsafe.Sizeof(graph.Edge{})-16]
+	_ = [1]struct{}{}[unsafe.Offsetof(graph.Edge{}.U)-0]
+	_ = [1]struct{}{}[unsafe.Offsetof(graph.Edge{}.V)-4]
+	_ = [1]struct{}{}[unsafe.Offsetof(graph.Edge{}.W)-8]
+)
+
+var hostLittleEndian = func() bool {
+	var x uint16 = 1
+	return *(*byte)(unsafe.Pointer(&x)) == 1
+}()
+
+// parseOffsets decodes an OFFS payload (len(raw) must be 4*(n+1),
+// checked by the caller). Range validation is graph.FromFrozenParts's
+// job: offsets[0] == 0, monotone, ending at 2m bounds every value.
+func parseOffsets(raw []byte, n int) []int32 {
+	offsets := make([]int32, n+1)
+	if hostLittleEndian && len(offsets) > 0 {
+		copy(unsafe.Slice((*byte)(unsafe.Pointer(&offsets[0])), 4*len(offsets)), raw)
+		return offsets
+	}
+	for i := range offsets {
+		offsets[i] = int32(binary.LittleEndian.Uint32(raw[4*i:]))
+	}
+	return offsets
+}
+
+// parseHalves decodes a HALF payload of 2m 16-byte records.
+func parseHalves(raw []byte, m int) []graph.Half {
+	halves := make([]graph.Half, 2*m)
+	if hostLittleEndian && len(halves) > 0 {
+		copy(unsafe.Slice((*byte)(unsafe.Pointer(&halves[0])), 16*len(halves)), raw)
+		return halves
+	}
+	for i := range halves {
+		rec := raw[16*i:]
+		halves[i] = graph.Half{
+			To: graph.Vertex(int32(binary.LittleEndian.Uint32(rec[0:]))),
+			ID: graph.EdgeID(int32(binary.LittleEndian.Uint32(rec[4:]))),
+			W:  math.Float64frombits(binary.LittleEndian.Uint64(rec[8:])),
+		}
+	}
+	return halves
+}
+
+// parseEdges decodes an EDGE payload of m 16-byte records.
+func parseEdges(raw []byte, m int) []graph.Edge {
+	edges := make([]graph.Edge, m)
+	if hostLittleEndian && len(edges) > 0 {
+		copy(unsafe.Slice((*byte)(unsafe.Pointer(&edges[0])), 16*len(edges)), raw)
+		return edges
+	}
+	for i := range edges {
+		rec := raw[16*i:]
+		edges[i] = graph.Edge{
+			U: graph.Vertex(int32(binary.LittleEndian.Uint32(rec[0:]))),
+			V: graph.Vertex(int32(binary.LittleEndian.Uint32(rec[4:]))),
+			W: math.Float64frombits(binary.LittleEndian.Uint64(rec[8:])),
+		}
+	}
+	return edges
+}
+
+// parseFloats decodes a payload of count f64 bit patterns.
+func parseFloats(raw []byte, count int) []float64 {
+	out := make([]float64, count)
+	if hostLittleEndian && len(out) > 0 {
+		copy(unsafe.Slice((*byte)(unsafe.Pointer(&out[0])), 8*len(out)), raw)
+		return out
+	}
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(raw[8*i:]))
+	}
+	return out
+}

@@ -1,0 +1,26 @@
+// Package store persists frozen CSR graphs and build artifacts in a
+// versioned, mmap-friendly binary format, so expensive constructions
+// are built once and served many times.
+//
+// Two file types share one container layout (magic + version header,
+// checksummed section table, 8-byte-aligned payloads):
+//
+//   - *.csrz — a graph snapshot: the exact offsets/halves/edges arrays
+//     a frozen graph holds in memory, plus workload metadata and
+//     optional per-vertex labels and coordinates. OpenGraph
+//     reconstructs a graph bit-identical to the one written, including
+//     adjacency order, via graph.FromFrozenParts.
+//   - *.art — a build artifact: a spanner or SLT result (edge set,
+//     per-vertex outputs, cost accounting) pinned to its parent
+//     snapshot by content digest.
+//
+// Every file carries per-section and whole-file splitmix64 checksums;
+// the file checksum doubles as the content digest that
+// serve.NetworkFromArtifact chains into the network's serve digest, so
+// a served answer is traceable to exact snapshot bytes. Writes are
+// atomic and deterministic — the same inputs always produce the same
+// bytes, so digests name content, not write events.
+//
+// The normative byte-level format specification is docs/STORE.md; the
+// reader rejects (never panics on) any file that violates it.
+package store

@@ -1,0 +1,254 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// On-disk container shared by both file types. The normative byte-level
+// specification lives in docs/STORE.md; this file is its implementation
+// and the two must change together.
+//
+//	0   8  magic ("LNETCSRZ" snapshots, "LNETARTF" artifacts)
+//	8   4  version, uint32 LE (currently 1)
+//	12  4  flags, uint32 LE (reserved; version-1 readers reject != 0)
+//	16  4  section count, uint32 LE
+//	20  4  reserved, uint32 LE (must be 0)
+//	24  8  file checksum, uint64 LE: Checksum of bytes [32, EOF)
+//	32  -  section table: count × 32-byte entries
+//	       +0  8  tag, ASCII NUL-padded
+//	       +8  8  payload offset from file start, uint64 LE
+//	       +16 8  payload length in bytes, uint64 LE
+//	       +24 8  payload checksum, uint64 LE
+//	...    payloads in table order, each 8-byte aligned, zero padding
+//
+// The file checksum doubles as the file's content digest (Digest
+// renders it as 16 hex digits): any byte change after the header
+// changes it, so a digest names the exact snapshot bytes.
+
+// Magic strings of the two file types.
+const (
+	MagicSnapshot = "LNETCSRZ"
+	MagicArtifact = "LNETARTF"
+)
+
+// Version is the current (and only) format version.
+const Version = 1
+
+const (
+	headerSize = 32
+	tableEntry = 32
+	// maxSections bounds the section table so a corrupt count cannot
+	// drive a huge allocation before the bounds checks run.
+	maxSections = 64
+	// maxIndex bounds every count read from disk that indexes into
+	// int32-addressed arrays (vertices, edges, halves).
+	maxIndex = 1<<31 - 2
+)
+
+// Snapshot section tags.
+const (
+	tagGraphMeta = "GMETA"
+	tagOffsets   = "OFFS"
+	tagHalves    = "HALF"
+	tagEdges     = "EDGE"
+	tagLabels    = "LABL"
+	tagCoords    = "COOR"
+)
+
+// Artifact section tags.
+const (
+	tagArtMeta   = "AMETA"
+	tagArtEdges  = "AEDGE"
+	tagArtParent = "APAR"
+	tagArtDist   = "ADIST"
+	tagArtStages = "ASTAG"
+)
+
+// splitmix64 is the splitmix64 finalizer — the same mixing function the
+// engine RNG, the fault plans and the serve digest use, so store
+// checksums are seedable, platform-independent and dependency-free.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Checksum is the store's checksum of a byte string. Four lanes run in
+// parallel so the serial splitmix64 dependency chain stops being the
+// bottleneck (~4x on snapshot-sized inputs, which is most of cold
+// start):
+//
+//	lane[j] = splitmix64(0x6c6e2d73746f7265 + j)      for j = 0..3
+//
+// ("ln-store" + lane number). Each 32-byte block feeds its j-th 8-byte
+// little-endian word through lane[j] = splitmix64(lane[j] ^ word). The
+// tail (< 32 bytes) is zero-padded to 8-byte words and folded
+// round-robin from lane 0. Finally the lanes and the byte length are
+// folded left to right:
+//
+//	h = lane[0]
+//	h = splitmix64(h ^ lane[j])                       for j = 1..3
+//	h = splitmix64(h ^ uint64(len(data)))
+//
+// Folding the length last distinguishes strings that differ only in
+// trailing zero bytes.
+func Checksum(data []byte) uint64 {
+	const seed = uint64(0x6c6e2d73746f7265)
+	h0, h1, h2, h3 := splitmix64(seed), splitmix64(seed+1), splitmix64(seed+2), splitmix64(seed+3)
+	n := uint64(len(data))
+	for len(data) >= 32 {
+		h0 = splitmix64(h0 ^ binary.LittleEndian.Uint64(data[0:]))
+		h1 = splitmix64(h1 ^ binary.LittleEndian.Uint64(data[8:]))
+		h2 = splitmix64(h2 ^ binary.LittleEndian.Uint64(data[16:]))
+		h3 = splitmix64(h3 ^ binary.LittleEndian.Uint64(data[24:]))
+		data = data[32:]
+	}
+	lanes := [4]*uint64{&h0, &h1, &h2, &h3}
+	for j := 0; len(data) > 0; j++ {
+		var word [8]byte
+		data = data[copy(word[:], data):]
+		*lanes[j] = splitmix64(*lanes[j] ^ binary.LittleEndian.Uint64(word[:]))
+	}
+	h := h0
+	h = splitmix64(h ^ h1)
+	h = splitmix64(h ^ h2)
+	h = splitmix64(h ^ h3)
+	return splitmix64(h ^ n)
+}
+
+// DigestString renders a checksum the way digests appear everywhere
+// else in the repo: 16 lowercase hex digits.
+func DigestString(sum uint64) string { return fmt.Sprintf("%016x", sum) }
+
+// align8 rounds up to the next multiple of 8.
+func align8(x int) int { return (x + 7) &^ 7 }
+
+// section is one parsed section-table entry.
+type section struct {
+	tag     string
+	payload []byte
+}
+
+// fileBuilder assembles a container file in memory. Sections are laid
+// out in add order; bytes() computes the table, the checksums and the
+// final image deterministically (two identical builds yield identical
+// bytes).
+type fileBuilder struct {
+	magic    string
+	sections []section
+}
+
+func (b *fileBuilder) add(tag string, payload []byte) {
+	b.sections = append(b.sections, section{tag: tag, payload: payload})
+}
+
+// bytes renders the file image and returns it with its file checksum.
+func (b *fileBuilder) bytes() ([]byte, uint64) {
+	tableOff := headerSize
+	dataOff := align8(tableOff + tableEntry*len(b.sections))
+	offsets := make([]int, len(b.sections))
+	total := dataOff
+	for i, s := range b.sections {
+		offsets[i] = total
+		total = align8(total + len(s.payload))
+	}
+	buf := make([]byte, total)
+	copy(buf[0:8], b.magic)
+	le32 := binary.LittleEndian.PutUint32
+	le64 := binary.LittleEndian.PutUint64
+	le32(buf[8:], Version)
+	le32(buf[12:], 0) // flags
+	le32(buf[16:], uint32(len(b.sections)))
+	le32(buf[20:], 0) // reserved
+	for i, s := range b.sections {
+		e := buf[tableOff+i*tableEntry:]
+		copy(e[0:8], s.tag)
+		le64(e[8:], uint64(offsets[i]))
+		le64(e[16:], uint64(len(s.payload)))
+		le64(e[24:], Checksum(s.payload))
+		copy(buf[offsets[i]:], s.payload)
+	}
+	sum := Checksum(buf[headerSize:])
+	le64(buf[24:], sum)
+	return buf, sum
+}
+
+// parseContainer validates the container layer of a file image — magic,
+// version, flags, section table bounds and the whole-file checksum —
+// and returns the sections by tag plus the file checksum.
+// Unknown tags are retained (forward compatibility: a version-1 reader
+// ignores sections it does not know), duplicate tags are an error.
+func parseContainer(data []byte, magic string) (map[string][]byte, uint64, error) {
+	if len(data) < headerSize {
+		return nil, 0, fmt.Errorf("store: file too short (%d bytes) for a header", len(data))
+	}
+	if string(data[0:8]) != magic {
+		return nil, 0, fmt.Errorf("store: bad magic %q (want %q)", data[0:8], magic)
+	}
+	if v := binary.LittleEndian.Uint32(data[8:]); v != Version {
+		return nil, 0, fmt.Errorf("store: unsupported version %d (this reader handles %d)", v, Version)
+	}
+	if f := binary.LittleEndian.Uint32(data[12:]); f != 0 {
+		return nil, 0, fmt.Errorf("store: unknown flags %#x (version-1 files carry none)", f)
+	}
+	if r := binary.LittleEndian.Uint32(data[20:]); r != 0 {
+		return nil, 0, fmt.Errorf("store: reserved header word is %#x, want 0", r)
+	}
+	count := binary.LittleEndian.Uint32(data[16:])
+	if count > maxSections {
+		return nil, 0, fmt.Errorf("store: section count %d exceeds the limit %d", count, maxSections)
+	}
+	tableEnd := headerSize + int(count)*tableEntry
+	if tableEnd > len(data) {
+		return nil, 0, fmt.Errorf("store: section table (%d entries) overruns the file", count)
+	}
+	sum := binary.LittleEndian.Uint64(data[24:])
+	if got := Checksum(data[headerSize:]); got != sum {
+		return nil, 0, fmt.Errorf("store: file checksum mismatch: header says %016x, content is %016x", sum, got)
+	}
+	minOff := align8(tableEnd)
+	sections := make(map[string][]byte, count)
+	for i := 0; i < int(count); i++ {
+		e := data[headerSize+i*tableEntry:]
+		tag := trimNul(e[0:8])
+		if tag == "" {
+			return nil, 0, fmt.Errorf("store: section %d has an empty tag", i)
+		}
+		off := binary.LittleEndian.Uint64(e[8:])
+		length := binary.LittleEndian.Uint64(e[16:])
+		if off < uint64(minOff) || off > uint64(len(data)) || length > uint64(len(data))-off {
+			return nil, 0, fmt.Errorf("store: section %q (offset %d, length %d) overruns the %d-byte file", tag, off, length, len(data))
+		}
+		// The section checksum is NOT re-verified here: the file
+		// checksum just validated every byte past the header, table
+		// entries included, so a wrong section checksum cannot hide.
+		// Section checksums exist for partial readers and external
+		// tools that slice one section out of a large file.
+		payload := data[off : off+length]
+		if _, dup := sections[tag]; dup {
+			return nil, 0, fmt.Errorf("store: duplicate section %q", tag)
+		}
+		sections[tag] = payload
+	}
+	return sections, sum, nil
+}
+
+// trimNul strips the NUL padding of a fixed-width tag field.
+func trimNul(b []byte) string {
+	end := len(b)
+	for end > 0 && b[end-1] == 0 {
+		end--
+	}
+	return string(b[:end])
+}
+
+// need fetches a required section.
+func need(sections map[string][]byte, tag string) ([]byte, error) {
+	payload, ok := sections[tag]
+	if !ok {
+		return nil, fmt.Errorf("store: required section %q missing", tag)
+	}
+	return payload, nil
+}

@@ -1,0 +1,141 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"lightnet/internal/graph"
+)
+
+// The fuzz targets feed arbitrary bytes to the two openers via their
+// in-memory entry points (openGraphBytes / openArtifactBytes exist for
+// exactly this — no filesystem in the loop). The contract under test:
+// corrupt input must return an error, never panic, never index out of
+// range, never allocate unboundedly. Seed corpora live under
+// testdata/fuzz/ and include valid files, each header-field mutation,
+// and table/section boundary cases; `go test` replays them on every
+// run, `go test -fuzz=FuzzOpenSnapshot` explores from them.
+
+func addStoreSeeds(f *testing.F, magic string) {
+	f.Add([]byte{})
+	f.Add([]byte(magic))
+	// Valid header, zero sections, correct checksum of the empty tail.
+	b := &fileBuilder{magic: magic}
+	empty, _ := b.bytes()
+	f.Add(empty)
+	// A full valid file of the target type.
+	g := testGraphF(16, 11)
+	var valid []byte
+	if magic == MagicSnapshot {
+		path := filepath.Join(f.TempDir(), "seed.csrz")
+		if _, err := WriteGraph(path, g, GraphMeta{Workload: "er", Seed: 11, Labels: labelsFor(g.N()), Coords: coordsFor(g.N())}); err != nil {
+			f.Fatal(err)
+		}
+		valid, _ = os.ReadFile(path)
+	} else {
+		path := filepath.Join(f.TempDir(), "seed.art")
+		a := artifactFor(g, "0123456789abcdef")
+		if _, err := WriteArtifact(path, a); err != nil {
+			f.Fatal(err)
+		}
+		valid, _ = os.ReadFile(path)
+	}
+	f.Add(valid)
+	// Header-field mutations of the valid file: version, flags, count,
+	// reserved, checksum — one seed each so the fuzzer starts past the
+	// cheap rejections.
+	for _, off := range []int{8, 12, 16, 20, 24} {
+		mut := append([]byte(nil), valid...)
+		mut[off] ^= 0xff
+		f.Add(mut)
+	}
+	// Truncations at the header, table and payload boundaries.
+	for _, cut := range []int{8, headerSize, headerSize + tableEntry, len(valid) - 1} {
+		if cut >= 0 && cut < len(valid) {
+			f.Add(valid[:cut])
+		}
+	}
+}
+
+func FuzzOpenSnapshot(f *testing.F) {
+	addStoreSeeds(f, MagicSnapshot)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		snap, err := openGraphBytes(data)
+		if err != nil {
+			return
+		}
+		// Accepted input must yield a coherent graph.
+		if vErr := snap.Graph.Validate(); vErr != nil {
+			t.Fatalf("accepted snapshot fails graph validation: %v", vErr)
+		}
+	})
+}
+
+func FuzzOpenArtifact(f *testing.F) {
+	addStoreSeeds(f, MagicArtifact)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		a, err := openArtifactBytes(data)
+		if err != nil {
+			return
+		}
+		// Accepted input must satisfy the invariants the readers of an
+		// artifact rely on without re-checking.
+		for _, id := range a.Edges {
+			if int(id) < 0 || int(id) >= a.M {
+				t.Fatalf("accepted artifact has edge id %d outside [0,%d)", id, a.M)
+			}
+		}
+		if a.Parent != nil && len(a.Parent) != a.N {
+			t.Fatalf("accepted artifact has %d parents for n=%d", len(a.Parent), a.N)
+		}
+	})
+}
+
+// testGraphF is testGraph without the *testing.T (testing.F setup).
+func testGraphF(n int, seed uint64) *graph.Graph {
+	g := graph.New(n)
+	w := func() float64 {
+		seed = splitmix64(seed)
+		return 0.5 + float64(seed%1000)/997.0
+	}
+	for v := 0; v < n; v++ {
+		g.MustAddEdge(graph.Vertex(v), graph.Vertex((v+1)%n), w())
+	}
+	g.Freeze()
+	return g
+}
+
+func labelsFor(n int) []string {
+	l := make([]string, n)
+	for v := range l {
+		l[v] = string(rune('a' + v%26))
+	}
+	return l
+}
+
+func coordsFor(n int) [][]float64 {
+	c := make([][]float64, n)
+	for v := range c {
+		c[v] = []float64{float64(v), float64(-v)}
+	}
+	return c
+}
+
+func artifactFor(g *graph.Graph, graphDigest string) *Artifact {
+	parent := make([]graph.EdgeID, g.N())
+	dist := make([]float64, g.N())
+	for v := range parent {
+		parent[v] = graph.EdgeID(v % g.M())
+		dist[v] = float64(v)
+	}
+	parent[0] = graph.NoEdge
+	return &Artifact{
+		Kind: "slt", Eps: 0.25, Root: 0, Seed: 11,
+		GraphDigest: graphDigest, N: g.N(), M: g.M(),
+		Edges: []graph.EdgeID{0, 1, 2}, Parent: parent, Dist: dist,
+		Weight: 10, MSTWeight: 8, Lightness: 1.25,
+		Rounds: 5, Messages: 50,
+		Stages: []Stage{{Name: "mst", Rounds: 5, Messages: 50}},
+	}
+}

@@ -1,0 +1,135 @@
+package store
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+
+	"lightnet/internal/graph"
+)
+
+// The committed golden files under testdata/ pin the on-disk format:
+//
+//   - testdata/tiny.csrz — the triangle snapshot docs/STORE.md walks
+//     through byte by byte; if this test fails the spec's worked
+//     example no longer matches what the writer emits.
+//   - testdata/fuzz/FuzzOpen*/ — seed corpora the fuzz targets replay
+//     on every `go test` run.
+//
+// Regenerate all of them (after a deliberate format change, alongside
+// a Version bump and a STORE.md update) with:
+//
+//	STORE_REGEN=1 go test ./internal/store/ -run TestGoldenTinySnapshot
+
+// tinyGraph is the STORE.md worked example: the triangle 0-1-2 with
+// weights 1, 2 and 0.5 (all exactly representable, so the f64 bit
+// patterns in the hex dump are recognizable).
+func tinyGraph() (*graph.Graph, GraphMeta) {
+	g := graph.New(3)
+	g.MustAddEdge(0, 1, 1.0)
+	g.MustAddEdge(1, 2, 2.0)
+	g.MustAddEdge(2, 0, 0.5)
+	g.Freeze()
+	return g, GraphMeta{Workload: "doc-triangle", Seed: 7}
+}
+
+func TestGoldenTinySnapshot(t *testing.T) {
+	g, meta := tinyGraph()
+	tmp := filepath.Join(t.TempDir(), "tiny.csrz")
+	digest, err := WriteGraph(tmp, g, meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(tmp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "tiny.csrz")
+	if os.Getenv("STORE_REGEN") != "" {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		writeSeedCorpora(t)
+		t.Logf("regenerated %s (digest %s) and fuzz corpora", golden, digest)
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden (run with STORE_REGEN=1 to create): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("writer output drifted from committed %s — the docs/STORE.md worked example is stale; if the format change is deliberate, bump Version, update the spec and regenerate with STORE_REGEN=1", golden)
+	}
+	snap, err := OpenGraph(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Digest != digest || snap.Graph.N() != 3 || snap.Graph.M() != 3 {
+		t.Fatalf("golden reopened wrong: digest %s (want %s), n=%d m=%d", snap.Digest, digest, snap.Graph.N(), snap.Graph.M())
+	}
+}
+
+// writeSeedCorpora mirrors the f.Add seeds of fuzz_test.go into
+// committed `go test fuzz v1` corpus files so the corpora exist even
+// where the in-code seeds change.
+func writeSeedCorpora(t *testing.T) {
+	t.Helper()
+	g := testGraphF(16, 11)
+	snapPath := filepath.Join(t.TempDir(), "seed.csrz")
+	if _, err := WriteGraph(snapPath, g, GraphMeta{Workload: "er", Seed: 11, Labels: labelsFor(g.N()), Coords: coordsFor(g.N())}); err != nil {
+		t.Fatal(err)
+	}
+	snapBytes, _ := os.ReadFile(snapPath)
+	artPath := filepath.Join(t.TempDir(), "seed.art")
+	if _, err := WriteArtifact(artPath, artifactFor(g, "0123456789abcdef")); err != nil {
+		t.Fatal(err)
+	}
+	artBytes, _ := os.ReadFile(artPath)
+	tinyBytes, _ := os.ReadFile(filepath.Join("testdata", "tiny.csrz"))
+
+	for target, valid := range map[string][][]byte{
+		"FuzzOpenSnapshot": {snapBytes, tinyBytes},
+		"FuzzOpenArtifact": {artBytes},
+	} {
+		dir := filepath.Join("testdata", "fuzz", target)
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		i := 0
+		emit := func(data []byte) {
+			body := "go test fuzz v1\n[]byte(" + strconv.Quote(string(data)) + ")\n"
+			name := filepath.Join(dir, "seed-"+strconv.Itoa(i))
+			if err := os.WriteFile(name, []byte(body), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			i++
+		}
+		for _, v := range valid {
+			emit(v)
+			// Flipped version, flags, count, reserved, checksum.
+			for _, off := range []int{8, 12, 16, 20, 24} {
+				mut := append([]byte(nil), v...)
+				mut[off] ^= 0xff
+				emit(mut)
+			}
+			emit(v[:headerSize])
+			emit(v[:len(v)-1])
+		}
+	}
+}
+
+// TestSeedCorporaCommitted keeps the corpora from silently vanishing:
+// the CI fuzz smoke relies on them being replayed by plain `go test`.
+func TestSeedCorporaCommitted(t *testing.T) {
+	for _, target := range []string{"FuzzOpenSnapshot", "FuzzOpenArtifact"} {
+		entries, err := os.ReadDir(filepath.Join("testdata", "fuzz", target))
+		if err != nil || len(entries) == 0 {
+			t.Fatalf("no committed corpus for %s (err=%v): regenerate with STORE_REGEN=1", target, err)
+		}
+	}
+}

@@ -1,0 +1,15 @@
+//go:build !unix
+
+package store
+
+import "os"
+
+// readFileMapped is the portable fallback: a plain read. Platforms
+// without syscall.Mmap get correct (if less lazy) snapshot opens.
+func readFileMapped(path string) ([]byte, func(), error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return data, func() {}, nil
+}

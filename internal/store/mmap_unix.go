@@ -1,0 +1,45 @@
+//go:build unix
+
+package store
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// readFileMapped maps path read-only and returns its bytes plus a
+// release function. Mapping avoids reading the whole file through the
+// page cache up front — snapshot opens touch only the pages the parser
+// walks — which is what makes cold-start load time a function of the
+// graph's size rather than the disk's. Empty files are returned as an
+// empty slice (mmap of length 0 is an error on most platforms).
+func readFileMapped(path string) ([]byte, func(), error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, nil, err
+	}
+	size := st.Size()
+	if size == 0 {
+		return nil, func() {}, nil
+	}
+	if size != int64(int(size)) {
+		return nil, nil, fmt.Errorf("file too large to map (%d bytes)", size)
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		// Filesystems without mmap support (some network mounts)
+		// still deserve a working reader.
+		fallback, rerr := os.ReadFile(path)
+		if rerr != nil {
+			return nil, nil, rerr
+		}
+		return fallback, func() {}, nil
+	}
+	return data, func() { syscall.Munmap(data) }, nil
+}
